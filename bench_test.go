@@ -1,0 +1,601 @@
+// Benchmarks regenerating each figure of the paper's evaluation, plus
+// the ablation benches DESIGN.md §5 calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Figure benches measure the cost of *producing* each figure's data with
+// this library (pattern construction, simulation, prediction and
+// emulation); the ablation benches compare design-choice variants on
+// identical inputs.
+package loggpsim_test
+
+import (
+	"testing"
+
+	"loggpsim"
+	"loggpsim/internal/blockops"
+	"loggpsim/internal/cost"
+	"loggpsim/internal/ge"
+	"loggpsim/internal/layout"
+	"loggpsim/internal/machine"
+	"loggpsim/internal/matrix"
+	"loggpsim/internal/network"
+	"loggpsim/internal/predictor"
+	"loggpsim/internal/sim"
+	"loggpsim/internal/trace"
+	"loggpsim/internal/worstcase"
+)
+
+// benchN is the matrix size used by the figure-7/8/9 benches: half the
+// paper's 960 keeps single iterations under ~100ms while exercising the
+// same code paths.
+const benchN = 480
+
+func benchGEProgram(b *testing.B, blockSize int) *loggpsim.Program {
+	b.Helper()
+	g, err := ge.NewGrid(benchN, blockSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := ge.BuildProgram(g, layout.Diagonal(8, g.NB))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pr
+}
+
+// BenchmarkFigure3PatternBuild measures constructing the sample
+// communication pattern (Figure 3).
+func BenchmarkFigure3PatternBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if pt := trace.Figure3(); pt.P != 10 {
+			b.Fatal("bad pattern")
+		}
+	}
+}
+
+// BenchmarkFigure4StandardSimulation measures one run of the standard
+// algorithm on the Figure-3 pattern (the paper's Figure 4).
+func BenchmarkFigure4StandardSimulation(b *testing.B) {
+	pt := trace.Figure3()
+	params := loggpsim.MeikoCS2(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := sim.Run(pt, sim.Config{Params: params, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Finish == 0 {
+			b.Fatal("zero finish")
+		}
+	}
+}
+
+// BenchmarkFigure5WorstCaseSimulation measures one run of the
+// overestimation algorithm on the Figure-3 pattern (Figure 5).
+func BenchmarkFigure5WorstCaseSimulation(b *testing.B) {
+	pt := trace.Figure3()
+	params := loggpsim.MeikoCS2(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := worstcase.Run(pt, worstcase.Config{Params: params, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Finish == 0 {
+			b.Fatal("zero finish")
+		}
+	}
+}
+
+// BenchmarkFigure6BasicOpKernels measures the real block-operation
+// kernels whose timings produce Figure 6, at a mid-range block size.
+func BenchmarkFigure6BasicOpKernels(b *testing.B) {
+	const blockSize = 32
+	diagSrc := matrix.Random(blockSize, 1)
+	d, err := blockops.ApplyOp1(diagSrc.Clone())
+	if err != nil {
+		b.Fatal(err)
+	}
+	panel := matrix.Random(blockSize, 2)
+	other := matrix.Random(blockSize, 3)
+
+	b.Run("Op1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := blockops.ApplyOp1(diagSrc.Clone()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Op2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			blk := panel.Clone()
+			blockops.ApplyOp2(d.Linv, blk)
+		}
+	})
+	b.Run("Op3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			blk := panel.Clone()
+			blockops.ApplyOp3(blk, d.Uinv)
+		}
+	})
+	b.Run("Op4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			blk := panel.Clone()
+			blockops.ApplyOp4(blk, other, panel)
+		}
+	})
+}
+
+// BenchmarkFigure7TotalTime measures the full prediction (standard +
+// worst case) of the GE total running time, per block size.
+func BenchmarkFigure7TotalTime(b *testing.B) {
+	params := loggpsim.MeikoCS2(8)
+	model := cost.DefaultAnalytic()
+	for _, blockSize := range []int{16, 48, 120} {
+		pr := benchGEProgram(b, blockSize)
+		b.Run(sizeName(blockSize), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := predictor.Predict(pr, predictor.Config{Params: params, Cost: model, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if p.Total <= 0 {
+					b.Fatal("bad prediction")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure7Emulation measures the machine emulator producing the
+// "measured" curves of Figure 7.
+func BenchmarkFigure7Emulation(b *testing.B) {
+	params := loggpsim.MeikoCS2(8)
+	model := cost.DefaultAnalytic()
+	for _, blockSize := range []int{16, 48, 120} {
+		pr := benchGEProgram(b, blockSize)
+		cfg := machine.Default(params, model)
+		cfg.AssignedBlocks = layout.BlockCounts(layout.Diagonal(8, benchN/blockSize), benchN/blockSize)
+		b.Run(sizeName(blockSize), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := machine.Run(pr, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.Total <= 0 {
+					b.Fatal("bad emulation")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure8CommunicationTime isolates the communication replay:
+// the same prediction with a free cost model, so simulation cost is all
+// message scheduling (the Figure-8 series).
+func BenchmarkFigure8CommunicationTime(b *testing.B) {
+	params := loggpsim.MeikoCS2(8)
+	free := cost.NewAnalytic("free", [blockops.NumOps]cost.Cubic{})
+	pr := benchGEProgram(b, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := predictor.Predict(pr, predictor.Config{Params: params, Cost: free, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.Comm <= 0 {
+			b.Fatal("bad comm prediction")
+		}
+	}
+}
+
+// BenchmarkFigure9ComputationTime isolates the computation charging that
+// produces the Figure-9 series: program walk plus cost-model evaluation.
+func BenchmarkFigure9ComputationTime(b *testing.B) {
+	model := cost.DefaultAnalytic()
+	pr := benchGEProgram(b, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0.0
+		for _, step := range pr.Steps {
+			for _, calls := range step.Comp {
+				for _, call := range calls {
+					total += model.Cost(call.Op, call.BlockSize)
+				}
+			}
+		}
+		if total <= 0 {
+			b.Fatal("bad computation sum")
+		}
+	}
+}
+
+// BenchmarkProgramGeneration measures building the GE wavefront program
+// itself (the per-experiment fixed cost).
+func BenchmarkProgramGeneration(b *testing.B) {
+	for _, blockSize := range []int{16, 48, 120} {
+		b.Run(sizeName(blockSize), func(b *testing.B) {
+			g, err := ge.NewGrid(benchN, blockSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lay := layout.Diagonal(8, g.NB)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ge.BuildProgram(g, lay); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStandardSimulationThroughput measures raw scheduling
+// throughput on a large random step, reporting messages per operation.
+func BenchmarkStandardSimulationThroughput(b *testing.B) {
+	pt := trace.Random(16, 4096, 1024, 1)
+	params := loggpsim.MeikoCS2(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(pt, sim.Config{Params: params, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(pt.NetworkMessages()), "msgs/op")
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationSendPriority compares the paper's receive-priority
+// rule against send priority on the same random step.
+func BenchmarkAblationSendPriority(b *testing.B) {
+	pt := trace.Random(16, 2048, 1024, 1)
+	params := loggpsim.MeikoCS2(16)
+	for _, variant := range []struct {
+		name string
+		cfg  sim.Config
+	}{
+		{"recv-priority", sim.Config{Params: params, Seed: 1}},
+		{"send-priority", sim.Config{Params: params, Seed: 1, SendPriority: true}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var finish float64
+			for i := 0; i < b.N; i++ {
+				r, err := sim.Run(pt, variant.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				finish = r.Finish
+			}
+			b.ReportMetric(finish, "µs-predicted")
+		})
+	}
+}
+
+// BenchmarkAblationGlobalOrder compares the paper's min-clock-sender
+// scheduler against the conservative globally time-ordered commit loop.
+func BenchmarkAblationGlobalOrder(b *testing.B) {
+	pt := trace.Random(16, 2048, 1024, 1)
+	params := loggpsim.MeikoCS2(16)
+	for _, variant := range []struct {
+		name string
+		cfg  sim.Config
+	}{
+		{"paper-min-sender", sim.Config{Params: params, Seed: 1}},
+		{"global-order", sim.Config{Params: params, Seed: 1, GlobalOrder: true}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var finish float64
+			for i := 0; i < b.N; i++ {
+				r, err := sim.Run(pt, variant.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				finish = r.Finish
+			}
+			b.ReportMetric(finish, "µs-predicted")
+		})
+	}
+}
+
+// BenchmarkAblationNoCrossGap compares the paper's Figure-1 cross-type
+// gap rules against plain LogGP.
+func BenchmarkAblationNoCrossGap(b *testing.B) {
+	pt := trace.Figure3()
+	withGaps := loggpsim.MeikoCS2(10)
+	without := withGaps
+	without.NoCrossGap = true
+	for _, variant := range []struct {
+		name   string
+		params loggpsim.Params
+	}{
+		{"paper-cross-gaps", withGaps},
+		{"plain-loggp", without},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var finish float64
+			for i := 0; i < b.N; i++ {
+				r, err := sim.Run(pt, sim.Config{Params: variant.params, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				finish = r.Finish
+			}
+			b.ReportMetric(finish, "µs-predicted")
+		})
+	}
+}
+
+// BenchmarkAblationNoCache compares the emulator with and without its
+// cache model (the paper's future-work item realized as a switch).
+func BenchmarkAblationNoCache(b *testing.B) {
+	params := loggpsim.MeikoCS2(8)
+	model := cost.DefaultAnalytic()
+	pr := benchGEProgram(b, 24)
+	withCache := machine.Default(params, model)
+	withCache.AssignedBlocks = layout.BlockCounts(layout.Diagonal(8, benchN/24), benchN/24)
+	noCache := withCache
+	noCache.CacheBytes = 0
+	for _, variant := range []struct {
+		name string
+		cfg  machine.Config
+	}{
+		{"with-cache-model", withCache},
+		{"no-cache-model", noCache},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				m, err := machine.Run(pr, variant.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = m.Total
+			}
+			b.ReportMetric(total, "µs-emulated")
+		})
+	}
+}
+
+func sizeName(b int) string {
+	switch b {
+	case 16:
+		return "b=16"
+	case 48:
+		return "b=48"
+	case 120:
+		return "b=120"
+	default:
+		return "b"
+	}
+}
+
+// BenchmarkApplications predicts each bundled application once per
+// iteration — the end-to-end cost a user pays per what-if question.
+func BenchmarkApplications(b *testing.B) {
+	params := loggpsim.MeikoCS2(16)
+	model := cost.DefaultAnalytic()
+	apps := []struct {
+		name  string
+		build func() (*loggpsim.Program, error)
+	}{
+		{"ge-480-b48", func() (*loggpsim.Program, error) {
+			return loggpsim.GEProgram(480, 48, loggpsim.DiagonalLayout(8, 10))
+		}},
+		{"cannon-480-q4", func() (*loggpsim.Program, error) {
+			return loggpsim.CannonProgram(480, 4)
+		}},
+		{"trisolve-960-b32", func() (*loggpsim.Program, error) {
+			return loggpsim.TriSolveProgram(960, 32, loggpsim.RowCyclic(8))
+		}},
+		{"stencil-384-b32-x10", func() (*loggpsim.Program, error) {
+			return loggpsim.StencilProgram(384, 32, 10, loggpsim.BlockCyclic2D(2, 4))
+		}},
+	}
+	for _, app := range apps {
+		pr, err := app.build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(app.name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				p, err := predictor.Predict(pr, predictor.Config{Params: params, Cost: model, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = p.Total
+			}
+			b.ReportMetric(total, "µs-predicted")
+		})
+	}
+}
+
+// BenchmarkAblationLogPvsLogGP quantifies what the LogGP long-message
+// extension (the per-byte gap G) adds over plain LogP (G=0) on the GE
+// sweep — the reason the paper uses LogGP rather than LogP.
+func BenchmarkAblationLogPvsLogGP(b *testing.B) {
+	model := cost.DefaultAnalytic()
+	pr := benchGEProgram(b, 48)
+	loggpParams := loggpsim.MeikoCS2(8)
+	logpParams := loggpParams
+	logpParams.G = 0
+	for _, variant := range []struct {
+		name   string
+		params loggpsim.Params
+	}{
+		{"loggp", loggpParams},
+		{"logp-no-G", logpParams},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				p, err := predictor.Predict(pr, predictor.Config{Params: variant.params, Cost: model, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = p.Total
+			}
+			b.ReportMetric(total, "µs-predicted")
+		})
+	}
+}
+
+// BenchmarkAblationOverlap compares strict step alternation with the
+// overlapping-steps analysis on the halo-exchange stencil, where overlap
+// pays off most.
+func BenchmarkAblationOverlap(b *testing.B) {
+	params := loggpsim.MeikoCS2(8)
+	model := cost.DefaultAnalytic()
+	pr, err := loggpsim.StencilProgram(384, 48, 10, loggpsim.BlockCyclic2D(2, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, variant := range []struct {
+		name    string
+		overlap bool
+	}{
+		{"strict-alternation", false},
+		{"overlapping-steps", true},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				p, err := predictor.Predict(pr, predictor.Config{
+					Params: params, Cost: model, Seed: 1, Overlap: variant.overlap,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = p.Total
+			}
+			b.ReportMetric(total, "µs-predicted")
+		})
+	}
+}
+
+// BenchmarkAblationCacheAwarePredictor compares the plain predictor with
+// the cache-aware extension (the paper's future work realized).
+func BenchmarkAblationCacheAwarePredictor(b *testing.B) {
+	params := loggpsim.MeikoCS2(8)
+	model := cost.DefaultAnalytic()
+	pr := benchGEProgram(b, 16)
+	for _, variant := range []struct {
+		name       string
+		cacheBytes int
+	}{
+		{"plain", 0},
+		{"cache-aware", 1 << 20},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				p, err := predictor.Predict(pr, predictor.Config{
+					Params: params, Cost: model, Seed: 1,
+					CacheBytes: variant.cacheBytes, MissFixed: 0.5, MissPerByte: 0.005,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = p.Total
+			}
+			b.ReportMetric(total, "µs-predicted")
+		})
+	}
+}
+
+// BenchmarkAblationRendezvous quantifies the LogGPS synchronous-
+// rendezvous extension: with an 8 KiB eager threshold, the GE b=48
+// blocks (18 KiB messages) pay a handshake round trip each.
+func BenchmarkAblationRendezvous(b *testing.B) {
+	model := cost.DefaultAnalytic()
+	pr := benchGEProgram(b, 48)
+	eager := loggpsim.MeikoCS2(8)
+	rendezvous := eager
+	rendezvous.S = 8192
+	for _, variant := range []struct {
+		name   string
+		params loggpsim.Params
+	}{
+		{"eager-loggp", eager},
+		{"rendezvous-loggps", rendezvous},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				p, err := predictor.Predict(pr, predictor.Config{Params: variant.params, Cost: model, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = p.Total
+			}
+			b.ReportMetric(total, "µs-predicted")
+		})
+	}
+}
+
+// BenchmarkNetworkContention compares the flat LogGP network against
+// explicit ring and mesh fabrics on the GE communication structure —
+// how much the paper's flat-network assumption hides.
+func BenchmarkNetworkContention(b *testing.B) {
+	params := loggpsim.MeikoCS2(8)
+	free := cost.NewAnalytic("free", [blockops.NumOps]cost.Cubic{})
+	pr := benchGEProgram(b, 48)
+	runWith := func(b *testing.B, mk func() sim.Config) {
+		var total float64
+		for i := 0; i < b.N; i++ {
+			s, err := sim.NewSession(pr.P, mk())
+			if err != nil {
+				b.Fatal(err)
+			}
+			durs := make([]float64, pr.P)
+			for _, step := range pr.Steps {
+				for proc := range durs {
+					d := 0.0
+					for _, call := range step.Comp[proc] {
+						d += free.Cost(call.Op, call.BlockSize)
+					}
+					durs[proc] = d
+				}
+				if err := s.Compute(durs); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Communicate(step.Comm); err != nil {
+					b.Fatal(err)
+				}
+			}
+			total = s.Finish()
+		}
+		b.ReportMetric(total, "µs-predicted")
+	}
+	b.Run("flat-loggp", func(b *testing.B) {
+		runWith(b, func() sim.Config { return sim.Config{Params: params, Seed: 1} })
+	})
+	b.Run("ring-fabric", func(b *testing.B) {
+		runWith(b, func() sim.Config {
+			topo, err := network.NewRing(8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f, err := network.NewFabric(topo, params.L/3, params.G)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return sim.Config{Params: params, Seed: 1, Network: f}
+		})
+	})
+	b.Run("mesh-fabric", func(b *testing.B) {
+		runWith(b, func() sim.Config {
+			topo, err := network.NewMesh(2, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f, err := network.NewFabric(topo, params.L/3, params.G)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return sim.Config{Params: params, Seed: 1, Network: f}
+		})
+	})
+}

@@ -1,0 +1,148 @@
+// Command experiments regenerates every figure of the paper's evaluation
+// section (Figures 3–9) and checks the paper's qualitative claims
+// against the generated data. It is the source of the numbers recorded
+// in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-fig all|3|4|5|6|7|8|9] [-claims] [-ablations] [-sensitivity]
+//	            [-n 960] [-procs 8] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"loggpsim/internal/experiments"
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/stats"
+	"loggpsim/internal/trace"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all, 3, 4, 5, 6, 7, 8 or 9")
+	claims := flag.Bool("claims", false, "check the paper's qualitative claims on the sweep")
+	ablations := flag.Bool("ablations", false, "print the model-variant ablation table")
+	sensitivities := flag.Bool("sensitivity", false, "print the LogGP-parameter sensitivity table")
+	n := flag.Int("n", 960, "matrix size")
+	procs := flag.Int("procs", 8, "processor count")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	width := flag.Int("width", 100, "gantt chart width for figures 4 and 5")
+	seed := flag.Int64("seed", 1, "seed for all randomized components")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.N = *n
+	cfg.P = *procs
+	cfg.Params = loggp.MeikoCS2(*procs)
+	cfg.Seed = *seed
+
+	emit := func(title string, t *stats.Table) {
+		fmt.Printf("## %s\n\n", title)
+		var err error
+		if *csv {
+			err = t.WriteCSV(os.Stdout)
+		} else {
+			err = t.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+
+	if want("3") {
+		pt := trace.Figure3()
+		fmt.Printf("## Figure 3: sample communication pattern (%s)\n\n", pt)
+		for _, m := range pt.Msgs {
+			fmt.Printf("  P%d -> P%d  (%d bytes)\n", m.Src+1, m.Dst+1, m.Bytes)
+		}
+		fmt.Println()
+	}
+	// The sample pattern of Figures 3-5 involves ten processors
+	// regardless of the sweep's processor count.
+	figParams := loggp.MeikoCS2(10)
+	if want("4") {
+		chart, finish, err := experiments.Figure4(figParams, *width)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("## Figure 4: standard algorithm on the sample pattern (completes at %.3fµs)\n\n%s\n", finish, chart)
+	}
+	if want("5") {
+		chart, finish, err := experiments.Figure5(figParams, *width)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("## Figure 5: overestimation algorithm on the sample pattern (completes at %.3fµs)\n\n%s\n", finish, chart)
+	}
+	if want("6") {
+		emit("Figure 6: basic operation running time (µs) vs block size",
+			experiments.Figure6Table(cfg.Model, cfg.Sizes))
+	}
+
+	if *ablations {
+		tab, err := experiments.AblationTable(cfg, 24)
+		if err != nil {
+			fatal(err)
+		}
+		emit("Ablations: GE b=24 under every model variant", tab)
+	}
+	if *sensitivities {
+		tab, err := experiments.SensitivityTable(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit("Sensitivity: elasticity of the GE prediction to each LogGP parameter", tab)
+	}
+
+	needSweep := want("7") || want("8") || want("9") || *claims
+	if !needSweep {
+		return
+	}
+	byLayout, err := experiments.RunBothLayouts(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, name := range []string{"diagonal", "row-cyclic"} {
+		pts, ok := byLayout[name]
+		if !ok {
+			continue
+		}
+		if want("7") {
+			emit(fmt.Sprintf("Figure 7: total running time (s), %s mapping", name),
+				experiments.Figure7Table(pts))
+		}
+		if want("8") {
+			emit(fmt.Sprintf("Figure 8: communication time (s), %s mapping", name),
+				experiments.Figure8Table(pts))
+		}
+		if want("9") {
+			emit(fmt.Sprintf("Figure 9: computation time (s), %s mapping", name),
+				experiments.Figure9Table(pts))
+		}
+	}
+	if *claims {
+		fmt.Println("## Paper claims (Section 6.3)")
+		fmt.Println()
+		failed := 0
+		for _, c := range experiments.CheckClaims(byLayout) {
+			status := "PASS"
+			if !c.Pass {
+				status = "FAIL"
+				failed++
+			}
+			fmt.Printf("  [%s] %-58s %s\n", status, c.Name, c.Detail)
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

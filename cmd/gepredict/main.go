@@ -1,0 +1,233 @@
+// Command gepredict runs the paper's end-to-end use case: predict the
+// running time of the blocked parallel Gaussian elimination for a range
+// of block sizes and data layouts, report the sweep, and pick the
+// optimal block size and layout from the predictions (the paper's
+// "future work" search, package search).
+//
+// Usage:
+//
+//	gepredict [-n 960] [-procs 8] [-blocks 8,10,...] [-layout both|diagonal|row|col|2d]
+//	          [-model analytic|measured] [-search sweep|ternary|climb]
+//	          [-emulate] [-profile] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"loggpsim/internal/cost"
+	"loggpsim/internal/experiments"
+	"loggpsim/internal/ge"
+	"loggpsim/internal/layout"
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/machine"
+	"loggpsim/internal/predictor"
+	"loggpsim/internal/search"
+	"loggpsim/internal/stats"
+)
+
+func main() {
+	n := flag.Int("n", 960, "matrix size")
+	procs := flag.Int("procs", 8, "processor count")
+	blocks := flag.String("blocks", "", "comma-separated block sizes (default: the paper's 14 sizes)")
+	layoutName := flag.String("layout", "both", "layout: both, diagonal, row, col or 2d")
+	modelName := flag.String("model", "analytic", "cost model: analytic, or measured (times the real kernels)")
+	searchName := flag.String("search", "sweep", "optimum search: sweep, ternary or climb")
+	emulate := flag.Bool("emulate", false, "also run the machine emulator for measured columns")
+	profile := flag.Bool("profile", false, "print the most expensive steps of the optimal configuration")
+	csv := flag.Bool("csv", false, "emit CSV")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	sizes := experiments.BlockSizes
+	if *blocks != "" {
+		sizes = nil
+		for _, s := range strings.Split(*blocks, ",") {
+			b, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatal(fmt.Errorf("bad block size %q: %w", s, err))
+			}
+			sizes = append(sizes, b)
+		}
+	}
+	var usable []int
+	for _, b := range sizes {
+		if b > 0 && *n%b == 0 {
+			usable = append(usable, b)
+		}
+	}
+	if len(usable) == 0 {
+		fatal(fmt.Errorf("no block size divides n=%d", *n))
+	}
+
+	var model cost.Model
+	switch *modelName {
+	case "analytic":
+		model = cost.DefaultAnalytic()
+	case "measured":
+		fmt.Fprintln(os.Stderr, "calibrating the real kernels; this takes a moment...")
+		model = cost.Measure(usable, cost.MeasureOpts{Seed: *seed})
+	default:
+		fatal(fmt.Errorf("unknown cost model %q", *modelName))
+	}
+	params := loggp.MeikoCS2(*procs)
+
+	layouts := map[string]func(nb int) layout.Layout{
+		"diagonal": func(nb int) layout.Layout { return layout.Diagonal(*procs, nb) },
+		"row":      func(nb int) layout.Layout { return layout.RowCyclic(*procs) },
+		"col":      func(nb int) layout.Layout { return layout.ColCyclic(*procs) },
+		"2d":       func(nb int) layout.Layout { return layout.BlockCyclic2D(2, *procs/2) },
+	}
+	var names []string
+	if *layoutName == "both" {
+		names = []string{"diagonal", "row"}
+	} else if _, ok := layouts[*layoutName]; ok {
+		names = []string{*layoutName}
+	} else {
+		fatal(fmt.Errorf("unknown layout %q", *layoutName))
+	}
+
+	type sweepResult struct {
+		name  string
+		best  search.Result
+		evals int
+	}
+	var winners []sweepResult
+	for _, name := range names {
+		mk := layouts[name]
+		tab := stats.NewTable("block", "predicted(s)", "worst-case(s)", "comp(s)", "comm(s)", "measured(s)")
+		predict := func(b int) (*predictor.Prediction, *machine.Result, error) {
+			g, err := ge.NewGrid(*n, b)
+			if err != nil {
+				return nil, nil, err
+			}
+			lay := mk(g.NB)
+			pr, err := ge.BuildProgram(g, lay)
+			if err != nil {
+				return nil, nil, err
+			}
+			pred, err := predictor.Predict(pr, predictor.Config{Params: params, Cost: model, Seed: *seed})
+			if err != nil {
+				return nil, nil, err
+			}
+			var meas *machine.Result
+			if *emulate {
+				mcfg := machine.Default(params, model)
+				mcfg.Seed = *seed
+				mcfg.AssignedBlocks = layout.BlockCounts(lay, g.NB)
+				if meas, err = machine.Run(pr, mcfg); err != nil {
+					return nil, nil, err
+				}
+			}
+			return pred, meas, nil
+		}
+
+		for _, b := range usable {
+			pred, meas, err := predict(b)
+			if err != nil {
+				fatal(err)
+			}
+			measured := "-"
+			if meas != nil {
+				measured = fmt.Sprintf("%.4g", meas.Total/1e6)
+			}
+			tab.AddRow(b, pred.Total/1e6, pred.TotalWorst/1e6, pred.Comp/1e6, pred.Comm/1e6, measured)
+		}
+		fmt.Printf("## %s mapping, n=%d, P=%d, %s cost model\n\n", name, *n, *procs, *modelName)
+		var err error
+		if *csv {
+			err = tab.WriteCSV(os.Stdout)
+		} else {
+			err = tab.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+
+		objective := func(b int) (float64, error) {
+			pred, _, err := predict(b)
+			if err != nil {
+				return 0, err
+			}
+			return pred.Total, nil
+		}
+		var best search.Result
+		var err2 error
+		switch *searchName {
+		case "sweep":
+			best, err2 = search.Sweep(usable, objective)
+		case "ternary":
+			best, err2 = search.Ternary(usable, objective)
+		case "climb":
+			best, err2 = search.HillClimb(usable, objective, len(usable)/2)
+		default:
+			fatal(fmt.Errorf("unknown search %q", *searchName))
+		}
+		if err2 != nil {
+			fatal(err2)
+		}
+		fmt.Printf("\n%s search: optimal block size %d (predicted %.4gs, %d evaluations)\n\n",
+			*searchName, best.Best, best.Value/1e6, best.Evaluations)
+		winners = append(winners, sweepResult{name: name, best: best})
+
+		if *profile {
+			g, err := ge.NewGrid(*n, best.Best)
+			if err != nil {
+				fatal(err)
+			}
+			pr, err := ge.BuildProgram(g, mk(g.NB))
+			if err != nil {
+				fatal(err)
+			}
+			pred, err := predictor.Predict(pr, predictor.Config{
+				Params: params, Cost: model, Seed: *seed, CollectSteps: true,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			type hot struct {
+				idx   int
+				delta float64
+			}
+			hots := make([]hot, len(pred.PerStep))
+			prev := 0.0
+			for i, sp := range pred.PerStep {
+				hots[i] = hot{idx: i, delta: sp.Finish - prev}
+				prev = sp.Finish
+			}
+			sort.Slice(hots, func(a, b int) bool { return hots[a].delta > hots[b].delta })
+			top := 5
+			if len(hots) < top {
+				top = len(hots)
+			}
+			fmt.Printf("hottest steps at b=%d (of %d):\n", best.Best, len(pred.PerStep))
+			for _, h := range hots[:top] {
+				sp := pred.PerStep[h.idx]
+				fmt.Printf("  wave %4d: +%.4gms (comp %.4gms, comm advance %.4gms)\n",
+					h.idx, h.delta/1e3, sp.Comp/1e3, sp.CommAdvance/1e3)
+			}
+			fmt.Println()
+		}
+	}
+
+	if len(winners) > 1 {
+		bestIdx, _, err := search.Argmin(len(winners), func(i int) (float64, error) {
+			return winners[i].best.Value, nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+		w := winners[bestIdx]
+		fmt.Printf("overall recommendation: %s mapping with %d×%d blocks (predicted %.4gs)\n",
+			w.name, w.best.Best, w.best.Best, w.best.Value/1e6)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gepredict:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command loggpsim simulates a single communication step under the
+// LogGP model and reports the resulting schedule: completion time,
+// per-processor finish times, operation counts, and (optionally) the
+// full operation table or the pattern's JSON.
+//
+// Usage:
+//
+//	loggpsim [-pattern figure3|ring|alltoall|gather|scatter|random|hypercube]
+//	         [-file pattern.json] [-alg standard|worstcase]
+//	         [-procs 10] [-bytes 112] [-L 9] [-o 2] [-g 16] [-G 0.005]
+//	         [-seed 1] [-ops] [-dump]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/sim"
+	"loggpsim/internal/timeline"
+	"loggpsim/internal/trace"
+	"loggpsim/internal/worstcase"
+)
+
+func main() {
+	patternName := flag.String("pattern", "figure3", "built-in pattern: figure3, ring, alltoall, gather, scatter, random, hypercube")
+	file := flag.String("file", "", "JSON pattern file (overrides -pattern)")
+	alg := flag.String("alg", "standard", "algorithm: standard or worstcase")
+	procs := flag.Int("procs", 10, "processors for generated patterns")
+	bytes := flag.Int("bytes", trace.Figure3MessageBytes, "message size for generated patterns")
+	lFlag := flag.Float64("L", 9, "LogGP latency L (µs)")
+	oFlag := flag.Float64("o", 2, "LogGP overhead o (µs)")
+	gFlag := flag.Float64("g", 16, "LogGP gap g (µs)")
+	gbFlag := flag.Float64("G", 0.005, "LogGP gap per byte G (µs/B)")
+	seed := flag.Int64("seed", 1, "random seed")
+	ops := flag.Bool("ops", false, "print the committed operation table")
+	dump := flag.Bool("dump", false, "print the pattern as JSON and exit")
+	flag.Parse()
+
+	pt, err := loadPattern(*file, *patternName, *procs, *bytes, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *dump {
+		if err := pt.Encode(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	params := loggp.Params{L: *lFlag, O: *oFlag, Gap: *gFlag, G: *gbFlag, P: pt.P}
+
+	var (
+		tl         *timeline.Timeline
+		finish     float64
+		procFinish []float64
+		extra      string
+	)
+	switch *alg {
+	case "standard":
+		r, err := sim.Run(pt, sim.Config{Params: params, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		tl, finish, procFinish = r.Timeline, r.Finish, r.ProcFinish
+		if r.SelfMessages > 0 {
+			extra = fmt.Sprintf(", %d local self messages skipped", r.SelfMessages)
+		}
+	case "worstcase":
+		r, err := worstcase.Run(pt, worstcase.Config{Params: params, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		tl, finish, procFinish = r.Timeline, r.Finish, r.ProcFinish
+		if r.DeadlocksBroken > 0 {
+			extra = fmt.Sprintf(", %d deadlocks broken", r.DeadlocksBroken)
+		}
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *alg))
+	}
+
+	fmt.Printf("pattern:    %s\n", pt)
+	fmt.Printf("machine:    %s\n", params)
+	fmt.Printf("algorithm:  %s\n", *alg)
+	fmt.Printf("completion: %.3fµs (%d sends, %d receives%s)\n",
+		finish, tl.Sends(), tl.Recvs(), extra)
+	for p, f := range procFinish {
+		fmt.Printf("  P%-3d finishes at %9.3fµs\n", p+1, f)
+	}
+	if err := tl.Verify(params); err != nil {
+		fmt.Printf("MODEL VIOLATION: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("schedule verified against the LogGP constraints")
+	if *ops {
+		fmt.Println()
+		fmt.Print(timeline.List(tl, params))
+	}
+}
+
+func loadPattern(file, name string, procs, bytes int, seed int64) (*trace.Pattern, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Decode(f)
+	}
+	return trace.Builtin(name, procs, bytes, seed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loggpsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+package loggpsim_test
+
+import (
+	"fmt"
+	"log"
+
+	"loggpsim"
+)
+
+// The paper's sample pattern (its Figure 3) under the standard and
+// worst-case algorithms: the two numbers of Figures 4 and 5.
+func ExampleSimulate() {
+	params := loggpsim.MeikoCS2(10)
+	std, err := loggpsim.Completion(loggpsim.Figure3(), params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst, err := loggpsim.WorstCaseCompletion(loggpsim.Figure3(), params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("standard %.3fµs, worst case %.3fµs\n", std, worst)
+	// Output:
+	// standard 61.555µs, worst case 73.110µs
+}
+
+// Predicting an application: the blocked Gaussian elimination on eight
+// processors, decomposed into its computation and communication shares.
+func ExamplePredict() {
+	const n, b = 96, 12
+	pr, err := loggpsim.GEProgram(n, b, loggpsim.DiagonalLayout(8, n/b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := loggpsim.Predict(pr, loggpsim.PredictorConfig{
+		Params: loggpsim.MeikoCS2(8),
+		Cost:   loggpsim.DefaultCostModel(),
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("steps=%d, worst/standard ratio=%.2f\n", p.Steps, p.TotalWorst/p.Total)
+	// Output:
+	// steps=22, worst/standard ratio=1.91
+}
+
+// Direct-execution simulation: real Go code on virtual processors; the
+// clock reads predicted time.
+func ExampleRunVirtual() {
+	res, err := loggpsim.RunVirtual(2, loggpsim.MeikoCS2(2), func(p *loggpsim.VirtualProc) {
+		if p.ID() == 0 {
+			p.Send(1, 0, "ping", 112)
+			p.Recv()
+		} else {
+			p.Recv()
+			p.Send(0, 0, "pong", 112)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round trip %.3fµs\n", res.Finish)
+	// Output:
+	// round trip 41.110µs
+}
+
+// The automatic optimum search the paper proposes as future work.
+func ExampleOptimalBlockSize() {
+	sizes := []int{8, 12, 16, 24, 32, 48}
+	best, err := loggpsim.OptimalBlockSize(sizes, "ternary", func(b int) (float64, error) {
+		pr, err := loggpsim.GEProgram(96, b, loggpsim.DiagonalLayout(8, 96/b))
+		if err != nil {
+			return 0, err
+		}
+		p, err := loggpsim.Predict(pr, loggpsim.PredictorConfig{
+			Params: loggpsim.MeikoCS2(8),
+			Cost:   loggpsim.DefaultCostModel(),
+			Seed:   1,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return p.Total, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal block size %d\n", best.Best)
+	// Output:
+	// optimal block size 16
+}
+
+// Calibrating a machine from measurements, then using it.
+func ExampleFitParams() {
+	truth := loggpsim.MeikoCS2(8)
+	var samples []loggpsim.FitSample
+	for _, k := range []int{1, 512, 4096, 65536} {
+		t, err := loggpsim.Completion(loggpsim.NewPattern(2).Add(0, 1, k), truth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		samples = append(samples, loggpsim.FitSample{Bytes: k, Time: t})
+	}
+	fitted, err := loggpsim.FitParams(samples, truth.O, truth.Gap, truth.P)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered L=%.0fµs G=%.3fµs/B\n", fitted.L, fitted.G)
+	// Output:
+	// recovered L=9µs G=0.005µs/B
+}

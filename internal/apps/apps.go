@@ -1,0 +1,90 @@
+// Package apps names the bundled applications so that command-line
+// tools and the scaling analyses can build any of them uniformly: the
+// blocked Gaussian elimination, Cannon's matrix multiplication, the
+// blocked triangular solve and the Jacobi stencil.
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"loggpsim/internal/cannon"
+	"loggpsim/internal/ge"
+	"loggpsim/internal/layout"
+	"loggpsim/internal/program"
+	"loggpsim/internal/stencil"
+	"loggpsim/internal/trisolve"
+)
+
+// Spec sizes one application instance.
+type Spec struct {
+	// N is the problem size (matrix/system/domain side).
+	N int
+	// B is the block size (ignored by cannon, whose blocks are N/√P).
+	B int
+	// Procs is the processor count.
+	Procs int
+	// Iters is the sweep count (stencil only).
+	Iters int
+}
+
+// Names lists the recognized application names.
+func Names() []string { return []string{"ge", "cannon", "trisolve", "stencil"} }
+
+// GridShape factors p into the most square r×c processor grid (r ≤ c).
+func GridShape(p int) (r, c int) {
+	r = int(math.Sqrt(float64(p)))
+	for r > 1 && p%r != 0 {
+		r--
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r, p / r
+}
+
+// Build returns the named application's program under its default
+// layout: diagonal for ge, the √P×√P grid for cannon, row-cyclic for
+// trisolve, and the most square 2-D block-cyclic grid for stencil.
+func Build(name string, s Spec) (*program.Program, error) {
+	if s.Procs <= 0 {
+		return nil, fmt.Errorf("apps: invalid processor count %d", s.Procs)
+	}
+	switch name {
+	case "ge":
+		g, err := ge.NewGrid(s.N, s.B)
+		if err != nil {
+			return nil, err
+		}
+		return ge.BuildProgram(g, layout.Diagonal(s.Procs, g.NB))
+	case "cannon":
+		q := int(math.Sqrt(float64(s.Procs)))
+		if q*q != s.Procs {
+			return nil, fmt.Errorf("apps: cannon needs a square processor count, got %d", s.Procs)
+		}
+		c, err := cannon.NewConfig(s.N, q)
+		if err != nil {
+			return nil, err
+		}
+		return c.BuildProgram(), nil
+	case "trisolve":
+		g, err := trisolve.NewGrid(s.N, s.B)
+		if err != nil {
+			return nil, err
+		}
+		return trisolve.BuildProgram(g, layout.RowCyclic(s.Procs))
+	case "stencil":
+		g, err := stencil.NewGrid(s.N, s.B)
+		if err != nil {
+			return nil, err
+		}
+		iters := s.Iters
+		if iters <= 0 {
+			iters = 10
+		}
+		r, c := GridShape(s.Procs)
+		return stencil.BuildProgram(g, iters, layout.BlockCyclic2D(r, c))
+	default:
+		return nil, fmt.Errorf("apps: unknown application %q (have %v)", name, Names())
+	}
+}

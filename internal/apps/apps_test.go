@@ -1,0 +1,78 @@
+package apps
+
+import (
+	"testing"
+
+	"loggpsim/internal/cost"
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/predictor"
+)
+
+func TestGridShape(t *testing.T) {
+	tests := []struct{ p, r, c int }{
+		{1, 1, 1}, {2, 1, 2}, {4, 2, 2}, {6, 2, 3}, {8, 2, 4},
+		{9, 3, 3}, {12, 3, 4}, {7, 1, 7}, {16, 4, 4},
+	}
+	for _, tt := range tests {
+		r, c := GridShape(tt.p)
+		if r != tt.r || c != tt.c {
+			t.Errorf("GridShape(%d) = %d×%d, want %d×%d", tt.p, r, c, tt.r, tt.c)
+		}
+		if r*c != tt.p {
+			t.Errorf("GridShape(%d) does not cover all processors", tt.p)
+		}
+	}
+}
+
+func TestBuildAllApps(t *testing.T) {
+	specs := map[string]Spec{
+		"ge":       {N: 96, B: 12, Procs: 8},
+		"cannon":   {N: 96, Procs: 16},
+		"trisolve": {N: 96, B: 12, Procs: 8},
+		"stencil":  {N: 96, B: 12, Procs: 8, Iters: 5},
+	}
+	for _, name := range Names() {
+		pr, err := Build(name, specs[name])
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := pr.Validate(); err != nil {
+			t.Fatalf("%s: invalid program: %v", name, err)
+		}
+		p, err := predictor.Predict(pr, predictor.Config{
+			Params: loggp.MeikoCS2(pr.P), Cost: cost.DefaultAnalytic(), Seed: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Total <= 0 {
+			t.Fatalf("%s: prediction %+v", name, p)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build("nope", Spec{N: 96, B: 12, Procs: 8}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := Build("ge", Spec{N: 96, B: 7, Procs: 8}); err == nil {
+		t.Error("non-dividing block accepted")
+	}
+	if _, err := Build("cannon", Spec{N: 96, Procs: 8}); err == nil {
+		t.Error("non-square cannon processor count accepted")
+	}
+	if _, err := Build("ge", Spec{N: 96, B: 12, Procs: 0}); err == nil {
+		t.Error("zero processors accepted")
+	}
+}
+
+func TestStencilDefaultIters(t *testing.T) {
+	pr, err := Build("stencil", Spec{N: 32, B: 8, Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 default iterations + initial exchange.
+	if len(pr.Steps) != 11 {
+		t.Fatalf("steps = %d, want 11", len(pr.Steps))
+	}
+}

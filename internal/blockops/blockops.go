@@ -1,0 +1,283 @@
+// Package blockops implements the four basic operations of the blocked
+// parallel Gaussian elimination algorithm (the paper's Section 6.1) as
+// real numeric kernels on b×b blocks:
+//
+//	Op1: factor the diagonal block A_kk = L_kk·U_kk (no pivoting) and
+//	     invert both triangular factors — the paper's triangularization
+//	     plus inversions, which turn the panel updates into plain
+//	     multiplications;
+//	Op2: pivot-row update   U_kj = L_kk⁻¹ · A_kj;
+//	Op3: pivot-column update L_ik = A_ik · U_kk⁻¹;
+//	Op4: interior update     A_ij = A_ij − L_ik · U_kj.
+//
+// The paper's restricted program class requires that blocks be operated
+// on only by such a finite set of basic operations whose running times
+// are measured separately per block size; package cost provides those
+// measurements and models.
+package blockops
+
+import (
+	"fmt"
+
+	"loggpsim/internal/matrix"
+)
+
+// Op identifies one of the four basic operations.
+type Op int
+
+const (
+	// Op1 factors and inverts the diagonal block.
+	Op1 Op = iota
+	// Op2 applies L⁻¹ from the left (pivot-row update).
+	Op2
+	// Op3 applies U⁻¹ from the right (pivot-column update).
+	Op3
+	// Op4 is the block multiply-subtract (interior update).
+	Op4
+	// Op5 solves a lower-triangular b×b block against a length-b vector
+	// (forward substitution); the pivot step of the blocked triangular
+	// solve (package trisolve).
+	Op5
+	// Op6 subtracts a block–vector product from a vector segment; the
+	// update step of the blocked triangular solve.
+	Op6
+	// Op7 performs one 5-point Jacobi sweep on a b×b block with halo
+	// vectors from the neighbouring blocks (package stencil).
+	Op7
+	// NumOps is the number of basic operations.
+	NumOps
+)
+
+// String returns "Op1".."Op4".
+func (o Op) String() string {
+	if o >= 0 && o < NumOps {
+		return fmt.Sprintf("Op%d", int(o)+1)
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Diag is the result of Op1 on a diagonal block.
+type Diag struct {
+	// LU holds the combined factors of the diagonal block.
+	LU *matrix.Dense
+	// Linv is the inverse of the unit-lower factor.
+	Linv *matrix.Dense
+	// Uinv is the inverse of the upper factor.
+	Uinv *matrix.Dense
+}
+
+// Factor performs the in-place unpivoted LU factorization of a square
+// block, leaving multipliers below the diagonal and U on and above it.
+func Factor(b *matrix.Dense) error {
+	return matrix.LUInPlace(b)
+}
+
+// InvertUnitLower returns the inverse of the unit-lower-triangular
+// factor stored in the strictly lower part of lu, by forward
+// substitution on the identity columns.
+func InvertUnitLower(lu *matrix.Dense) *matrix.Dense {
+	n := lu.Rows
+	x := matrix.Identity(n)
+	// Solve L·X = I column by column; L has an implicit unit diagonal.
+	for c := 0; c < n; c++ {
+		for i := 0; i < n; i++ {
+			s := x.At(i, c)
+			for k := 0; k < i; k++ {
+				s -= lu.At(i, k) * x.At(k, c)
+			}
+			x.Set(i, c, s)
+		}
+	}
+	return x
+}
+
+// InvertUpper returns the inverse of the upper-triangular factor stored
+// in the upper part of lu (including its diagonal), by back substitution
+// on the identity columns.
+func InvertUpper(lu *matrix.Dense) (*matrix.Dense, error) {
+	n := lu.Rows
+	x := matrix.Identity(n)
+	for c := 0; c < n; c++ {
+		for i := n - 1; i >= 0; i-- {
+			piv := lu.At(i, i)
+			if piv == 0 {
+				return nil, fmt.Errorf("blockops: singular upper factor at %d", i)
+			}
+			s := x.At(i, c)
+			for k := i + 1; k < n; k++ {
+				s -= lu.At(i, k) * x.At(k, c)
+			}
+			x.Set(i, c, s/piv)
+		}
+	}
+	return x, nil
+}
+
+// ApplyOp1 factors the diagonal block in place and returns both
+// triangular inverses.
+func ApplyOp1(akk *matrix.Dense) (Diag, error) {
+	if err := Factor(akk); err != nil {
+		return Diag{}, fmt.Errorf("blockops: Op1: %w", err)
+	}
+	uinv, err := InvertUpper(akk)
+	if err != nil {
+		return Diag{}, fmt.Errorf("blockops: Op1: %w", err)
+	}
+	return Diag{LU: akk, Linv: InvertUnitLower(akk), Uinv: uinv}, nil
+}
+
+// ApplyOp2 overwrites akj with L⁻¹·akj.
+func ApplyOp2(linv, akj *matrix.Dense) {
+	mulInto(akj, linv, akj)
+}
+
+// ApplyOp3 overwrites aik with aik·U⁻¹.
+func ApplyOp3(aik, uinv *matrix.Dense) {
+	mulInto(aik, aik, uinv)
+}
+
+// ApplyOp4 overwrites aij with aij − lik·ukj.
+func ApplyOp4(aij, lik, ukj *matrix.Dense) {
+	n := aij.Rows
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			l := lik.At(i, k)
+			if l == 0 {
+				continue
+			}
+			row := aij.Data[i*n : (i+1)*n]
+			urow := ukj.Data[k*n : (k+1)*n]
+			for j := range row {
+				row[j] -= l * urow[j]
+			}
+		}
+	}
+}
+
+// mulInto sets dst = a×b for square blocks, tolerating dst aliasing a or
+// b by computing into a scratch matrix first.
+func mulInto(dst, a, b *matrix.Dense) {
+	n := dst.Rows
+	scratch := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			srow := scratch.Data[i*n : (i+1)*n]
+			for j := range srow {
+				srow[j] += aik * brow[j]
+			}
+		}
+	}
+	copy(dst.Data, scratch.Data)
+}
+
+// ApplyOp5 solves l·y = x in place (x becomes y), where l is lower
+// triangular with a non-zero diagonal. Only the lower triangle of l is
+// read.
+func ApplyOp5(l *matrix.Dense, x []float64) error {
+	n := l.Rows
+	if len(x) != n {
+		return fmt.Errorf("blockops: Op5: vector length %d for %d×%d block", len(x), n, n)
+	}
+	for i := 0; i < n; i++ {
+		piv := l.At(i, i)
+		if piv == 0 {
+			return fmt.Errorf("blockops: Op5: zero diagonal at %d", i)
+		}
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * x[k]
+		}
+		x[i] = s / piv
+	}
+	return nil
+}
+
+// ApplyOp6 subtracts a·y from x in place: x -= a·y.
+func ApplyOp6(a *matrix.Dense, y, x []float64) {
+	n := a.Rows
+	for i := 0; i < n; i++ {
+		row := a.Data[i*a.Cols : i*a.Cols+a.Cols]
+		s := 0.0
+		for k, v := range y {
+			s += row[k] * v
+		}
+		x[i] -= s
+	}
+}
+
+// ApplyOp7 writes one 5-point Jacobi sweep of src into dst (both b×b):
+// every point becomes the mean of its four neighbours, with neighbours
+// outside the block taken from the halo vectors — north and south are
+// the adjacent rows above and below, west and east the adjacent columns
+// — and a nil halo meaning a zero (Dirichlet) boundary.
+func ApplyOp7(dst, src *matrix.Dense, north, south, west, east []float64) {
+	n := src.Rows
+	at := func(i, j int) float64 {
+		switch {
+		case i < 0:
+			if north == nil {
+				return 0
+			}
+			return north[j]
+		case i >= n:
+			if south == nil {
+				return 0
+			}
+			return south[j]
+		case j < 0:
+			if west == nil {
+				return 0
+			}
+			return west[i]
+		case j >= n:
+			if east == nil {
+				return 0
+			}
+			return east[i]
+		default:
+			return src.At(i, j)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dst.Set(i, j, 0.25*(at(i-1, j)+at(i+1, j)+at(i, j-1)+at(i, j+1)))
+		}
+	}
+}
+
+// Flops returns the floating-point operation count of op on a b×b block,
+// used by the analytic cost model's leading terms: Op1 is the 2/3·b³
+// factorization plus two 1/3·b³ triangular inversions, Op2 and Op3 are
+// b³ triangular-times-dense products, Op4 is a 2·b³ multiply-subtract,
+// Op5 a b² forward substitution and Op6 a 2·b² block–vector update.
+func Flops(op Op, b int) float64 {
+	n := float64(b)
+	switch op {
+	case Op1:
+		return 2.0/3.0*n*n*n + 2.0/3.0*n*n*n
+	case Op2, Op3:
+		return n * n * n
+	case Op4:
+		return 2 * n * n * n
+	case Op5:
+		return n * n
+	case Op6:
+		return 2 * n * n
+	case Op7:
+		return 4 * n * n
+	default:
+		return 0
+	}
+}
+
+// VecBytes returns the network size of a length-b vector segment of
+// float64s — the payloads of the triangular solve.
+func VecBytes(b int) int { return b * 8 }
+
+// BlockBytes returns the network size of one b×b block of float64s.
+func BlockBytes(b int) int { return b * b * 8 }

@@ -1,0 +1,288 @@
+package blockops
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"loggpsim/internal/matrix"
+)
+
+func TestOpString(t *testing.T) {
+	if Op1.String() != "Op1" || Op4.String() != "Op4" {
+		t.Fatalf("Op strings: %v %v", Op1, Op4)
+	}
+	if Op(9).String() == "Op10" {
+		t.Fatal("out-of-range op not flagged")
+	}
+}
+
+func TestOp1InversesAreInverses(t *testing.T) {
+	for _, b := range []int{1, 2, 5, 16} {
+		a := matrix.Random(b, int64(b))
+		orig := a.Clone()
+		d, err := ApplyOp1(a)
+		if err != nil {
+			t.Fatalf("b=%d: %v", b, err)
+		}
+		l, u := matrix.SplitLU(d.LU)
+		if res := matrix.MaxAbsDiff(matrix.Mul(l, u), orig); res > 1e-9 {
+			t.Fatalf("b=%d: L·U residual %g", b, res)
+		}
+		if res := matrix.MaxAbsDiff(matrix.Mul(d.Linv, l), matrix.Identity(b)); res > 1e-9 {
+			t.Fatalf("b=%d: Linv·L residual %g", b, res)
+		}
+		if res := matrix.MaxAbsDiff(matrix.Mul(u, d.Uinv), matrix.Identity(b)); res > 1e-9 {
+			t.Fatalf("b=%d: U·Uinv residual %g", b, res)
+		}
+	}
+}
+
+func TestOp1SingularBlock(t *testing.T) {
+	z := matrix.New(3, 3) // all zeros: zero pivot immediately
+	if _, err := ApplyOp1(z); err == nil {
+		t.Fatal("singular block accepted")
+	}
+}
+
+func TestOp2SolvesRowPanel(t *testing.T) {
+	// After Op2, L·result must reproduce the original panel.
+	b := 6
+	diagBlock := matrix.Random(b, 1)
+	d, err := ApplyOp1(diagBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel := matrix.Random(b, 2)
+	orig := panel.Clone()
+	ApplyOp2(d.Linv, panel)
+	l, _ := matrix.SplitLU(d.LU)
+	if res := matrix.MaxAbsDiff(matrix.Mul(l, panel), orig); res > 1e-9 {
+		t.Fatalf("L·(L⁻¹·A) residual %g", res)
+	}
+}
+
+func TestOp3SolvesColumnPanel(t *testing.T) {
+	b := 6
+	diagBlock := matrix.Random(b, 3)
+	d, err := ApplyOp1(diagBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel := matrix.Random(b, 4)
+	orig := panel.Clone()
+	ApplyOp3(panel, d.Uinv)
+	_, u := matrix.SplitLU(d.LU)
+	if res := matrix.MaxAbsDiff(matrix.Mul(panel, u), orig); res > 1e-9 {
+		t.Fatalf("(A·U⁻¹)·U residual %g", res)
+	}
+}
+
+func TestOp4HandExample(t *testing.T) {
+	// aij = I, lik = I, ukj = I: result is the zero matrix.
+	aij := matrix.Identity(2)
+	ApplyOp4(aij, matrix.Identity(2), matrix.Identity(2))
+	if matrix.MaxAbsDiff(aij, matrix.New(2, 2)) != 0 {
+		t.Fatalf("I − I·I != 0: %v", aij.Data)
+	}
+}
+
+func TestOp4MatchesDirectComputation(t *testing.T) {
+	b := 5
+	aij := matrix.Random(b, 5)
+	lik := matrix.Random(b, 6)
+	ukj := matrix.Random(b, 7)
+	want := aij.Clone()
+	prod := matrix.Mul(lik, ukj)
+	for i := range want.Data {
+		want.Data[i] -= prod.Data[i]
+	}
+	ApplyOp4(aij, lik, ukj)
+	if res := matrix.MaxAbsDiff(aij, want); res > 1e-12 {
+		t.Fatalf("Op4 residual %g", res)
+	}
+}
+
+// TestTwoByTwoBlockedLU runs the full right-looking blocked factorization
+// on a 2×2 grid of blocks using only the four basic operations, and
+// checks it against the element-wise reference.
+func TestTwoByTwoBlockedLU(t *testing.T) {
+	const b, n = 4, 8
+	a := matrix.Random(n, 11)
+	ref := a.Clone()
+	if err := matrix.LUInPlace(ref); err != nil {
+		t.Fatal(err)
+	}
+
+	// Extract blocks.
+	blk := func(bi, bj int) *matrix.Dense {
+		d := matrix.New(b, b)
+		matrix.CopyBlock(d, a, bi, bj, b)
+		return d
+	}
+	a00, a01, a10, a11 := blk(0, 0), blk(0, 1), blk(1, 0), blk(1, 1)
+
+	d, err := ApplyOp1(a00) // factor + invert diagonal
+	if err != nil {
+		t.Fatal(err)
+	}
+	ApplyOp2(d.Linv, a01)    // U01
+	ApplyOp3(a10, d.Uinv)    // L10
+	ApplyOp4(a11, a10, a01)  // trailing update
+	d2, err := ApplyOp1(a11) // factor trailing block
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := matrix.New(n, n)
+	matrix.SetBlock(got, d.LU, 0, 0, b)
+	matrix.SetBlock(got, a01, 0, 1, b)
+	matrix.SetBlock(got, a10, 1, 0, b)
+	matrix.SetBlock(got, d2.LU, 1, 1, b)
+
+	if res := matrix.MaxAbsDiff(got, ref); res > 1e-9 {
+		t.Fatalf("blocked LU differs from element-wise LU by %g", res)
+	}
+	if res := matrix.LUResidual(a, got); res > 1e-9 {
+		t.Fatalf("blocked LU residual %g", res)
+	}
+}
+
+func TestFlops(t *testing.T) {
+	if Flops(Op4, 10) != 2000 {
+		t.Fatalf("Flops(Op4,10) = %g, want 2000", Flops(Op4, 10))
+	}
+	if Flops(Op2, 10) != 1000 || Flops(Op3, 10) != 1000 {
+		t.Fatal("Op2/Op3 flops wrong")
+	}
+	if math.Abs(Flops(Op1, 10)-4000.0/3.0) > 1e-9 {
+		t.Fatalf("Flops(Op1,10) = %g", Flops(Op1, 10))
+	}
+	if Flops(NumOps, 10) != 0 {
+		t.Fatal("unknown op must cost 0 flops")
+	}
+}
+
+func TestBlockBytes(t *testing.T) {
+	if BlockBytes(10) != 800 {
+		t.Fatalf("BlockBytes(10) = %d, want 800", BlockBytes(10))
+	}
+}
+
+// Property: for random diagonally dominant blocks, the Op1+Op2+Op3
+// identities hold at tight tolerance for any size.
+func TestOpsProperty(t *testing.T) {
+	f := func(seed int64, bRaw uint8) bool {
+		b := int(bRaw%12) + 1
+		diag := matrix.Random(b, seed)
+		origDiag := diag.Clone()
+		d, err := ApplyOp1(diag)
+		if err != nil {
+			return false
+		}
+		l, u := matrix.SplitLU(d.LU)
+		if matrix.MaxAbsDiff(matrix.Mul(l, u), origDiag) > 1e-8 {
+			return false
+		}
+		panel := matrix.Random(b, seed+1)
+		orig := panel.Clone()
+		ApplyOp2(d.Linv, panel)
+		return matrix.MaxAbsDiff(matrix.Mul(l, panel), orig) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOp5HandExample(t *testing.T) {
+	// L = [[2,0],[1,4]], x = [4, 9]: y0 = 2, y1 = (9-2)/4 = 1.75.
+	l := matrix.New(2, 2)
+	l.Set(0, 0, 2)
+	l.Set(1, 0, 1)
+	l.Set(1, 1, 4)
+	x := []float64{4, 9}
+	if err := ApplyOp5(l, x); err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 2 || x[1] != 1.75 {
+		t.Fatalf("Op5 result = %v, want [2 1.75]", x)
+	}
+}
+
+func TestOp5IgnoresUpperTriangle(t *testing.T) {
+	l := matrix.Identity(3)
+	l.Set(0, 2, 99) // junk above the diagonal must not be read
+	x := []float64{1, 2, 3}
+	if err := ApplyOp5(l, x); err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 1 || x[1] != 2 || x[2] != 3 {
+		t.Fatalf("Op5 read the upper triangle: %v", x)
+	}
+}
+
+func TestOp5Errors(t *testing.T) {
+	l := matrix.Identity(3)
+	if err := ApplyOp5(l, make([]float64, 2)); err == nil {
+		t.Fatal("wrong vector length accepted")
+	}
+	l.Set(1, 1, 0)
+	if err := ApplyOp5(l, make([]float64, 3)); err == nil {
+		t.Fatal("zero diagonal accepted")
+	}
+}
+
+func TestOp6HandExample(t *testing.T) {
+	// A = [[1,2],[3,4]], y = [1,1], x = [10,10]: x -= A·y = [7, 3].
+	a := matrix.New(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	x := []float64{10, 10}
+	ApplyOp6(a, []float64{1, 1}, x)
+	if x[0] != 7 || x[1] != 3 {
+		t.Fatalf("Op6 result = %v, want [7 3]", x)
+	}
+}
+
+func TestOp5SolvesAgainstMultiply(t *testing.T) {
+	// For random lower-triangular L and x: L·(Op5 result) == x.
+	for _, b := range []int{1, 3, 9} {
+		l := matrix.Random(b, int64(b))
+		for i := 0; i < b; i++ {
+			for j := i + 1; j < b; j++ {
+				l.Set(i, j, 0)
+			}
+		}
+		orig := make([]float64, b)
+		for i := range orig {
+			orig[i] = float64(i) + 0.5
+		}
+		y := append([]float64(nil), orig...)
+		if err := ApplyOp5(l, y); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < b; i++ {
+			s := 0.0
+			for k := 0; k <= i; k++ {
+				s += l.At(i, k) * y[k]
+			}
+			if math.Abs(s-orig[i]) > 1e-9 {
+				t.Fatalf("b=%d: L·y differs from x at %d by %g", b, i, s-orig[i])
+			}
+		}
+	}
+}
+
+func TestVecBytes(t *testing.T) {
+	if VecBytes(10) != 80 {
+		t.Fatalf("VecBytes(10) = %d, want 80", VecBytes(10))
+	}
+}
+
+func TestFlopsVectorOps(t *testing.T) {
+	if Flops(Op5, 10) != 100 || Flops(Op6, 10) != 200 {
+		t.Fatalf("vector op flops = %g/%g, want 100/200", Flops(Op5, 10), Flops(Op6, 10))
+	}
+}

@@ -1,0 +1,159 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHitAfterMiss(t *testing.T) {
+	c := New(100)
+	if c.Access(1, 40) {
+		t.Fatal("first access hit")
+	}
+	if !c.Access(1, 40) {
+		t.Fatal("second access missed")
+	}
+	if c.Stats.Hits != 1 || c.Stats.Misses != 1 || c.Stats.MissedBytes != 40 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(100)
+	c.Access(1, 40)
+	c.Access(2, 40)
+	c.Access(3, 40) // evicts 1 (LRU)
+	if c.Contains(1) {
+		t.Fatal("LRU object not evicted")
+	}
+	if !c.Contains(2) || !c.Contains(3) {
+		t.Fatal("recently used objects evicted")
+	}
+	if c.Stats.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Stats.Evictions)
+	}
+}
+
+func TestAccessRefreshesLRUOrder(t *testing.T) {
+	c := New(100)
+	c.Access(1, 40)
+	c.Access(2, 40)
+	c.Access(1, 40) // refresh 1; 2 becomes LRU
+	c.Access(3, 40) // evicts 2
+	if !c.Contains(1) || c.Contains(2) {
+		t.Fatal("LRU order not refreshed by access")
+	}
+}
+
+func TestOversizeObjectNotRetained(t *testing.T) {
+	c := New(100)
+	c.Access(9, 50)
+	if c.Access(1, 200) {
+		t.Fatal("oversize object hit")
+	}
+	if c.Contains(1) {
+		t.Fatal("oversize object retained")
+	}
+	if !c.Contains(9) {
+		t.Fatal("oversize miss evicted resident objects needlessly")
+	}
+	if c.Access(1, 200) {
+		t.Fatal("oversize object hit on repeat")
+	}
+}
+
+func TestZeroCapacityAlwaysMisses(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 3; i++ {
+		if c.Access(1, 10) {
+			t.Fatal("zero-capacity cache hit")
+		}
+	}
+	if c.Stats.Misses != 3 || c.Used() != 0 {
+		t.Fatalf("stats = %+v used = %d", c.Stats, c.Used())
+	}
+}
+
+func TestResizeOnSizeChange(t *testing.T) {
+	c := New(100)
+	c.Access(1, 40)
+	if c.Access(1, 60) {
+		t.Fatal("size change treated as hit")
+	}
+	if c.Used() != 60 || c.Len() != 1 {
+		t.Fatalf("used = %d len = %d after resize", c.Used(), c.Len())
+	}
+	if !c.Access(1, 60) {
+		t.Fatal("resized object not resident")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(100)
+	c.Access(1, 40)
+	c.Reset()
+	if c.Used() != 0 || c.Len() != 0 || c.Stats.Misses != 0 || c.Contains(1) {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size accepted")
+		}
+	}()
+	New(10).Access(1, -1)
+}
+
+// Property: used bytes never exceed capacity and always equal the sum of
+// resident object sizes.
+func TestCapacityInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := New(512)
+		for _, op := range ops {
+			id := uint64(op % 32)
+			size := int(op%97) + 1
+			c.Access(id, size)
+			if c.Used() > c.Capacity() || c.Used() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a working set that fits in capacity never misses after the
+// first pass, regardless of access order repetition.
+func TestFittingWorkingSetStopsMissing(t *testing.T) {
+	c := New(1000)
+	ids := []uint64{1, 2, 3, 4, 5}
+	for _, id := range ids {
+		c.Access(id, 100)
+	}
+	c.Stats = Stats{}
+	for round := 0; round < 10; round++ {
+		for _, id := range ids {
+			c.Access(id, 100)
+		}
+	}
+	if c.Stats.Misses != 0 {
+		t.Fatalf("fitting working set missed %d times", c.Stats.Misses)
+	}
+}
+
+// Property: cyclically sweeping a working set larger than capacity with
+// LRU misses every time (the emulator's capacity-miss regime).
+func TestThrashingWorkingSetAlwaysMisses(t *testing.T) {
+	c := New(300)
+	for round := 0; round < 5; round++ {
+		for id := uint64(0); id < 4; id++ {
+			if c.Access(id, 100) {
+				t.Fatalf("round %d id %d hit; LRU must thrash", round, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package cannon implements Cannon's blocked matrix-multiplication
+// algorithm, the paper's other named representative of its restricted
+// program class (Section 2). A q×q processor grid holds one block of A,
+// B and C each; after an initial alignment (row i of A rotated left by
+// i, column j of B rotated up by j), the algorithm performs q rounds of
+// a local block multiply-accumulate followed by a rotation of A one
+// step left and B one step up.
+//
+// Multiply executes the algorithm numerically; BuildProgram emits the
+// oblivious program (alternating computation and communication steps)
+// for the predictor. The multiply-accumulate is charged as the basic
+// operation Op4, whose cost model package cost calibrates.
+package cannon
+
+import (
+	"fmt"
+
+	"loggpsim/internal/blockops"
+	"loggpsim/internal/matrix"
+	"loggpsim/internal/program"
+)
+
+// Config describes one Cannon run.
+type Config struct {
+	// N is the matrix side length.
+	N int
+	// Q is the processor grid side; P = Q².
+	Q int
+}
+
+// NewConfig validates that an n×n matrix splits across a q×q grid.
+func NewConfig(n, q int) (Config, error) {
+	if n <= 0 || q <= 0 {
+		return Config{}, fmt.Errorf("cannon: invalid matrix size %d or grid side %d", n, q)
+	}
+	if n%q != 0 {
+		return Config{}, fmt.Errorf("cannon: grid side %d does not divide matrix size %d", q, n)
+	}
+	return Config{N: n, Q: q}, nil
+}
+
+// BlockSize returns the side of each processor's block.
+func (c Config) BlockSize() int { return c.N / c.Q }
+
+// P returns the processor count.
+func (c Config) P() int { return c.Q * c.Q }
+
+// rank maps grid coordinates to a processor index.
+func (c Config) rank(i, j int) int { return i*c.Q + j }
+
+// BuildProgram emits Cannon's algorithm as an oblivious program: one
+// alignment communication step, then Q compute steps each followed by
+// the rotation step (omitted after the last round). Rotations between
+// co-located blocks (q=1) degenerate to self messages.
+func (c Config) BuildProgram() *program.Program {
+	pr := program.New(c.P())
+	q := c.Q
+	bytes := blockops.BlockBytes(c.BlockSize())
+
+	// Alignment: A(i,j) -> (i, j-i), B(i,j) -> (i-j, j).
+	align := pr.AddStep()
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			align.Comm.Add(c.rank(i, j), c.rank(i, ((j-i)%q+q)%q), bytes)
+			align.Comm.Add(c.rank(i, j), c.rank(((i-j)%q+q)%q, j), bytes)
+		}
+	}
+
+	for r := 0; r < q; r++ {
+		s := pr.AddStep()
+		for p := 0; p < c.P(); p++ {
+			// The owned block is the processor's C accumulator; the A
+			// and B operands arrive as the rotation messages.
+			s.AddOpOn(p, blockops.Op4, c.BlockSize(), uint64(p))
+		}
+		if r == q-1 {
+			continue
+		}
+		for i := 0; i < q; i++ {
+			for j := 0; j < q; j++ {
+				s.Comm.Add(c.rank(i, j), c.rank(i, (j-1+q)%q), bytes) // A left
+				s.Comm.Add(c.rank(i, j), c.rank((i-1+q)%q, j), bytes) // B up
+			}
+		}
+	}
+	return pr
+}
+
+// Multiply computes a×b with Cannon's algorithm over a q×q grid,
+// performing the actual block rotations and accumulations, and returns
+// the product. It validates against the direct product in the tests.
+func Multiply(a, b *matrix.Dense, q int) (*matrix.Dense, error) {
+	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
+		return nil, fmt.Errorf("cannon: need equal square matrices, got %d×%d and %d×%d",
+			a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	cfg, err := NewConfig(a.Rows, q)
+	if err != nil {
+		return nil, err
+	}
+	bs := cfg.BlockSize()
+
+	grab := func(m *matrix.Dense, i, j int) *matrix.Dense {
+		d := matrix.New(bs, bs)
+		matrix.CopyBlock(d, m, i, j, bs)
+		return d
+	}
+	ab := make([][]*matrix.Dense, q)
+	bb := make([][]*matrix.Dense, q)
+	cb := make([][]*matrix.Dense, q)
+	for i := 0; i < q; i++ {
+		ab[i] = make([]*matrix.Dense, q)
+		bb[i] = make([]*matrix.Dense, q)
+		cb[i] = make([]*matrix.Dense, q)
+		for j := 0; j < q; j++ {
+			// Alignment built into the initial placement.
+			ab[i][j] = grab(a, i, (j+i)%q)
+			bb[i][j] = grab(b, (i+j)%q, j)
+			cb[i][j] = matrix.New(bs, bs)
+		}
+	}
+	for r := 0; r < q; r++ {
+		for i := 0; i < q; i++ {
+			for j := 0; j < q; j++ {
+				acc := matrix.Mul(ab[i][j], bb[i][j])
+				for k := range cb[i][j].Data {
+					cb[i][j].Data[k] += acc.Data[k]
+				}
+			}
+		}
+		if r == q-1 {
+			break
+		}
+		// Rotate A left and B up.
+		na := make([][]*matrix.Dense, q)
+		nb := make([][]*matrix.Dense, q)
+		for i := 0; i < q; i++ {
+			na[i] = make([]*matrix.Dense, q)
+			nb[i] = make([]*matrix.Dense, q)
+		}
+		for i := 0; i < q; i++ {
+			for j := 0; j < q; j++ {
+				na[i][(j-1+q)%q] = ab[i][j]
+				nb[(i-1+q)%q][j] = bb[i][j]
+			}
+		}
+		ab, bb = na, nb
+	}
+	out := matrix.New(cfg.N, cfg.N)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			matrix.SetBlock(out, cb[i][j], i, j, bs)
+		}
+	}
+	return out, nil
+}

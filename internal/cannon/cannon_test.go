@@ -1,0 +1,143 @@
+package cannon
+
+import (
+	"testing"
+	"testing/quick"
+
+	"loggpsim/internal/blockops"
+	"loggpsim/internal/matrix"
+)
+
+func TestNewConfig(t *testing.T) {
+	c, err := NewConfig(12, 3)
+	if err != nil || c.BlockSize() != 4 || c.P() != 9 {
+		t.Fatalf("NewConfig(12,3) = %+v, %v", c, err)
+	}
+	if _, err := NewConfig(12, 5); err == nil {
+		t.Fatal("non-dividing grid accepted")
+	}
+	if _, err := NewConfig(0, 2); err == nil {
+		t.Fatal("zero matrix accepted")
+	}
+	if _, err := NewConfig(4, 0); err == nil {
+		t.Fatal("zero grid accepted")
+	}
+}
+
+func TestMultiplyMatchesDirect(t *testing.T) {
+	for _, tc := range []struct{ n, q int }{
+		{4, 1}, {4, 2}, {12, 3}, {12, 4}, {20, 5}, {16, 16},
+	} {
+		a := matrix.Random(tc.n, int64(tc.n))
+		b := matrix.Random(tc.n, int64(tc.n+1))
+		got, err := Multiply(a, b, tc.q)
+		if err != nil {
+			t.Fatalf("n=%d q=%d: %v", tc.n, tc.q, err)
+		}
+		want := matrix.Mul(a, b)
+		if res := matrix.MaxAbsDiff(got, want); res > 1e-7 {
+			t.Errorf("n=%d q=%d: Cannon differs from direct product by %g", tc.n, tc.q, res)
+		}
+	}
+}
+
+func TestMultiplyErrors(t *testing.T) {
+	if _, err := Multiply(matrix.New(4, 3), matrix.New(4, 4), 2); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, err := Multiply(matrix.New(4, 4), matrix.New(6, 6), 2); err == nil {
+		t.Fatal("mismatched sizes accepted")
+	}
+	if _, err := Multiply(matrix.New(4, 4), matrix.New(4, 4), 3); err == nil {
+		t.Fatal("non-dividing grid accepted")
+	}
+}
+
+func TestBuildProgramShape(t *testing.T) {
+	c, err := NewConfig(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := c.BuildProgram()
+	if err := pr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 alignment step + q compute steps.
+	if len(pr.Steps) != 1+c.Q {
+		t.Fatalf("steps = %d, want %d", len(pr.Steps), 1+c.Q)
+	}
+	st := pr.Summarize()
+	// q rounds × q² processors of Op4 each.
+	if st.Ops[blockops.Op4] != c.Q*c.Q*c.Q {
+		t.Fatalf("Op4 count = %d, want %d", st.Ops[blockops.Op4], c.Q*c.Q*c.Q)
+	}
+	if st.Ops[blockops.Op1] != 0 || st.Ops[blockops.Op2] != 0 || st.Ops[blockops.Op3] != 0 {
+		t.Fatal("Cannon must use only Op4")
+	}
+	// Alignment: 2 messages per processor; rotations: 2 per processor per
+	// round except the last.
+	wantMsgs := 2*c.P() + 2*c.P()*(c.Q-1)
+	if got := st.NetworkMessages + st.LocalMessages; got != wantMsgs {
+		t.Fatalf("messages = %d, want %d", got, wantMsgs)
+	}
+	// The alignment step has no computation.
+	for p := 0; p < c.P(); p++ {
+		if len(pr.Steps[0].Comp[p]) != 0 {
+			t.Fatal("alignment step computes")
+		}
+	}
+	// The last compute step has no communication.
+	if n := len(pr.Steps[len(pr.Steps)-1].Comm.Msgs); n != 0 {
+		t.Fatalf("last step has %d messages", n)
+	}
+}
+
+func TestBuildProgramDegenerateGrid(t *testing.T) {
+	c, err := NewConfig(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := c.BuildProgram()
+	st := pr.Summarize()
+	if st.NetworkMessages != 0 {
+		t.Fatalf("q=1 produced %d network messages; all traffic must be local", st.NetworkMessages)
+	}
+	if st.LocalMessages != 2 { // the two alignment self messages
+		t.Fatalf("q=1 local messages = %d, want 2", st.LocalMessages)
+	}
+}
+
+func TestAlignmentSelfMessagesOnDiagonal(t *testing.T) {
+	// Processor (0,0) aligns onto itself.
+	c, _ := NewConfig(12, 3)
+	pr := c.BuildProgram()
+	align := pr.Steps[0].Comm
+	self := 0
+	for _, m := range align.Msgs {
+		if m.Src == m.Dst {
+			self++
+		}
+	}
+	if self == 0 {
+		t.Fatal("alignment produced no self messages; row/col 0 aligns in place")
+	}
+}
+
+// Property: Cannon equals the direct product for random sizes and grids.
+func TestMultiplyProperty(t *testing.T) {
+	f := func(seed int64, qRaw, bsRaw uint8) bool {
+		q := int(qRaw%5) + 1
+		bs := int(bsRaw%4) + 1
+		n := q * bs
+		a := matrix.Random(n, seed)
+		b := matrix.Random(n, seed+1)
+		got, err := Multiply(a, b, q)
+		if err != nil {
+			return false
+		}
+		return matrix.MaxAbsDiff(got, matrix.Mul(a, b)) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package capture
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"loggpsim/internal/blockops"
+	"loggpsim/internal/cost"
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/predictor"
+	"loggpsim/internal/trace"
+)
+
+func TestCapturePingPong(t *testing.T) {
+	pr, err := Capture(2, func(p *Proc) {
+		if p.ID() == 0 {
+			p.Compute(blockops.Op4, 16)
+			p.Send(1, 112)
+			p.Sync()
+			p.Sync() // idle while P1 replies
+		} else {
+			p.Sync()
+			p.Compute(blockops.Op4, 16)
+			p.Send(0, 112)
+			p.Sync()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Steps) != 2 {
+		t.Fatalf("steps = %d, want 2", len(pr.Steps))
+	}
+	s0, s1 := pr.Steps[0], pr.Steps[1]
+	if len(s0.Comp[0]) != 1 || len(s0.Comp[1]) != 0 {
+		t.Fatalf("step 0 comp = %d/%d ops", len(s0.Comp[0]), len(s0.Comp[1]))
+	}
+	if len(s0.Comm.Msgs) != 1 || s0.Comm.Msgs[0] != (trace.Msg{Src: 0, Dst: 1, Bytes: 112}) {
+		t.Fatalf("step 0 comm = %v", s0.Comm.Msgs)
+	}
+	if len(s1.Comm.Msgs) != 1 || s1.Comm.Msgs[0].Src != 1 {
+		t.Fatalf("step 1 comm = %v", s1.Comm.Msgs)
+	}
+	// The captured program predicts like a hand-built one.
+	p, err := predictor.Predict(pr, predictor.Config{
+		Params: loggp.MeikoCS2(2),
+		Cost:   cost.DefaultAnalytic(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meiko := loggp.MeikoCS2(2)
+	c := cost.DefaultAnalytic().Cost(blockops.Op4, 16)
+	// Critical path: compute, fly, compute, fly back.
+	want := 2*c + 2*meiko.PointToPoint(112)
+	if math.Abs(p.Total-want) > 1e-9 {
+		t.Fatalf("Total = %g, want %g", p.Total, want)
+	}
+}
+
+func TestCaptureTrailingStepFlushed(t *testing.T) {
+	pr, err := Capture(2, func(p *Proc) {
+		p.Compute(blockops.Op1, 8) // never Syncs explicitly
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Steps) != 1 {
+		t.Fatalf("steps = %d, want 1 (implicit flush)", len(pr.Steps))
+	}
+}
+
+func TestCaptureUnequalSyncsRejected(t *testing.T) {
+	_, err := Capture(2, func(p *Proc) {
+		if p.ID() == 0 {
+			p.Sync()
+			p.Sync()
+		} else {
+			p.Sync()
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "unequal Sync") {
+		t.Fatalf("unequal sync counts not caught: %v", err)
+	}
+}
+
+func TestCaptureValidatesMessages(t *testing.T) {
+	if _, err := Capture(2, func(p *Proc) { p.Send(7, 8) }); err == nil {
+		t.Fatal("out-of-range destination accepted")
+	}
+	if _, err := Capture(0, func(p *Proc) {}); err == nil {
+		t.Fatal("zero processors accepted")
+	}
+}
+
+func TestCaptureSelfMessages(t *testing.T) {
+	pr, err := Capture(2, func(p *Proc) {
+		p.Send(p.ID(), 64) // local transfer
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pr.Summarize()
+	if st.LocalMessages != 2 || st.NetworkMessages != 0 {
+		t.Fatalf("traffic = %+v, want 2 local", st)
+	}
+}
+
+// TestCaptureRingProgram records a multi-step SPMD ring rotation and
+// checks it equals the hand-built step sequence.
+func TestCaptureRingProgram(t *testing.T) {
+	const procs, rounds, bytes = 6, 4, 256
+	pr, err := Capture(procs, func(p *Proc) {
+		for r := 0; r < rounds; r++ {
+			p.ComputeOn(blockops.Op6, 32, uint64(p.ID()))
+			p.Send((p.ID()+1)%procs, bytes)
+			p.Sync()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Steps) != rounds {
+		t.Fatalf("steps = %d, want %d", len(pr.Steps), rounds)
+	}
+	st := pr.Summarize()
+	if st.Ops[blockops.Op6] != procs*rounds {
+		t.Fatalf("ops = %d, want %d", st.Ops[blockops.Op6], procs*rounds)
+	}
+	if st.NetworkMessages != procs*rounds {
+		t.Fatalf("messages = %d, want %d", st.NetworkMessages, procs*rounds)
+	}
+	for _, s := range pr.Steps {
+		if len(s.Comm.Msgs) != procs {
+			t.Fatalf("step has %d messages, want %d", len(s.Comm.Msgs), procs)
+		}
+	}
+}

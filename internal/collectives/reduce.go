@@ -1,0 +1,139 @@
+package collectives
+
+import (
+	"fmt"
+
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/trace"
+)
+
+// BinomialReduceSteps returns the rounds of a binomial-tree reduction to
+// root 0 over procs processors: the mirror of the binomial broadcast,
+// with strides descending. In the round with stride s, every processor
+// i+s with i < s forwards its partial value to i. The combine
+// computation is not modelled (the collectives are communication
+// schedules; reductions with per-element combine costs belong in a
+// program with computation steps).
+func BinomialReduceSteps(procs, bytes int) []*trace.Pattern {
+	var strides []int
+	for s := 1; s < procs; s *= 2 {
+		strides = append(strides, s)
+	}
+	steps := make([]*trace.Pattern, 0, len(strides))
+	for r := len(strides) - 1; r >= 0; r-- {
+		s := strides[r]
+		pt := trace.New(procs)
+		for i := 0; i < s && i+s < procs; i++ {
+			pt.Add(i+s, i, bytes)
+		}
+		steps = append(steps, pt)
+	}
+	return steps
+}
+
+// BinomialReduceTime returns the completion time of the binomial
+// reduction by recurrence, matching the replay of BinomialReduceSteps
+// through a sim.Session (clocks and gap state carried across rounds).
+func BinomialReduceTime(p loggp.Params, procs, bytes int) float64 {
+	if procs <= 1 {
+		return 0
+	}
+	type state struct {
+		ready     float64 // when the processor's partial value is final
+		hasOp     bool
+		lastKind  loggp.OpKind
+		lastStart float64
+	}
+	st := make([]state, procs)
+	var strides []int
+	for s := 1; s < procs; s *= 2 {
+		strides = append(strides, s)
+	}
+	earliest := func(i int, kind loggp.OpKind) float64 {
+		t := st[i].ready
+		if st[i].hasOp {
+			if c := st[i].lastStart + p.Interval(st[i].lastKind, kind, bytes); c > t {
+				t = c
+			}
+		}
+		return t
+	}
+	for r := len(strides) - 1; r >= 0; r-- {
+		s := strides[r]
+		for i := 0; i < s && i+s < procs; i++ {
+			sender := i + s
+			send := earliest(sender, loggp.Send)
+			st[sender].ready = send + p.O
+			st[sender].hasOp, st[sender].lastKind, st[sender].lastStart = true, loggp.Send, send
+			arrival := send + p.ArrivalDelay(bytes)
+			recv := max(earliest(i, loggp.Recv), arrival)
+			st[i].ready = recv + p.O
+			st[i].hasOp, st[i].lastKind, st[i].lastStart = true, loggp.Recv, recv
+		}
+	}
+	finish := 0.0
+	for _, s := range st {
+		if s.ready > finish {
+			finish = s.ready
+		}
+	}
+	return finish
+}
+
+// AllReduceSteps returns a binomial reduce to processor 0 followed by a
+// binomial broadcast from it — the classic reduce-plus-broadcast
+// all-reduce.
+func AllReduceSteps(procs, bytes int) []*trace.Pattern {
+	return append(BinomialReduceSteps(procs, bytes), BinomialBroadcastSteps(procs, bytes)...)
+}
+
+// RecursiveDoublingAllGatherSteps returns the log₂(P) rounds of the
+// recursive-doubling all-gather: in round r every processor exchanges
+// its accumulated data (bytes·2^r) with the partner whose index differs
+// in bit r. procs must be a power of two.
+func RecursiveDoublingAllGatherSteps(procs, bytes int) ([]*trace.Pattern, error) {
+	if procs < 1 || procs&(procs-1) != 0 {
+		return nil, fmt.Errorf("collectives: recursive doubling needs a power-of-two processor count, got %d", procs)
+	}
+	var steps []*trace.Pattern
+	chunk := bytes
+	for stride := 1; stride < procs; stride *= 2 {
+		pt := trace.New(procs)
+		for i := 0; i < procs; i++ {
+			pt.Add(i, i^stride, chunk)
+		}
+		steps = append(steps, pt)
+		chunk *= 2
+	}
+	return steps, nil
+}
+
+// RecursiveDoublingAllGatherTime returns the completion time of the
+// recursive-doubling all-gather by recurrence (all processors are
+// symmetric within a round; the exchanged size doubles every round).
+func RecursiveDoublingAllGatherTime(p loggp.Params, procs, bytes int) float64 {
+	if procs <= 1 {
+		return 0
+	}
+	send, recvStart := 0.0, 0.0
+	prevBytes := 0
+	chunk := bytes
+	first := true
+	for stride := 1; stride < procs; stride *= 2 {
+		if first {
+			send = 0
+			first = false
+		} else {
+			send = max(send+p.Interval(loggp.Send, loggp.Send, prevBytes),
+				recvStart+p.Interval(loggp.Recv, loggp.Send, prevBytes))
+		}
+		rs := max(send+p.ArrivalDelay(chunk), send+p.Interval(loggp.Send, loggp.Recv, chunk))
+		if prevBytes > 0 {
+			rs = max(rs, recvStart+p.Interval(loggp.Recv, loggp.Recv, prevBytes))
+		}
+		recvStart = rs
+		prevBytes = chunk
+		chunk *= 2
+	}
+	return recvStart + p.O
+}

@@ -1,0 +1,96 @@
+package cost
+
+import (
+	"time"
+
+	"loggpsim/internal/blockops"
+	"loggpsim/internal/matrix"
+)
+
+// MeasureOpts controls kernel calibration.
+type MeasureOpts struct {
+	// MinTime is the minimum wall-clock time to spend per (operation,
+	// size) point; more repetitions reduce noise. Zero means 2ms.
+	MinTime time.Duration
+	// Seed drives the random block contents.
+	Seed int64
+}
+
+// Measure times the real kernels of package blockops at every given
+// block size and returns the resulting cost table — the paper's
+// calibration procedure ("we implemented the basic block operations and
+// measured the running time of each operation for different sizes") run
+// on this host. Times include the per-call block copies needed to keep
+// inputs pristine, matching how the operations are invoked during an
+// actual factorization sweep.
+func Measure(sizes []int, opts MeasureOpts) *Table {
+	if opts.MinTime == 0 {
+		opts.MinTime = 2 * time.Millisecond
+	}
+	t := NewTable("measured")
+	for _, b := range sizes {
+		diagSrc := matrix.Random(b, opts.Seed)
+		d, err := blockops.ApplyOp1(diagSrc.Clone())
+		if err != nil {
+			// Diagonally dominant random blocks always factor; if not,
+			// record an unusable size as zero cost.
+			continue
+		}
+		panelSrc := matrix.Random(b, opts.Seed+1)
+		otherSrc := matrix.Random(b, opts.Seed+2)
+
+		t.Set(blockops.Op1, b, timeKernel(opts.MinTime, func() {
+			blk := diagSrc.Clone()
+			if _, err := blockops.ApplyOp1(blk); err != nil {
+				panic(err)
+			}
+		}))
+		t.Set(blockops.Op2, b, timeKernel(opts.MinTime, func() {
+			blk := panelSrc.Clone()
+			blockops.ApplyOp2(d.Linv, blk)
+		}))
+		t.Set(blockops.Op3, b, timeKernel(opts.MinTime, func() {
+			blk := panelSrc.Clone()
+			blockops.ApplyOp3(blk, d.Uinv)
+		}))
+		t.Set(blockops.Op4, b, timeKernel(opts.MinTime, func() {
+			blk := panelSrc.Clone()
+			blockops.ApplyOp4(blk, otherSrc, panelSrc)
+		}))
+		vec := make([]float64, b)
+		for i := range vec {
+			vec[i] = 1 + float64(i%7)
+		}
+		t.Set(blockops.Op5, b, timeKernel(opts.MinTime, func() {
+			x := append([]float64(nil), vec...)
+			if err := blockops.ApplyOp5(diagSrc, x); err != nil {
+				panic(err)
+			}
+		}))
+		t.Set(blockops.Op6, b, timeKernel(opts.MinTime, func() {
+			x := append([]float64(nil), vec...)
+			blockops.ApplyOp6(otherSrc, vec, x)
+		}))
+		dst := matrix.New(b, b)
+		t.Set(blockops.Op7, b, timeKernel(opts.MinTime, func() {
+			blockops.ApplyOp7(dst, otherSrc, vec, vec, vec, vec)
+		}))
+	}
+	return t
+}
+
+// timeKernel runs fn repeatedly until at least minTime has elapsed and
+// returns the mean time per call in microseconds.
+func timeKernel(minTime time.Duration, fn func()) float64 {
+	// Warm up once (allocations, caches).
+	fn()
+	reps := 0
+	start := time.Now()
+	for {
+		fn()
+		reps++
+		if elapsed := time.Since(start); elapsed >= minTime {
+			return float64(elapsed.Nanoseconds()) / float64(reps) / 1e3
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package eventq provides the priority-queue machinery used by the
+// simulators: a time-keyed min-heap that is stable (entries with equal
+// keys come out in insertion order), so simulation runs are fully
+// deterministic.
+package eventq
+
+// Queue is a min-heap of values keyed by a float64 time stamp. Ties are
+// broken by insertion order. The zero value is an empty queue ready to
+// use.
+type Queue[T any] struct {
+	entries []entry[T]
+	nextSeq uint64
+}
+
+type entry[T any] struct {
+	key   float64
+	seq   uint64
+	value T
+}
+
+// Len returns the number of queued values.
+func (q *Queue[T]) Len() int { return len(q.entries) }
+
+// Empty reports whether the queue holds no values.
+func (q *Queue[T]) Empty() bool { return len(q.entries) == 0 }
+
+// Push inserts value with the given time key.
+func (q *Queue[T]) Push(key float64, value T) {
+	q.entries = append(q.entries, entry[T]{key: key, seq: q.nextSeq, value: value})
+	q.nextSeq++
+	q.up(len(q.entries) - 1)
+}
+
+// Peek returns the minimum-key value without removing it. It panics on an
+// empty queue; check Empty first.
+func (q *Queue[T]) Peek() (key float64, value T) {
+	e := q.entries[0]
+	return e.key, e.value
+}
+
+// Pop removes and returns the minimum-key value. It panics on an empty
+// queue; check Empty first.
+func (q *Queue[T]) Pop() (key float64, value T) {
+	e := q.entries[0]
+	last := len(q.entries) - 1
+	q.entries[0] = q.entries[last]
+	q.entries[last] = entry[T]{} // release the value for GC
+	q.entries = q.entries[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return e.key, e.value
+}
+
+func (q *Queue[T]) less(i, j int) bool {
+	a, b := q.entries[i], q.entries[j]
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.entries[i], q.entries[parent] = q.entries[parent], q.entries[i]
+		i = parent
+	}
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.entries)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		small := left
+		if right := left + 1; right < n && q.less(right, left) {
+			small = right
+		}
+		if !q.less(small, i) {
+			return
+		}
+		q.entries[i], q.entries[small] = q.entries[small], q.entries[i]
+		i = small
+	}
+}
+
+// Drain removes all values in key order and returns them.
+func (q *Queue[T]) Drain() []T {
+	out := make([]T, 0, q.Len())
+	for !q.Empty() {
+		_, v := q.Pop()
+		out = append(out, v)
+	}
+	return out
+}

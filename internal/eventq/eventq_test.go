@@ -1,0 +1,186 @@
+package eventq
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue[int]
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatalf("zero value not empty: Len=%d", q.Len())
+	}
+}
+
+func TestPushPopOrder(t *testing.T) {
+	var q Queue[string]
+	q.Push(3, "c")
+	q.Push(1, "a")
+	q.Push(2, "b")
+	want := []struct {
+		key float64
+		val string
+	}{{1, "a"}, {2, "b"}, {3, "c"}}
+	for _, w := range want {
+		k, v := q.Pop()
+		if k != w.key || v != w.val {
+			t.Fatalf("Pop() = (%g,%q), want (%g,%q)", k, v, w.key, w.val)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+func TestStableOnEqualKeys(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 100; i++ {
+		q.Push(5, i)
+	}
+	for i := 0; i < 100; i++ {
+		if _, v := q.Pop(); v != i {
+			t.Fatalf("equal-key pop %d returned %d; want FIFO order", i, v)
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	var q Queue[int]
+	q.Push(2, 20)
+	q.Push(1, 10)
+	if k, v := q.Peek(); k != 1 || v != 10 {
+		t.Fatalf("Peek() = (%g,%d)", k, v)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Peek changed Len to %d", q.Len())
+	}
+}
+
+func TestDrain(t *testing.T) {
+	var q Queue[int]
+	for _, k := range []float64{4, 1, 3, 2} {
+		q.Push(k, int(k*10))
+	}
+	got := q.Drain()
+	want := []int{10, 20, 30, 40}
+	if len(got) != len(want) {
+		t.Fatalf("Drain() len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Drain()[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after Drain")
+	}
+}
+
+func TestPopPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty queue did not panic")
+		}
+	}()
+	var q Queue[int]
+	q.Pop()
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	var q Queue[float64]
+	rng := rand.New(rand.NewSource(1))
+	var inFlight []float64
+	for round := 0; round < 1000; round++ {
+		if q.Empty() || rng.Intn(2) == 0 {
+			k := float64(rng.Intn(50))
+			q.Push(k, k)
+			inFlight = append(inFlight, k)
+		} else {
+			k, v := q.Pop()
+			if k != v {
+				t.Fatalf("key %g != value %g", k, v)
+			}
+			// Popped key must be the minimum of what we inserted.
+			minIdx := 0
+			for i, x := range inFlight {
+				if x < inFlight[minIdx] {
+					minIdx = i
+				}
+			}
+			if inFlight[minIdx] != k {
+				t.Fatalf("popped %g, expected min %g", k, inFlight[minIdx])
+			}
+			inFlight = append(inFlight[:minIdx], inFlight[minIdx+1:]...)
+		}
+	}
+}
+
+// Property: draining the queue yields keys in sorted order for arbitrary
+// inputs.
+func TestHeapPropertySorted(t *testing.T) {
+	f := func(keys []float64) bool {
+		var q Queue[float64]
+		for _, k := range keys {
+			q.Push(k, k)
+		}
+		prev := math.Inf(-1)
+		for !q.Empty() {
+			k, _ := q.Pop()
+			if k < prev {
+				return false
+			}
+			prev = k
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Drain equals sorting the input (with stability irrelevant for
+// distinct values).
+func TestDrainMatchesSort(t *testing.T) {
+	f := func(keys []float64) bool {
+		var q Queue[float64]
+		for _, k := range keys {
+			q.Push(k, k)
+		}
+		got := q.Drain()
+		want := append([]float64(nil), keys...)
+		sort.Float64s(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]float64, 1024)
+	for i := range keys {
+		keys[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var q Queue[int]
+		for j, k := range keys {
+			q.Push(k, j)
+		}
+		for !q.Empty() {
+			q.Pop()
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package fit estimates LogGP parameters from communication
+// measurements, the calibration methodology of the LogGP paper (whose
+// authors include the paper's second author): one-way message times over
+// a range of sizes are linear in the size, T(k) = (2o + L) + (k−1)·G, so
+// a least-squares line yields G from the slope and, given a separately
+// measured CPU overhead o (LogP's "overhead microbenchmark"), L from the
+// intercept. The gap g comes from a message-rate (flood) measurement and
+// is taken as an input for the same reason.
+package fit
+
+import (
+	"fmt"
+
+	"loggpsim/internal/loggp"
+)
+
+// Sample is one measured one-way message time.
+type Sample struct {
+	// Bytes is the message size.
+	Bytes int
+	// Time is the end-to-end one-way time in microseconds
+	// (send start to receive completion on an idle pair).
+	Time float64
+}
+
+// Fit recovers LogGP parameters from one-way samples plus the directly
+// measured per-message CPU overhead o and inter-message gap g. At least
+// two distinct sizes are required to separate G from the intercept.
+func Fit(samples []Sample, overhead, gap float64, procs int) (loggp.Params, error) {
+	if len(samples) < 2 {
+		return loggp.Params{}, fmt.Errorf("fit: need at least two samples, got %d", len(samples))
+	}
+	if overhead < 0 || gap < 0 {
+		return loggp.Params{}, fmt.Errorf("fit: negative overhead %g or gap %g", overhead, gap)
+	}
+	// Least squares of Time against x = Bytes-1.
+	var n, sumX, sumY, sumXX, sumXY float64
+	distinct := map[int]bool{}
+	for _, s := range samples {
+		if s.Bytes < 1 {
+			return loggp.Params{}, fmt.Errorf("fit: sample of %d bytes", s.Bytes)
+		}
+		if s.Time <= 0 {
+			return loggp.Params{}, fmt.Errorf("fit: non-positive time %g", s.Time)
+		}
+		distinct[s.Bytes] = true
+		x := float64(s.Bytes - 1)
+		n++
+		sumX += x
+		sumY += s.Time
+		sumXX += x * x
+		sumXY += x * s.Time
+	}
+	if len(distinct) < 2 {
+		return loggp.Params{}, fmt.Errorf("fit: need at least two distinct sizes, got %d", len(distinct))
+	}
+	denom := n*sumXX - sumX*sumX
+	slope := (n*sumXY - sumX*sumY) / denom
+	intercept := (sumY - slope*sumX) / n
+
+	p := loggp.Params{
+		L:   intercept - 2*overhead,
+		O:   overhead,
+		Gap: gap,
+		G:   slope,
+		P:   procs,
+	}
+	if p.G < 0 {
+		// Noise can produce a slightly negative slope on flat data.
+		if p.G > -1e-9 {
+			p.G = 0
+		} else {
+			return loggp.Params{}, fmt.Errorf("fit: negative bandwidth term G=%g; samples inconsistent", p.G)
+		}
+	}
+	if p.L < 0 {
+		return loggp.Params{}, fmt.Errorf("fit: negative latency L=%g; overhead %g too large for intercept %g",
+			p.L, overhead, intercept)
+	}
+	if err := p.Validate(); err != nil {
+		return loggp.Params{}, err
+	}
+	return p, nil
+}
+
+// Residuals returns each sample's deviation from the fitted model — the
+// goodness-of-fit check the calibration papers report.
+func Residuals(samples []Sample, p loggp.Params) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = s.Time - p.PointToPoint(s.Bytes)
+	}
+	return out
+}

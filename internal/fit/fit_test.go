@@ -1,0 +1,136 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/sim"
+	"loggpsim/internal/trace"
+	"loggpsim/internal/vruntime"
+)
+
+// simulateSamples produces one-way measurements by actually running the
+// simulator — the fit must then recover the machine exactly.
+func simulateSamples(t *testing.T, p loggp.Params, sizes []int) []Sample {
+	t.Helper()
+	out := make([]Sample, 0, len(sizes))
+	for _, k := range sizes {
+		finish, err := sim.Completion(trace.New(2).Add(0, 1, k), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, Sample{Bytes: k, Time: finish})
+	}
+	return out
+}
+
+func TestFitRecoversSimulatedMachine(t *testing.T) {
+	truth := loggp.MeikoCS2(8)
+	samples := simulateSamples(t, truth, []int{1, 64, 256, 1024, 4096, 65536})
+	got, err := Fit(samples, truth.O, truth.Gap, truth.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.L-truth.L) > 1e-9 || math.Abs(got.G-truth.G) > 1e-12 {
+		t.Fatalf("fit = %v, want %v", got, truth)
+	}
+	for _, r := range Residuals(samples, got) {
+		if math.Abs(r) > 1e-9 {
+			t.Fatalf("nonzero residual %g on noiseless data", r)
+		}
+	}
+}
+
+func TestFitRecoversVirtualRuntimeMeasurements(t *testing.T) {
+	// End-to-end: "measure" one-way latencies with the direct-execution
+	// runtime, then fit. Fit and truth must agree.
+	truth := loggp.Cluster(4)
+	sizes := []int{1, 128, 1024, 16384}
+	var samples []Sample
+	for _, k := range sizes {
+		res, err := vruntime.Run(2, truth, func(p *vruntime.Proc) {
+			if p.ID() == 0 {
+				p.Send(1, 0, nil, k)
+			} else {
+				p.Recv()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, Sample{Bytes: k, Time: res.Finish})
+	}
+	got, err := Fit(samples, truth.O, truth.Gap, truth.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.L-truth.L) > 1e-9 || math.Abs(got.G-truth.G) > 1e-12 {
+		t.Fatalf("fit = %v, want %v", got, truth)
+	}
+}
+
+func TestFitRobustToNoise(t *testing.T) {
+	truth := loggp.MeikoCS2(8)
+	rng := rand.New(rand.NewSource(3))
+	var samples []Sample
+	for _, k := range []int{1, 64, 256, 1024, 4096, 16384, 65536} {
+		base := truth.PointToPoint(k)
+		for rep := 0; rep < 5; rep++ {
+			noisy := base * (1 + 0.02*(rng.Float64()-0.5)) // ±1%
+			samples = append(samples, Sample{Bytes: k, Time: noisy})
+		}
+	}
+	got, err := Fit(samples, truth.O, truth.Gap, truth.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got.G-truth.G) / truth.G; rel > 0.05 {
+		t.Fatalf("G = %g, truth %g (%.1f%% off)", got.G, truth.G, 100*rel)
+	}
+	if rel := math.Abs(got.L-truth.L) / truth.L; rel > 0.15 {
+		t.Fatalf("L = %g, truth %g (%.1f%% off)", got.L, truth.L, 100*rel)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	good := []Sample{{1, 13}, {1001, 18}}
+	if _, err := Fit(good[:1], 2, 16, 8); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := Fit([]Sample{{64, 10}, {64, 11}}, 2, 16, 8); err == nil {
+		t.Error("single distinct size accepted")
+	}
+	if _, err := Fit(good, -1, 16, 8); err == nil {
+		t.Error("negative overhead accepted")
+	}
+	if _, err := Fit([]Sample{{0, 5}, {10, 6}}, 2, 16, 8); err == nil {
+		t.Error("zero-byte sample accepted")
+	}
+	if _, err := Fit([]Sample{{1, -5}, {10, 6}}, 2, 16, 8); err == nil {
+		t.Error("negative time accepted")
+	}
+	// Decreasing time with size: negative G.
+	if _, err := Fit([]Sample{{1, 100}, {100001, 10}}, 2, 16, 8); err == nil {
+		t.Error("inconsistent samples accepted")
+	}
+	// Overhead too large for the intercept: negative L.
+	if _, err := Fit([]Sample{{1, 10}, {1001, 12}}, 50, 16, 8); err == nil {
+		t.Error("oversized overhead accepted")
+	}
+}
+
+func TestFitFlatDataZeroG(t *testing.T) {
+	// Size-independent times: G must come out as exactly zero.
+	p, err := Fit([]Sample{{1, 13}, {1001, 13}, {100001, 13}}, 2, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.G != 0 {
+		t.Fatalf("G = %g, want 0", p.G)
+	}
+	if p.L != 9 { // 13 - 2*2
+		t.Fatalf("L = %g, want 9", p.L)
+	}
+}

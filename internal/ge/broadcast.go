@@ -1,0 +1,97 @@
+package ge
+
+import (
+	"loggpsim/internal/blockops"
+	"loggpsim/internal/layout"
+	"loggpsim/internal/program"
+)
+
+// BuildBroadcastProgram generates the bulk-synchronous right-looking
+// variant of the blocked elimination — the classical broadcast-based
+// schedule (ScaLAPACK-style) — as an alternative to the paper's
+// pipelined wavefront. Iteration k takes three steps:
+//
+//  1. the owner of (k,k) factors and inverts the diagonal block (Op1)
+//     and sends the inverses to every distinct owner of the pivot row
+//     and column panels;
+//  2. the panel owners update their blocks (Op2/Op3) and send each
+//     panel block to every distinct owner of its trailing column or row;
+//  3. every interior block is updated (Op4); no communication.
+//
+// The operation multiset is identical to BuildProgram's; only the
+// schedule differs, so predicting both quantifies what the paper's
+// wavefront pipelining buys — a design-space study the method enables.
+func BuildBroadcastProgram(g Grid, lay layout.Layout) (*program.Program, error) {
+	if err := layout.Validate(lay, g.NB); err != nil {
+		return nil, err
+	}
+	pr := program.New(lay.P())
+	nb := g.NB
+	bytes := blockops.BlockBytes(g.B)
+	id := func(i, j int) uint64 { return uint64(i*nb + j) }
+
+	for k := 0; k < nb; k++ {
+		// Step 1: factor the diagonal block, broadcast the inverses.
+		s1 := pr.AddStep()
+		diagOwner := lay.Owner(k, k)
+		s1.AddOpOn(diagOwner, blockops.Op1, g.B, id(k, k))
+		rowOwners := map[int]bool{}
+		colOwners := map[int]bool{}
+		for j := k + 1; j < nb; j++ {
+			rowOwners[lay.Owner(k, j)] = true
+		}
+		for i := k + 1; i < nb; i++ {
+			colOwners[lay.Owner(i, k)] = true
+		}
+		for owner := 0; owner < lay.P(); owner++ { // deterministic order
+			if rowOwners[owner] {
+				s1.Comm.Add(diagOwner, owner, bytes) // Linv
+			}
+			if colOwners[owner] {
+				s1.Comm.Add(diagOwner, owner, bytes) // Uinv
+			}
+		}
+		if k == nb-1 {
+			continue
+		}
+
+		// Step 2: panel updates, then broadcast each panel block into
+		// its trailing row or column.
+		s2 := pr.AddStep()
+		for j := k + 1; j < nb; j++ {
+			owner := lay.Owner(k, j)
+			s2.AddOpOn(owner, blockops.Op2, g.B, id(k, j))
+			dsts := map[int]bool{}
+			for i := k + 1; i < nb; i++ {
+				dsts[lay.Owner(i, j)] = true
+			}
+			for dst := 0; dst < lay.P(); dst++ {
+				if dsts[dst] {
+					s2.Comm.Add(owner, dst, bytes)
+				}
+			}
+		}
+		for i := k + 1; i < nb; i++ {
+			owner := lay.Owner(i, k)
+			s2.AddOpOn(owner, blockops.Op3, g.B, id(i, k))
+			dsts := map[int]bool{}
+			for j := k + 1; j < nb; j++ {
+				dsts[lay.Owner(i, j)] = true
+			}
+			for dst := 0; dst < lay.P(); dst++ {
+				if dsts[dst] {
+					s2.Comm.Add(owner, dst, bytes)
+				}
+			}
+		}
+
+		// Step 3: trailing update.
+		s3 := pr.AddStep()
+		for i := k + 1; i < nb; i++ {
+			for j := k + 1; j < nb; j++ {
+				s3.AddOpOn(lay.Owner(i, j), blockops.Op4, g.B, id(i, j))
+			}
+		}
+	}
+	return pr, nil
+}

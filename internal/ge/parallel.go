@@ -1,0 +1,171 @@
+package ge
+
+import (
+	"fmt"
+	"sync"
+
+	"loggpsim/internal/blockops"
+	"loggpsim/internal/layout"
+	"loggpsim/internal/matrix"
+)
+
+// carry is one wavefront message: the pivot-column data travelling right
+// along a block row (left carry) or the pivot-row data travelling down a
+// block column (above carry).
+type carry struct {
+	wave     int
+	bi, bj   int // destination block
+	fromLeft bool
+	data     *matrix.Dense
+}
+
+type carryKey struct {
+	wave     int
+	bi, bj   int
+	fromLeft bool
+}
+
+// ParallelFactor factors a in place using the wavefront algorithm with
+// one goroutine per processor of the layout. Every cross-processor data
+// movement is an actual channel message; co-located movements are local
+// hand-offs. The communication structure executed here is exactly the
+// one BuildProgram describes, so validating this factorization against
+// SequentialBlocked validates the program fed to the simulators.
+//
+// Carried payloads are immutable once sent (the diagonal inverses and
+// finished panel blocks are never written again), so messages pass
+// references without copying — the same zero-copy behaviour the paper's
+// Split-C implementation gets from active messages.
+func ParallelFactor(a *matrix.Dense, b int, lay layout.Layout) error {
+	g, err := NewGrid(a.Rows, b)
+	if err != nil {
+		return err
+	}
+	if a.Rows != a.Cols {
+		return fmt.Errorf("ge: matrix must be square, got %d×%d", a.Rows, a.Cols)
+	}
+	if err := layout.Validate(lay, g.NB); err != nil {
+		return err
+	}
+	nb, p := g.NB, lay.P()
+
+	// Extract the block grid; each block is written only by its owner.
+	blk := make([][]*matrix.Dense, nb)
+	for i := range blk {
+		blk[i] = make([]*matrix.Dense, nb)
+		for j := range blk[i] {
+			blk[i][j] = matrix.New(b, b)
+			matrix.CopyBlock(blk[i][j], a, i, j, b)
+		}
+	}
+
+	// Pre-size each processor's inbox to the exact number of network
+	// messages it will receive, so sends never block and the wave loops
+	// cannot deadlock.
+	inboxSize := make([]int, p)
+	for t := 0; t < g.Waves(); t++ {
+		g.active(t, func(i, j, k int) {
+			owner := lay.Owner(i, j)
+			if j+1 < nb && lay.Owner(i, j+1) != owner {
+				inboxSize[lay.Owner(i, j+1)]++
+			}
+			if i+1 < nb && lay.Owner(i+1, j) != owner {
+				inboxSize[lay.Owner(i+1, j)]++
+			}
+		})
+	}
+	inbox := make([]chan carry, p)
+	for i := range inbox {
+		inbox[i] = make(chan carry, inboxSize[i])
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for proc := 0; proc < p; proc++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			pending := make(map[carryKey]*matrix.Dense)
+			// take retrieves the carry for (wave, bi, bj, dir), pulling
+			// from the inbox and stashing unrelated messages until it
+			// appears.
+			take := func(key carryKey) *matrix.Dense {
+				for {
+					if d, ok := pending[key]; ok {
+						delete(pending, key)
+						return d
+					}
+					m := <-inbox[me]
+					pending[carryKey{m.wave, m.bi, m.bj, m.fromLeft}] = m.data
+				}
+			}
+			deliver := func(wave, bi, bj int, fromLeft bool, data *matrix.Dense) {
+				dst := lay.Owner(bi, bj)
+				m := carry{wave: wave, bi: bi, bj: bj, fromLeft: fromLeft, data: data}
+				if dst == me {
+					pending[carryKey{wave, bi, bj, fromLeft}] = data
+					return
+				}
+				inbox[dst] <- m
+			}
+			for t := 0; t < g.Waves(); t++ {
+				g.active(t, func(i, j, k int) {
+					if lay.Owner(i, j) != me {
+						return
+					}
+					var left, above *matrix.Dense
+					if j > k {
+						left = take(carryKey{t, i, j, true})
+					}
+					if i > k {
+						above = take(carryKey{t, i, j, false})
+					}
+					var right, down *matrix.Dense
+					switch OpFor(i, j, k) {
+					case blockops.Op1:
+						d, err := blockops.ApplyOp1(blk[i][j])
+						if err != nil {
+							errOnce.Do(func() { firstErr = err })
+							// Keep the dataflow alive so every goroutine
+							// terminates; the result is discarded.
+							d = blockops.Diag{
+								LU:   blk[i][j],
+								Linv: matrix.Identity(b),
+								Uinv: matrix.Identity(b),
+							}
+						}
+						right, down = d.Linv, d.Uinv
+					case blockops.Op2:
+						blockops.ApplyOp2(left, blk[i][j])
+						right, down = left, blk[i][j]
+					case blockops.Op3:
+						blockops.ApplyOp3(blk[i][j], above)
+						right, down = blk[i][j], above
+					default: // Op4
+						blockops.ApplyOp4(blk[i][j], left, above)
+						right, down = left, above
+					}
+					if j+1 < nb {
+						deliver(t+1, i, j+1, true, right)
+					}
+					if i+1 < nb {
+						deliver(t+1, i+1, j, false, down)
+					}
+				})
+			}
+		}(proc)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return fmt.Errorf("ge: parallel factorization: %w", firstErr)
+	}
+	for i := range blk {
+		for j := range blk[i] {
+			matrix.SetBlock(a, blk[i][j], i, j, b)
+		}
+	}
+	return nil
+}

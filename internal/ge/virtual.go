@@ -1,0 +1,129 @@
+package ge
+
+import (
+	"fmt"
+
+	"loggpsim/internal/blockops"
+	"loggpsim/internal/cost"
+	"loggpsim/internal/layout"
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/matrix"
+	"loggpsim/internal/vruntime"
+)
+
+// VirtualFactor factors a in place on the virtual-time runtime: the same
+// wavefront dataflow as ParallelFactor, but every processor is a virtual
+// processor whose computations are charged from the cost model and whose
+// messages obey the LogGP rules — real numerics and a predicted running
+// time from one execution (direct-execution simulation). It returns the
+// runtime result; the factorization lands in a.
+func VirtualFactor(a *matrix.Dense, b int, lay layout.Layout,
+	params loggp.Params, model cost.Model) (*vruntime.Result, error) {
+	g, err := NewGrid(a.Rows, b)
+	if err != nil {
+		return nil, err
+	}
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("ge: matrix must be square, got %d×%d", a.Rows, a.Cols)
+	}
+	if err := layout.Validate(lay, g.NB); err != nil {
+		return nil, err
+	}
+	if model == nil {
+		return nil, fmt.Errorf("ge: no cost model")
+	}
+	nb := g.NB
+	blk := make([][]*matrix.Dense, nb)
+	for i := range blk {
+		blk[i] = make([]*matrix.Dense, nb)
+		for j := range blk[i] {
+			blk[i][j] = matrix.New(b, b)
+			matrix.CopyBlock(blk[i][j], a, i, j, b)
+		}
+	}
+	bytes := blockops.BlockBytes(b)
+	// Carry tags: wave, destination block, and direction packed into one
+	// integer.
+	tag := func(wave, bi, bj int, fromLeft bool) uint64 {
+		t := uint64(wave)<<32 | uint64(bi)<<17 | uint64(bj)<<1
+		if fromLeft {
+			t |= 1
+		}
+		return t
+	}
+
+	var firstErr error
+	res, err := vruntime.Run(lay.P(), params, func(p *vruntime.Proc) {
+		pending := map[uint64]*matrix.Dense{}
+		take := func(key uint64) *matrix.Dense {
+			for {
+				if d, ok := pending[key]; ok {
+					delete(pending, key)
+					return d
+				}
+				m := p.Recv()
+				pending[m.Tag] = m.Data.(*matrix.Dense)
+			}
+		}
+		for t := 0; t < g.Waves(); t++ {
+			g.active(t, func(i, j, k int) {
+				if lay.Owner(i, j) != p.ID() {
+					return
+				}
+				var left, above *matrix.Dense
+				if j > k {
+					left = take(tag(t, i, j, true))
+				}
+				if i > k {
+					above = take(tag(t, i, j, false))
+				}
+				op := OpFor(i, j, k)
+				var right, down *matrix.Dense
+				p.Compute(model.Cost(op, b), func() {
+					switch op {
+					case blockops.Op1:
+						d, err := blockops.ApplyOp1(blk[i][j])
+						if err != nil {
+							if firstErr == nil {
+								firstErr = err
+							}
+							d = blockops.Diag{
+								LU:   blk[i][j],
+								Linv: matrix.Identity(b),
+								Uinv: matrix.Identity(b),
+							}
+						}
+						right, down = d.Linv, d.Uinv
+					case blockops.Op2:
+						blockops.ApplyOp2(left, blk[i][j])
+						right, down = left, blk[i][j]
+					case blockops.Op3:
+						blockops.ApplyOp3(blk[i][j], above)
+						right, down = blk[i][j], above
+					default:
+						blockops.ApplyOp4(blk[i][j], left, above)
+						right, down = left, above
+					}
+				})
+				if j+1 < nb {
+					p.Send(lay.Owner(i, j+1), tag(t+1, i, j+1, true), right, bytes)
+				}
+				if i+1 < nb {
+					p.Send(lay.Owner(i+1, j), tag(t+1, i+1, j, false), down, bytes)
+				}
+			})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("ge: virtual factorization: %w", firstErr)
+	}
+	for i := range blk {
+		for j := range blk[i] {
+			matrix.SetBlock(a, blk[i][j], i, j, b)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,190 @@
+// Package layout maps the blocks of a blocked matrix onto processors.
+// The paper compares two layouts for the Gaussian elimination experiment
+// (Section 6.2): the row-stripped cyclic mapping, under which row-wise
+// data propagation is free but load is uneven, and the diagonal mapping,
+// which balances the active anti-diagonal wave across processors at the
+// price of occasional row- or column-adjacent blocks landing on the same
+// processor. Column-cyclic and 2D block-cyclic mappings are provided as
+// extensions.
+package layout
+
+import (
+	"fmt"
+)
+
+// Layout assigns an owner processor to every block coordinate of an
+// nb×nb block grid.
+type Layout interface {
+	// Owner returns the processor owning block (bi, bj), in [0, P).
+	Owner(bi, bj int) int
+	// P returns the processor count.
+	P() int
+	// Name identifies the layout in reports.
+	Name() string
+}
+
+type rowCyclic struct{ p int }
+
+// RowCyclic returns the paper's row-stripped cyclic layout: block rows
+// are dealt to processors round-robin, so a whole row of blocks lives on
+// one processor and row-wise propagation never crosses the network.
+func RowCyclic(p int) Layout {
+	mustPositive(p)
+	return rowCyclic{p}
+}
+
+func (l rowCyclic) Owner(bi, bj int) int { return bi % l.p }
+func (l rowCyclic) P() int               { return l.p }
+func (l rowCyclic) Name() string         { return "row-cyclic" }
+
+type colCyclic struct{ p int }
+
+// ColCyclic returns the column analogue of RowCyclic.
+func ColCyclic(p int) Layout {
+	mustPositive(p)
+	return colCyclic{p}
+}
+
+func (l colCyclic) Owner(bi, bj int) int { return bj % l.p }
+func (l colCyclic) P() int               { return l.p }
+func (l colCyclic) Name() string         { return "col-cyclic" }
+
+type diagonal struct {
+	p  int
+	nb int
+}
+
+// Diagonal returns the paper's diagonal mapping for an nb×nb block grid:
+// the blocks of each anti-diagonal are dealt to consecutive processors,
+// so every active wavefront (an anti-diagonal) is spread uniformly. In
+// the lower-right half of the grid a block and its right neighbour can
+// coincide on one processor — the paper's "small probability that row-
+// or column-adjacent blocks are mapped on the same processor".
+func Diagonal(p, nb int) Layout {
+	mustPositive(p)
+	if nb <= 0 {
+		panic(fmt.Sprintf("layout: invalid grid size %d", nb))
+	}
+	return diagonal{p: p, nb: nb}
+}
+
+func (l diagonal) Owner(bi, bj int) int {
+	d := bi + bj
+	// Rank of the block when the grid is enumerated anti-diagonal by
+	// anti-diagonal; dealing ranks round-robin places consecutive blocks
+	// of every diagonal on consecutive processors.
+	var before int // blocks on diagonals preceding d
+	if d <= l.nb-1 {
+		before = d * (d + 1) / 2
+	} else {
+		r := 2*(l.nb-1) - d + 1 // diagonals d..2nb-2 have lengths r..1
+		before = l.nb*l.nb - r*(r+1)/2
+	}
+	m := bi // index along the diagonal, from its topmost block
+	if first := d - (l.nb - 1); first > 0 {
+		m = bi - first
+	}
+	return (before + m) % l.p
+}
+func (l diagonal) P() int       { return l.p }
+func (l diagonal) Name() string { return "diagonal" }
+
+type blockCyclic2D struct {
+	pr, pc int
+}
+
+// BlockCyclic2D returns the pr×pc two-dimensional block-cyclic layout
+// (an extension beyond the paper's two layouts; ScaLAPACK's default).
+func BlockCyclic2D(pr, pc int) Layout {
+	mustPositive(pr)
+	mustPositive(pc)
+	return blockCyclic2D{pr: pr, pc: pc}
+}
+
+func (l blockCyclic2D) Owner(bi, bj int) int { return (bi%l.pr)*l.pc + (bj % l.pc) }
+func (l blockCyclic2D) P() int               { return l.pr * l.pc }
+func (l blockCyclic2D) Name() string         { return fmt.Sprintf("block-cyclic-%dx%d", l.pr, l.pc) }
+
+type custom struct {
+	p    int
+	name string
+	fn   func(bi, bj int) int
+}
+
+// Custom wraps an arbitrary owner function.
+func Custom(p int, name string, fn func(bi, bj int) int) Layout {
+	mustPositive(p)
+	return custom{p: p, name: name, fn: fn}
+}
+
+func (l custom) Owner(bi, bj int) int { return l.fn(bi, bj) }
+func (l custom) P() int               { return l.p }
+func (l custom) Name() string         { return l.name }
+
+func mustPositive(p int) {
+	if p <= 0 {
+		panic(fmt.Sprintf("layout: invalid processor count %d", p))
+	}
+}
+
+// Validate checks that a layout keeps every owner of an nb×nb grid
+// within [0, P).
+func Validate(l Layout, nb int) error {
+	for bi := 0; bi < nb; bi++ {
+		for bj := 0; bj < nb; bj++ {
+			if o := l.Owner(bi, bj); o < 0 || o >= l.P() {
+				return fmt.Errorf("layout %s: block (%d,%d) owned by %d, outside [0,%d)",
+					l.Name(), bi, bj, o, l.P())
+			}
+		}
+	}
+	return nil
+}
+
+// BlockCounts returns how many blocks of an nb×nb grid each processor
+// owns.
+func BlockCounts(l Layout, nb int) []int {
+	counts := make([]int, l.P())
+	for bi := 0; bi < nb; bi++ {
+		for bj := 0; bj < nb; bj++ {
+			counts[l.Owner(bi, bj)]++
+		}
+	}
+	return counts
+}
+
+// ActiveImbalance measures how unevenly a layout distributes the work
+// that remains live as Gaussian elimination proceeds: for every pivot
+// index k it counts the blocks of the active submatrix (rows and columns
+// >= k) per processor, divides the maximum by the ideal share, and
+// returns the average over k. 1.0 is perfect balance. The row-stripped
+// cyclic layout scores measurably worse than the diagonal layout — the
+// paper's "non-uniform load distribution [that] increases the
+// computation time" (Section 6.2).
+func ActiveImbalance(l Layout, nb int) float64 {
+	total := 0.0
+	counts := make([]int, l.P())
+	for k := 0; k < nb; k++ {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for bi := k; bi < nb; bi++ {
+			for bj := k; bj < nb; bj++ {
+				counts[l.Owner(bi, bj)]++
+			}
+		}
+		maxC := 0
+		for _, c := range counts {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		n := nb - k
+		ideal := float64(n*n) / float64(l.P())
+		if ideal < 1 {
+			ideal = 1
+		}
+		total += float64(maxC) / ideal
+	}
+	return total / float64(nb)
+}

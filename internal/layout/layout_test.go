@@ -1,0 +1,179 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRowCyclic(t *testing.T) {
+	l := RowCyclic(4)
+	if l.Owner(0, 3) != 0 || l.Owner(5, 0) != 1 || l.Owner(4, 9) != 0 {
+		t.Fatal("row-cyclic owners wrong")
+	}
+	// A whole block row lives on one processor.
+	for bj := 0; bj < 10; bj++ {
+		if l.Owner(3, bj) != 3 {
+			t.Fatalf("row 3 not on one processor at column %d", bj)
+		}
+	}
+	if err := Validate(l, 12); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColCyclic(t *testing.T) {
+	l := ColCyclic(3)
+	for bi := 0; bi < 7; bi++ {
+		if l.Owner(bi, 4) != 1 {
+			t.Fatal("column 4 not on one processor")
+		}
+	}
+	if err := Validate(l, 9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiagonalSpreadsWave(t *testing.T) {
+	const p, nb = 8, 12
+	l := Diagonal(p, nb)
+	if err := Validate(l, nb); err != nil {
+		t.Fatal(err)
+	}
+	// Every anti-diagonal of length <= P must land on distinct
+	// processors: the uniform wave load of Section 6.2.
+	for d := 0; d <= 2*(nb-1); d++ {
+		seen := map[int]int{}
+		length := 0
+		for bi := 0; bi < nb; bi++ {
+			bj := d - bi
+			if bj < 0 || bj >= nb {
+				continue
+			}
+			seen[l.Owner(bi, bj)]++
+			length++
+		}
+		if length <= p {
+			for owner, c := range seen {
+				if c > 1 {
+					t.Fatalf("diagonal %d: processor %d owns %d blocks of a %d-long wave",
+						d, owner, c, length)
+				}
+			}
+		}
+	}
+}
+
+func TestDiagonalAdjacentCoincidence(t *testing.T) {
+	// The paper: with the diagonal mapping there is a small probability
+	// that row- or column-adjacent blocks share a processor. In the
+	// lower-right half, right neighbours coincide; down neighbours never
+	// do.
+	const p, nb = 8, 12
+	l := Diagonal(p, nb)
+	coincide := 0
+	for bi := 0; bi < nb; bi++ {
+		for bj := 0; bj+1 < nb; bj++ {
+			if l.Owner(bi, bj) == l.Owner(bi, bj+1) {
+				coincide++
+			}
+		}
+	}
+	if coincide == 0 {
+		t.Error("no row-adjacent coincidences; expected some in the lower-right half")
+	}
+	total := nb * (nb - 1)
+	if coincide*2 >= total {
+		t.Errorf("%d/%d row-adjacent coincidences is not a small probability", coincide, total)
+	}
+}
+
+func TestDiagonalBeatsRowCyclicOnActiveBalance(t *testing.T) {
+	for _, nb := range []int{12, 24, 48, 96} {
+		const p = 8
+		diag := ActiveImbalance(Diagonal(p, nb), nb)
+		row := ActiveImbalance(RowCyclic(p), nb)
+		if diag >= row {
+			t.Fatalf("nb=%d: diagonal imbalance %g not below row-cyclic %g", nb, diag, row)
+		}
+	}
+}
+
+func TestBlockCyclic2D(t *testing.T) {
+	l := BlockCyclic2D(2, 4)
+	if l.P() != 8 {
+		t.Fatalf("P = %d, want 8", l.P())
+	}
+	if l.Owner(0, 0) != 0 || l.Owner(1, 0) != 4 || l.Owner(0, 1) != 1 || l.Owner(3, 5) != 5 {
+		t.Fatal("block-cyclic owners wrong")
+	}
+	if err := Validate(l, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomAndValidate(t *testing.T) {
+	bad := Custom(2, "bad", func(bi, bj int) int { return 5 })
+	if err := Validate(bad, 3); err == nil {
+		t.Fatal("out-of-range custom layout accepted")
+	}
+	ok := Custom(2, "parity", func(bi, bj int) int { return (bi + bj) % 2 })
+	if err := Validate(ok, 5); err != nil {
+		t.Fatal(err)
+	}
+	if ok.Name() != "parity" {
+		t.Fatalf("Name = %q", ok.Name())
+	}
+}
+
+func TestBlockCounts(t *testing.T) {
+	counts := BlockCounts(RowCyclic(4), 8)
+	for p, c := range counts {
+		if c != 16 { // 2 rows of 8 blocks each
+			t.Fatalf("processor %d owns %d blocks, want 16", p, c)
+		}
+	}
+}
+
+func TestConstructorsPanicOnBadP(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"row":  func() { RowCyclic(0) },
+		"col":  func() { ColCyclic(-1) },
+		"diag": func() { Diagonal(0, 4) },
+		"grid": func() { Diagonal(4, 0) },
+		"2d":   func() { BlockCyclic2D(2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: bad constructor arg did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: all bundled layouts stay in range and conserve blocks for
+// arbitrary grid sizes and processor counts.
+func TestLayoutsProperty(t *testing.T) {
+	f := func(pRaw, nbRaw uint8) bool {
+		p := int(pRaw%16) + 1
+		nb := int(nbRaw%24) + 1
+		for _, l := range []Layout{RowCyclic(p), ColCyclic(p), Diagonal(p, nb), BlockCyclic2D(p, 2)} {
+			if Validate(l, nb) != nil {
+				return false
+			}
+			sum := 0
+			for _, c := range BlockCounts(l, nb) {
+				sum += c
+			}
+			if sum != nb*nb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

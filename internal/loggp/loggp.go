@@ -1,0 +1,163 @@
+// Package loggp defines the LogGP machine model used throughout the
+// repository: the five parameters of Alexandrov et al. (L, o, g, G, P)
+// plus the gap rules between unlike operations that Rugina & Schauser
+// add in Figure 1 of the paper.
+//
+// All times are float64 microseconds. Message sizes are bytes.
+package loggp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// OpKind distinguishes the two communication operations a processor can
+// perform. The LogGP single-port assumption means a processor performs at
+// most one of them at a time.
+type OpKind int
+
+const (
+	// Send is the transmission of one message.
+	Send OpKind = iota
+	// Recv is the reception of one message.
+	Recv
+)
+
+// String returns "send" or "recv".
+func (k OpKind) String() string {
+	switch k {
+	case Send:
+		return "send"
+	case Recv:
+		return "recv"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Params holds the LogGP parameters of a machine.
+//
+// The paper extends plain LogGP with gaps between unlike consecutive
+// operations (its Figure 1): after a send the next receive may begin g
+// time units later, and after a receive the next send may begin
+// max(o,g)-o time units after the receive's overhead completes, i.e.
+// max(o,g) after the receive started. Setting NoCrossGap disables that
+// extension (gap constraints then apply only between like operations,
+// unlike operations being limited only by the o-busy window); it exists
+// for the ablation benchmarks.
+type Params struct {
+	// L is an upper bound on the latency of a message through the
+	// network, in microseconds.
+	L float64
+	// O is the overhead: the time a processor is engaged in the
+	// transmission or reception of one message, in microseconds.
+	// (Lowercase o in the paper; exported names must be capitalized.)
+	O float64
+	// Gap is the minimum interval between consecutive message
+	// transmissions or consecutive receptions at one processor, in
+	// microseconds (lowercase g in the paper).
+	Gap float64
+	// G is the gap per byte for long messages: the time per byte of a
+	// long message, in microseconds per byte (uppercase G in the paper).
+	G float64
+	// P is the number of processors.
+	P int
+
+	// S, when positive, enables the LogGPS rendezvous extension (Ino,
+	// Fujiwara & Hagihara's synchronization parameter): messages larger
+	// than S bytes are sent with a request/acknowledge handshake before
+	// the data moves, so their delivery costs an extra round trip
+	// (2(o+L)) and the sender's port stays busy accordingly. Zero (the
+	// default) reproduces plain LogGP, the model the paper uses.
+	S int
+
+	// NoCrossGap disables the paper's Figure-1 gap rules between unlike
+	// operations (ablation switch; zero value reproduces the paper).
+	NoCrossGap bool
+}
+
+// Validate reports whether the parameters describe a usable machine.
+func (p Params) Validate() error {
+	switch {
+	case p.P <= 0:
+		return fmt.Errorf("loggp: P must be positive, got %d", p.P)
+	case p.L < 0:
+		return fmt.Errorf("loggp: L must be non-negative, got %g", p.L)
+	case p.O < 0:
+		return fmt.Errorf("loggp: o must be non-negative, got %g", p.O)
+	case p.Gap < 0:
+		return fmt.Errorf("loggp: g must be non-negative, got %g", p.Gap)
+	case p.G < 0:
+		return fmt.Errorf("loggp: G must be non-negative, got %g", p.G)
+	case p.S < 0:
+		return fmt.Errorf("loggp: S must be non-negative, got %d", p.S)
+	}
+	return nil
+}
+
+// ErrBadMessageSize is returned (wrapped) for non-positive message sizes.
+var ErrBadMessageSize = errors.New("loggp: message size must be at least one byte")
+
+// Serialization returns the port-occupancy time of a k-byte message
+// beyond its first byte: (k-1)*G, plus — under the LogGPS extension —
+// the rendezvous handshake's round trip for messages above S.
+func (p Params) Serialization(bytes int) float64 {
+	s := 0.0
+	if bytes > 1 {
+		s = float64(bytes-1) * p.G
+	}
+	if p.rendezvous(bytes) {
+		s += 2 * (p.O + p.L)
+	}
+	return s
+}
+
+// rendezvous reports whether a message of this size takes the LogGPS
+// handshake path.
+func (p Params) rendezvous(bytes int) bool { return p.S > 0 && bytes > p.S }
+
+// ArrivalDelay returns the time from the start of a send operation until
+// the message is available for reception at the destination:
+// o + (k-1)G + L, plus the rendezvous round trip 2(o+L) for messages
+// above the LogGPS threshold.
+func (p Params) ArrivalDelay(bytes int) float64 {
+	return p.O + p.Serialization(bytes) + p.L
+}
+
+// PointToPoint returns the LogGP end-to-end time of a single k-byte
+// message between two otherwise idle processors: o + (k-1)G + L + o.
+func (p Params) PointToPoint(bytes int) float64 {
+	return p.ArrivalDelay(bytes) + p.O
+}
+
+// Interval returns the minimum time between the start of one operation
+// and the start of the next operation on the same processor. It combines
+// the paper's Figure-1 gap rules with the facts that a processor engaged
+// for o cannot start another operation sooner and that a long message
+// keeps the port draining for (k-1)G:
+//
+//	send -> send:  max(g, o, (k-1)G)
+//	recv -> recv:  max(g, o, (k-1)G)
+//	send -> recv:  max(g, o, (k-1)G)
+//	recv -> send:  max(g, o, (k-1)G)
+//
+// For o <= g (the usual LogGP regime and our Meiko reconstruction) this
+// is exactly Figure 1: every pair waits g, and the figure's special
+// max(o,g) receive-to-send rule is subsumed by the o floor, which the
+// paper introduces for precisely that pair. prevBytes is the size of the
+// message moved by the previous operation.
+func (p Params) Interval(prev, next OpKind, prevBytes int) float64 {
+	floor := max(p.O, p.Serialization(prevBytes))
+	if p.NoCrossGap && prev != next {
+		// Plain LogGP: unlike operations are constrained only by the
+		// processor being busy for o (and the port draining).
+		return floor
+	}
+	return max(p.Gap, floor)
+}
+
+// String formats the parameters in the paper's notation.
+func (p Params) String() string {
+	return fmt.Sprintf("LogGP{L=%gµs o=%gµs g=%gµs G=%gµs/B P=%d}",
+		p.L, p.O, p.Gap, p.G, p.P)
+}

@@ -1,0 +1,226 @@
+package loggp
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Params
+		ok   bool
+	}{
+		{"meiko", MeikoCS2(8), true},
+		{"uniform", Uniform(1), true},
+		{"zero procs", Params{P: 0}, false},
+		{"negative procs", Params{P: -3}, false},
+		{"negative L", Params{L: -1, P: 2}, false},
+		{"negative o", Params{O: -1, P: 2}, false},
+		{"negative g", Params{Gap: -0.5, P: 2}, false},
+		{"negative G", Params{G: -0.01, P: 2}, false},
+		{"all zero costs", Params{P: 4}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate()
+			if (err == nil) != tt.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestSerialization(t *testing.T) {
+	p := Params{G: 0.5, P: 2}
+	tests := []struct {
+		bytes int
+		want  float64
+	}{
+		{1, 0},   // single byte: no per-byte gap beyond the first
+		{0, 0},   // degenerate, treated as single
+		{2, 0.5}, // one extra byte
+		{11, 5},  // ten extra bytes
+	}
+	for _, tt := range tests {
+		if got := p.Serialization(tt.bytes); got != tt.want {
+			t.Errorf("Serialization(%d) = %g, want %g", tt.bytes, got, tt.want)
+		}
+	}
+}
+
+func TestArrivalDelayAndPointToPoint(t *testing.T) {
+	p := Params{L: 9, O: 4, Gap: 13, G: 0.03, P: 2}
+	// o + (k-1)G + L for k = 112.
+	wantArrive := 4 + 111*0.03 + 9
+	if got := p.ArrivalDelay(112); math.Abs(got-wantArrive) > 1e-12 {
+		t.Errorf("ArrivalDelay(112) = %g, want %g", got, wantArrive)
+	}
+	if got := p.PointToPoint(112); math.Abs(got-(wantArrive+4)) > 1e-12 {
+		t.Errorf("PointToPoint(112) = %g, want %g", got, wantArrive+4)
+	}
+	// A one-byte message must cost exactly o + L + o end-to-end.
+	if got := p.PointToPoint(1); got != 4+9+4 {
+		t.Errorf("PointToPoint(1) = %g, want %g", got, 4.0+9+4)
+	}
+}
+
+func TestIntervalPaperRules(t *testing.T) {
+	// g > o: every pair of short messages is g apart, including the
+	// recv->send case (max(o,g) = g).
+	p := Params{L: 9, O: 4, Gap: 13, G: 0.03, P: 2}
+	for _, prev := range []OpKind{Send, Recv} {
+		for _, next := range []OpKind{Send, Recv} {
+			if got := p.Interval(prev, next, 1); got != 13 {
+				t.Errorf("Interval(%v,%v,1) = %g, want 13", prev, next, got)
+			}
+		}
+	}
+}
+
+func TestIntervalBusyWindowDominatesSmallGap(t *testing.T) {
+	// o > g: the o busy window floors every pair at o, which realizes
+	// Figure 1's max(o,g) receive-to-send rule and extends it to the
+	// other pairs (a processor engaged for o cannot start sooner).
+	p := LowOverhead(2) // o=8, g=2
+	for _, prev := range []OpKind{Send, Recv} {
+		for _, next := range []OpKind{Send, Recv} {
+			if got := p.Interval(prev, next, 1); got != 8 {
+				t.Errorf("Interval(%v,%v) = %g, want o=8", prev, next, got)
+			}
+		}
+	}
+}
+
+func TestIntervalLongMessageFloor(t *testing.T) {
+	// A long previous message keeps the port busy for (k-1)G, which can
+	// exceed g.
+	p := Params{L: 9, O: 4, Gap: 13, G: 0.5, P: 2}
+	k := 1001 // serialization = 500 µs >> g
+	if got := p.Interval(Send, Send, k); got != 500 {
+		t.Errorf("Interval(send,send,%d) = %g, want 500", k, got)
+	}
+	if got := p.Interval(Recv, Send, k); got != 500 {
+		t.Errorf("Interval(recv,send,%d) = %g, want 500", k, got)
+	}
+}
+
+func TestIntervalNoCrossGapAblation(t *testing.T) {
+	p := Params{L: 9, O: 4, Gap: 13, G: 0, P: 2, NoCrossGap: true}
+	// Unlike operations: only the o-busy window applies.
+	if got := p.Interval(Send, Recv, 1); got != 4 {
+		t.Errorf("Interval(send,recv) = %g, want o=4", got)
+	}
+	if got := p.Interval(Recv, Send, 1); got != 4 {
+		t.Errorf("Interval(recv,send) = %g, want o=4", got)
+	}
+	// Like operations keep the gap.
+	if got := p.Interval(Send, Send, 1); got != 13 {
+		t.Errorf("Interval(send,send) = %g, want g=13", got)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if Send.String() != "send" || Recv.String() != "recv" {
+		t.Fatalf("OpKind strings: %q %q", Send.String(), Recv.String())
+	}
+	if s := OpKind(7).String(); !strings.Contains(s, "7") {
+		t.Fatalf("unknown OpKind string = %q", s)
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	s := MeikoCS2(8).String()
+	for _, want := range []string{"L=9", "o=2", "g=16", "G=0.005", "P=8"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestPresetsValidate(t *testing.T) {
+	for _, p := range []Params{MeikoCS2(8), Cluster(16), LowOverhead(4), Uniform(2)} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("preset %v invalid: %v", p, err)
+		}
+	}
+}
+
+// Property: the interval bound is never below the serialization floor and
+// never below the configured gap for like operations, for arbitrary
+// non-negative parameters.
+func TestIntervalProperties(t *testing.T) {
+	f := func(l, o, g, gb float64, bytes uint16) bool {
+		p := Params{
+			L: math.Abs(l), O: math.Abs(o),
+			Gap: math.Abs(g), G: math.Abs(gb) / 1000,
+			P: 2,
+		}
+		b := int(bytes%4096) + 1
+		for _, prev := range []OpKind{Send, Recv} {
+			for _, next := range []OpKind{Send, Recv} {
+				iv := p.Interval(prev, next, b)
+				if iv < p.Serialization(b) || iv < p.O {
+					return false
+				}
+				if prev == next && iv < p.Gap {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ArrivalDelay and PointToPoint are monotonically non-decreasing
+// in message size.
+func TestDelayMonotoneInSize(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p := MeikoCS2(8)
+		x, y := int(a)+1, int(b)+1
+		if x > y {
+			x, y = y, x
+		}
+		return p.ArrivalDelay(x) <= p.ArrivalDelay(y) &&
+			p.PointToPoint(x) <= p.PointToPoint(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRendezvousExtension(t *testing.T) {
+	plain := Params{L: 9, O: 2, Gap: 16, G: 0.005, P: 2}
+	rdv := plain
+	rdv.S = 1024
+	// Messages at or below the threshold are untouched.
+	for _, k := range []int{1, 112, 1024} {
+		if rdv.ArrivalDelay(k) != plain.ArrivalDelay(k) {
+			t.Errorf("k=%d: rendezvous changed a small message", k)
+		}
+		if rdv.Interval(Send, Send, k) != plain.Interval(Send, Send, k) {
+			t.Errorf("k=%d: rendezvous changed a small interval", k)
+		}
+	}
+	// Above the threshold the delivery pays the 2(o+L) handshake.
+	k := 4096
+	wantExtra := 2 * (plain.O + plain.L)
+	if got := rdv.ArrivalDelay(k) - plain.ArrivalDelay(k); math.Abs(got-wantExtra) > 1e-12 {
+		t.Errorf("handshake delay = %g, want %g", got, wantExtra)
+	}
+	// The sender's port stays busy through the handshake.
+	if got := rdv.Interval(Send, Send, k) - plain.Interval(Send, Send, k); got < wantExtra-plain.Gap {
+		t.Errorf("handshake did not extend the send interval: %g", got)
+	}
+	// Negative thresholds are invalid.
+	bad := plain
+	bad.S = -1
+	if bad.Validate() == nil {
+		t.Error("negative S accepted")
+	}
+}

@@ -1,0 +1,164 @@
+// Package matrix provides the dense linear-algebra substrate for the
+// Gaussian-elimination experiments: row-major float64 matrices, blocked
+// access, and an element-wise reference LU factorization used to verify
+// the blocked parallel algorithm.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	// Data holds Rows*Cols elements, row-major.
+	Data []float64
+}
+
+// New returns a zeroed r×c matrix.
+func New(r, c int) *Dense {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %d×%d", r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Random returns an n×n matrix with entries in [-1, 1) and a strongly
+// dominant diagonal, so Gaussian elimination without pivoting (the
+// paper's algorithm) is numerically stable on it. Reproducible from
+// seed.
+func Random(n int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, 2*rng.Float64()-1)
+		}
+		m.Set(i, i, m.At(i, i)+float64(n))
+	}
+	return m
+}
+
+// Mul returns a×b.
+func Mul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("matrix: mul %d×%d by %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				c.Data[i*c.Cols+j] += aik * b.At(k, j)
+			}
+		}
+	}
+	return c
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference.
+func MaxAbsDiff(a, b *Dense) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("matrix: MaxAbsDiff dimension mismatch")
+	}
+	d := 0.0
+	for i := range a.Data {
+		if v := math.Abs(a.Data[i] - b.Data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// CopyBlock copies the b×b block with block coordinates (bi, bj) of m
+// into dst (which must be b×b).
+func CopyBlock(dst, m *Dense, bi, bj, b int) {
+	for r := 0; r < b; r++ {
+		srcOff := (bi*b+r)*m.Cols + bj*b
+		copy(dst.Data[r*b:(r+1)*b], m.Data[srcOff:srcOff+b])
+	}
+}
+
+// SetBlock writes src (b×b) into block (bi, bj) of m.
+func SetBlock(m, src *Dense, bi, bj, b int) {
+	for r := 0; r < b; r++ {
+		dstOff := (bi*b+r)*m.Cols + bj*b
+		copy(m.Data[dstOff:dstOff+b], src.Data[r*b:(r+1)*b])
+	}
+}
+
+// LUInPlace performs element-wise Gaussian elimination without pivoting,
+// leaving U in the upper triangle (including the diagonal) and the unit
+// lower factor's multipliers below the diagonal. This is the sequential
+// reference the blocked algorithms are validated against.
+func LUInPlace(m *Dense) error {
+	if m.Rows != m.Cols {
+		return fmt.Errorf("matrix: LU needs a square matrix, got %d×%d", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	for k := 0; k < n; k++ {
+		piv := m.At(k, k)
+		if piv == 0 {
+			return fmt.Errorf("matrix: zero pivot at %d (no pivoting)", k)
+		}
+		for i := k + 1; i < n; i++ {
+			l := m.At(i, k) / piv
+			m.Set(i, k, l)
+			for j := k + 1; j < n; j++ {
+				m.Set(i, j, m.At(i, j)-l*m.At(k, j))
+			}
+		}
+	}
+	return nil
+}
+
+// SplitLU extracts the unit-lower and upper factors from a combined LU
+// matrix as produced by LUInPlace.
+func SplitLU(lu *Dense) (l, u *Dense) {
+	n := lu.Rows
+	l, u = Identity(n), New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i > j {
+				l.Set(i, j, lu.At(i, j))
+			} else {
+				u.Set(i, j, lu.At(i, j))
+			}
+		}
+	}
+	return l, u
+}
+
+// LUResidual returns max|L·U − A|: how well a combined LU factorization
+// reproduces the original matrix.
+func LUResidual(a, lu *Dense) float64 {
+	l, u := SplitLU(lu)
+	return MaxAbsDiff(a, Mul(l, u))
+}

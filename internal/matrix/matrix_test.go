@@ -1,0 +1,224 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccess(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7.5)
+	if m.At(1, 2) != 7.5 || m.At(0, 0) != 0 {
+		t.Fatalf("At/Set broken: %v", m.Data)
+	}
+	if len(m.Data) != 6 {
+		t.Fatalf("Data length %d, want 6", len(m.Data))
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0,3) did not panic")
+		}
+	}()
+	New(0, 3)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := Random(4, 1)
+	c := m.Clone()
+	c.Set(0, 0, 999)
+	if m.At(0, 0) == 999 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("Identity(3)[%d][%d] = %g", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRandomReproducibleAndDominant(t *testing.T) {
+	a := Random(8, 42)
+	b := Random(8, 42)
+	if MaxAbsDiff(a, b) != 0 {
+		t.Fatal("same seed produced different matrices")
+	}
+	for i := 0; i < 8; i++ {
+		offDiag := 0.0
+		for j := 0; j < 8; j++ {
+			if j != i {
+				offDiag += math.Abs(a.At(i, j))
+			}
+		}
+		if math.Abs(a.At(i, i)) <= offDiag {
+			t.Fatalf("row %d not diagonally dominant", i)
+		}
+	}
+}
+
+func TestMulAgainstHand(t *testing.T) {
+	a := New(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	b := New(2, 2)
+	b.Set(0, 0, 5)
+	b.Set(0, 1, 6)
+	b.Set(1, 0, 7)
+	b.Set(1, 1, 8)
+	c := Mul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a := Random(6, 3)
+	if MaxAbsDiff(Mul(a, Identity(6)), a) != 0 {
+		t.Fatal("A·I != A")
+	}
+	if MaxAbsDiff(Mul(Identity(6), a), a) != 0 {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestMulPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Mul did not panic")
+		}
+	}()
+	Mul(New(2, 3), New(2, 3))
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	m := Random(12, 5)
+	blk := New(4, 4)
+	CopyBlock(blk, m, 1, 2, 4)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if blk.At(r, c) != m.At(4+r, 8+c) {
+				t.Fatalf("CopyBlock[%d][%d] mismatch", r, c)
+			}
+		}
+	}
+	dst := New(12, 12)
+	SetBlock(dst, blk, 1, 2, 4)
+	back := New(4, 4)
+	CopyBlock(back, dst, 1, 2, 4)
+	if MaxAbsDiff(blk, back) != 0 {
+		t.Fatal("SetBlock/CopyBlock round trip failed")
+	}
+	// Other blocks untouched.
+	if dst.At(0, 0) != 0 || dst.At(11, 11) != 0 {
+		t.Fatal("SetBlock wrote outside its block")
+	}
+}
+
+func TestLUHandExample(t *testing.T) {
+	// A = [[2,1],[4,5]]: L = [[1,0],[2,1]], U = [[2,1],[0,3]].
+	a := New(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 4)
+	a.Set(1, 1, 5)
+	lu := a.Clone()
+	if err := LUInPlace(lu); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{2, 1}, {2, 3}}
+	for i := range want {
+		for j := range want[i] {
+			if lu.At(i, j) != want[i][j] {
+				t.Fatalf("LU[%d][%d] = %g, want %g", i, j, lu.At(i, j), want[i][j])
+			}
+		}
+	}
+	if res := LUResidual(a, lu); res != 0 {
+		t.Fatalf("residual %g", res)
+	}
+}
+
+func TestLUZeroPivot(t *testing.T) {
+	a := New(2, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	if err := LUInPlace(a); err == nil {
+		t.Fatal("zero pivot accepted")
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if err := LUInPlace(New(2, 3)); err == nil {
+		t.Fatal("non-square LU accepted")
+	}
+}
+
+func TestLUResidualSmallOnRandom(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 40} {
+		a := Random(n, int64(n))
+		lu := a.Clone()
+		if err := LUInPlace(lu); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res := LUResidual(a, lu); res > 1e-9 {
+			t.Fatalf("n=%d: residual %g", n, res)
+		}
+	}
+}
+
+func TestSplitLUShapes(t *testing.T) {
+	lu := Random(5, 9)
+	l, u := SplitLU(lu)
+	for i := 0; i < 5; i++ {
+		if l.At(i, i) != 1 {
+			t.Fatalf("L diagonal not unit at %d", i)
+		}
+		for j := i + 1; j < 5; j++ {
+			if l.At(i, j) != 0 {
+				t.Fatal("L not lower triangular")
+			}
+		}
+		for j := 0; j < i; j++ {
+			if u.At(i, j) != 0 {
+				t.Fatal("U not upper triangular")
+			}
+		}
+	}
+}
+
+// Property: LU of a random diagonally dominant matrix always reconstructs
+// the input to tight tolerance.
+func TestLUProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%24) + 1
+		a := Random(n, seed)
+		lu := a.Clone()
+		if err := LUInPlace(lu); err != nil {
+			return false
+		}
+		return LUResidual(a, lu) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package network models message transport over explicit interconnect
+// topologies with link contention — a finer-grained alternative to the
+// LogGP model's flat network. The paper leans on LogGP giving "an
+// average behavior of the transmission of messages over the network, and
+// not a precise one"; this package quantifies that gap by replaying the
+// same communication steps over rings and meshes with store-and-forward
+// links, through the simulator's Network hook.
+//
+// The model: every processor has an injection and an ejection link, and
+// the fabric adds topology links along the route (shortest path on the
+// ring, XY dimension order on the mesh). A message occupies each link in
+// turn for bytes·PerByte microseconds, queueing behind earlier traffic,
+// and pays HopLatency per hop.
+package network
+
+import (
+	"fmt"
+)
+
+// Topology enumerates links and routes messages over them.
+type Topology interface {
+	// P returns the processor count.
+	P() int
+	// Links returns the number of link ids, all in [0, Links()).
+	Links() int
+	// Route returns the link ids from src to dst in traversal order,
+	// excluding the injection and ejection links (the Fabric adds
+	// those). src == dst routes are empty.
+	Route(src, dst int) []int
+	// Name identifies the topology.
+	Name() string
+}
+
+// ring is a bidirectional ring with shortest-path routing.
+type ring struct{ p int }
+
+// NewRing returns a bidirectional ring of p processors. Link ids:
+// clockwise i→(i+1)%p is link i; counter-clockwise i→(i-1+p)%p is link
+// p+i.
+func NewRing(p int) (Topology, error) {
+	if p < 2 {
+		return nil, fmt.Errorf("network: ring needs at least 2 processors, got %d", p)
+	}
+	return ring{p}, nil
+}
+
+func (r ring) P() int       { return r.p }
+func (r ring) Links() int   { return 2 * r.p }
+func (r ring) Name() string { return fmt.Sprintf("ring-%d", r.p) }
+func (r ring) Route(src, dst int) []int {
+	if src == dst {
+		return nil
+	}
+	cw := ((dst-src)%r.p + r.p) % r.p
+	var route []int
+	if cw <= r.p-cw {
+		// Clockwise.
+		for at := src; at != dst; at = (at + 1) % r.p {
+			route = append(route, at)
+		}
+	} else {
+		for at := src; at != dst; at = (at - 1 + r.p) % r.p {
+			route = append(route, r.p+at)
+		}
+	}
+	return route
+}
+
+// mesh is a 2-D mesh with XY (dimension-ordered) routing.
+type mesh struct{ rows, cols int }
+
+// NewMesh returns an r×c mesh; processor (i,j) has index i·c+j.
+// Horizontal links come first (two directions), then vertical.
+func NewMesh(rows, cols int) (Topology, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("network: invalid mesh %d×%d", rows, cols)
+	}
+	return mesh{rows, cols}, nil
+}
+
+func (m mesh) P() int       { return m.rows * m.cols }
+func (m mesh) Name() string { return fmt.Sprintf("mesh-%dx%d", m.rows, m.cols) }
+
+// Link layout: for each row, cols-1 rightward links then cols-1
+// leftward; then for each column, rows-1 downward then rows-1 upward.
+func (m mesh) Links() int {
+	return 2*m.rows*(m.cols-1) + 2*m.cols*(m.rows-1)
+}
+
+func (m mesh) right(i, j int) int { return i*(m.cols-1) + j }
+func (m mesh) left(i, j int) int  { return m.rows*(m.cols-1) + i*(m.cols-1) + j - 1 }
+func (m mesh) down(i, j int) int  { return 2*m.rows*(m.cols-1) + j*(m.rows-1) + i }
+func (m mesh) up(i, j int) int {
+	return 2*m.rows*(m.cols-1) + m.cols*(m.rows-1) + j*(m.rows-1) + i - 1
+}
+
+func (m mesh) Route(src, dst int) []int {
+	if src == dst {
+		return nil
+	}
+	si, sj := src/m.cols, src%m.cols
+	di, dj := dst/m.cols, dst%m.cols
+	var route []int
+	// X first.
+	for j := sj; j < dj; j++ {
+		route = append(route, m.right(si, j))
+	}
+	for j := sj; j > dj; j-- {
+		route = append(route, m.left(si, j))
+	}
+	// Then Y.
+	for i := si; i < di; i++ {
+		route = append(route, m.down(i, dj))
+	}
+	for i := si; i > di; i-- {
+		route = append(route, m.up(i, dj))
+	}
+	return route
+}
+
+// Fabric is the stateful contention model over one topology. It
+// implements the simulator's Network hook; one Fabric serves one
+// simulation run (Reset it before reuse).
+type Fabric struct {
+	topo Topology
+	// HopLatency is the per-hop wire latency in microseconds.
+	HopLatency float64
+	// PerByte is the per-link transfer time in microseconds per byte.
+	PerByte float64
+	// freeAt[link] is when the link next becomes idle; the last 2·P
+	// entries are the injection and ejection links.
+	freeAt []float64
+}
+
+// NewFabric wraps a topology with link timing.
+func NewFabric(topo Topology, hopLatency, perByte float64) (*Fabric, error) {
+	if hopLatency < 0 || perByte < 0 {
+		return nil, fmt.Errorf("network: negative link timing (%g, %g)", hopLatency, perByte)
+	}
+	return &Fabric{
+		topo:       topo,
+		HopLatency: hopLatency,
+		PerByte:    perByte,
+		freeAt:     make([]float64, topo.Links()+2*topo.P()),
+	}, nil
+}
+
+// Reset clears all link occupancy.
+func (f *Fabric) Reset() {
+	for i := range f.freeAt {
+		f.freeAt[i] = 0
+	}
+}
+
+// Arrival transports one message injected at time inject (the moment the
+// sender's overhead completes) and returns when it is fully delivered at
+// dst. Store-and-forward: the whole message crosses one link before
+// entering the next, queueing behind earlier traffic on each.
+func (f *Fabric) Arrival(src, dst, bytes int, inject float64) float64 {
+	occupancy := f.PerByte * float64(bytes)
+	links := f.topo.Links()
+	route := make([]int, 0, 8)
+	route = append(route, links+src) // injection link
+	route = append(route, f.topo.Route(src, dst)...)
+	route = append(route, links+f.topo.P()+dst) // ejection link
+	t := inject
+	for _, link := range route {
+		start := t
+		if f.freeAt[link] > start {
+			start = f.freeAt[link]
+		}
+		f.freeAt[link] = start + occupancy
+		t = start + occupancy + f.HopLatency
+	}
+	return t
+}

@@ -1,0 +1,220 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/sim"
+	"loggpsim/internal/trace"
+)
+
+func TestRingRouting(t *testing.T) {
+	r, err := NewRing(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P() != 6 || r.Links() != 12 {
+		t.Fatalf("ring shape: P=%d links=%d", r.P(), r.Links())
+	}
+	// Shortest paths: 0→2 clockwise over links 0,1; 0→4 counter-clockwise
+	// over links 6+0, 6+5.
+	cw := r.Route(0, 2)
+	if len(cw) != 2 || cw[0] != 0 || cw[1] != 1 {
+		t.Fatalf("route 0→2 = %v", cw)
+	}
+	ccw := r.Route(0, 4)
+	if len(ccw) != 2 || ccw[0] != 6 || ccw[1] != 11 {
+		t.Fatalf("route 0→4 = %v", ccw)
+	}
+	if len(r.Route(3, 3)) != 0 {
+		t.Fatal("self route not empty")
+	}
+	if _, err := NewRing(1); err == nil {
+		t.Fatal("degenerate ring accepted")
+	}
+}
+
+func TestMeshRouting(t *testing.T) {
+	m, err := NewMesh(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.P() != 12 || m.Links() != 2*3*3+2*4*2 {
+		t.Fatalf("mesh shape: P=%d links=%d", m.P(), m.Links())
+	}
+	// XY routing: (0,0)→(2,2): right, right, down, down.
+	route := m.Route(0, 2*4+2)
+	if len(route) != 4 {
+		t.Fatalf("route length = %d, want 4: %v", len(route), route)
+	}
+	// All link ids in range and distinct.
+	seen := map[int]bool{}
+	for _, l := range route {
+		if l < 0 || l >= m.Links() {
+			t.Fatalf("link %d out of range", l)
+		}
+		if seen[l] {
+			t.Fatalf("link %d repeated", l)
+		}
+		seen[l] = true
+	}
+	if _, err := NewMesh(1, 1); err == nil {
+		t.Fatal("degenerate mesh accepted")
+	}
+}
+
+// Property: every route's link ids are in range for random meshes and
+// endpoints, and routes have the Manhattan length.
+func TestMeshRouteProperty(t *testing.T) {
+	f := func(rRaw, cRaw, aRaw, bRaw uint8) bool {
+		rows := int(rRaw%4) + 1
+		cols := int(cRaw%4) + 1
+		if rows*cols < 2 {
+			return true
+		}
+		m, err := NewMesh(rows, cols)
+		if err != nil {
+			return false
+		}
+		src := int(aRaw) % (rows * cols)
+		dst := int(bRaw) % (rows * cols)
+		route := m.Route(src, dst)
+		si, sj := src/cols, src%cols
+		di, dj := dst/cols, dst%cols
+		manhattan := absInt(si-di) + absInt(sj-dj)
+		if len(route) != manhattan {
+			return false
+		}
+		for _, l := range route {
+			if l < 0 || l >= m.Links() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestFabricContentionHandExample(t *testing.T) {
+	r, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFabric(r, 1, 0.01) // 1µs per hop, 0.01µs/B
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Message A: 0→1, 100 bytes, injected at t=0.
+	// Route: inject(0), link 0, eject(1); occupancy 1µs per link.
+	// t = (0+1+1) + (1+1+1) ... step by step:
+	//   inject: start 0, occupy to 1, t = 2
+	//   link 0: start 2, occupy to 3, t = 4
+	//   eject1: start 4, occupy to 5, t = 6
+	a := f.Arrival(0, 1, 100, 0)
+	if a != 6 {
+		t.Fatalf("first arrival = %g, want 6", a)
+	}
+	// Message B: 3→1 clockwise? shortest 3→1 is 2 hops counter...
+	// distance cw (1-3+4)%4=2, ccw 2 → cw tie chosen: links 3, 0: shares
+	// link 0 and eject(1) with A.
+	//   inject(3): start 0→1, t=2
+	//   link 3: start 2→3, t=4
+	//   link 0: A holds it until 3; start max(4,3)=4→5, t=6
+	//   eject(1): A holds to 5; start max(6,5)=6→7, t=8
+	b := f.Arrival(3, 1, 100, 0)
+	if b != 8 {
+		t.Fatalf("contended arrival = %g, want 8", b)
+	}
+	// Reset clears occupancy: the same messages replay identically.
+	f.Reset()
+	if got := f.Arrival(0, 1, 100, 0); got != 6 {
+		t.Fatalf("post-reset first arrival = %g, want 6", got)
+	}
+	if got := f.Arrival(3, 1, 100, 0); got != 8 {
+		t.Fatalf("post-reset contended arrival = %g, want 8", got)
+	}
+}
+
+func TestFabricErrors(t *testing.T) {
+	r, _ := NewRing(4)
+	if _, err := NewFabric(r, -1, 0.1); err == nil {
+		t.Fatal("negative hop latency accepted")
+	}
+	if _, err := NewFabric(r, 1, -0.1); err == nil {
+		t.Fatal("negative per-byte accepted")
+	}
+}
+
+// TestSimWithFabric replays an all-to-all step over a contended ring and
+// over the flat LogGP network: contention must not speed anything up,
+// and with hop latency matching L it must slow the step down.
+func TestSimWithFabric(t *testing.T) {
+	const procs = 8
+	params := loggp.MeikoCS2(procs)
+	pt := trace.AllToAll(procs, 1024)
+
+	flat, err := sim.Run(pt, sim.Config{Params: params, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ring, err := NewRing(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hop latency such that even a single hop plus endpoints is at least
+	// L, and bandwidth matching G.
+	fabric, err := NewFabric(ring, params.L/3, params.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contended, err := sim.Run(pt, sim.Config{Params: params, Seed: 1, Network: fabric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contended.Finish <= flat.Finish {
+		t.Fatalf("ring contention (%g) did not exceed the flat network (%g)",
+			contended.Finish, flat.Finish)
+	}
+
+	// Determinism with a fresh fabric.
+	fabric2, err := NewFabric(ring, params.L/3, params.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := sim.Run(pt, sim.Config{Params: params, Seed: 1, Network: fabric2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Finish != contended.Finish {
+		t.Fatalf("contended run not deterministic: %g vs %g", again.Finish, contended.Finish)
+	}
+
+	// A mesh with more links suffers less than the ring on all-to-all.
+	msh, err := NewMesh(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meshFabric, err := NewFabric(msh, params.L/3, params.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meshRun, err := sim.Run(pt, sim.Config{Params: params, Seed: 1, Network: meshFabric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meshRun.Finish >= contended.Finish {
+		t.Fatalf("mesh (%g) not faster than ring (%g) on all-to-all",
+			meshRun.Finish, contended.Finish)
+	}
+}

@@ -1,0 +1,273 @@
+// Package predictor ties the pieces of the paper's method together: it
+// walks the control flow of an oblivious block program (package
+// program), charges each computation phase from a basic-operation cost
+// model (package cost), and replays each communication phase under the
+// LogGP model with the standard simulation algorithm (package sim) and
+// the overestimation algorithm (package worstcase). Per-processor clocks
+// and gap state carry across the alternating steps, so pipelining across
+// waves is predicted, not barrier-synchronized.
+//
+// Besides the two total running times it reports the paper's Figure 8
+// and Figure 9 decompositions: the communication time (per processor,
+// the clock advance across the communication phases of the full run —
+// the same quantity a timer around each communication phase of a real
+// execution measures, waiting included) and the computation time (the
+// summed operation costs).
+package predictor
+
+import (
+	"fmt"
+
+	"loggpsim/internal/cache"
+	"loggpsim/internal/cost"
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/program"
+	"loggpsim/internal/sim"
+	"loggpsim/internal/worstcase"
+)
+
+// Config controls a prediction.
+type Config struct {
+	// Params is the LogGP machine description.
+	Params loggp.Params
+	// Cost prices the basic operations.
+	Cost cost.Model
+	// Seed drives the simulators' random tie-breaks.
+	Seed int64
+	// SendPriority and GlobalOrder are ablation switches passed to the
+	// standard simulator (see sim.Config).
+	SendPriority bool
+	GlobalOrder  bool
+
+	// CollectSteps records a per-step profile in Prediction.PerStep —
+	// a predicted-execution profiler for finding which phases dominate.
+	CollectSteps bool
+
+	// Network, when non-nil, routes the standard run's messages over an
+	// explicit contention fabric (see sim.Config.Network). The
+	// worst-case run keeps the flat LogGP network, so TotalWorst and
+	// CommWorst are not directly comparable in this mode.
+	Network interface {
+		Arrival(src, dst, bytes int, inject float64) float64
+	}
+
+	// Overlap enables the overlapping-steps analysis the paper lists as
+	// future work: instead of alternating strictly, each step's
+	// computation runs concurrently with its communication. The model is
+	// the optimistic (lower-bound) one — sends are not delayed by the
+	// computation (data dependencies inside a step are ignored), and a
+	// processor's clock after the step is the maximum of the
+	// communication schedule's finish and its busy-time bound
+	// (start + computation + o per communication operation, the
+	// processor being a single resource).
+	Overlap bool
+
+	// CacheBytes, when positive, enables the cache-aware prediction the
+	// paper proposes as future work ("a model to simulate caching
+	// behavior must be incorporated in the simulation algorithm"): the
+	// predictor then maintains the same per-processor LRU block cache
+	// the machine emulator uses, charging MissFixed + MissPerByte·size
+	// for every operand block or received buffer that must be loaded.
+	// The charges appear in Prediction.CacheWarm and in the totals.
+	CacheBytes  int
+	MissFixed   float64
+	MissPerByte float64
+}
+
+// Prediction is the full output of the method for one program.
+type Prediction struct {
+	// Total is the predicted running time under the standard algorithm.
+	Total float64
+	// TotalWorst is the prediction with the worst-case communication
+	// algorithm; the paper expects measured times between Total and
+	// TotalWorst when computation estimates are exact. On a single
+	// communication step the overestimation algorithm upper-bounds the
+	// standard one; across chained steps separated by computation the
+	// two schedules diverge and TotalWorst can occasionally dip
+	// marginally below Total.
+	TotalWorst float64
+	// Comp is the computation time alone: the maximum over processors
+	// of summed operation costs (Figure 9's simulated curve).
+	Comp float64
+	// CompPerProc is the per-processor computation time.
+	CompPerProc []float64
+	// Comm is the communication time under the standard algorithm: the
+	// maximum over processors of the clock advance accumulated across
+	// communication phases, waiting included (Figure 8's "simulated -
+	// standard" curve).
+	Comm float64
+	// CommWorst is the same quantity under the worst-case algorithm
+	// (Figure 8's "simulated - worst case" curve).
+	CommWorst float64
+	// Steps is the number of program steps replayed.
+	Steps int
+	// CacheWarm is the maximum per-processor cache-loading charge; zero
+	// unless the cache-aware mode is enabled (Config.CacheBytes > 0).
+	CacheWarm float64
+	// PerStep profiles each step of the standard run; nil unless
+	// Config.CollectSteps is set.
+	PerStep []StepProfile
+}
+
+// StepProfile is one step of a collected prediction profile.
+type StepProfile struct {
+	// Comp is the step's maximum per-processor computation charge.
+	Comp float64
+	// CommAdvance is the step's maximum per-processor clock advance
+	// across the communication phase (waiting included).
+	CommAdvance float64
+	// Finish is the global clock after the step.
+	Finish float64
+}
+
+// Predict runs the method on a program.
+func Predict(pr *program.Program, cfg Config) (*Prediction, error) {
+	if cfg.Cost == nil {
+		return nil, fmt.Errorf("predictor: no cost model")
+	}
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+
+	simCfg := sim.Config{
+		Params:       cfg.Params,
+		Seed:         cfg.Seed,
+		SendPriority: cfg.SendPriority,
+		GlobalOrder:  cfg.GlobalOrder,
+		Network:      cfg.Network,
+	}
+	full, err := sim.NewSession(pr.P, simCfg)
+	if err != nil {
+		return nil, err
+	}
+	wcFull, err := worstcase.NewSession(pr.P, worstcase.Config{Params: cfg.Params, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Prediction{
+		CompPerProc: make([]float64, pr.P),
+		Steps:       len(pr.Steps),
+	}
+	// Cache-aware mode: the same block-granularity LRU the emulator
+	// uses. Cache behaviour depends only on the program's touch order,
+	// not on simulated timing, so one set of caches serves both the
+	// standard and the worst-case run.
+	var (
+		caches       []*cache.Cache
+		pendingBufs  [][]int
+		nextBufferID = uint64(1) << 32
+		warmPerProc  []float64
+	)
+	if cfg.CacheBytes > 0 {
+		caches = make([]*cache.Cache, pr.P)
+		pendingBufs = make([][]int, pr.P)
+		warmPerProc = make([]float64, pr.P)
+		for i := range caches {
+			caches[i] = cache.New(cfg.CacheBytes)
+		}
+	}
+	durs := make([]float64, pr.P)
+	commStd := make([]float64, pr.P)
+	commWC := make([]float64, pr.P)
+	for i, step := range pr.Steps {
+		for proc := range durs {
+			d := 0.0
+			for _, call := range step.Comp[proc] {
+				d += cfg.Cost.Cost(call.Op, call.BlockSize)
+			}
+			durs[proc] = d
+			p.CompPerProc[proc] += d
+			if caches != nil {
+				warm := 0.0
+				c := caches[proc]
+				for _, bytes := range pendingBufs[proc] {
+					c.Access(nextBufferID, bytes)
+					nextBufferID++
+					warm += cfg.MissFixed + cfg.MissPerByte*float64(bytes)
+				}
+				pendingBufs[proc] = pendingBufs[proc][:0]
+				for _, call := range step.Comp[proc] {
+					bytes := 8 * call.BlockSize * call.BlockSize
+					if !c.Access(call.Block, bytes) {
+						warm += cfg.MissFixed + cfg.MissPerByte*float64(bytes)
+					}
+				}
+				warmPerProc[proc] += warm
+				durs[proc] += warm
+			}
+		}
+		if caches != nil {
+			for _, m := range step.Comm.Msgs {
+				if m.Src != m.Dst {
+					pendingBufs[m.Dst] = append(pendingBufs[m.Dst], m.Bytes)
+				}
+			}
+		}
+		if !cfg.Overlap {
+			if err := full.Compute(durs); err != nil {
+				return nil, fmt.Errorf("predictor: step %d: %w", i, err)
+			}
+			if err := wcFull.Compute(durs); err != nil {
+				return nil, fmt.Errorf("predictor: step %d: %w", i, err)
+			}
+		}
+		beforeStd, beforeWC := full.Clocks(), wcFull.Clocks()
+		if _, err := full.Communicate(step.Comm); err != nil {
+			return nil, fmt.Errorf("predictor: step %d: %w", i, err)
+		}
+		if _, err := wcFull.Communicate(step.Comm); err != nil {
+			return nil, fmt.Errorf("predictor: step %d: %w", i, err)
+		}
+		if cfg.Overlap {
+			// Busy-time bound: the processor still executes its
+			// computation and the o of each of its communication
+			// operations serially.
+			in, out := step.Comm.InDegrees(), step.Comm.OutDegrees()
+			for proc := 0; proc < pr.P; proc++ {
+				busy := beforeStd[proc] + durs[proc] + float64(in[proc]+out[proc])*cfg.Params.O
+				if err := full.AdvanceTo(proc, busy); err != nil {
+					return nil, err
+				}
+				busyWC := beforeWC[proc] + durs[proc] + float64(in[proc]+out[proc])*cfg.Params.O
+				if err := wcFull.AdvanceTo(proc, busyWC); err != nil {
+					return nil, err
+				}
+			}
+		}
+		afterStd, afterWC := full.Clocks(), wcFull.Clocks()
+		for proc := 0; proc < pr.P; proc++ {
+			commStd[proc] += afterStd[proc] - beforeStd[proc]
+			commWC[proc] += afterWC[proc] - beforeWC[proc]
+		}
+		if cfg.CollectSteps {
+			prof := StepProfile{Finish: full.Finish()}
+			for proc := 0; proc < pr.P; proc++ {
+				if durs[proc] > prof.Comp {
+					prof.Comp = durs[proc]
+				}
+				if adv := afterStd[proc] - beforeStd[proc]; adv > prof.CommAdvance {
+					prof.CommAdvance = adv
+				}
+			}
+			p.PerStep = append(p.PerStep, prof)
+		}
+	}
+	p.Total = full.Finish()
+	p.TotalWorst = wcFull.Finish()
+	for proc := 0; proc < pr.P; proc++ {
+		if p.CompPerProc[proc] > p.Comp {
+			p.Comp = p.CompPerProc[proc]
+		}
+		if commStd[proc] > p.Comm {
+			p.Comm = commStd[proc]
+		}
+		if commWC[proc] > p.CommWorst {
+			p.CommWorst = commWC[proc]
+		}
+		if warmPerProc != nil && warmPerProc[proc] > p.CacheWarm {
+			p.CacheWarm = warmPerProc[proc]
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,96 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"loggpsim/internal/blockops"
+)
+
+func TestBuildAndValidate(t *testing.T) {
+	pr := New(4)
+	s := pr.AddStep()
+	s.AddOp(0, blockops.Op1, 8)
+	s.AddOp(1, blockops.Op4, 8)
+	s.Comm.Add(0, 1, 512)
+	s.Comm.Add(2, 2, 512) // self message
+	if err := pr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Steps) != 1 || len(s.Comp[0]) != 1 || len(s.Comp[1]) != 1 {
+		t.Fatal("step construction wrong")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	t.Run("no processors", func(t *testing.T) {
+		if err := New(0).Validate(); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("unknown op", func(t *testing.T) {
+		pr := New(2)
+		pr.AddStep().AddOp(0, blockops.NumOps, 8)
+		if err := pr.Validate(); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("bad block size", func(t *testing.T) {
+		pr := New(2)
+		pr.AddStep().AddOp(0, blockops.Op1, 0)
+		if err := pr.Validate(); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("bad message", func(t *testing.T) {
+		pr := New(2)
+		pr.AddStep().Comm.Add(0, 7, 8)
+		if err := pr.Validate(); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("comm width mismatch", func(t *testing.T) {
+		pr := New(2)
+		s := pr.AddStep()
+		s.Comm.P = 5
+		if err := pr.Validate(); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+}
+
+func TestSummarize(t *testing.T) {
+	pr := New(2)
+	s1 := pr.AddStep()
+	s1.AddOp(0, blockops.Op1, 10)
+	s1.AddOp(0, blockops.Op4, 10)
+	s1.Comm.Add(0, 1, 800)
+	s2 := pr.AddStep()
+	s2.AddOp(1, blockops.Op4, 10)
+	s2.Comm.Add(1, 1, 800) // local
+	st := pr.Summarize()
+	if st.Steps != 2 {
+		t.Fatalf("Steps = %d", st.Steps)
+	}
+	if st.Ops[blockops.Op1] != 1 || st.Ops[blockops.Op4] != 2 || st.Ops[blockops.Op2] != 0 {
+		t.Fatalf("Ops = %v", st.Ops)
+	}
+	wantFlops := blockops.Flops(blockops.Op1, 10) + 2*blockops.Flops(blockops.Op4, 10)
+	if st.Flops != wantFlops {
+		t.Fatalf("Flops = %g, want %g", st.Flops, wantFlops)
+	}
+	if st.NetworkMessages != 1 || st.NetworkBytes != 800 || st.LocalMessages != 1 {
+		t.Fatalf("traffic = %+v", st)
+	}
+}
+
+func TestString(t *testing.T) {
+	pr := New(3)
+	pr.AddStep().AddOp(2, blockops.Op2, 4)
+	s := pr.String()
+	for _, want := range []string{"P=3", "steps=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package scaling
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"loggpsim/internal/cost"
+	"loggpsim/internal/ge"
+	"loggpsim/internal/layout"
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/predictor"
+)
+
+// amdahl models T(p) = serial + parallel/p.
+func amdahl(serial, parallel float64) func(p int) (float64, error) {
+	return func(p int) (float64, error) {
+		return serial + parallel/float64(p), nil
+	}
+}
+
+func TestSweepAmdahl(t *testing.T) {
+	pts, err := Sweep([]int{1, 2, 4, 8}, amdahl(10, 90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Speedup != 1 || pts[0].Efficiency != 1 {
+		t.Fatalf("baseline point %+v", pts[0])
+	}
+	// T(1)=100, T(2)=55, T(4)=32.5, T(8)=21.25.
+	wantSpeedup := []float64{1, 100.0 / 55, 100.0 / 32.5, 100.0 / 21.25}
+	for i, w := range wantSpeedup {
+		if math.Abs(pts[i].Speedup-w) > 1e-12 {
+			t.Fatalf("speedup[%d] = %g, want %g", i, pts[i].Speedup, w)
+		}
+	}
+	// Efficiency is monotone decreasing under Amdahl.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Efficiency >= pts[i-1].Efficiency {
+			t.Fatalf("efficiency not decreasing: %+v", pts)
+		}
+	}
+}
+
+func TestSweepSortsAndValidates(t *testing.T) {
+	pts, err := Sweep([]int{8, 1, 4}, amdahl(0, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].P != 1 || pts[2].P != 8 {
+		t.Fatalf("not sorted: %+v", pts)
+	}
+	// Perfectly parallel work: efficiency 1 at every count.
+	for _, p := range pts {
+		if math.Abs(p.Efficiency-1) > 1e-12 {
+			t.Fatalf("ideal efficiency = %g", p.Efficiency)
+		}
+	}
+	if _, err := Sweep(nil, amdahl(1, 1)); !errors.Is(err, ErrNoPoints) {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := Sweep([]int{0, 2}, amdahl(1, 1)); err == nil {
+		t.Error("zero processor count accepted")
+	}
+	bad := func(int) (float64, error) { return -1, nil }
+	if _, err := Sweep([]int{1}, bad); err == nil {
+		t.Error("non-positive time accepted")
+	}
+}
+
+func TestSweepBaselineAboveOne(t *testing.T) {
+	// With a baseline of 2 processors, the baseline speedup equals 2.
+	pts, err := Sweep([]int{2, 4}, amdahl(0, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Speedup != 2 || pts[0].Efficiency != 1 {
+		t.Fatalf("baseline %+v", pts[0])
+	}
+}
+
+func TestFindIsoefficientSize(t *testing.T) {
+	// T(n, p) = n³/p + 50·n² (communication term): efficiency at fixed p
+	// grows with n, so larger targets need larger n.
+	predict := func(n, p int) (float64, error) {
+		nf := float64(n)
+		return nf*nf*nf/float64(p) + 50*nf*nf, nil
+	}
+	sizes := []int{10, 50, 100, 400, 1600}
+	n, err := FindIsoefficientSize(sizes, 8, 1, 0.7, predict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// eff(n) = T(n,1)/(8·T(n,8)) = (n+50)/(n+400); ≥0.7 needs n ≥ 766.
+	if n != 1600 {
+		t.Fatalf("iso-efficient size = %d, want 1600", n)
+	}
+	// An easy target qualifies a smaller size.
+	n, err = FindIsoefficientSize(sizes, 8, 1, 0.2, predict)
+	if err != nil || n != 50 {
+		t.Fatalf("easy target: n = %d, %v; want 50", n, err)
+	}
+	// An impossible target errors with ErrNoPoints.
+	if _, err := FindIsoefficientSize(sizes, 8, 1, 0.99, predict); !errors.Is(err, ErrNoPoints) {
+		t.Fatalf("impossible target: %v", err)
+	}
+	if _, err := FindIsoefficientSize(nil, 8, 1, 0.5, predict); !errors.Is(err, ErrNoPoints) {
+		t.Error("empty sizes accepted")
+	}
+	if _, err := FindIsoefficientSize(sizes, 2, 4, 0.5, predict); err == nil {
+		t.Error("base above target P accepted")
+	}
+}
+
+// TestGEScaling runs the real predictor across processor counts: speedup
+// must grow and efficiency fall, the classic scaling picture the paper's
+// introduction promises the method reveals.
+func TestGEScaling(t *testing.T) {
+	model := cost.DefaultAnalytic()
+	predict := func(p int) (float64, error) {
+		const n, b = 192, 16
+		g, err := ge.NewGrid(n, b)
+		if err != nil {
+			return 0, err
+		}
+		pr, err := ge.BuildProgram(g, layout.Diagonal(p, g.NB))
+		if err != nil {
+			return 0, err
+		}
+		pred, err := predictor.Predict(pr, predictor.Config{
+			Params: loggp.MeikoCS2(p), Cost: model, Seed: 1,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return pred.Total, nil
+	}
+	pts, err := Sweep([]int{1, 2, 4, 8}, predict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Speedup <= pts[i-1].Speedup {
+			t.Fatalf("speedup not increasing: %+v", pts)
+		}
+	}
+	if last := pts[len(pts)-1]; last.Efficiency >= pts[0].Efficiency {
+		t.Fatalf("efficiency did not fall from %g to below, got %g",
+			pts[0].Efficiency, last.Efficiency)
+	}
+	if pts[len(pts)-1].Speedup < 2 {
+		t.Fatalf("8 processors yield speedup %g; expected at least 2", pts[len(pts)-1].Speedup)
+	}
+}

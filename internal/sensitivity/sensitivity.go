@@ -1,0 +1,94 @@
+// Package sensitivity quantifies how strongly a prediction depends on
+// each LogGP machine parameter, by finite differences: the elasticity
+// (relative change in predicted time per relative change in parameter)
+// of L, o, g and G. It answers the machine-design question the LogP/
+// LogGP papers pose — which network property is the bottleneck for this
+// program? — using the paper's simulator as the evaluator.
+package sensitivity
+
+import (
+	"fmt"
+
+	"loggpsim/internal/loggp"
+)
+
+// Elasticity is one parameter's finite-difference sensitivity.
+type Elasticity struct {
+	// Param names the parameter ("L", "o", "g" or "G").
+	Param string
+	// Base and Perturbed are the predicted times before and after the
+	// perturbation.
+	Base, Perturbed float64
+	// Value is (ΔT/T)/(Δp/p): 1.0 means the time scales one-for-one
+	// with the parameter; 0 means the parameter does not matter. Zero-
+	// valued parameters cannot be perturbed relatively and report 0.
+	Value float64
+}
+
+// Report holds the sensitivities of one prediction.
+type Report struct {
+	// Base is the unperturbed predicted time.
+	Base float64
+	// PerParam lists the four parameters in L, o, g, G order.
+	PerParam [4]Elasticity
+}
+
+// Dominant returns the parameter with the largest elasticity magnitude.
+func (r *Report) Dominant() Elasticity {
+	best := r.PerParam[0]
+	for _, e := range r.PerParam[1:] {
+		if abs(e.Value) > abs(best.Value) {
+			best = e
+		}
+	}
+	return best
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Analyze perturbs each parameter of base by the relative delta
+// (e.g. 0.1 for +10%) and evaluates predict at every point.
+func Analyze(base loggp.Params, delta float64,
+	predict func(p loggp.Params) (float64, error)) (*Report, error) {
+	if delta <= 0 {
+		return nil, fmt.Errorf("sensitivity: delta must be positive, got %g", delta)
+	}
+	baseTime, err := predict(base)
+	if err != nil {
+		return nil, fmt.Errorf("sensitivity: base prediction: %w", err)
+	}
+	if baseTime <= 0 {
+		return nil, fmt.Errorf("sensitivity: non-positive base prediction %g", baseTime)
+	}
+	r := &Report{Base: baseTime}
+	perturbations := []struct {
+		name  string
+		value float64
+		apply func(p *loggp.Params, v float64)
+	}{
+		{"L", base.L, func(p *loggp.Params, v float64) { p.L = v }},
+		{"o", base.O, func(p *loggp.Params, v float64) { p.O = v }},
+		{"g", base.Gap, func(p *loggp.Params, v float64) { p.Gap = v }},
+		{"G", base.G, func(p *loggp.Params, v float64) { p.G = v }},
+	}
+	for i, pert := range perturbations {
+		e := Elasticity{Param: pert.name, Base: baseTime, Perturbed: baseTime}
+		if pert.value > 0 {
+			p := base
+			pert.apply(&p, pert.value*(1+delta))
+			t, err := predict(p)
+			if err != nil {
+				return nil, fmt.Errorf("sensitivity: perturbing %s: %w", pert.name, err)
+			}
+			e.Perturbed = t
+			e.Value = ((t - baseTime) / baseTime) / delta
+		}
+		r.PerParam[i] = e
+	}
+	return r, nil
+}

@@ -1,0 +1,135 @@
+package sensitivity
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"loggpsim/internal/cost"
+	"loggpsim/internal/ge"
+	"loggpsim/internal/layout"
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/predictor"
+	"loggpsim/internal/sim"
+	"loggpsim/internal/trace"
+)
+
+func TestAnalyzePointToPoint(t *testing.T) {
+	// T = o + (k-1)G + L + o is linear in every parameter, so the
+	// elasticities are exactly each term's share of the total.
+	base := loggp.Params{L: 10, O: 5, Gap: 20, G: 0.01, P: 2}
+	const bytes = 1001
+	predict := func(p loggp.Params) (float64, error) {
+		return sim.Completion(trace.New(2).Add(0, 1, bytes), p)
+	}
+	r, err := Analyze(base, 0.05, predict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 5 + 1000*0.01 + 10 + 5 // 30
+	if r.Base != total {
+		t.Fatalf("base = %g, want %g", r.Base, float64(total))
+	}
+	wants := map[string]float64{
+		"L": 10.0 / 30,
+		"o": 10.0 / 30, // both o terms
+		"g": 0,         // a single message never waits on the gap
+		"G": 10.0 / 30,
+	}
+	for _, e := range r.PerParam {
+		if math.Abs(e.Value-wants[e.Param]) > 1e-9 {
+			t.Errorf("elasticity(%s) = %g, want %g", e.Param, e.Value, wants[e.Param])
+		}
+	}
+}
+
+func TestAnalyzeZeroParamSkipped(t *testing.T) {
+	base := loggp.Params{L: 10, O: 5, Gap: 20, G: 0, P: 2}
+	predict := func(p loggp.Params) (float64, error) {
+		return sim.Completion(trace.New(2).Add(0, 1, 4096), p)
+	}
+	r, err := Analyze(base, 0.1, predict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range r.PerParam {
+		if e.Param == "G" && e.Value != 0 {
+			t.Fatalf("zero G produced elasticity %g", e.Value)
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	ok := func(loggp.Params) (float64, error) { return 1, nil }
+	if _, err := Analyze(loggp.MeikoCS2(2), 0, ok); err == nil {
+		t.Error("zero delta accepted")
+	}
+	boom := errors.New("boom")
+	bad := func(loggp.Params) (float64, error) { return 0, boom }
+	if _, err := Analyze(loggp.MeikoCS2(2), 0.1, bad); !errors.Is(err, boom) {
+		t.Error("prediction error not propagated")
+	}
+	zero := func(loggp.Params) (float64, error) { return 0, nil }
+	if _, err := Analyze(loggp.MeikoCS2(2), 0.1, zero); err == nil {
+		t.Error("non-positive base accepted")
+	}
+}
+
+// TestGESensitivities: for the small-block GE the gap dominates (many
+// tiny messages), for the large-block GE the per-byte bandwidth term
+// overtakes the gap — the bottleneck shifts exactly as the message-size
+// distribution predicts.
+func TestGESensitivities(t *testing.T) {
+	model := cost.DefaultAnalytic()
+	analyze := func(b int) *Report {
+		t.Helper()
+		const n = 192
+		g, err := ge.NewGrid(n, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := ge.BuildProgram(g, layout.Diagonal(8, g.NB))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Analyze(loggp.MeikoCS2(8), 0.1, func(p loggp.Params) (float64, error) {
+			pred, err := predictor.Predict(pr, predictor.Config{Params: p, Cost: model, Seed: 1})
+			if err != nil {
+				return 0, err
+			}
+			return pred.Total, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	small, large := analyze(8), analyze(96)
+	if small.Dominant().Param != "g" {
+		t.Errorf("small blocks: dominant = %s (%+v), want g", small.Dominant().Param, small.PerParam)
+	}
+	gSmall, gLarge := 0.0, 0.0
+	GSmall, GLarge := 0.0, 0.0
+	for _, e := range small.PerParam {
+		switch e.Param {
+		case "g":
+			gSmall = e.Value
+		case "G":
+			GSmall = e.Value
+		}
+	}
+	for _, e := range large.PerParam {
+		switch e.Param {
+		case "g":
+			gLarge = e.Value
+		case "G":
+			GLarge = e.Value
+		}
+	}
+	if !(gSmall > gLarge) {
+		t.Errorf("gap elasticity did not shrink with block size: %g vs %g", gSmall, gLarge)
+	}
+	if !(GLarge > GSmall) {
+		t.Errorf("bandwidth elasticity did not grow with block size: %g vs %g", GSmall, GLarge)
+	}
+}

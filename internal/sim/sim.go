@@ -1,0 +1,405 @@
+// Package sim implements the paper's core contribution: the standard
+// communication-simulation algorithm of Figure 2. Given a communication
+// pattern, it determines the sequence of send and receive operations each
+// processor performs under the LogGP model, subject to three rules:
+//
+//  1. maintain the gap constraints between consecutive operations,
+//  2. send available messages as soon as possible, and
+//  3. give receive operations priority over send operations (the Split-C
+//     active-message behaviour the paper assumes).
+//
+// The algorithm keeps one current-simulation-time clock per processor,
+// one FIFO queue of messages to send and one arrival-ordered priority
+// queue of messages to receive. While any processor still wants to send,
+// the processor with the minimum clock among them chooses between its
+// next send and its earliest pending receive by comparing the start times
+// each would have; the strict comparison gives receives priority on ties.
+// Afterwards every processor drains its remaining receives.
+//
+// A Session chains multiple alternating computation and communication
+// steps — the paper's restricted program class — carrying both the
+// per-processor clocks and the gap state (a network-interface constraint
+// that does not vanish at step boundaries) across steps.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"loggpsim/internal/eventq"
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/timeline"
+	"loggpsim/internal/trace"
+)
+
+// Config controls a simulation.
+type Config struct {
+	// Params is the LogGP machine description.
+	Params loggp.Params
+	// Ready optionally gives each processor's clock at the start of the
+	// communication step (the time its preceding computation finished).
+	// Nil means all processors start at time zero. Its length must equal
+	// the pattern's P when non-nil.
+	Ready []float64
+	// Seed drives the random tie-break between processors with equal
+	// clocks (the paper picks one of them randomly). Runs with the same
+	// seed are identical.
+	Seed int64
+	// SendPriority inverts the paper's receive-over-send priority rule
+	// (ablation switch).
+	SendPriority bool
+	// GlobalOrder replaces the paper's min-clock-sender scheduling with
+	// a conservative, globally time-ordered commit loop (ablation
+	// switch; see DESIGN.md §5).
+	GlobalOrder bool
+	// Network, when non-nil, replaces the LogGP flat-network delivery
+	// time: a message sent at start is handed to the network at
+	// start + o, and arrives when the hook says (package network
+	// provides contention fabrics over explicit topologies). The hook is
+	// called once per network message, in commit order, so stateful
+	// fabrics stay deterministic. Note the timeline verifier assumes
+	// flat LogGP arrivals; it may reject network-routed timelines whose
+	// routes beat L.
+	Network interface {
+		Arrival(src, dst, bytes int, inject float64) float64
+	}
+
+	// Jitter, when non-nil, returns an extra non-negative network delay
+	// added to the arrival time of each message (indexed by its position
+	// in the pattern). The machine emulator uses it to model the network
+	// variance the paper notes real executions exhibit ("the LogGP model
+	// gives an average behavior ... not a precise one"). The pure
+	// predictor leaves it nil.
+	Jitter func(msgIndex int, bytes int) float64
+}
+
+// Result is the outcome of simulating one communication step.
+type Result struct {
+	// Timeline records every committed operation of the step.
+	Timeline *timeline.Timeline
+	// Finish is the completion time of the step: the maximum processor
+	// finish time.
+	Finish float64
+	// ProcFinish is each processor's clock after the step, counting its
+	// ready time even if it performed no operation.
+	ProcFinish []float64
+	// SelfMessages counts pattern messages with equal endpoints, which
+	// the LogGP simulation skips (they are local memory transfers; the
+	// paper's §6.3 names this a deliberate source of underestimation).
+	SelfMessages int
+}
+
+// procState is the per-processor bookkeeping of Figure 2.
+type procState struct {
+	ctime     float64 // current simulation time
+	hasLast   bool
+	lastKind  loggp.OpKind
+	lastStart float64
+	lastBytes int
+	sendQ     []int // message indices in send order
+	sendHead  int
+	recvQ     eventq.Queue[int] // message indices keyed by arrival time
+}
+
+func (s *procState) wantsSend() bool { return s.sendHead < len(s.sendQ) }
+
+// earliest returns the earliest legal start for an operation of the given
+// kind, not considering message arrival.
+func (s *procState) earliest(p loggp.Params, kind loggp.OpKind) float64 {
+	t := s.ctime
+	if s.hasLast {
+		if c := s.lastStart + p.Interval(s.lastKind, kind, s.lastBytes); c > t {
+			t = c
+		}
+	}
+	return t
+}
+
+// Session simulates a program of alternating computation and
+// communication steps on one machine, preserving clocks and gap state
+// between steps.
+type Session struct {
+	cfg Config
+	p   int
+	st  []*procState
+	rng *rand.Rand
+}
+
+// NewSession returns a session over procs processors. cfg.Ready, if set,
+// seeds the initial clocks.
+func NewSession(procs int, cfg Config) (*Session, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if procs <= 0 {
+		return nil, fmt.Errorf("sim: session needs at least one processor, got %d", procs)
+	}
+	if procs > cfg.Params.P {
+		return nil, fmt.Errorf("sim: session uses %d processors but machine has P=%d", procs, cfg.Params.P)
+	}
+	if cfg.Ready != nil && len(cfg.Ready) != procs {
+		return nil, fmt.Errorf("sim: %d ready times for %d processors", len(cfg.Ready), procs)
+	}
+	s := &Session{
+		cfg: cfg,
+		p:   procs,
+		st:  make([]*procState, procs),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := range s.st {
+		s.st[i] = &procState{}
+		if cfg.Ready != nil {
+			s.st[i].ctime = cfg.Ready[i]
+		}
+	}
+	return s, nil
+}
+
+// Clocks returns a copy of the current per-processor clocks.
+func (s *Session) Clocks() []float64 {
+	out := make([]float64, s.p)
+	for i, st := range s.st {
+		out[i] = st.ctime
+	}
+	return out
+}
+
+// Finish returns the maximum clock: the program's running time so far.
+func (s *Session) Finish() float64 {
+	finish := 0.0
+	for _, st := range s.st {
+		if st.ctime > finish {
+			finish = st.ctime
+		}
+	}
+	return finish
+}
+
+// Compute advances each processor's clock by its computation duration
+// (a computation step of the paper's program class). durs must have one
+// entry per processor; negative durations are rejected.
+func (s *Session) Compute(durs []float64) error {
+	if len(durs) != s.p {
+		return fmt.Errorf("sim: %d computation durations for %d processors", len(durs), s.p)
+	}
+	for i, d := range durs {
+		if d < 0 {
+			return fmt.Errorf("sim: processor %d has negative computation time %g", i, d)
+		}
+		s.st[i].ctime += d
+	}
+	return nil
+}
+
+// AdvanceTo raises a processor's clock to at least t (a no-op if the
+// clock is already past t). The predictor's overlap mode uses it to
+// impose the busy-time bound of computation that ran concurrently with a
+// communication phase.
+func (s *Session) AdvanceTo(proc int, t float64) error {
+	if proc < 0 || proc >= s.p {
+		return fmt.Errorf("sim: processor %d outside [0,%d)", proc, s.p)
+	}
+	if t > s.st[proc].ctime {
+		s.st[proc].ctime = t
+	}
+	return nil
+}
+
+// Communicate simulates one communication step, updating the session
+// state.
+func (s *Session) Communicate(pt *trace.Pattern) (*Result, error) {
+	if err := pt.Validate(); err != nil {
+		return nil, err
+	}
+	if pt.P != s.p {
+		return nil, fmt.Errorf("sim: pattern uses %d processors but session has %d", pt.P, s.p)
+	}
+	r := &Result{Timeline: timeline.New(pt.P)}
+	for idx, m := range pt.Msgs {
+		if m.Src == m.Dst {
+			r.SelfMessages++
+			continue
+		}
+		s.st[m.Src].sendQ = append(s.st[m.Src].sendQ, idx)
+	}
+	if s.cfg.GlobalOrder {
+		s.runGlobalOrder(pt, r)
+	} else {
+		s.runPaper(pt, r)
+	}
+	// Reset the per-step queues; clocks and gap state persist.
+	for _, st := range s.st {
+		st.sendQ = st.sendQ[:0]
+		st.sendHead = 0
+	}
+	r.ProcFinish = make([]float64, s.p)
+	for i, st := range s.st {
+		r.ProcFinish[i] = st.ctime
+		if st.ctime > r.Finish {
+			r.Finish = st.ctime
+		}
+	}
+	return r, nil
+}
+
+// commitSend performs the head send of processor src at the given start
+// time, enqueues the arrival at the destination, and advances the clock.
+func (s *Session) commitSend(pt *trace.Pattern, tl *timeline.Timeline, src int, start float64) {
+	p := s.cfg.Params
+	st := s.st[src]
+	idx := st.sendQ[st.sendHead]
+	st.sendHead++
+	m := pt.Msgs[idx]
+	tl.Record(timeline.Op{
+		Proc: src, Kind: loggp.Send, Peer: m.Dst, Bytes: m.Bytes,
+		Start: start, MsgIndex: idx,
+	})
+	arrival := start + p.ArrivalDelay(m.Bytes)
+	if s.cfg.Network != nil {
+		arrival = s.cfg.Network.Arrival(m.Src, m.Dst, m.Bytes, start+p.O)
+	}
+	if s.cfg.Jitter != nil {
+		if extra := s.cfg.Jitter(idx, m.Bytes); extra > 0 {
+			arrival += extra
+		}
+	}
+	s.st[m.Dst].recvQ.Push(arrival, idx)
+	st.ctime = start + p.O
+	st.hasLast, st.lastKind, st.lastStart, st.lastBytes = true, loggp.Send, start, m.Bytes
+}
+
+// commitRecv performs the earliest pending receive of processor dst at
+// the given start time and advances the clock.
+func (s *Session) commitRecv(pt *trace.Pattern, tl *timeline.Timeline, dst int, start float64) {
+	p := s.cfg.Params
+	st := s.st[dst]
+	arrival, idx := st.recvQ.Pop()
+	m := pt.Msgs[idx]
+	tl.Record(timeline.Op{
+		Proc: dst, Kind: loggp.Recv, Peer: m.Src, Bytes: m.Bytes,
+		Start: start, Arrival: arrival, MsgIndex: idx,
+	})
+	st.ctime = start + p.O
+	st.hasLast, st.lastKind, st.lastStart, st.lastBytes = true, loggp.Recv, start, m.Bytes
+}
+
+// candidateStarts returns the earliest start times of proc's next send
+// and next receive (+Inf when it has none pending).
+func (s *Session) candidateStarts(st *procState) (startSend, startRecv float64) {
+	p := s.cfg.Params
+	startSend, startRecv = math.Inf(1), math.Inf(1)
+	if st.wantsSend() {
+		startSend = st.earliest(p, loggp.Send)
+	}
+	if !st.recvQ.Empty() {
+		arrival, _ := st.recvQ.Peek()
+		startRecv = max(st.earliest(p, loggp.Recv), arrival)
+	}
+	return startSend, startRecv
+}
+
+// runPaper is the Figure-2 main loop plus the drain phase.
+func (s *Session) runPaper(pt *trace.Pattern, r *Result) {
+	var minSet []int // scratch for the random tie-break
+	for {
+		// min_proc: minimum ctime among processors that want to send.
+		minSet = minSet[:0]
+		minTime := math.Inf(1)
+		for i, st := range s.st {
+			if !st.wantsSend() {
+				continue
+			}
+			switch {
+			case st.ctime < minTime:
+				minTime = st.ctime
+				minSet = append(minSet[:0], i)
+			case st.ctime == minTime:
+				minSet = append(minSet, i)
+			}
+		}
+		if len(minSet) == 0 {
+			break
+		}
+		proc := minSet[0]
+		if len(minSet) > 1 {
+			proc = minSet[s.rng.Intn(len(minSet))]
+		}
+		startSend, startRecv := s.candidateStarts(s.st[proc])
+		sendWins := startSend < startRecv
+		if s.cfg.SendPriority {
+			sendWins = startSend <= startRecv
+		}
+		if sendWins {
+			s.commitSend(pt, r.Timeline, proc, startSend)
+		} else {
+			s.commitRecv(pt, r.Timeline, proc, startRecv)
+		}
+	}
+	// Drain: every processor performs its remaining receives.
+	for proc, st := range s.st {
+		for !st.recvQ.Empty() {
+			arrival, _ := st.recvQ.Peek()
+			start := max(st.earliest(s.cfg.Params, loggp.Recv), arrival)
+			s.commitRecv(pt, r.Timeline, proc, start)
+		}
+	}
+}
+
+// runGlobalOrder commits, at every iteration, the operation with the
+// globally smallest start time (receives winning ties, then lower
+// processor index). Unlike the paper's loop it can never commit a receive
+// whose message is logically preceded by an uncommitted earlier send.
+func (s *Session) runGlobalOrder(pt *trace.Pattern, r *Result) {
+	for {
+		best := -1
+		bestStart := math.Inf(1)
+		bestKind := loggp.Send
+		for i, st := range s.st {
+			startSend, startRecv := s.candidateStarts(st)
+			first, second := startRecv, startSend
+			firstKind, secondKind := loggp.Recv, loggp.Send
+			if s.cfg.SendPriority {
+				first, second = startSend, startRecv
+				firstKind, secondKind = loggp.Send, loggp.Recv
+			}
+			if first < bestStart {
+				best, bestStart, bestKind = i, first, firstKind
+			}
+			if second < bestStart {
+				best, bestStart, bestKind = i, second, secondKind
+			}
+		}
+		if best < 0 {
+			return
+		}
+		if bestKind == loggp.Send {
+			s.commitSend(pt, r.Timeline, best, bestStart)
+		} else {
+			s.commitRecv(pt, r.Timeline, best, bestStart)
+		}
+	}
+}
+
+// Run simulates a single communication step with fresh state; see
+// Session for multi-step programs.
+func Run(pt *trace.Pattern, cfg Config) (*Result, error) {
+	if err := pt.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := NewSession(pt.P, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Communicate(pt)
+}
+
+// Completion is a convenience wrapper returning only the completion time
+// of a pattern on a machine, with all processors ready at time zero.
+func Completion(pt *trace.Pattern, params loggp.Params) (float64, error) {
+	r, err := Run(pt, Config{Params: params})
+	if err != nil {
+		return 0, err
+	}
+	return r.Finish, nil
+}

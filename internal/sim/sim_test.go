@@ -1,0 +1,392 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/trace"
+)
+
+var uni = loggp.Uniform(16) // L=1 o=1 g=1 G=0
+
+func mustRun(t *testing.T, pt *trace.Pattern, cfg Config) *Result {
+	t.Helper()
+	r, err := Run(pt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Timeline.Verify(cfg.Params); err != nil {
+		t.Fatalf("timeline violates LogGP model: %v", err)
+	}
+	return r
+}
+
+func TestSingleMessage(t *testing.T) {
+	pt := trace.New(2).Add(0, 1, 1)
+	r := mustRun(t, pt, Config{Params: uni})
+	// o + L + o = 3 for a one-byte message.
+	if r.Finish != 3 {
+		t.Fatalf("Finish = %g, want 3", r.Finish)
+	}
+	if r.ProcFinish[0] != 1 || r.ProcFinish[1] != 3 {
+		t.Fatalf("ProcFinish = %v, want [1 3]", r.ProcFinish)
+	}
+	if got, _ := Completion(pt, uni); got != uni.PointToPoint(1) {
+		t.Fatalf("Completion = %g, want PointToPoint = %g", got, uni.PointToPoint(1))
+	}
+}
+
+func TestTwoSendsRespectGap(t *testing.T) {
+	pt := trace.New(3).Add(0, 1, 1).Add(0, 2, 1)
+	r := mustRun(t, pt, Config{Params: uni})
+	// Sends at 0 and g=1; arrivals at 2 and 3; finish 4.
+	if r.Finish != 4 {
+		t.Fatalf("Finish = %g, want 4", r.Finish)
+	}
+	if r.Timeline.Sends() != 2 || r.Timeline.Recvs() != 2 {
+		t.Fatalf("ops = %d/%d", r.Timeline.Sends(), r.Timeline.Recvs())
+	}
+}
+
+func TestSelfMessagesSkipped(t *testing.T) {
+	pt := trace.New(2).Add(0, 0, 64).Add(0, 1, 1)
+	r := mustRun(t, pt, Config{Params: uni})
+	if r.SelfMessages != 1 {
+		t.Fatalf("SelfMessages = %d, want 1", r.SelfMessages)
+	}
+	if r.Finish != 3 { // only the network message counts
+		t.Fatalf("Finish = %g, want 3", r.Finish)
+	}
+}
+
+func TestReadyTimesShiftStart(t *testing.T) {
+	pt := trace.New(2).Add(0, 1, 1)
+	r := mustRun(t, pt, Config{Params: uni, Ready: []float64{10, 0}})
+	// Send at 10, arrival 12, recv at 12, finish 13.
+	if r.Finish != 13 {
+		t.Fatalf("Finish = %g, want 13", r.Finish)
+	}
+	// An idle processor keeps its ready time.
+	r2 := mustRun(t, trace.New(2), Config{Params: uni, Ready: []float64{4, 7}})
+	if r2.ProcFinish[0] != 4 || r2.ProcFinish[1] != 7 || r2.Finish != 7 {
+		t.Fatalf("idle ProcFinish = %v Finish = %g", r2.ProcFinish, r2.Finish)
+	}
+}
+
+func TestReceivePriorityOnTie(t *testing.T) {
+	// P0 sends to P1 at t=0 (arrival o+L=2). P1 becomes ready at t=5
+	// with one send queued: startSend = startRecv = 5, and the strict
+	// comparison must make the receive win.
+	pt := trace.New(2).Add(0, 1, 1).Add(1, 0, 1)
+	r := mustRun(t, pt, Config{Params: uni, Ready: []float64{0, 5}})
+	var p1ops = r.Timeline.PerProc()[1]
+	if len(p1ops) != 2 {
+		t.Fatalf("P1 ops = %d, want 2", len(p1ops))
+	}
+	if p1ops[0].Kind != loggp.Recv {
+		t.Fatalf("P1 first op = %v, want recv (receive priority)", p1ops[0].Kind)
+	}
+	if p1ops[0].Start != 5 {
+		t.Fatalf("P1 recv start = %g, want 5", p1ops[0].Start)
+	}
+	// recv->send interval is max(o,g)=1.
+	if p1ops[1].Kind != loggp.Send || p1ops[1].Start != 6 {
+		t.Fatalf("P1 second op = %v@%g, want send@6", p1ops[1].Kind, p1ops[1].Start)
+	}
+}
+
+func TestSendPriorityAblation(t *testing.T) {
+	pt := trace.New(2).Add(0, 1, 1).Add(1, 0, 1)
+	r := mustRun(t, pt, Config{Params: uni, Ready: []float64{0, 5}, SendPriority: true})
+	p1ops := r.Timeline.PerProc()[1]
+	if p1ops[0].Kind != loggp.Send || p1ops[0].Start != 5 {
+		t.Fatalf("P1 first op = %v@%g, want send@5 under send priority",
+			p1ops[0].Kind, p1ops[0].Start)
+	}
+}
+
+func TestSendAsSoonAsPossibleBeatsLaterArrival(t *testing.T) {
+	// P1 has a send it could do at t=0 and a message that only arrives
+	// at t=2; rule 2 (send as soon as possible) means the send goes
+	// first.
+	pt := trace.New(3).Add(0, 1, 1).Add(1, 2, 1)
+	r := mustRun(t, pt, Config{Params: uni})
+	p1ops := r.Timeline.PerProc()[1]
+	if p1ops[0].Kind != loggp.Send || p1ops[0].Start != 0 {
+		t.Fatalf("P1 first op = %v@%g, want send@0", p1ops[0].Kind, p1ops[0].Start)
+	}
+}
+
+// The reconstructed Figure 3 pattern under the reconstructed Meiko CS-2
+// parameters: this is the repository's Figure 4 golden test. Hand
+// computation (see DESIGN.md): serialization (112-1)*0.005 = 0.555µs,
+// arrival delay 11.555µs, completion 61.555µs, last finishers P7 and P10.
+func TestFigure4Golden(t *testing.T) {
+	pt := trace.Figure3()
+	params := loggp.MeikoCS2(10)
+	r := mustRun(t, pt, Config{Params: params, Seed: 1})
+	const want = 61.555
+	if math.Abs(r.Finish-want) > 1e-9 {
+		t.Fatalf("Figure 4 completion = %g, want %g", r.Finish, want)
+	}
+	// P4 (index 3) performs send, recv, recv, send — the paper's prose:
+	// it handles both receives before sending its second message to P7.
+	p4 := r.Timeline.PerProc()[3]
+	kinds := []loggp.OpKind{loggp.Send, loggp.Recv, loggp.Recv, loggp.Send}
+	if len(p4) != 4 {
+		t.Fatalf("P4 ops = %d, want 4", len(p4))
+	}
+	for i, k := range kinds {
+		if p4[i].Kind != k {
+			t.Fatalf("P4 op %d = %v, want %v", i, p4[i].Kind, k)
+		}
+	}
+	if p4[3].Peer != 6 {
+		t.Fatalf("P4 final send to %d, want P7 (index 6)", p4[3].Peer)
+	}
+	// P7 (index 6) is among the last to finish.
+	if got := r.ProcFinish[6]; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("P7 finish = %g, want %g", got, want)
+	}
+	// All 11 messages cross the network.
+	if r.Timeline.Sends() != 11 || r.Timeline.Recvs() != 11 {
+		t.Fatalf("sends/recvs = %d/%d, want 11/11", r.Timeline.Sends(), r.Timeline.Recvs())
+	}
+}
+
+func TestDeterministicAcrossSeeds(t *testing.T) {
+	// The Figure 3 pattern's completion is seed-independent (ties are
+	// symmetric); the committed op multiset timing must match.
+	pt := trace.Figure3()
+	params := loggp.MeikoCS2(10)
+	base := mustRun(t, pt, Config{Params: params, Seed: 0})
+	for seed := int64(1); seed < 6; seed++ {
+		r := mustRun(t, pt, Config{Params: params, Seed: seed})
+		if r.Finish != base.Finish {
+			t.Fatalf("seed %d: finish %g != %g", seed, r.Finish, base.Finish)
+		}
+		for p := range r.ProcFinish {
+			if r.ProcFinish[p] != base.ProcFinish[p] {
+				t.Fatalf("seed %d: proc %d finish %g != %g",
+					seed, p, r.ProcFinish[p], base.ProcFinish[p])
+			}
+		}
+	}
+}
+
+func TestSameSeedIdenticalTimeline(t *testing.T) {
+	pt := trace.Random(8, 40, 256, 3)
+	cfg := Config{Params: loggp.MeikoCS2(8), Seed: 42}
+	a := mustRun(t, pt, cfg)
+	b := mustRun(t, pt, cfg)
+	if len(a.Timeline.Ops) != len(b.Timeline.Ops) {
+		t.Fatal("same seed, different op counts")
+	}
+	for i := range a.Timeline.Ops {
+		if a.Timeline.Ops[i] != b.Timeline.Ops[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a.Timeline.Ops[i], b.Timeline.Ops[i])
+		}
+	}
+}
+
+func TestGlobalOrderAblation(t *testing.T) {
+	pt := trace.Figure3()
+	params := loggp.MeikoCS2(10)
+	r := mustRun(t, pt, Config{Params: params, GlobalOrder: true})
+	// The conservative scheduler must still satisfy the model and
+	// deliver everything; on this pattern it agrees with the paper's
+	// scheduler exactly (no out-of-order receive commits arise).
+	if math.Abs(r.Finish-61.555) > 1e-9 {
+		t.Fatalf("global-order completion = %g, want 61.555", r.Finish)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	good := trace.New(2).Add(0, 1, 1)
+	if _, err := Run(good, Config{Params: loggp.Params{P: 0}}); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := Run(trace.New(0), Config{Params: uni}); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+	if _, err := Run(trace.New(32).Add(0, 31, 1), Config{Params: uni}); err == nil {
+		t.Error("pattern wider than machine accepted")
+	}
+	if _, err := Run(good, Config{Params: uni, Ready: []float64{1, 2, 3}}); err == nil {
+		t.Error("wrong ready length accepted")
+	}
+}
+
+func TestLongMessageSerializationDelaysNextSend(t *testing.T) {
+	p := loggp.Params{L: 1, O: 1, Gap: 1, G: 0.5, P: 3}
+	// 101-byte message: serialization 50 dominates g.
+	pt := trace.New(3).Add(0, 1, 101).Add(0, 2, 1)
+	r := mustRun(t, pt, Config{Params: p})
+	ops := r.Timeline.PerProc()[0]
+	if ops[1].Start != 50 {
+		t.Fatalf("second send at %g, want 50 (port drain)", ops[1].Start)
+	}
+}
+
+// Property: every simulated timeline over random DAG patterns satisfies
+// the full LogGP verifier, delivers every network message exactly once,
+// and finishes no earlier than the best possible single message.
+func TestSimulationInvariants(t *testing.T) {
+	f := func(seed int64, pRaw, mRaw uint8) bool {
+		p := int(pRaw%12) + 2
+		m := int(mRaw%48) + 1
+		pt := trace.Random(p, m, 512, seed)
+		params := loggp.MeikoCS2(p)
+		r, err := Run(pt, Config{Params: params, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if err := r.Timeline.Verify(params); err != nil {
+			t.Logf("verify: %v", err)
+			return false
+		}
+		net := pt.NetworkMessages()
+		if r.Timeline.Sends() != net || r.Timeline.Recvs() != net {
+			return false
+		}
+		if net > 0 && r.Finish < params.PointToPoint(1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the global-order ablation also satisfies the verifier and
+// additionally commits receives in nondecreasing start order.
+func TestGlobalOrderInvariants(t *testing.T) {
+	f := func(seed int64, pRaw, mRaw uint8) bool {
+		p := int(pRaw%12) + 2
+		m := int(mRaw%48) + 1
+		pt := trace.Random(p, m, 512, seed)
+		params := loggp.MeikoCS2(p)
+		r, err := Run(pt, Config{Params: params, GlobalOrder: true})
+		if err != nil {
+			return false
+		}
+		if err := r.Timeline.Verify(params); err != nil {
+			return false
+		}
+		prev := math.Inf(-1)
+		for _, op := range r.Timeline.Ops {
+			if op.Start < prev {
+				return false
+			}
+			prev = op.Start
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: delaying a processor's ready time never makes the step finish
+// earlier (monotonicity of the simulation in its inputs).
+func TestReadyTimeMonotonicity(t *testing.T) {
+	f := func(seed int64, delayRaw uint8) bool {
+		pt := trace.Random(6, 20, 128, seed)
+		params := loggp.MeikoCS2(6)
+		base, err := Run(pt, Config{Params: params, Seed: 1})
+		if err != nil {
+			return false
+		}
+		delay := float64(delayRaw)
+		ready := make([]float64, 6)
+		for i := range ready {
+			ready[i] = delay
+		}
+		shifted, err := Run(pt, Config{Params: params, Seed: 1, Ready: ready})
+		if err != nil {
+			return false
+		}
+		// Uniform shift: finish shifts by exactly the same amount.
+		return math.Abs(shifted.Finish-(base.Finish+delay)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionDirectAPI(t *testing.T) {
+	s, err := NewSession(2, Config{Params: uni})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compute([]float64{3, 5}); err != nil {
+		t.Fatal(err)
+	}
+	clocks := s.Clocks()
+	if clocks[0] != 3 || clocks[1] != 5 || s.Finish() != 5 {
+		t.Fatalf("clocks = %v finish = %g", clocks, s.Finish())
+	}
+	// Clocks returns a copy.
+	clocks[0] = 99
+	if s.Clocks()[0] != 3 {
+		t.Fatal("Clocks exposed internal state")
+	}
+	if err := s.Compute([]float64{1}); err == nil {
+		t.Error("wrong-length durations accepted")
+	}
+	if err := s.Compute([]float64{-1, 0}); err == nil {
+		t.Error("negative duration accepted")
+	}
+	if err := s.AdvanceTo(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if s.Clocks()[0] != 10 {
+		t.Fatal("AdvanceTo did not raise the clock")
+	}
+	if err := s.AdvanceTo(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if s.Clocks()[0] != 10 {
+		t.Fatal("AdvanceTo lowered the clock")
+	}
+	if err := s.AdvanceTo(7, 1); err == nil {
+		t.Error("out-of-range AdvanceTo accepted")
+	}
+	// Communicate rejects mismatched widths.
+	if _, err := s.Communicate(trace.New(3)); err == nil {
+		t.Error("mismatched pattern width accepted")
+	}
+	// Session constructor errors.
+	if _, err := NewSession(0, Config{Params: uni}); err == nil {
+		t.Error("zero-processor session accepted")
+	}
+	if _, err := NewSession(99, Config{Params: uni}); err == nil {
+		t.Error("oversized session accepted")
+	}
+	if _, err := NewSession(2, Config{Params: uni, Ready: []float64{1}}); err == nil {
+		t.Error("wrong ready length accepted")
+	}
+}
+
+func TestSessionGapStatePersistsAcrossSteps(t *testing.T) {
+	// Two steps back to back with zero computation: the second step's
+	// send must respect the gap from the first step's send.
+	s, err := NewSession(2, Config{Params: uni})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Communicate(trace.New(2).Add(0, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Communicate(trace.New(2).Add(0, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := r.Timeline.PerProc()[0]
+	if len(ops) != 1 || ops[0].Start != 1 { // g=1 after the step-1 send at 0
+		t.Fatalf("second-step send at %g, want 1 (gap carried)", ops[0].Start)
+	}
+}

@@ -1,0 +1,27 @@
+package sim
+
+import (
+	"fmt"
+
+	"loggpsim/internal/trace"
+)
+
+// RunSteps simulates a sequence of communication steps through one
+// Session, carrying per-processor clocks and gap state across steps.
+// All steps must use the same processor count. It returns the overall
+// finish time and the per-processor clocks after the last step.
+func RunSteps(steps []*trace.Pattern, cfg Config) (float64, []float64, error) {
+	if len(steps) == 0 {
+		return 0, nil, nil
+	}
+	s, err := NewSession(steps[0].P, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	for i, step := range steps {
+		if _, err := s.Communicate(step); err != nil {
+			return 0, nil, fmt.Errorf("sim: step %d: %w", i, err)
+		}
+	}
+	return s.Finish(), s.Clocks(), nil
+}

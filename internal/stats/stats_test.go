@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestScalars(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Fatalf("Min/Max = %g/%g", Min(xs), Max(xs))
+	}
+	if Mean(xs) != 2.8 {
+		t.Fatalf("Mean = %g", Mean(xs))
+	}
+	if math.Abs(Std(xs)-1.6) > 1e-12 {
+		t.Fatalf("Std = %g", Std(xs))
+	}
+	if ArgminIdx(xs) != 1 {
+		t.Fatalf("ArgminIdx = %d", ArgminIdx(xs))
+	}
+	if ArgminIdx([]float64{9}) != 0 {
+		t.Fatal("single-element argmin")
+	}
+}
+
+func TestTableText(t *testing.T) {
+	tab := NewTable("b", "time")
+	tab.AddRow(8, 1.23456)
+	tab.AddRow(120, 42.0)
+	var b strings.Builder
+	if err := tab.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "b") || !strings.Contains(lines[0], "time") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "1.235") {
+		t.Fatalf("float not rounded to 4 significant digits: %q", lines[2])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRow("x", 1.5)
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nx,1.5\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}

@@ -1,0 +1,105 @@
+package timeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"loggpsim/internal/loggp"
+)
+
+// chromeEvent is one Chrome trace-event ("Trace Event Format", the JSON
+// consumed by chrome://tracing and https://ui.perfetto.dev).
+type chromeEvent struct {
+	Name     string         `json:"name"`
+	Category string         `json:"cat"`
+	Phase    string         `json:"ph"`
+	TS       float64        `json:"ts"`  // microseconds
+	Dur      float64        `json:"dur"` // microseconds
+	PID      int            `json:"pid"`
+	TID      int            `json:"tid"`
+	Args     map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the timeline in the Chrome trace-event JSON
+// format: one complete event per operation, processors as threads. The
+// file loads directly into chrome://tracing or Perfetto, giving an
+// interactive version of the paper's Figures 4 and 5.
+func WriteChromeTrace(w io.Writer, t *Timeline, p loggp.Params) error {
+	events := make([]chromeEvent, 0, len(t.Ops))
+	for _, op := range t.Ops {
+		ev := chromeEvent{
+			Name:     fmt.Sprintf("%s P%d", op.Kind, op.Peer+1),
+			Category: op.Kind.String(),
+			Phase:    "X",
+			TS:       op.Start,
+			Dur:      p.O,
+			PID:      1,
+			TID:      op.Proc + 1,
+			Args: map[string]any{
+				"peer":  op.Peer + 1,
+				"bytes": op.Bytes,
+				"msg":   op.MsgIndex,
+			},
+		}
+		if op.Kind == loggp.Recv {
+			ev.Args["arrival"] = op.Arrival
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}
+
+// Utilization summarizes how a processor spent a simulated step.
+type Utilization struct {
+	// Proc is the processor index.
+	Proc int
+	// Ops is the number of communication operations performed.
+	Ops int
+	// Busy is the time spent inside operation overhead windows (Ops·o).
+	Busy float64
+	// Span is the time from the processor's first operation start to its
+	// last operation end (zero for idle processors).
+	Span float64
+	// ArrivalWait sums, over the processor's receives, the slack between
+	// a message becoming available and its receive starting (start −
+	// arrival, always ≥ 0): time messages spent queued at this
+	// processor.
+	ArrivalWait float64
+}
+
+// Utilizations derives per-processor utilization summaries from a
+// timeline.
+func Utilizations(t *Timeline, p loggp.Params) []Utilization {
+	out := make([]Utilization, t.P)
+	for i := range out {
+		out[i].Proc = i
+	}
+	for proc, ops := range t.PerProc() {
+		u := &out[proc]
+		u.Ops = len(ops)
+		u.Busy = float64(len(ops)) * p.O
+		if len(ops) > 0 {
+			u.Span = ops[len(ops)-1].End(p) - ops[0].Start
+		}
+		for _, op := range ops {
+			if op.Kind == loggp.Recv {
+				u.ArrivalWait += op.Start - op.Arrival
+			}
+		}
+	}
+	return out
+}
+
+// BusyFraction returns Busy/Span, the port utilization within the
+// processor's active window (zero for idle processors).
+func (u Utilization) BusyFraction() float64 {
+	if u.Span <= 0 {
+		return 0
+	}
+	return u.Busy / u.Span
+}

@@ -1,0 +1,114 @@
+package timeline
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"loggpsim/internal/loggp"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	tl := validPair()
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, tl, uni); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Cat   string         `json:"cat"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(doc.TraceEvents))
+	}
+	send := doc.TraceEvents[0]
+	if send.Cat != "send" || send.Phase != "X" || send.TS != 0 || send.Dur != 1 || send.TID != 1 {
+		t.Fatalf("send event = %+v", send)
+	}
+	recv := doc.TraceEvents[1]
+	if recv.Cat != "recv" || recv.TS != 2 || recv.TID != 2 {
+		t.Fatalf("recv event = %+v", recv)
+	}
+	if recv.Args["arrival"] != 2.0 {
+		t.Fatalf("recv arrival arg = %v", recv.Args["arrival"])
+	}
+	if send.Args["bytes"] != 1.0 {
+		t.Fatalf("send bytes arg = %v", send.Args["bytes"])
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, New(2), uni); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "traceEvents") {
+		t.Fatal("empty trace missing container")
+	}
+}
+
+func TestUtilizations(t *testing.T) {
+	tl := New(3)
+	// P0: two sends at 0 and 5 (span 0..6, busy 2).
+	tl.Record(Op{Proc: 0, Kind: loggp.Send, Peer: 1, Bytes: 1, Start: 0, MsgIndex: 0})
+	tl.Record(Op{Proc: 0, Kind: loggp.Send, Peer: 2, Bytes: 1, Start: 5, MsgIndex: 1})
+	// P1: one receive that waited 3µs after arrival.
+	tl.Record(Op{Proc: 1, Kind: loggp.Recv, Peer: 0, Bytes: 1, Start: 5, Arrival: 2, MsgIndex: 0})
+	// P2: one receive with no wait.
+	tl.Record(Op{Proc: 2, Kind: loggp.Recv, Peer: 0, Bytes: 1, Start: 7, Arrival: 7, MsgIndex: 1})
+	us := Utilizations(tl, uni)
+	if us[0].Ops != 2 || us[0].Busy != 2 || us[0].Span != 6 {
+		t.Fatalf("P0 utilization = %+v", us[0])
+	}
+	if got := us[0].BusyFraction(); got != 2.0/6 {
+		t.Fatalf("P0 busy fraction = %g", got)
+	}
+	if us[1].ArrivalWait != 3 {
+		t.Fatalf("P1 arrival wait = %g, want 3", us[1].ArrivalWait)
+	}
+	if us[2].ArrivalWait != 0 {
+		t.Fatalf("P2 arrival wait = %g, want 0", us[2].ArrivalWait)
+	}
+	// Idle processors report zeros.
+	idle := Utilizations(New(2), uni)
+	if idle[0].Ops != 0 || idle[0].Span != 0 || idle[0].BusyFraction() != 0 {
+		t.Fatalf("idle utilization = %+v", idle[0])
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	tl := validPair()
+	var b strings.Builder
+	if err := WriteSVG(&b, tl, uni, 600); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "P1", "P4", // lanes for all four processors
+		`fill="#2b6cb0"`, `fill="#c05621"`, // one send bar, one recv bar
+		"stroke-dasharray", // the message-flight line
+		"µs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Tiny widths are clamped, empty timelines render.
+	var b2 strings.Builder
+	if err := WriteSVG(&b2, New(2), uni, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), "<svg") {
+		t.Fatal("empty SVG malformed")
+	}
+}

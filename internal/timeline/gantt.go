@@ -1,0 +1,79 @@
+package timeline
+
+import (
+	"fmt"
+	"strings"
+
+	"loggpsim/internal/loggp"
+)
+
+// Gantt renders the timeline as an ASCII chart resembling the paper's
+// Figures 4 and 5: one row per processor, time flowing left to right.
+// Send overhead windows are drawn with 's', receive windows with 'r', and
+// where space permits the peer processor index is embedded in the bar.
+// width is the number of character cells for the time axis.
+func Gantt(t *Timeline, p loggp.Params, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	finish := t.Finish(p)
+	if finish <= 0 {
+		finish = 1
+	}
+	scale := float64(width) / finish
+	var b strings.Builder
+	perProc := t.PerProc()
+	for proc := 0; proc < t.P; proc++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, op := range perProc[proc] {
+			lo := int(op.Start * scale)
+			hi := int(op.End(p) * scale)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if lo >= width {
+				lo = width - 1
+			}
+			if hi > width {
+				hi = width
+			}
+			ch := byte('s')
+			if op.Kind == loggp.Recv {
+				ch = 'r'
+			}
+			for i := lo; i < hi; i++ {
+				row[i] = ch
+			}
+			label := fmt.Sprintf("%d", op.Peer+1)
+			if hi-lo > len(label) {
+				copy(row[lo+1:], label)
+			}
+		}
+		fmt.Fprintf(&b, "P%-2d |%s|\n", proc+1, row)
+	}
+	fmt.Fprintf(&b, "    0%sµs %.1f\n", strings.Repeat(" ", width-4), finish)
+	return b.String()
+}
+
+// List renders the timeline as a table of operations sorted by start
+// time, one per line.
+func List(t *Timeline, p loggp.Params) string {
+	ops := append([]Op(nil), t.Ops...)
+	// Stable ordering by (start, proc) for readability.
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && (ops[j].Start < ops[j-1].Start ||
+			(ops[j].Start == ops[j-1].Start && ops[j].Proc < ops[j-1].Proc)); j-- {
+			ops[j], ops[j-1] = ops[j-1], ops[j]
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-5s %-5s %8s %8s %8s\n", "proc", "op", "peer", "start", "end", "bytes")
+	for _, op := range ops {
+		fmt.Fprintf(&b, "P%-7d %-5s P%-4d %8.2f %8.2f %8d\n",
+			op.Proc+1, op.Kind, op.Peer+1, op.Start, op.End(p), op.Bytes)
+	}
+	return b.String()
+}

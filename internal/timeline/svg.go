@@ -1,0 +1,98 @@
+package timeline
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"loggpsim/internal/loggp"
+)
+
+// svg geometry constants (pixels).
+const (
+	svgRowHeight  = 26
+	svgRowGap     = 6
+	svgLeftGutter = 48
+	svgTopGutter  = 30
+	svgBarHeight  = 18
+	svgTickCount  = 8
+)
+
+// WriteSVG renders the timeline as a standalone SVG document: one lane
+// per processor, send operations in one colour and receives in another,
+// with message-flight lines from each send bar to its receive bar — a
+// publication-quality version of the paper's Figures 4 and 5. width is
+// the drawing width in pixels.
+func WriteSVG(w io.Writer, t *Timeline, p loggp.Params, width int) error {
+	if width < 200 {
+		width = 200
+	}
+	finish := t.Finish(p)
+	if finish <= 0 {
+		finish = 1
+	}
+	plotW := float64(width - svgLeftGutter - 10)
+	x := func(ts float64) float64 { return svgLeftGutter + ts/finish*plotW }
+	y := func(proc int) float64 { return float64(svgTopGutter + proc*(svgRowHeight+svgRowGap)) }
+	height := svgTopGutter + t.P*(svgRowHeight+svgRowGap) + 30
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+
+	// Lane labels and baselines.
+	for proc := 0; proc < t.P; proc++ {
+		fmt.Fprintf(&b, `<text x="6" y="%.1f" fill="#333">P%d</text>`+"\n", y(proc)+svgBarHeight-4, proc+1)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			svgLeftGutter, y(proc)+svgBarHeight, width-10, y(proc)+svgBarHeight)
+	}
+
+	// Time axis ticks.
+	for i := 0; i <= svgTickCount; i++ {
+		ts := finish * float64(i) / svgTickCount
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#bbb"/>`+"\n",
+			x(ts), svgTopGutter-8, x(ts), svgTopGutter-2)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" fill="#666" text-anchor="middle">%.1f</text>`+"\n",
+			x(ts), svgTopGutter-12, ts)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#666">µs</text>`+"\n", width-28, svgTopGutter-12)
+
+	// Message-flight lines beneath the bars: send start to receive start.
+	sends := map[int]Op{}
+	for _, op := range t.Ops {
+		if op.Kind == loggp.Send {
+			sends[op.MsgIndex] = op
+		}
+	}
+	for _, op := range t.Ops {
+		if op.Kind != loggp.Recv {
+			continue
+		}
+		snd, ok := sends[op.MsgIndex]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#999" stroke-dasharray="3,2"/>`+"\n",
+			x(snd.Start), y(snd.Proc)+svgBarHeight/2, x(op.Start), y(op.Proc)+svgBarHeight/2)
+	}
+
+	// Operation bars.
+	for _, op := range t.Ops {
+		fill := "#2b6cb0" // send: blue
+		if op.Kind == loggp.Recv {
+			fill = "#c05621" // recv: orange
+		}
+		x0 := x(op.Start)
+		w := x(op.End(p)) - x0
+		if w < 2 {
+			w = 2
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%d" fill="%s"><title>%s P%d→P%d %dB @%.3fµs</title></rect>`+"\n",
+			x0, y(op.Proc), w, svgBarHeight, fill,
+			op.Kind, op.Proc+1, op.Peer+1, op.Bytes, op.Start)
+	}
+
+	fmt.Fprintf(&b, "</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

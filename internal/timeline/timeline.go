@@ -1,0 +1,172 @@
+// Package timeline records the per-processor sequences of send and
+// receive operations produced by the simulators, checks them against the
+// LogGP constraints (used heavily by the property tests), and renders
+// them as ASCII Gantt charts like the paper's Figures 4 and 5.
+package timeline
+
+import (
+	"fmt"
+	"sort"
+
+	"loggpsim/internal/loggp"
+)
+
+// Op is one communication operation performed by a processor.
+type Op struct {
+	// Proc is the processor performing the operation.
+	Proc int
+	// Kind says whether this is a send or a receive.
+	Kind loggp.OpKind
+	// Peer is the other endpoint: destination for a send, source for a
+	// receive.
+	Peer int
+	// Bytes is the message length.
+	Bytes int
+	// Start is when the operation begins, in microseconds.
+	Start float64
+	// Arrival is, for receives, when the message became available at
+	// this processor; zero for sends.
+	Arrival float64
+	// MsgIndex identifies the message within the pattern that produced
+	// this timeline.
+	MsgIndex int
+}
+
+// End returns when the processor's overhead window for the operation
+// closes: Start + o.
+func (op Op) End(p loggp.Params) float64 { return op.Start + p.O }
+
+// Timeline is the full record of one simulated communication step.
+type Timeline struct {
+	// P is the number of processors.
+	P int
+	// Ops holds every operation, in the order the simulator committed
+	// them.
+	Ops []Op
+}
+
+// New returns an empty timeline over p processors.
+func New(p int) *Timeline { return &Timeline{P: p} }
+
+// Record appends an operation.
+func (t *Timeline) Record(op Op) { t.Ops = append(t.Ops, op) }
+
+// PerProc returns each processor's operations sorted by start time
+// (stable, so simultaneous commits keep commit order).
+func (t *Timeline) PerProc() [][]Op {
+	out := make([][]Op, t.P)
+	for _, op := range t.Ops {
+		out[op.Proc] = append(out[op.Proc], op)
+	}
+	for _, ops := range out {
+		sort.SliceStable(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+	}
+	return out
+}
+
+// Finish returns the completion time of the step: the maximum operation
+// end over all processors, or zero for an empty timeline.
+func (t *Timeline) Finish(p loggp.Params) float64 {
+	finish := 0.0
+	for _, op := range t.Ops {
+		if e := op.End(p); e > finish {
+			finish = e
+		}
+	}
+	return finish
+}
+
+// FinishOf returns when processor proc performs its last operation end,
+// or zero if it performed none.
+func (t *Timeline) FinishOf(proc int, p loggp.Params) float64 {
+	finish := 0.0
+	for _, op := range t.Ops {
+		if op.Proc == proc {
+			if e := op.End(p); e > finish {
+				finish = e
+			}
+		}
+	}
+	return finish
+}
+
+// Sends returns the number of send operations recorded.
+func (t *Timeline) Sends() int {
+	n := 0
+	for _, op := range t.Ops {
+		if op.Kind == loggp.Send {
+			n++
+		}
+	}
+	return n
+}
+
+// Recvs returns the number of receive operations recorded.
+func (t *Timeline) Recvs() int { return len(t.Ops) - t.Sends() }
+
+// Verify checks the timeline against the LogGP model:
+//
+//  1. consecutive operations on one processor respect the Figure-1 gap
+//     rules (Interval),
+//  2. every receive starts no earlier than its message's arrival,
+//  3. every receive's arrival is consistent with its matching send:
+//     arrival >= sendStart + o + (k-1)G + L (equality for the standard
+//     simulator, later arrivals allowed for jittered executions),
+//  4. sends and receives pair up one-to-one by message index.
+//
+// It returns the first violation found, or nil.
+func (t *Timeline) Verify(p loggp.Params) error {
+	const eps = 1e-9
+	for proc, ops := range t.PerProc() {
+		for i := 1; i < len(ops); i++ {
+			prev, cur := ops[i-1], ops[i]
+			need := p.Interval(prev.Kind, cur.Kind, prev.Bytes)
+			if cur.Start+eps < prev.Start+need {
+				return fmt.Errorf(
+					"timeline: proc %d: %v@%g then %v@%g violates %v->%v interval %g",
+					proc, prev.Kind, prev.Start, cur.Kind, cur.Start, prev.Kind, cur.Kind, need)
+			}
+		}
+	}
+	sends := map[int]Op{}
+	for _, op := range t.Ops {
+		if op.Kind == loggp.Send {
+			if _, dup := sends[op.MsgIndex]; dup {
+				return fmt.Errorf("timeline: message %d sent twice", op.MsgIndex)
+			}
+			sends[op.MsgIndex] = op
+		}
+	}
+	seenRecv := map[int]bool{}
+	for _, op := range t.Ops {
+		if op.Kind != loggp.Recv {
+			continue
+		}
+		if seenRecv[op.MsgIndex] {
+			return fmt.Errorf("timeline: message %d received twice", op.MsgIndex)
+		}
+		seenRecv[op.MsgIndex] = true
+		if op.Start+eps < op.Arrival {
+			return fmt.Errorf("timeline: proc %d receives msg %d at %g before arrival %g",
+				op.Proc, op.MsgIndex, op.Start, op.Arrival)
+		}
+		snd, ok := sends[op.MsgIndex]
+		if !ok {
+			return fmt.Errorf("timeline: message %d received but never sent", op.MsgIndex)
+		}
+		if minArrive := snd.Start + p.ArrivalDelay(op.Bytes); op.Arrival+eps < minArrive {
+			return fmt.Errorf("timeline: message %d arrives at %g, before LogGP minimum %g",
+				op.MsgIndex, op.Arrival, minArrive)
+		}
+		if snd.Peer != op.Proc || snd.Proc != op.Peer {
+			return fmt.Errorf("timeline: message %d endpoints disagree: send %d->%d, recv %d<-%d",
+				op.MsgIndex, snd.Proc, snd.Peer, op.Proc, op.Peer)
+		}
+	}
+	for idx := range sends {
+		if !seenRecv[idx] {
+			return fmt.Errorf("timeline: message %d sent but never received", idx)
+		}
+	}
+	return nil
+}

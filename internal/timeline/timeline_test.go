@@ -1,0 +1,182 @@
+package timeline
+
+import (
+	"strings"
+	"testing"
+
+	"loggpsim/internal/loggp"
+)
+
+var uni = loggp.Uniform(4) // L=1 o=1 g=1 G=0
+
+// validPair returns a minimal correct timeline: proc 0 sends msg 0 to
+// proc 1 at t=0; it arrives at o+L=2 and is received at 2.
+func validPair() *Timeline {
+	t := New(4)
+	t.Record(Op{Proc: 0, Kind: loggp.Send, Peer: 1, Bytes: 1, Start: 0, MsgIndex: 0})
+	t.Record(Op{Proc: 1, Kind: loggp.Recv, Peer: 0, Bytes: 1, Start: 2, Arrival: 2, MsgIndex: 0})
+	return t
+}
+
+func TestFinish(t *testing.T) {
+	tl := validPair()
+	if got := tl.Finish(uni); got != 3 { // recv start 2 + o 1
+		t.Fatalf("Finish = %g, want 3", got)
+	}
+	if got := tl.FinishOf(0, uni); got != 1 {
+		t.Fatalf("FinishOf(0) = %g, want 1", got)
+	}
+	if got := tl.FinishOf(3, uni); got != 0 {
+		t.Fatalf("FinishOf(3) = %g, want 0 for idle proc", got)
+	}
+	if got := New(2).Finish(uni); got != 0 {
+		t.Fatalf("empty Finish = %g, want 0", got)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	tl := validPair()
+	if tl.Sends() != 1 || tl.Recvs() != 1 {
+		t.Fatalf("Sends=%d Recvs=%d, want 1,1", tl.Sends(), tl.Recvs())
+	}
+}
+
+func TestVerifyAcceptsValid(t *testing.T) {
+	if err := validPair().Verify(uni); err != nil {
+		t.Fatalf("valid timeline rejected: %v", err)
+	}
+}
+
+func TestVerifyGapViolation(t *testing.T) {
+	tl := New(4)
+	// Two sends 0.5 apart; g=1 requires 1.
+	tl.Record(Op{Proc: 0, Kind: loggp.Send, Peer: 1, Bytes: 1, Start: 0, MsgIndex: 0})
+	tl.Record(Op{Proc: 0, Kind: loggp.Send, Peer: 2, Bytes: 1, Start: 0.5, MsgIndex: 1})
+	tl.Record(Op{Proc: 1, Kind: loggp.Recv, Peer: 0, Bytes: 1, Start: 2, Arrival: 2, MsgIndex: 0})
+	tl.Record(Op{Proc: 2, Kind: loggp.Recv, Peer: 0, Bytes: 1, Start: 2.5, Arrival: 2.5, MsgIndex: 1})
+	if err := tl.Verify(uni); err == nil || !strings.Contains(err.Error(), "interval") {
+		t.Fatalf("gap violation not caught: %v", err)
+	}
+}
+
+func TestVerifyRecvBeforeArrival(t *testing.T) {
+	tl := validPair()
+	tl.Ops[1].Start = 1.5 // before arrival 2
+	tl.Ops[1].Arrival = 2
+	if err := tl.Verify(uni); err == nil || !strings.Contains(err.Error(), "before arrival") {
+		t.Fatalf("early receive not caught: %v", err)
+	}
+}
+
+func TestVerifyArrivalTooEarly(t *testing.T) {
+	tl := validPair()
+	tl.Ops[1].Arrival = 1 // o+L = 2 is the minimum
+	tl.Ops[1].Start = 1
+	if err := tl.Verify(uni); err == nil || !strings.Contains(err.Error(), "LogGP minimum") {
+		t.Fatalf("impossible arrival not caught: %v", err)
+	}
+}
+
+func TestVerifyLostMessage(t *testing.T) {
+	tl := New(4)
+	tl.Record(Op{Proc: 0, Kind: loggp.Send, Peer: 1, Bytes: 1, Start: 0, MsgIndex: 0})
+	if err := tl.Verify(uni); err == nil || !strings.Contains(err.Error(), "never received") {
+		t.Fatalf("lost message not caught: %v", err)
+	}
+}
+
+func TestVerifyPhantomReceive(t *testing.T) {
+	tl := New(4)
+	tl.Record(Op{Proc: 1, Kind: loggp.Recv, Peer: 0, Bytes: 1, Start: 2, Arrival: 2, MsgIndex: 0})
+	if err := tl.Verify(uni); err == nil || !strings.Contains(err.Error(), "never sent") {
+		t.Fatalf("phantom receive not caught: %v", err)
+	}
+}
+
+func TestVerifyDuplicateSend(t *testing.T) {
+	tl := validPair()
+	tl.Record(Op{Proc: 0, Kind: loggp.Send, Peer: 1, Bytes: 1, Start: 10, MsgIndex: 0})
+	if err := tl.Verify(uni); err == nil || !strings.Contains(err.Error(), "sent twice") {
+		t.Fatalf("duplicate send not caught: %v", err)
+	}
+}
+
+func TestVerifyDuplicateReceive(t *testing.T) {
+	tl := validPair()
+	tl.Record(Op{Proc: 1, Kind: loggp.Recv, Peer: 0, Bytes: 1, Start: 10, Arrival: 2, MsgIndex: 0})
+	if err := tl.Verify(uni); err == nil || !strings.Contains(err.Error(), "received twice") {
+		t.Fatalf("duplicate receive not caught: %v", err)
+	}
+}
+
+func TestVerifyEndpointMismatch(t *testing.T) {
+	tl := validPair()
+	tl.Ops[1].Proc = 2 // received by the wrong processor
+	tl.Ops[1].Peer = 0
+	if err := tl.Verify(uni); err == nil || !strings.Contains(err.Error(), "endpoints") {
+		t.Fatalf("endpoint mismatch not caught: %v", err)
+	}
+}
+
+func TestVerifyRecvSendUsesMaxOG(t *testing.T) {
+	// o=8, g=2: a send 2 after a receive violates the max(o,g) rule.
+	p := loggp.LowOverhead(4)
+	tl := New(4)
+	tl.Record(Op{Proc: 0, Kind: loggp.Send, Peer: 1, Bytes: 1, Start: 0, MsgIndex: 0})
+	tl.Record(Op{Proc: 1, Kind: loggp.Recv, Peer: 0, Bytes: 1, Start: 13, Arrival: 13, MsgIndex: 0})
+	tl.Record(Op{Proc: 1, Kind: loggp.Send, Peer: 2, Bytes: 1, Start: 15, MsgIndex: 1})
+	tl.Record(Op{Proc: 2, Kind: loggp.Recv, Peer: 1, Bytes: 1, Start: 28, Arrival: 28, MsgIndex: 1})
+	if err := tl.Verify(p); err == nil {
+		t.Fatal("recv->send within o not caught")
+	}
+	tl.Ops[2].Start = 21 // 13 + max(8,2)
+	tl.Ops[3].Start = 34
+	tl.Ops[3].Arrival = 34
+	if err := tl.Verify(p); err != nil {
+		t.Fatalf("legal recv->send rejected: %v", err)
+	}
+}
+
+func TestPerProcSorted(t *testing.T) {
+	tl := New(2)
+	tl.Record(Op{Proc: 0, Kind: loggp.Send, Peer: 1, Start: 5, Bytes: 1, MsgIndex: 1})
+	tl.Record(Op{Proc: 0, Kind: loggp.Send, Peer: 1, Start: 1, Bytes: 1, MsgIndex: 0})
+	ops := tl.PerProc()[0]
+	if ops[0].Start != 1 || ops[1].Start != 5 {
+		t.Fatalf("PerProc not sorted: %v", ops)
+	}
+}
+
+func TestGanttRender(t *testing.T) {
+	out := Gantt(validPair(), uni, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // 4 procs + axis
+		t.Fatalf("Gantt lines = %d, want 5:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "s") {
+		t.Errorf("proc 1 row missing send bar:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "r") {
+		t.Errorf("proc 2 row missing recv bar:\n%s", out)
+	}
+	if !strings.Contains(lines[4], "µs") {
+		t.Errorf("axis line missing time unit:\n%s", out)
+	}
+	// Tiny widths must not panic.
+	_ = Gantt(validPair(), uni, 1)
+	_ = Gantt(New(2), uni, 30) // empty timeline
+}
+
+func TestListRender(t *testing.T) {
+	out := List(validPair(), uni)
+	if !strings.Contains(out, "send") || !strings.Contains(out, "recv") {
+		t.Fatalf("List output missing ops:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 ops
+		t.Fatalf("List lines = %d, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "P1") {
+		t.Fatalf("List not sorted by start: %q first", lines[1])
+	}
+}

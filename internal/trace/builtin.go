@@ -1,0 +1,37 @@
+package trace
+
+import "fmt"
+
+// Builtin returns a named generated pattern; it backs the -pattern flag
+// of the command-line tools. Recognized names: figure3, ring, alltoall,
+// gather, scatter, random, hypercube. procs and bytes parameterize the
+// generated patterns (figure3 ignores both); seed drives random.
+func Builtin(name string, procs, bytes int, seed int64) (*Pattern, error) {
+	switch name {
+	case "figure3":
+		return Figure3(), nil
+	case "ring":
+		return Ring(procs, bytes), nil
+	case "alltoall":
+		return AllToAll(procs, bytes), nil
+	case "gather":
+		return Gather(procs, 0, bytes), nil
+	case "scatter":
+		return Scatter(procs, 0, bytes), nil
+	case "random":
+		return Random(procs, 3*procs, bytes, seed), nil
+	case "hypercube":
+		dims := 0
+		for 1<<dims < procs {
+			dims++
+		}
+		return HypercubeExchange(dims, 0, bytes), nil
+	default:
+		return nil, fmt.Errorf("trace: unknown built-in pattern %q", name)
+	}
+}
+
+// BuiltinNames lists the names Builtin accepts.
+func BuiltinNames() []string {
+	return []string{"figure3", "ring", "alltoall", "gather", "scatter", "random", "hypercube"}
+}

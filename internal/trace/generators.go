@@ -1,0 +1,134 @@
+package trace
+
+import "math/rand"
+
+// Figure3MessageBytes is the message length used in the paper's sample
+// pattern (OCR shows "11" with a dropped digit; we use 112 bytes, see
+// DESIGN.md).
+const Figure3MessageBytes = 112
+
+// Figure3 returns the paper's sample communication pattern (its
+// Figure 3): ten processors on three consecutive anti-diagonals of a
+// blocked matrix, each forwarding data to its neighbours on the next
+// diagonal. The edge set is reconstructed from the prose: processor 4
+// receives from 1 and 2 before sending its second message to 7, and
+// processor 8 receives from 4 and 6 (paper numbering, 1-based; this
+// function uses 0-based indices, so those are processors 3, 0, 1, 6, 7
+// and 5 here). All messages have the same length.
+func Figure3() *Pattern {
+	pt := New(10)
+	// First diagonal {P1,P2,P3} feeding the second {P4,P5,P6}.
+	pt.Add(0, 3, Figure3MessageBytes) // P1 -> P4
+	pt.Add(1, 3, Figure3MessageBytes) // P2 -> P4
+	pt.Add(1, 4, Figure3MessageBytes) // P2 -> P5
+	pt.Add(2, 4, Figure3MessageBytes) // P3 -> P5
+	pt.Add(2, 5, Figure3MessageBytes) // P3 -> P6
+	// Second diagonal feeding the third {P7,P8,P9,P10}.
+	pt.Add(3, 7, Figure3MessageBytes) // P4 -> P8 (first message)
+	pt.Add(3, 6, Figure3MessageBytes) // P4 -> P7 (second message)
+	pt.Add(4, 8, Figure3MessageBytes) // P5 -> P9
+	pt.Add(4, 9, Figure3MessageBytes) // P5 -> P10
+	pt.Add(5, 7, Figure3MessageBytes) // P6 -> P8
+	pt.Add(5, 8, Figure3MessageBytes) // P6 -> P9
+	return pt
+}
+
+// Ring returns the pattern where every processor sends one message to
+// its successor modulo p.
+func Ring(p, bytes int) *Pattern {
+	pt := New(p)
+	for i := 0; i < p; i++ {
+		pt.Add(i, (i+1)%p, bytes)
+	}
+	return pt
+}
+
+// Shift returns the pattern where processor i sends to (i+k) mod p.
+func Shift(p, k, bytes int) *Pattern {
+	pt := New(p)
+	for i := 0; i < p; i++ {
+		pt.Add(i, ((i+k)%p+p)%p, bytes)
+	}
+	return pt
+}
+
+// AllToAll returns the pattern where every processor sends one message to
+// every other processor, in increasing destination offset order.
+func AllToAll(p, bytes int) *Pattern {
+	pt := New(p)
+	for i := 0; i < p; i++ {
+		for off := 1; off < p; off++ {
+			pt.Add(i, (i+off)%p, bytes)
+		}
+	}
+	return pt
+}
+
+// HypercubeExchange returns the pairwise-exchange pattern along dimension
+// dim of a hypercube of 2^dims processors: every processor swaps one
+// message with the partner whose index differs in bit dim.
+func HypercubeExchange(dims, dim, bytes int) *Pattern {
+	p := 1 << dims
+	pt := New(p)
+	for i := 0; i < p; i++ {
+		pt.Add(i, i^(1<<dim), bytes)
+	}
+	return pt
+}
+
+// Gather returns the pattern where every non-root processor sends one
+// message to root.
+func Gather(p, root, bytes int) *Pattern {
+	pt := New(p)
+	for i := 0; i < p; i++ {
+		if i != root {
+			pt.Add(i, root, bytes)
+		}
+	}
+	return pt
+}
+
+// Scatter returns the pattern where root sends one message to every
+// other processor.
+func Scatter(p, root, bytes int) *Pattern {
+	pt := New(p)
+	for i := 0; i < p; i++ {
+		if i != root {
+			pt.Add(root, i, bytes)
+		}
+	}
+	return pt
+}
+
+// Random returns a pattern of m messages with uniformly random distinct
+// endpoints and sizes in [1, maxBytes], reproducible from seed.
+func Random(p, m, maxBytes int, seed int64) *Pattern {
+	rng := rand.New(rand.NewSource(seed))
+	pt := New(p)
+	for i := 0; i < m; i++ {
+		src := rng.Intn(p)
+		dst := rng.Intn(p)
+		for p > 1 && dst == src {
+			dst = rng.Intn(p)
+		}
+		pt.Add(src, dst, 1+rng.Intn(maxBytes))
+	}
+	return pt
+}
+
+// RandomDAG returns a random acyclic pattern: m messages whose sources
+// have strictly smaller processor index than their destinations, so the
+// worst-case algorithm never needs to break deadlocks on it.
+func RandomDAG(p, m, maxBytes int, seed int64) *Pattern {
+	rng := rand.New(rand.NewSource(seed))
+	pt := New(p)
+	if p < 2 {
+		return pt
+	}
+	for i := 0; i < m; i++ {
+		src := rng.Intn(p - 1)
+		dst := src + 1 + rng.Intn(p-1-src)
+		pt.Add(src, dst, 1+rng.Intn(maxBytes))
+	}
+	return pt
+}

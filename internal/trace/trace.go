@@ -1,0 +1,200 @@
+// Package trace represents the communication steps that the simulators
+// replay: directed multigraphs whose nodes are processors and whose edges
+// are messages with byte lengths (the paper's Section 4 input format).
+//
+// Message order matters: the messages a processor sends are queued in the
+// order they appear in the pattern, which the standard simulation
+// algorithm honours ("send available messages as soon as possible", in
+// queue order).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Msg is one message of a communication step.
+type Msg struct {
+	// Src and Dst are processor indices in [0, P).
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+	// Bytes is the message length; must be at least 1.
+	Bytes int `json:"bytes"`
+}
+
+// Pattern is one communication step: the set of messages exchanged, with
+// per-source ordering given by slice order.
+type Pattern struct {
+	// P is the number of processors participating in the step.
+	P int `json:"p"`
+	// Msgs lists the messages. For a fixed Src, earlier entries are
+	// sent earlier.
+	Msgs []Msg `json:"msgs"`
+}
+
+// New returns an empty pattern over p processors.
+func New(p int) *Pattern {
+	return &Pattern{P: p}
+}
+
+// Add appends a message of the given size and returns the pattern for
+// chaining.
+func (pt *Pattern) Add(src, dst, bytes int) *Pattern {
+	pt.Msgs = append(pt.Msgs, Msg{Src: src, Dst: dst, Bytes: bytes})
+	return pt
+}
+
+// Validate checks processor bounds, message sizes, and that self
+// messages are flagged as allowed or not. Self messages (src == dst) are
+// legal in a pattern — the LogGP simulators skip them (the paper treats
+// them as local memory transfers) while the machine emulator charges a
+// memory-copy cost.
+func (pt *Pattern) Validate() error {
+	if pt.P <= 0 {
+		return fmt.Errorf("trace: pattern has no processors (P=%d)", pt.P)
+	}
+	for i, m := range pt.Msgs {
+		if m.Src < 0 || m.Src >= pt.P {
+			return fmt.Errorf("trace: msg %d: src %d out of range [0,%d)", i, m.Src, pt.P)
+		}
+		if m.Dst < 0 || m.Dst >= pt.P {
+			return fmt.Errorf("trace: msg %d: dst %d out of range [0,%d)", i, m.Dst, pt.P)
+		}
+		if m.Bytes < 1 {
+			return fmt.Errorf("trace: msg %d: size %d bytes; must be >= 1", i, m.Bytes)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the pattern.
+func (pt *Pattern) Clone() *Pattern {
+	c := &Pattern{P: pt.P, Msgs: make([]Msg, len(pt.Msgs))}
+	copy(c.Msgs, pt.Msgs)
+	return c
+}
+
+// SendQueues returns, for each processor, the indices into Msgs of the
+// messages it sends, in send order. Self messages are included; callers
+// that ignore them filter explicitly.
+func (pt *Pattern) SendQueues() [][]int {
+	q := make([][]int, pt.P)
+	for i, m := range pt.Msgs {
+		q[m.Src] = append(q[m.Src], i)
+	}
+	return q
+}
+
+// InDegrees returns the number of messages each processor receives
+// (excluding self messages, which never cross the network).
+func (pt *Pattern) InDegrees() []int {
+	d := make([]int, pt.P)
+	for _, m := range pt.Msgs {
+		if m.Src != m.Dst {
+			d[m.Dst]++
+		}
+	}
+	return d
+}
+
+// OutDegrees returns the number of messages each processor sends
+// (excluding self messages).
+func (pt *Pattern) OutDegrees() []int {
+	d := make([]int, pt.P)
+	for _, m := range pt.Msgs {
+		if m.Src != m.Dst {
+			d[m.Src]++
+		}
+	}
+	return d
+}
+
+// TotalBytes returns the total network volume of the step (self messages
+// excluded).
+func (pt *Pattern) TotalBytes() int {
+	total := 0
+	for _, m := range pt.Msgs {
+		if m.Src != m.Dst {
+			total += m.Bytes
+		}
+	}
+	return total
+}
+
+// NetworkMessages returns the number of messages that cross the network.
+func (pt *Pattern) NetworkMessages() int {
+	n := 0
+	for _, m := range pt.Msgs {
+		if m.Src != m.Dst {
+			n++
+		}
+	}
+	return n
+}
+
+// HasCycle reports whether the processor dependency graph (an edge from
+// src to dst for every network message) contains a directed cycle. The
+// worst-case algorithm deadlocks on cyclic patterns and must break them
+// randomly (Section 4.2), so callers use this to anticipate that path.
+func (pt *Pattern) HasCycle() bool {
+	adj := make([][]int, pt.P)
+	for _, m := range pt.Msgs {
+		if m.Src != m.Dst {
+			adj[m.Src] = append(adj[m.Src], m.Dst)
+		}
+	}
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make([]int, pt.P)
+	var visit func(int) bool
+	visit = func(u int) bool {
+		state[u] = inStack
+		for _, v := range adj[u] {
+			switch state[v] {
+			case inStack:
+				return true
+			case unvisited:
+				if visit(v) {
+					return true
+				}
+			}
+		}
+		state[u] = done
+		return false
+	}
+	for u := 0; u < pt.P; u++ {
+		if state[u] == unvisited && visit(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// String summarizes the pattern.
+func (pt *Pattern) String() string {
+	return fmt.Sprintf("pattern{P=%d msgs=%d net=%d bytes=%d}",
+		pt.P, len(pt.Msgs), pt.NetworkMessages(), pt.TotalBytes())
+}
+
+// Encode writes the pattern as JSON.
+func (pt *Pattern) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pt)
+}
+
+// Decode reads a JSON pattern and validates it.
+func Decode(r io.Reader) (*Pattern, error) {
+	var pt Pattern
+	if err := json.NewDecoder(r).Decode(&pt); err != nil {
+		return nil, fmt.Errorf("trace: decoding pattern: %w", err)
+	}
+	if err := pt.Validate(); err != nil {
+		return nil, err
+	}
+	return &pt, nil
+}

@@ -1,0 +1,155 @@
+// Package trisolve implements the blocked parallel triangular solve
+// L·y = rhs by forward substitution — the problem of Santos's
+// "Solving triangular linear systems in parallel using substitution",
+// which the paper cites as prior LogGP analysis work [16]. It is a third
+// application of the restricted program class, and one that exercises
+// variable message sizes: its payloads are length-b vector segments
+// (8·b bytes) rather than the b×b blocks (8·b² bytes) of the Gaussian
+// elimination, so a single program mixes operations and messages of
+// different granularities.
+//
+// Block row k of the solution is produced by Op5 (a forward substitution
+// against the diagonal block) and broadcast to the owners of the rows
+// below, which apply Op6 (a block–vector multiply-subtract). One program
+// step per pivot: step k updates every remaining row for pivot k-1 and
+// then solves row k.
+package trisolve
+
+import (
+	"fmt"
+
+	"loggpsim/internal/blockops"
+	"loggpsim/internal/layout"
+	"loggpsim/internal/matrix"
+	"loggpsim/internal/program"
+)
+
+// Grid describes the 1-D blocking of the system: NB block rows of B
+// elements each.
+type Grid struct {
+	NB int
+	B  int
+}
+
+// NewGrid validates that an n-element system divides into b-element
+// block rows.
+func NewGrid(n, b int) (Grid, error) {
+	if n <= 0 || b <= 0 {
+		return Grid{}, fmt.Errorf("trisolve: invalid system size %d or block size %d", n, b)
+	}
+	if n%b != 0 {
+		return Grid{}, fmt.Errorf("trisolve: block size %d does not divide system size %d", b, n)
+	}
+	return Grid{NB: n / b, B: b}, nil
+}
+
+// N returns the system size.
+func (g Grid) N() int { return g.NB * g.B }
+
+// owner maps block row i to its processor under a layout (using the
+// layout's first column, so 1-D distributions of 2-D layouts apply).
+func owner(lay layout.Layout, i int) int { return lay.Owner(i, 0) }
+
+// BuildProgram generates the oblivious program of the blocked forward
+// substitution on the given layout. Step k's computation phase applies
+// the pivot-(k-1) updates (Op6) to every remaining row and solves row k
+// (Op5); its communication phase broadcasts the new solution segment —
+// an 8·B-byte message — to each distinct owner of the rows below
+// (co-located owners receive self messages).
+func BuildProgram(g Grid, lay layout.Layout) (*program.Program, error) {
+	if err := layout.Validate(lay, g.NB); err != nil {
+		return nil, err
+	}
+	pr := program.New(lay.P())
+	bytes := blockops.VecBytes(g.B)
+	// Block ids for the cache model: the vector segment of row i plus
+	// the L blocks; offset the L blocks to avoid clashing with rows.
+	vecID := func(i int) uint64 { return uint64(i) }
+	for k := 0; k < g.NB; k++ {
+		s := pr.AddStep()
+		if k > 0 {
+			for i := k; i < g.NB; i++ {
+				s.AddOpOn(owner(lay, i), blockops.Op6, g.B, vecID(i))
+			}
+		}
+		src := owner(lay, k)
+		s.AddOpOn(src, blockops.Op5, g.B, vecID(k))
+		if k == g.NB-1 {
+			continue
+		}
+		seen := make(map[int]bool)
+		for i := k + 1; i < g.NB; i++ {
+			dst := owner(lay, i)
+			if seen[dst] {
+				continue
+			}
+			seen[dst] = true
+			s.Comm.Add(src, dst, bytes)
+		}
+	}
+	return pr, nil
+}
+
+// SolveBlocked solves l·y = rhs with the blocked forward substitution,
+// applying only the basic operations Op5 and Op6, and returns y. l must
+// be lower triangular with a non-zero diagonal; only its lower triangle
+// is read.
+func SolveBlocked(l *matrix.Dense, rhs []float64, b int) ([]float64, error) {
+	if l.Rows != l.Cols {
+		return nil, fmt.Errorf("trisolve: matrix must be square, got %d×%d", l.Rows, l.Cols)
+	}
+	if len(rhs) != l.Rows {
+		return nil, fmt.Errorf("trisolve: rhs length %d for order %d", len(rhs), l.Rows)
+	}
+	g, err := NewGrid(l.Rows, b)
+	if err != nil {
+		return nil, err
+	}
+	y := append([]float64(nil), rhs...)
+	blk := matrix.New(b, b)
+	for k := 0; k < g.NB; k++ {
+		matrix.CopyBlock(blk, l, k, k, b)
+		if err := blockops.ApplyOp5(blk, y[k*b:(k+1)*b]); err != nil {
+			return nil, fmt.Errorf("trisolve: pivot row %d: %w", k, err)
+		}
+		for i := k + 1; i < g.NB; i++ {
+			matrix.CopyBlock(blk, l, i, k, b)
+			blockops.ApplyOp6(blk, y[k*b:(k+1)*b], y[i*b:(i+1)*b])
+		}
+	}
+	return y, nil
+}
+
+// SolveReference solves l·y = rhs by element-wise forward substitution —
+// the oracle SolveBlocked is validated against.
+func SolveReference(l *matrix.Dense, rhs []float64) ([]float64, error) {
+	n := l.Rows
+	if len(rhs) != n {
+		return nil, fmt.Errorf("trisolve: rhs length %d for order %d", len(rhs), n)
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		piv := l.At(i, i)
+		if piv == 0 {
+			return nil, fmt.Errorf("trisolve: zero diagonal at %d", i)
+		}
+		s := rhs[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / piv
+	}
+	return y, nil
+}
+
+// RandomLower returns a random lower-triangular matrix with a dominant
+// diagonal, reproducible from seed.
+func RandomLower(n int, seed int64) *matrix.Dense {
+	m := matrix.Random(n, seed)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, 0)
+		}
+	}
+	return m
+}

@@ -1,0 +1,116 @@
+package trisolve
+
+import (
+	"fmt"
+
+	"loggpsim/internal/blockops"
+	"loggpsim/internal/cost"
+	"loggpsim/internal/layout"
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/matrix"
+	"loggpsim/internal/vruntime"
+)
+
+// VirtualSolve runs the blocked forward substitution on the virtual-time
+// runtime: real numerics (validated against SolveReference in the
+// tests) with the running time predicted by the LogGP clock. It returns
+// the solution and the runtime result.
+func VirtualSolve(l *matrix.Dense, rhs []float64, b int, lay layout.Layout,
+	params loggp.Params, model cost.Model) ([]float64, *vruntime.Result, error) {
+	if l.Rows != l.Cols {
+		return nil, nil, fmt.Errorf("trisolve: matrix must be square, got %d×%d", l.Rows, l.Cols)
+	}
+	if len(rhs) != l.Rows {
+		return nil, nil, fmt.Errorf("trisolve: rhs length %d for order %d", len(rhs), l.Rows)
+	}
+	g, err := NewGrid(l.Rows, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := layout.Validate(lay, g.NB); err != nil {
+		return nil, nil, err
+	}
+	if model == nil {
+		return nil, nil, fmt.Errorf("trisolve: no cost model")
+	}
+	nb := g.NB
+	y := append([]float64(nil), rhs...)
+	grab := func(bi, bj int) *matrix.Dense {
+		d := matrix.New(b, b)
+		matrix.CopyBlock(d, l, bi, bj, b)
+		return d
+	}
+	bytes := blockops.VecBytes(b)
+
+	var firstErr error
+	res, err := vruntime.Run(lay.P(), params, func(p *vruntime.Proc) {
+		pending := map[uint64][]float64{}
+		take := func(k uint64) []float64 {
+			for {
+				if v, ok := pending[k]; ok {
+					delete(pending, k)
+					return v
+				}
+				m := p.Recv()
+				pending[m.Tag] = m.Data.([]float64)
+			}
+		}
+		ownsFrom := func(k int) bool {
+			for i := k; i < nb; i++ {
+				if owner(lay, i) == p.ID() {
+					return true
+				}
+			}
+			return false
+		}
+		var yPrev []float64
+		for k := 0; k < nb; k++ {
+			if k > 0 && ownsFrom(k) {
+				// Pivot k-1 updates on every owned remaining row. The
+				// solution segment came from this processor's own Op5
+				// or from the broadcast it was a destination of.
+				yk := yPrev
+				if owner(lay, k-1) != p.ID() {
+					yk = take(uint64(k - 1))
+				}
+				for i := k; i < nb; i++ {
+					if owner(lay, i) != p.ID() {
+						continue
+					}
+					blk := grab(i, k-1)
+					seg := y[i*b : (i+1)*b]
+					p.Compute(model.Cost(blockops.Op6, b), func() {
+						blockops.ApplyOp6(blk, yk, seg)
+					})
+				}
+				yPrev = yk
+			}
+			if owner(lay, k) == p.ID() {
+				blk := grab(k, k)
+				seg := y[k*b : (k+1)*b]
+				p.Compute(model.Cost(blockops.Op5, b), func() {
+					if err := blockops.ApplyOp5(blk, seg); err != nil && firstErr == nil {
+						firstErr = err
+					}
+				})
+				yPrev = seg
+				seen := map[int]bool{p.ID(): true}
+				for i := k + 1; i < nb; i++ {
+					dst := owner(lay, i)
+					if seen[dst] {
+						continue
+					}
+					seen[dst] = true
+					p.Send(dst, uint64(k), seg, bytes)
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if firstErr != nil {
+		return nil, nil, fmt.Errorf("trisolve: virtual solve: %w", firstErr)
+	}
+	return y, res, nil
+}

@@ -1,0 +1,278 @@
+// Package vruntime executes real Go code for a set of virtual
+// processors under the LogGP machine model — direct-execution
+// simulation, the strongest form of the paper's "predict by simulating
+// the execution". Application code runs unmodified computations and
+// exchanges real data through Send/Recv, while the runtime advances
+// per-processor virtual clocks: computations are charged their declared
+// cost, communication operations obey the same Figure-1 gap rules and
+// arrival delays as package sim.
+//
+// Scheduling is conservative and sequential: a single coordinator
+// always resumes the processor with the lowest virtual time (for a
+// processor blocked in Recv, the earliest pending arrival). Exactly one
+// processor goroutine runs at any moment, so executions are fully
+// deterministic — same code, same machine, same result, same virtual
+// time — with no seeds involved.
+//
+// Unlike package sim, which replays an extracted communication pattern
+// under the paper's receive-priority policy, the runtime's schedule is
+// driven by the application's actual control flow (a processor receives
+// when it asks to). The two bracket real behaviour from different
+// directions; the tests compare them.
+package vruntime
+
+import (
+	"fmt"
+
+	"loggpsim/internal/eventq"
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/timeline"
+)
+
+// Message is one received message.
+type Message struct {
+	// Src is the sending processor.
+	Src int
+	// Tag distinguishes message streams; the runtime does not interpret
+	// it.
+	Tag uint64
+	// Data is the payload reference (never copied; treat as immutable
+	// after sending).
+	Data any
+	// Bytes is the modelled network size.
+	Bytes int
+	// Arrival is the virtual time the message became available.
+	Arrival float64
+
+	// msgIndex pairs the send and receive operations in the timeline.
+	msgIndex int
+}
+
+// Proc is one virtual processor's context, valid only inside the
+// function passed to Run and only on its own goroutine.
+type Proc struct {
+	id  int
+	m   *machine
+	st  procState
+	err error
+}
+
+type procState struct {
+	clock     float64
+	hasLast   bool
+	lastKind  loggp.OpKind
+	lastStart float64
+	lastBytes int
+	inbox     eventq.Queue[*Message]
+	blocked   bool
+	done      bool
+	resume    chan struct{}
+}
+
+type machine struct {
+	params   loggp.Params
+	procs    []*Proc
+	yield    chan int // proc id handing control back to the coordinator
+	timeline *timeline.Timeline
+	msgIndex int
+}
+
+// Result reports one finished run.
+type Result struct {
+	// Finish is the maximum virtual clock.
+	Finish float64
+	// ProcFinish is each processor's final virtual clock.
+	ProcFinish []float64
+	// Timeline records every communication operation (verifiable with
+	// timeline.Verify).
+	Timeline *timeline.Timeline
+}
+
+// ID returns the processor index.
+func (p *Proc) ID() int { return p.id }
+
+// P returns the processor count.
+func (p *Proc) P() int { return len(p.m.procs) }
+
+// Clock returns the processor's current virtual time.
+func (p *Proc) Clock() float64 { return p.st.clock }
+
+// Compute runs fn (which may be nil) and charges cost microseconds of
+// virtual time.
+func (p *Proc) Compute(cost float64, fn func()) {
+	if cost < 0 {
+		panic(fmt.Sprintf("vruntime: negative computation cost %g", cost))
+	}
+	if fn != nil {
+		fn()
+	}
+	p.st.clock += cost
+}
+
+// earliest mirrors sim's operation-start rule.
+func (p *Proc) earliest(kind loggp.OpKind) float64 {
+	t := p.st.clock
+	if p.st.hasLast {
+		if c := p.st.lastStart + p.m.params.Interval(p.st.lastKind, kind, p.st.lastBytes); c > t {
+			t = c
+		}
+	}
+	return t
+}
+
+// Send transmits data to dst. The payload is passed by reference (the
+// virtual machine's "network" is shared memory); bytes is its modelled
+// size. Sending to the processor itself delivers locally with no
+// network cost, mirroring the LogGP simulation's treatment of self
+// messages.
+func (p *Proc) Send(dst int, tag uint64, data any, bytes int) {
+	if dst < 0 || dst >= len(p.m.procs) {
+		panic(fmt.Sprintf("vruntime: send to processor %d of %d", dst, len(p.m.procs)))
+	}
+	if bytes < 1 {
+		panic(fmt.Sprintf("vruntime: message of %d bytes", bytes))
+	}
+	if dst == p.id {
+		p.st.inbox.Push(p.st.clock, &Message{
+			Src: p.id, Tag: tag, Data: data, Bytes: bytes, Arrival: p.st.clock,
+		})
+		return
+	}
+	start := p.earliest(loggp.Send)
+	arrival := start + p.m.params.ArrivalDelay(bytes)
+	idx := p.m.msgIndex
+	p.m.msgIndex++
+	p.m.timeline.Record(timeline.Op{
+		Proc: p.id, Kind: loggp.Send, Peer: dst, Bytes: bytes,
+		Start: start, MsgIndex: idx,
+	})
+	p.m.procs[dst].st.inbox.Push(arrival, &Message{
+		Src: p.id, Tag: tag, Data: data, Bytes: bytes, Arrival: arrival,
+		msgIndex: idx,
+	})
+	p.st.clock = start + p.m.params.O
+	p.st.hasLast, p.st.lastKind, p.st.lastStart, p.st.lastBytes = true, loggp.Send, start, bytes
+}
+
+// Recv blocks until a message is available and returns the earliest-
+// arriving one. The receive operation is charged at
+// max(earliest-legal-start, arrival), exactly as in package sim.
+func (p *Proc) Recv() Message {
+	for p.st.inbox.Empty() {
+		p.block()
+	}
+	arrival, msg := p.st.inbox.Pop()
+	if msg.Src == p.id {
+		// Local delivery: no network operation, no clock charge.
+		return *msg
+	}
+	start := max(p.earliest(loggp.Recv), arrival)
+	p.m.timeline.Record(timeline.Op{
+		Proc: p.id, Kind: loggp.Recv, Peer: msg.Src, Bytes: msg.Bytes,
+		Start: start, Arrival: arrival, MsgIndex: msg.msgIndex,
+	})
+	p.st.clock = start + p.m.params.O
+	p.st.hasLast, p.st.lastKind, p.st.lastStart, p.st.lastBytes = true, loggp.Recv, start, msg.Bytes
+	return *msg
+}
+
+// block yields control to the coordinator until a message is delivered.
+func (p *Proc) block() {
+	p.st.blocked = true
+	p.m.yield <- p.id
+	<-p.st.resume
+	p.st.blocked = false
+}
+
+// Run executes fn once per processor under the machine model and
+// returns the virtual-time result. fn runs on dedicated goroutines but
+// strictly one at a time; panics inside fn are propagated as errors.
+func Run(procs int, params loggp.Params, fn func(p *Proc)) (*Result, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if procs <= 0 {
+		return nil, fmt.Errorf("vruntime: need at least one processor, got %d", procs)
+	}
+	if procs > params.P {
+		return nil, fmt.Errorf("vruntime: %d processors on a machine with P=%d", procs, params.P)
+	}
+	m := &machine{
+		params:   params,
+		procs:    make([]*Proc, procs),
+		yield:    make(chan int),
+		timeline: timeline.New(procs),
+	}
+	for i := range m.procs {
+		m.procs[i] = &Proc{id: i, m: m}
+		m.procs[i].st.resume = make(chan struct{})
+	}
+	for i := range m.procs {
+		p := m.procs[i]
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					p.err = fmt.Errorf("vruntime: processor %d panicked: %v", p.id, r)
+				}
+				p.st.done = true
+				m.yield <- p.id
+			}()
+			// Wait for the coordinator's first resume.
+			<-p.st.resume
+			fn(p)
+		}()
+	}
+
+	running := procs
+	for running > 0 {
+		// Pick the processor to resume: the lowest virtual time among
+		// runnable ones, where a blocked processor's time is its
+		// earliest pending arrival (unrunnable if none).
+		best, bestTime := -1, 0.0
+		for _, p := range m.procs {
+			if p.st.done {
+				continue
+			}
+			t := p.st.clock
+			if p.st.blocked {
+				if p.st.inbox.Empty() {
+					continue // cannot make progress yet
+				}
+				if arrival, _ := p.st.inbox.Peek(); arrival > t {
+					t = arrival
+				}
+			}
+			if best < 0 || t < bestTime {
+				best, bestTime = p.id, t
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("vruntime: deadlock: %d processors blocked with no messages in flight", running)
+		}
+		p := m.procs[best]
+		p.st.resume <- struct{}{}
+		<-m.yield
+		if p.st.done {
+			running--
+			if p.err != nil {
+				// Drain the remaining processors before reporting: they
+				// may be blocked forever, so just abandon them — their
+				// goroutines are parked on their resume channels and
+				// hold no locks.
+				return nil, p.err
+			}
+		}
+	}
+
+	res := &Result{
+		ProcFinish: make([]float64, procs),
+		Timeline:   m.timeline,
+	}
+	for i, p := range m.procs {
+		res.ProcFinish[i] = p.st.clock
+		if p.st.clock > res.Finish {
+			res.Finish = p.st.clock
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,229 @@
+package vruntime
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"loggpsim/internal/collectives"
+	"loggpsim/internal/loggp"
+)
+
+var meiko = loggp.MeikoCS2(16)
+
+func TestPingPongHandValues(t *testing.T) {
+	// P0 sends 112 bytes at t=0; P1 receives at arrival 11.555 and
+	// replies; P0 receives the reply. All hand-computable.
+	res, err := Run(2, meiko, func(p *Proc) {
+		if p.ID() == 0 {
+			p.Send(1, 0, "ping", 112)
+			msg := p.Recv()
+			if msg.Data != "pong" {
+				t.Errorf("P0 received %v", msg.Data)
+			}
+		} else {
+			msg := p.Recv()
+			if msg.Data != "ping" {
+				t.Errorf("P1 received %v", msg.Data)
+			}
+			p.Send(0, 0, "pong", 112)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P1: recv at 11.555 (clock 13.555), send at 11.555+16=27.555
+	// (recv->send interval g=16), so clock 29.555.
+	// P0: send at 0 (clock 2), reply arrives 27.555+11.555=39.11,
+	// recv at 39.11, clock 41.11.
+	if math.Abs(res.ProcFinish[1]-29.555) > 1e-9 {
+		t.Errorf("P1 finish = %g, want 29.555", res.ProcFinish[1])
+	}
+	if math.Abs(res.Finish-41.11) > 1e-9 {
+		t.Errorf("Finish = %g, want 41.11", res.Finish)
+	}
+	if err := res.Timeline.Verify(meiko); err != nil {
+		t.Fatalf("timeline invalid: %v", err)
+	}
+	if res.Timeline.Sends() != 2 || res.Timeline.Recvs() != 2 {
+		t.Fatalf("ops = %d/%d", res.Timeline.Sends(), res.Timeline.Recvs())
+	}
+}
+
+func TestComputeCharges(t *testing.T) {
+	ran := false
+	res, err := Run(1, meiko, func(p *Proc) {
+		p.Compute(123.5, func() { ran = true })
+		p.Compute(0.5, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("computation closure not executed")
+	}
+	if res.Finish != 124 {
+		t.Fatalf("Finish = %g, want 124", res.Finish)
+	}
+}
+
+func TestSelfMessagesAreLocal(t *testing.T) {
+	res, err := Run(1, meiko, func(p *Proc) {
+		p.Send(0, 7, 42, 1024)
+		msg := p.Recv()
+		if msg.Data != 42 || msg.Tag != 7 {
+			t.Errorf("self message = %+v", msg)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finish != 0 {
+		t.Fatalf("local transfer charged %gµs of network time", res.Finish)
+	}
+	if len(res.Timeline.Ops) != 0 {
+		t.Fatalf("local transfer recorded %d network ops", len(res.Timeline.Ops))
+	}
+}
+
+func TestGapBetweenSends(t *testing.T) {
+	res, err := Run(3, meiko, func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			p.Send(1, 0, nil, 1)
+			p.Send(2, 0, nil, 1) // must wait g=16 after the first
+		default:
+			p.Recv()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := res.Timeline.PerProc()[0]
+	if ops[0].Start != 0 || ops[1].Start != 16 {
+		t.Fatalf("send starts = %g, %g; want 0 and 16", ops[0].Start, ops[1].Start)
+	}
+}
+
+func TestEarliestArrivalDeliveredFirst(t *testing.T) {
+	// P2 receives from both P0 (at 11.555) and P1 (who computes 100µs
+	// first, arriving later); Recv must deliver P0's first.
+	order := []int{}
+	_, err := Run(3, meiko, func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			p.Send(2, 0, nil, 112)
+		case 1:
+			p.Compute(100, nil)
+			p.Send(2, 0, nil, 112)
+		case 2:
+			order = append(order, p.Recv().Src, p.Recv().Src)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("delivery order = %v, want [0 1]", order)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	_, err := Run(2, meiko, func(p *Proc) {
+		p.Recv() // both wait forever
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("deadlock not detected: %v", err)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	_, err := Run(2, meiko, func(p *Proc) {
+		if p.ID() == 1 {
+			panic("boom")
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panic not propagated: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Run(0, meiko, func(*Proc) {}); err == nil {
+		t.Error("zero processors accepted")
+	}
+	if _, err := Run(2, loggp.Params{P: 0}, func(*Proc) {}); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := Run(32, meiko, func(*Proc) {}); err == nil {
+		t.Error("more processors than machine accepted")
+	}
+	if _, err := Run(2, meiko, func(p *Proc) { p.Send(5, 0, nil, 1) }); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() *Result {
+		res, err := Run(4, meiko, func(p *Proc) {
+			next := (p.ID() + 1) % p.P()
+			for round := 0; round < 5; round++ {
+				p.Compute(float64(10+p.ID()), nil)
+				p.Send(next, uint64(round), p.ID(), 256)
+				p.Recv()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Finish != b.Finish {
+		t.Fatalf("non-deterministic: %g vs %g", a.Finish, b.Finish)
+	}
+	if len(a.Timeline.Ops) != len(b.Timeline.Ops) {
+		t.Fatal("non-deterministic op counts")
+	}
+	for i := range a.Timeline.Ops {
+		if a.Timeline.Ops[i] != b.Timeline.Ops[i] {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+	if err := a.Timeline.Verify(meiko); err != nil {
+		t.Fatalf("timeline invalid: %v", err)
+	}
+}
+
+// TestBroadcastMatchesOracle runs a real binomial broadcast through the
+// runtime and compares its virtual time with the collectives recurrence
+// — the runtime and the step-replay simulation agree on forwarding
+// trees.
+func TestBroadcastMatchesOracle(t *testing.T) {
+	const procs, bytes = 16, 112
+	res, err := Run(procs, meiko, func(p *Proc) {
+		// Standard binomial broadcast from 0: receive once (unless
+		// root), then forward to i+stride for every stride above i.
+		if p.ID() != 0 {
+			p.Recv()
+		}
+		for stride := 1; stride < procs; stride *= 2 {
+			if p.ID() < stride && p.ID()+stride < procs {
+				p.Send(p.ID()+stride, 0, nil, bytes)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Timeline.Verify(meiko); err != nil {
+		t.Fatalf("timeline invalid: %v", err)
+	}
+	if res.Timeline.Sends() != procs-1 {
+		t.Fatalf("sends = %d, want %d", res.Timeline.Sends(), procs-1)
+	}
+	want := collectives.BinomialBroadcastTime(meiko, procs, bytes)
+	if math.Abs(res.Finish-want) > 1e-9 {
+		t.Fatalf("runtime broadcast = %g, recurrence = %g", res.Finish, want)
+	}
+}

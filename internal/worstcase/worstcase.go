@@ -1,0 +1,298 @@
+// Package worstcase implements the paper's overestimation simulation
+// algorithm (Section 4.2): every processor first waits for all the
+// messages it has to receive — tracked by a messages-to-receive counter —
+// and only afterwards starts transmitting its own. The algorithm cannot
+// occur in a real Split-C execution (processors do not know their receive
+// counts and programmers send eagerly); it exists purely to give an upper
+// bound on the communication time under the LogGP model.
+//
+// On communication patterns whose processor graph contains cycles the
+// strategy deadlocks — every processor in a cycle waits forever — so,
+// as the paper prescribes, the algorithm performs some message
+// transmissions at random to break the deadlock.
+//
+// Like sim, the package offers a Session for chaining the alternating
+// computation and communication steps of a program, carrying clocks and
+// gap state across steps.
+package worstcase
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"loggpsim/internal/eventq"
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/timeline"
+	"loggpsim/internal/trace"
+)
+
+// Config controls a worst-case simulation.
+type Config struct {
+	// Params is the LogGP machine description.
+	Params loggp.Params
+	// Ready optionally gives per-processor start clocks (see sim.Config).
+	Ready []float64
+	// Seed drives the random choice of which blocked processor releases
+	// a message when a deadlock must be broken.
+	Seed int64
+}
+
+// Result is the outcome of one worst-case communication step.
+type Result struct {
+	// Timeline records every committed operation.
+	Timeline *timeline.Timeline
+	// Finish is the completion time of the step.
+	Finish float64
+	// ProcFinish is each processor's clock after the step.
+	ProcFinish []float64
+	// SelfMessages counts skipped local messages.
+	SelfMessages int
+	// DeadlocksBroken counts forced sends issued to escape cyclic waits.
+	DeadlocksBroken int
+}
+
+type procState struct {
+	ctime     float64
+	hasLast   bool
+	lastKind  loggp.OpKind
+	lastStart float64
+	lastBytes int
+	sendQ     []int
+	sendHead  int
+	recvQ     eventq.Queue[int]
+	// toRecv is the messages-to-receive counter of Section 4.2: how many
+	// network messages this processor has not yet received. Sends are
+	// blocked while it is positive.
+	toRecv int
+	// forced counts sends released early to break deadlocks; they are
+	// exempt from the wait-for-receives rule.
+	forced int
+}
+
+func (s *procState) wantsSend() bool { return s.sendHead < len(s.sendQ) }
+
+func (s *procState) earliest(p loggp.Params, kind loggp.OpKind) float64 {
+	t := s.ctime
+	if s.hasLast {
+		if c := s.lastStart + p.Interval(s.lastKind, kind, s.lastBytes); c > t {
+			t = c
+		}
+	}
+	return t
+}
+
+// Session chains alternating computation and communication steps under
+// the worst-case strategy.
+type Session struct {
+	cfg Config
+	p   int
+	st  []*procState
+	rng *rand.Rand
+}
+
+// NewSession returns a session over procs processors.
+func NewSession(procs int, cfg Config) (*Session, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if procs <= 0 {
+		return nil, fmt.Errorf("worstcase: session needs at least one processor, got %d", procs)
+	}
+	if procs > cfg.Params.P {
+		return nil, fmt.Errorf("worstcase: session uses %d processors but machine has P=%d", procs, cfg.Params.P)
+	}
+	if cfg.Ready != nil && len(cfg.Ready) != procs {
+		return nil, fmt.Errorf("worstcase: %d ready times for %d processors", len(cfg.Ready), procs)
+	}
+	s := &Session{
+		cfg: cfg,
+		p:   procs,
+		st:  make([]*procState, procs),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := range s.st {
+		s.st[i] = &procState{}
+		if cfg.Ready != nil {
+			s.st[i].ctime = cfg.Ready[i]
+		}
+	}
+	return s, nil
+}
+
+// Clocks returns a copy of the current per-processor clocks.
+func (s *Session) Clocks() []float64 {
+	out := make([]float64, s.p)
+	for i, st := range s.st {
+		out[i] = st.ctime
+	}
+	return out
+}
+
+// Finish returns the maximum clock.
+func (s *Session) Finish() float64 {
+	finish := 0.0
+	for _, st := range s.st {
+		if st.ctime > finish {
+			finish = st.ctime
+		}
+	}
+	return finish
+}
+
+// Compute advances each processor's clock by its computation duration.
+func (s *Session) Compute(durs []float64) error {
+	if len(durs) != s.p {
+		return fmt.Errorf("worstcase: %d computation durations for %d processors", len(durs), s.p)
+	}
+	for i, d := range durs {
+		if d < 0 {
+			return fmt.Errorf("worstcase: processor %d has negative computation time %g", i, d)
+		}
+		s.st[i].ctime += d
+	}
+	return nil
+}
+
+// AdvanceTo raises a processor's clock to at least t (see
+// sim.Session.AdvanceTo).
+func (s *Session) AdvanceTo(proc int, t float64) error {
+	if proc < 0 || proc >= s.p {
+		return fmt.Errorf("worstcase: processor %d outside [0,%d)", proc, s.p)
+	}
+	if t > s.st[proc].ctime {
+		s.st[proc].ctime = t
+	}
+	return nil
+}
+
+// Communicate simulates one communication step under the worst-case
+// strategy, updating the session state.
+func (s *Session) Communicate(pt *trace.Pattern) (*Result, error) {
+	if err := pt.Validate(); err != nil {
+		return nil, err
+	}
+	if pt.P != s.p {
+		return nil, fmt.Errorf("worstcase: pattern uses %d processors but session has %d", pt.P, s.p)
+	}
+	p := s.cfg.Params
+	r := &Result{Timeline: timeline.New(pt.P)}
+	for idx, m := range pt.Msgs {
+		if m.Src == m.Dst {
+			r.SelfMessages++
+			continue
+		}
+		s.st[m.Src].sendQ = append(s.st[m.Src].sendQ, idx)
+		s.st[m.Dst].toRecv++
+	}
+
+	commitSend := func(src int, start float64) {
+		st := s.st[src]
+		idx := st.sendQ[st.sendHead]
+		st.sendHead++
+		m := pt.Msgs[idx]
+		r.Timeline.Record(timeline.Op{
+			Proc: src, Kind: loggp.Send, Peer: m.Dst, Bytes: m.Bytes,
+			Start: start, MsgIndex: idx,
+		})
+		s.st[m.Dst].recvQ.Push(start+p.ArrivalDelay(m.Bytes), idx)
+		st.ctime = start + p.O
+		st.hasLast, st.lastKind, st.lastStart, st.lastBytes = true, loggp.Send, start, m.Bytes
+	}
+	commitRecv := func(dst int, start float64) {
+		st := s.st[dst]
+		arrival, idx := st.recvQ.Pop()
+		m := pt.Msgs[idx]
+		r.Timeline.Record(timeline.Op{
+			Proc: dst, Kind: loggp.Recv, Peer: m.Src, Bytes: m.Bytes,
+			Start: start, Arrival: arrival, MsgIndex: idx,
+		})
+		st.toRecv--
+		st.ctime = start + p.O
+		st.hasLast, st.lastKind, st.lastStart, st.lastBytes = true, loggp.Recv, start, m.Bytes
+	}
+
+	// Commit, in global time order, the earliest available action: a
+	// receive whenever one has arrived, a send only once the processor's
+	// counter has drained (or the send was force-released). When nothing
+	// is available but messages remain unsent, the pattern is cyclic:
+	// release one random blocked send.
+	for {
+		best, bestStart := -1, math.Inf(1)
+		bestKind := loggp.Send
+		for i, st := range s.st {
+			if !st.recvQ.Empty() {
+				arrival, _ := st.recvQ.Peek()
+				if start := max(st.earliest(p, loggp.Recv), arrival); start < bestStart {
+					best, bestStart, bestKind = i, start, loggp.Recv
+				}
+			}
+			if st.wantsSend() && (st.toRecv == 0 || st.forced > 0) {
+				if start := st.earliest(p, loggp.Send); start < bestStart {
+					best, bestStart, bestKind = i, start, loggp.Send
+				}
+			}
+		}
+		if best >= 0 {
+			if bestKind == loggp.Send {
+				st := s.st[best]
+				if st.toRecv != 0 {
+					st.forced--
+				}
+				commitSend(best, bestStart)
+			} else {
+				commitRecv(best, bestStart)
+			}
+			continue
+		}
+		var blocked []int
+		for i, st := range s.st {
+			if st.wantsSend() {
+				blocked = append(blocked, i)
+			}
+		}
+		if len(blocked) == 0 {
+			break
+		}
+		s.st[blocked[s.rng.Intn(len(blocked))]].forced++
+		r.DeadlocksBroken++
+	}
+
+	// Reset the per-step queues; clocks and gap state persist.
+	for _, st := range s.st {
+		st.sendQ = st.sendQ[:0]
+		st.sendHead = 0
+		st.toRecv = 0
+		st.forced = 0
+	}
+	r.ProcFinish = make([]float64, s.p)
+	for i, st := range s.st {
+		r.ProcFinish[i] = st.ctime
+		if st.ctime > r.Finish {
+			r.Finish = st.ctime
+		}
+	}
+	return r, nil
+}
+
+// Run simulates a single communication step with fresh state.
+func Run(pt *trace.Pattern, cfg Config) (*Result, error) {
+	if err := pt.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := NewSession(pt.P, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Communicate(pt)
+}
+
+// Completion is a convenience wrapper returning only the completion time
+// with all processors ready at time zero.
+func Completion(pt *trace.Pattern, params loggp.Params) (float64, error) {
+	r, err := Run(pt, Config{Params: params})
+	if err != nil {
+		return 0, err
+	}
+	return r.Finish, nil
+}

@@ -1,0 +1,219 @@
+package worstcase
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/sim"
+	"loggpsim/internal/trace"
+)
+
+var uni = loggp.Uniform(16)
+
+func mustRun(t *testing.T, pt *trace.Pattern, cfg Config) *Result {
+	t.Helper()
+	r, err := Run(pt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Timeline.Verify(cfg.Params); err != nil {
+		t.Fatalf("timeline violates LogGP model: %v", err)
+	}
+	return r
+}
+
+func TestSingleMessageMatchesStandard(t *testing.T) {
+	pt := trace.New(2).Add(0, 1, 1)
+	r := mustRun(t, pt, Config{Params: uni})
+	if r.Finish != 3 {
+		t.Fatalf("Finish = %g, want 3", r.Finish)
+	}
+	if r.DeadlocksBroken != 0 {
+		t.Fatalf("DeadlocksBroken = %d, want 0", r.DeadlocksBroken)
+	}
+}
+
+func TestSendsWaitForAllReceives(t *testing.T) {
+	// P1 must receive from P0 before sending to P2, even though its send
+	// could otherwise start at t=0.
+	pt := trace.New(3).Add(1, 2, 1).Add(0, 1, 1)
+	r := mustRun(t, pt, Config{Params: uni})
+	p1ops := r.Timeline.PerProc()[1]
+	if p1ops[0].Kind != loggp.Recv {
+		t.Fatalf("P1 first op = %v, want recv (receive-all-first rule)", p1ops[0].Kind)
+	}
+	// Recv at arrival 2; send at 2 + max(o,g) = 3; vs the standard
+	// algorithm which sends at 0.
+	if p1ops[1].Start != 3 {
+		t.Fatalf("P1 send start = %g, want 3", p1ops[1].Start)
+	}
+	std, err := sim.Run(pt, sim.Config{Params: uni})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.Finish > std.Finish) {
+		t.Fatalf("worst case %g not above standard %g", r.Finish, std.Finish)
+	}
+}
+
+// Figure 5 golden test: the reconstructed Figure 3 pattern under the
+// reconstructed Meiko CS-2 parameters. Hand computation (DESIGN.md):
+// completion 73.11µs, with P7, P8, P9 and P10 finishing their last
+// receives concurrently, and P8's second receive delayed from its
+// arrival (55.11) to 71.11 by the gap rule — exactly the paper's prose.
+func TestFigure5Golden(t *testing.T) {
+	pt := trace.Figure3()
+	params := loggp.MeikoCS2(10)
+	r := mustRun(t, pt, Config{Params: params, Seed: 1})
+	const want = 73.11
+	if math.Abs(r.Finish-want) > 1e-9 {
+		t.Fatalf("Figure 5 completion = %g, want %g", r.Finish, want)
+	}
+	if r.DeadlocksBroken != 0 {
+		t.Fatalf("acyclic pattern broke %d deadlocks", r.DeadlocksBroken)
+	}
+	for _, proc := range []int{6, 7, 8, 9} { // P7, P8, P9, P10
+		if got := r.ProcFinish[proc]; math.Abs(got-want) > 1e-9 {
+			t.Errorf("P%d finish = %g, want %g (concurrent finishers)", proc+1, got, want)
+		}
+	}
+	// P8 (index 7): both messages arrive concurrently at 55.11; the
+	// second receive is pushed to 71.11 by the gap requirement.
+	p8 := r.Timeline.PerProc()[7]
+	if len(p8) != 2 {
+		t.Fatalf("P8 ops = %d, want 2", len(p8))
+	}
+	if math.Abs(p8[0].Arrival-55.11) > 1e-9 || math.Abs(p8[1].Arrival-55.11) > 1e-9 {
+		t.Fatalf("P8 arrivals = %g, %g, want both 55.11", p8[0].Arrival, p8[1].Arrival)
+	}
+	if math.Abs(p8[0].Start-55.11) > 1e-9 || math.Abs(p8[1].Start-71.11) > 1e-9 {
+		t.Fatalf("P8 receive starts = %g, %g, want 55.11 and 71.11", p8[0].Start, p8[1].Start)
+	}
+	// Sanity: strictly worse than the standard algorithm's 61.555.
+	std, err := sim.Run(pt, sim.Config{Params: params, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.Finish > std.Finish) {
+		t.Fatalf("worst case %g not above standard %g", r.Finish, std.Finish)
+	}
+}
+
+func TestRingDeadlockBroken(t *testing.T) {
+	pt := trace.Ring(4, 8)
+	r := mustRun(t, pt, Config{Params: uni, Seed: 7})
+	if r.DeadlocksBroken == 0 {
+		t.Fatal("cyclic ring pattern needed no deadlock breaking")
+	}
+	if r.Timeline.Sends() != 4 || r.Timeline.Recvs() != 4 {
+		t.Fatalf("delivered %d/%d ops, want 4/4", r.Timeline.Sends(), r.Timeline.Recvs())
+	}
+}
+
+func TestTwoCycleDeadlock(t *testing.T) {
+	pt := trace.New(2).Add(0, 1, 1).Add(1, 0, 1)
+	r := mustRun(t, pt, Config{Params: uni, Seed: 3})
+	if r.DeadlocksBroken != 1 {
+		t.Fatalf("DeadlocksBroken = %d, want 1", r.DeadlocksBroken)
+	}
+}
+
+func TestSelfMessagesSkipped(t *testing.T) {
+	pt := trace.New(2).Add(1, 1, 4).Add(0, 1, 1)
+	r := mustRun(t, pt, Config{Params: uni})
+	if r.SelfMessages != 1 {
+		t.Fatalf("SelfMessages = %d, want 1", r.SelfMessages)
+	}
+	// The self message must not count toward the receive counter; P1
+	// has no sends so completion is just the network message.
+	if r.Finish != 3 {
+		t.Fatalf("Finish = %g, want 3", r.Finish)
+	}
+}
+
+func TestReadyTimes(t *testing.T) {
+	pt := trace.New(2).Add(0, 1, 1)
+	r := mustRun(t, pt, Config{Params: uni, Ready: []float64{10, 0}})
+	if r.Finish != 13 {
+		t.Fatalf("Finish = %g, want 13", r.Finish)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	good := trace.New(2).Add(0, 1, 1)
+	if _, err := Run(good, Config{Params: loggp.Params{P: 0}}); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := Run(trace.New(0), Config{Params: uni}); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+	if _, err := Run(trace.New(32).Add(0, 31, 1), Config{Params: uni}); err == nil {
+		t.Error("pattern wider than machine accepted")
+	}
+	if _, err := Run(good, Config{Params: uni, Ready: []float64{1}}); err == nil {
+		t.Error("wrong ready length accepted")
+	}
+}
+
+// Property: on acyclic patterns the overestimation algorithm is an upper
+// bound for the standard algorithm — the paper's reason for building it.
+func TestUpperBoundsStandardOnDAGs(t *testing.T) {
+	f := func(seed int64, pRaw, mRaw uint8) bool {
+		p := int(pRaw%12) + 2
+		m := int(mRaw%48) + 1
+		pt := trace.RandomDAG(p, m, 512, seed)
+		params := loggp.MeikoCS2(p)
+		std, err := sim.Run(pt, sim.Config{Params: params, Seed: seed})
+		if err != nil {
+			return false
+		}
+		wc, err := Run(pt, Config{Params: params, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return wc.Finish+1e-9 >= std.Finish
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every message is delivered exactly once and the timeline
+// verifies, even on cyclic patterns requiring deadlock breaks.
+func TestWorstCaseInvariants(t *testing.T) {
+	f := func(seed int64, pRaw, mRaw uint8) bool {
+		p := int(pRaw%12) + 2
+		m := int(mRaw%48) + 1
+		pt := trace.Random(p, m, 512, seed) // may contain cycles
+		params := loggp.MeikoCS2(p)
+		r, err := Run(pt, Config{Params: params, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if err := r.Timeline.Verify(params); err != nil {
+			t.Logf("verify: %v", err)
+			return false
+		}
+		net := pt.NetworkMessages()
+		return r.Timeline.Sends() == net && r.Timeline.Recvs() == net
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	pt := trace.Random(6, 30, 256, 11) // cyclic with high probability
+	a := mustRun(t, pt, Config{Params: uni, Seed: 5})
+	b := mustRun(t, pt, Config{Params: uni, Seed: 5})
+	if a.Finish != b.Finish || len(a.Timeline.Ops) != len(b.Timeline.Ops) {
+		t.Fatal("same seed produced different runs")
+	}
+	for i := range a.Timeline.Ops {
+		if a.Timeline.Ops[i] != b.Timeline.Ops[i] {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+# Build/verify targets for the loggpsim repository.
+#
+#   make ci      — what a CI runner executes: vet + race-enabled tests
+#   make test    — fast tier-1 check (go build + go test)
+#   make race    — full test suite under the race detector
+#   make bench   — the sweep-engine and figure benchmarks
+#   make sweep   — serial-vs-parallel sweep benchmark pair only
+
+GO ?= go
+
+.PHONY: all build test vet race bench sweep ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The concurrent paths (internal/sweep, search.Memoized, the parallel
+# sweeps in experiments/sensitivity/scaling) must stay race-clean.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run NONE -bench . -benchmem .
+
+sweep:
+	$(GO) test -run NONE -bench 'BenchmarkSweep(Serial|Parallel)|BenchmarkQuietModeSimulation' -benchmem .
+
+ci: vet test race

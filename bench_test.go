@@ -15,6 +15,7 @@ import (
 	"loggpsim"
 	"loggpsim/internal/blockops"
 	"loggpsim/internal/cost"
+	"loggpsim/internal/experiments"
 	"loggpsim/internal/ge"
 	"loggpsim/internal/layout"
 	"loggpsim/internal/machine"
@@ -598,4 +599,75 @@ func BenchmarkNetworkContention(b *testing.B) {
 			return sim.Config{Params: params, Seed: 1, Network: f}
 		})
 	})
+}
+
+// --- Sweep engine benches (the Figure 7/8/9 reproduction pipeline) ---
+
+// sweepBenchConfig is the Figure-7 pipeline at bench scale: every block
+// size is one independent prediction + emulation cell.
+func sweepBenchConfig(workers int) experiments.Config {
+	cfg := experiments.Default()
+	cfg.N = benchN
+	cfg.Workers = workers
+	return cfg
+}
+
+// BenchmarkSweepSerial runs the diagonal-layout Figure-7 sweep on one
+// worker — the repository's pre-engine hot path.
+func BenchmarkSweepSerial(b *testing.B) {
+	cfg := sweepBenchConfig(1)
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RunGE(cfg, func(nb int) layout.Layout {
+			return layout.Diagonal(cfg.P, nb)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// BenchmarkSweepParallel is the identical sweep fanned out over all
+// CPUs; its output is byte-identical to BenchmarkSweepSerial's (asserted
+// by TestRunGEParallelDeterminism), so the ratio of the two is pure
+// engine speedup.
+func BenchmarkSweepParallel(b *testing.B) {
+	cfg := sweepBenchConfig(0) // 0 = GOMAXPROCS
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RunGE(cfg, func(nb int) layout.Layout {
+			return layout.Diagonal(cfg.P, nb)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// BenchmarkQuietModeSimulation isolates the quiet-mode fast path: the
+// same random step scheduled with and without timeline recording (the
+// sweeps and the predictor always run quiet).
+func BenchmarkQuietModeSimulation(b *testing.B) {
+	pt := trace.Random(16, 4096, 1024, 1)
+	params := loggpsim.MeikoCS2(16)
+	for _, variant := range []struct {
+		name string
+		cfg  sim.Config
+	}{
+		{"recording", sim.Config{Params: params, Seed: 1}},
+		{"quiet", sim.Config{Params: params, Seed: 1, NoTimeline: true}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(pt, variant.cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

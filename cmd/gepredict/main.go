@@ -8,7 +8,11 @@
 //
 //	gepredict [-n 960] [-procs 8] [-blocks 8,10,...] [-layout both|diagonal|row|col|2d]
 //	          [-model analytic|measured] [-search sweep|ternary|climb]
-//	          [-emulate] [-profile] [-csv]
+//	          [-emulate] [-profile] [-workers 0] [-csv]
+//
+// The per-block-size predictions fan out over -workers goroutines (0 =
+// all CPUs); the tables and the chosen optimum are byte-identical at any
+// worker count.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"loggpsim/internal/predictor"
 	"loggpsim/internal/search"
 	"loggpsim/internal/stats"
+	"loggpsim/internal/sweep"
 )
 
 func main() {
@@ -39,6 +44,7 @@ func main() {
 	searchName := flag.String("search", "sweep", "optimum search: sweep, ternary or climb")
 	emulate := flag.Bool("emulate", false, "also run the machine emulator for measured columns")
 	profile := flag.Bool("profile", false, "print the most expensive steps of the optimal configuration")
+	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = all CPUs)")
 	csv := flag.Bool("csv", false, "emit CSV")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
@@ -126,19 +132,28 @@ func main() {
 			return pred, meas, nil
 		}
 
-		for _, b := range usable {
+		// One independent prediction (plus optional emulation) per block
+		// size: fan out, then emit the ordered rows.
+		type cell struct {
+			pred *predictor.Prediction
+			meas *machine.Result
+		}
+		cells, err := sweep.Map(usable, func(_ int, b int) (cell, error) {
 			pred, meas, err := predict(b)
-			if err != nil {
-				fatal(err)
-			}
+			return cell{pred, meas}, err
+		}, sweep.Workers(*workers))
+		if err != nil {
+			fatal(err)
+		}
+		for i, b := range usable {
 			measured := "-"
-			if meas != nil {
-				measured = fmt.Sprintf("%.4g", meas.Total/1e6)
+			if cells[i].meas != nil {
+				measured = fmt.Sprintf("%.4g", cells[i].meas.Total/1e6)
 			}
-			tab.AddRow(b, pred.Total/1e6, pred.TotalWorst/1e6, pred.Comp/1e6, pred.Comm/1e6, measured)
+			p := cells[i].pred
+			tab.AddRow(b, p.Total/1e6, p.TotalWorst/1e6, p.Comp/1e6, p.Comm/1e6, measured)
 		}
 		fmt.Printf("## %s mapping, n=%d, P=%d, %s cost model\n\n", name, *n, *procs, *modelName)
-		var err error
 		if *csv {
 			err = tab.WriteCSV(os.Stdout)
 		} else {
@@ -159,7 +174,7 @@ func main() {
 		var err2 error
 		switch *searchName {
 		case "sweep":
-			best, err2 = search.Sweep(usable, objective)
+			best, err2 = search.SweepParallel(usable, objective, *workers)
 		case "ternary":
 			best, err2 = search.Ternary(usable, objective)
 		case "climb":

@@ -184,3 +184,83 @@ func BenchmarkPushPop(b *testing.B) {
 		}
 	}
 }
+
+// TestStableUnderInterleavedPushPop exercises the stability guarantee in
+// the pattern the simulators actually produce: pushes and pops
+// interleave, and many keys collide. Among equal keys, values must come
+// out in insertion order even when the heap has been churned by pops in
+// between.
+func TestStableUnderInterleavedPushPop(t *testing.T) {
+	var q Queue[int]
+	next := 0         // next value to insert; also its insertion rank
+	perKey := 3       // equal-key burst size
+	var expect []int  // values in the order they must pop for key k
+	popKey := func(k float64, n int) {
+		for i := 0; i < n; i++ {
+			key, v := q.Pop()
+			if key != k {
+				t.Fatalf("popped key %g, want %g", key, k)
+			}
+			if v != expect[0] {
+				t.Fatalf("key %g: popped %d, want %d (FIFO among equals)", k, v, expect[0])
+			}
+			expect = expect[1:]
+		}
+	}
+	// Round 1: three bursts at keys 2, 1, 2 — the second key-2 burst is
+	// inserted after a key-1 burst and after heap churn, but must still
+	// pop behind the first key-2 burst.
+	first2 := []int{}
+	for i := 0; i < perKey; i++ {
+		q.Push(2, next)
+		first2 = append(first2, next)
+		next++
+	}
+	ones := []int{}
+	for i := 0; i < perKey; i++ {
+		q.Push(1, next)
+		ones = append(ones, next)
+		next++
+	}
+	expect = ones
+	popKey(1, perKey) // drain key 1, churning the heap
+	second2 := []int{}
+	for i := 0; i < perKey; i++ {
+		q.Push(2, next)
+		second2 = append(second2, next)
+		next++
+	}
+	expect = append(first2, second2...)
+	popKey(2, 2*perKey)
+	if !q.Empty() {
+		t.Fatal("queue not empty")
+	}
+
+	// Round 2: randomized interleaving over few distinct keys, checked
+	// against a reference model (per-key FIFO).
+	rng := rand.New(rand.NewSource(42))
+	model := map[float64][]int{}
+	size := 0
+	for round := 0; round < 5000; round++ {
+		if size == 0 || rng.Intn(3) > 0 {
+			k := float64(rng.Intn(4))
+			q.Push(k, next)
+			model[k] = append(model[k], next)
+			next++
+			size++
+		} else {
+			k, v := q.Pop()
+			size--
+			// Popped key must be the minimum present in the model.
+			for mk, vs := range model {
+				if len(vs) > 0 && mk < k {
+					t.Fatalf("popped key %g while %g still queued", k, mk)
+				}
+			}
+			if model[k][0] != v {
+				t.Fatalf("key %g: popped %d, want %d (insertion order)", k, v, model[k][0])
+			}
+			model[k] = model[k][1:]
+		}
+	}
+}

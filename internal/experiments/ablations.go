@@ -10,6 +10,7 @@ import (
 	"loggpsim/internal/predictor"
 	"loggpsim/internal/sensitivity"
 	"loggpsim/internal/stats"
+	"loggpsim/internal/sweep"
 )
 
 // AblationTable predicts one reference workload — the GE at the given
@@ -100,21 +101,28 @@ func AblationTable(cfg Config, b int) (*stats.Table, error) {
 		}},
 	}
 
-	var baseline float64
-	tab := stats.NewTable("variant", "predicted(s)", "vs baseline")
-	for i, v := range variants {
+	// Every variant predicts the same read-only program with its own
+	// sessions (and, where applicable, its own contention fabric), so the
+	// variants fan out; the rows are assembled serially from the ordered
+	// results, with the baseline at index 0.
+	totals, err := sweep.Map(variants, func(_ int, v variant) (float64, error) {
 		pc, err := v.mk()
 		if err != nil {
-			return nil, fmt.Errorf("experiments: variant %q: %w", v.name, err)
+			return 0, fmt.Errorf("experiments: variant %q: %w", v.name, err)
 		}
 		p, err := predictor.Predict(pr, pc)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: variant %q: %w", v.name, err)
+			return 0, fmt.Errorf("experiments: variant %q: %w", v.name, err)
 		}
-		if i == 0 {
-			baseline = p.Total
-		}
-		tab.AddRow(v.name, p.Total*secPerMicro, fmt.Sprintf("%+.1f%%", 100*(p.Total-baseline)/baseline))
+		return p.Total, nil
+	}, sweep.Workers(cfg.Workers))
+	if err != nil {
+		return nil, err
+	}
+	baseline := totals[0]
+	tab := stats.NewTable("variant", "predicted(s)", "vs baseline")
+	for i, v := range variants {
+		tab.AddRow(v.name, totals[i]*secPerMicro, fmt.Sprintf("%+.1f%%", 100*(totals[i]-baseline)/baseline))
 	}
 	return tab, nil
 }
@@ -133,13 +141,16 @@ func gridShape(p int) (int, int) {
 
 // SensitivityTable reports, per block size, the elasticity of the GE
 // prediction to each LogGP parameter — where the bottleneck sits as the
-// granularity changes.
+// granularity changes. The rows fan out over cfg.Workers goroutines (one
+// independent program build plus five predictions per row).
 func SensitivityTable(cfg Config) (*stats.Table, error) {
-	tab := stats.NewTable("block", "dT/dL", "dT/do", "dT/dg", "dT/dG", "dominant")
+	var usable []int
 	for _, b := range cfg.Sizes {
-		if cfg.N%b != 0 {
-			continue
+		if cfg.N%b == 0 {
+			usable = append(usable, b)
 		}
+	}
+	reports, err := sweep.Map(usable, func(_ int, b int) (*sensitivity.Report, error) {
 		g, err := ge.NewGrid(cfg.N, b)
 		if err != nil {
 			return nil, err
@@ -148,17 +159,20 @@ func SensitivityTable(cfg Config) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := sensitivity.Analyze(cfg.Params, 0.1, func(p loggp.Params) (float64, error) {
+		return sensitivity.Analyze(cfg.Params, 0.1, func(p loggp.Params) (float64, error) {
 			pred, err := predictor.Predict(pr, predictor.Config{Params: p, Cost: cfg.Model, Seed: cfg.Seed})
 			if err != nil {
 				return 0, err
 			}
 			return pred.Total, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		tab.AddRow(b, rep.PerParam[0].Value, rep.PerParam[1].Value,
+	}, sweep.Workers(cfg.Workers))
+	if err != nil {
+		return nil, err
+	}
+	tab := stats.NewTable("block", "dT/dL", "dT/do", "dT/dg", "dT/dG", "dominant")
+	for i, rep := range reports {
+		tab.AddRow(usable[i], rep.PerParam[0].Value, rep.PerParam[1].Value,
 			rep.PerParam[2].Value, rep.PerParam[3].Value, rep.Dominant().Param)
 	}
 	return tab, nil

@@ -16,6 +16,7 @@ import (
 	"loggpsim/internal/predictor"
 	"loggpsim/internal/sim"
 	"loggpsim/internal/stats"
+	"loggpsim/internal/sweep"
 	"loggpsim/internal/timeline"
 	"loggpsim/internal/trace"
 	"loggpsim/internal/worstcase"
@@ -40,6 +41,11 @@ type Config struct {
 	Model cost.Model
 	// Seed drives all randomized components.
 	Seed int64
+	// Workers bounds the goroutines the sweeps fan out over; values
+	// below 1 select runtime.GOMAXPROCS(0). Every block size is an
+	// independent prediction seeded identically to the serial loop, so
+	// the output is byte-identical at any worker count.
+	Workers int
 }
 
 // Default returns the paper-scale configuration: a 960×960 matrix on the
@@ -93,36 +99,42 @@ type Point struct {
 const secPerMicro = 1e-6
 
 // RunGE sweeps one layout over the block sizes and returns one Point per
-// size. The layout is identified by lay's Name.
+// size, fanning the independent (block size → prediction + emulation)
+// cells out over cfg.Workers goroutines. Each cell builds its own
+// program, sessions and caches and is seeded with cfg.Seed exactly as
+// the serial loop was, so the returned slice is byte-identical at any
+// worker count. The layout is identified by lay's Name.
 func RunGE(cfg Config, makeLayout func(nb int) layout.Layout) ([]Point, error) {
-	var points []Point
+	var usable []int
 	for _, b := range cfg.Sizes {
-		if cfg.N%b != 0 {
-			continue
+		if cfg.N%b == 0 {
+			usable = append(usable, b)
 		}
+	}
+	return sweep.Map(usable, func(_ int, b int) (Point, error) {
 		g, err := ge.NewGrid(cfg.N, b)
 		if err != nil {
-			return nil, err
+			return Point{}, err
 		}
 		lay := makeLayout(g.NB)
 		pr, err := ge.BuildProgram(g, lay)
 		if err != nil {
-			return nil, err
+			return Point{}, err
 		}
 		pred, err := predictor.Predict(pr, predictor.Config{
 			Params: cfg.Params, Cost: cfg.Model, Seed: cfg.Seed,
 		})
 		if err != nil {
-			return nil, err
+			return Point{}, err
 		}
 		mcfg := machine.Default(cfg.Params, cfg.Model)
 		mcfg.Seed = cfg.Seed
 		mcfg.AssignedBlocks = layout.BlockCounts(lay, g.NB)
 		meas, err := machine.Run(pr, mcfg)
 		if err != nil {
-			return nil, err
+			return Point{}, err
 		}
-		points = append(points, Point{
+		return Point{
 			Layout:               lay.Name(),
 			B:                    b,
 			MeasuredWithCache:    meas.Total * secPerMicro,
@@ -136,9 +148,8 @@ func RunGE(cfg Config, makeLayout func(nb int) layout.Layout) ([]Point, error) {
 			CompSimulated:        pred.Comp * secPerMicro,
 			CacheWarm:            meas.CacheWarm * secPerMicro,
 			Misses:               meas.Misses,
-		})
-	}
-	return points, nil
+		}, nil
+	}, sweep.Workers(cfg.Workers))
 }
 
 // RunBothLayouts runs the sweep for the paper's two layouts, keyed by

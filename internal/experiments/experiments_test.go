@@ -194,3 +194,75 @@ func TestGridShape(t *testing.T) {
 		}
 	}
 }
+
+// TestRunGEParallelDeterminism is the deterministic-equivalence check of
+// the sweep engine: fanning the block-size sweep out over 8 workers must
+// produce exactly (bit-for-bit float equality) the Point slice the
+// serial path produces — parallelism must not perturb the deterministic
+// tie-break seeds.
+func TestRunGEParallelDeterminism(t *testing.T) {
+	cfg := Default()
+	cfg.N = 240
+	mk := func(nb int) layout.Layout { return layout.Diagonal(cfg.P, nb) }
+
+	serialCfg := cfg
+	serialCfg.Workers = 1
+	want, err := RunGE(serialCfg, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 4 {
+		t.Fatalf("sweep too small: %d points", len(want))
+	}
+	parallelCfg := cfg
+	parallelCfg.Workers = 8
+	got, err := RunGE(parallelCfg, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parallel sweep has %d points, serial %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d differs:\nworkers=8: %+v\nworkers=1: %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunBothLayoutsParallelDeterminism covers the two-layout driver the
+// Figure 7/8/9 pipeline uses.
+func TestRunBothLayoutsParallelDeterminism(t *testing.T) {
+	cfg := Default()
+	cfg.N = 96
+	serialCfg := cfg
+	serialCfg.Workers = 1
+	want, err := RunBothLayouts(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelCfg := cfg
+	parallelCfg.Workers = 8
+	got, err := RunBothLayouts(parallelCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("layout count %d, want %d", len(got), len(want))
+	}
+	for name, wpts := range want {
+		gpts, ok := got[name]
+		if !ok {
+			t.Fatalf("layout %q missing from parallel run", name)
+		}
+		if len(gpts) != len(wpts) {
+			t.Fatalf("%s: %d points, want %d", name, len(gpts), len(wpts))
+		}
+		for i := range wpts {
+			if gpts[i] != wpts[i] {
+				t.Fatalf("%s point %d differs:\nworkers=8: %+v\nworkers=1: %+v",
+					name, i, gpts[i], wpts[i])
+			}
+		}
+	}
+}

@@ -146,7 +146,9 @@ func Run(pr *program.Program, cfg Config) (*Result, error) {
 // misses cost time (they are tracked either way).
 func run(pr *program.Program, cfg Config, chargeCache bool) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	simCfg := sim.Config{Params: cfg.Params, Seed: cfg.Seed}
+	// The emulator only reads clocks, so the replay runs in quiet mode
+	// (no timeline recording; see sim.Config.NoTimeline).
+	simCfg := sim.Config{Params: cfg.Params, Seed: cfg.Seed, NoTimeline: true}
 	if cfg.JitterFrac > 0 {
 		maxJitter := cfg.JitterFrac * cfg.Params.L
 		simCfg.Jitter = func(int, int) float64 { return rng.Float64() * maxJitter }
@@ -176,6 +178,7 @@ func run(pr *program.Program, cfg Config, chargeCache bool) (*Result, error) {
 	nextBufferID := uint64(1) << 32 // distinct from block ids
 
 	durs := make([]float64, pr.P)
+	var before, after []float64 // clock scratch, reused across steps
 	for stepIdx, step := range pr.Steps {
 		// Computation phase: iteration overhead + cache warming +
 		// operation costs.
@@ -225,14 +228,14 @@ func run(pr *program.Program, cfg Config, chargeCache bool) (*Result, error) {
 				pendingBuffers[m.Dst] = append(pendingBuffers[m.Dst], m.Bytes)
 			}
 		}
-		before := sess.Clocks()
+		before = sess.ClocksInto(before)
 		if err := sess.Compute(durs); err != nil {
 			return nil, fmt.Errorf("machine: step %d: %w", stepIdx, err)
 		}
 		if _, err := sess.Communicate(step.Comm); err != nil {
 			return nil, fmt.Errorf("machine: step %d: %w", stepIdx, err)
 		}
-		after := sess.Clocks()
+		after = sess.ClocksInto(after)
 		for proc := range commT {
 			commT[proc] += after[proc] - before[proc]
 		}

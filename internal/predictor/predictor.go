@@ -129,18 +129,25 @@ func Predict(pr *program.Program, cfg Config) (*Prediction, error) {
 		return nil, err
 	}
 
+	// The predictor only reads finish times and clocks, never the
+	// timelines, so both replays run in quiet mode: no timeline records,
+	// no per-step result slices (a large constant factor on sweeps that
+	// evaluate hundreds of candidate programs).
 	simCfg := sim.Config{
 		Params:       cfg.Params,
 		Seed:         cfg.Seed,
 		SendPriority: cfg.SendPriority,
 		GlobalOrder:  cfg.GlobalOrder,
 		Network:      cfg.Network,
+		NoTimeline:   true,
 	}
 	full, err := sim.NewSession(pr.P, simCfg)
 	if err != nil {
 		return nil, err
 	}
-	wcFull, err := worstcase.NewSession(pr.P, worstcase.Config{Params: cfg.Params, Seed: cfg.Seed})
+	wcFull, err := worstcase.NewSession(pr.P, worstcase.Config{
+		Params: cfg.Params, Seed: cfg.Seed, NoTimeline: true,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -170,6 +177,8 @@ func Predict(pr *program.Program, cfg Config) (*Prediction, error) {
 	durs := make([]float64, pr.P)
 	commStd := make([]float64, pr.P)
 	commWC := make([]float64, pr.P)
+	// Clock scratch buffers, reused across steps (ClocksInto).
+	var beforeStd, beforeWC, afterStd, afterWC []float64
 	for i, step := range pr.Steps {
 		for proc := range durs {
 			d := 0.0
@@ -212,7 +221,7 @@ func Predict(pr *program.Program, cfg Config) (*Prediction, error) {
 				return nil, fmt.Errorf("predictor: step %d: %w", i, err)
 			}
 		}
-		beforeStd, beforeWC := full.Clocks(), wcFull.Clocks()
+		beforeStd, beforeWC = full.ClocksInto(beforeStd), wcFull.ClocksInto(beforeWC)
 		if _, err := full.Communicate(step.Comm); err != nil {
 			return nil, fmt.Errorf("predictor: step %d: %w", i, err)
 		}
@@ -235,7 +244,7 @@ func Predict(pr *program.Program, cfg Config) (*Prediction, error) {
 				}
 			}
 		}
-		afterStd, afterWC := full.Clocks(), wcFull.Clocks()
+		afterStd, afterWC = full.ClocksInto(afterStd), wcFull.ClocksInto(afterWC)
 		for proc := 0; proc < pr.P; proc++ {
 			commStd[proc] += afterStd[proc] - beforeStd[proc]
 			commWC[proc] += afterWC[proc] - beforeWC[proc]

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"loggpsim/internal/sweep"
 )
 
 // Point is one processor count of a scaling sweep.
@@ -31,8 +33,18 @@ var ErrNoPoints = errors.New("scaling: no processor counts")
 
 // Sweep predicts the running time for every processor count (sorted
 // ascending; the smallest is the baseline) and derives speedups and
-// efficiencies.
+// efficiencies. It is SweepParallel with one worker.
 func Sweep(procs []int, predict func(p int) (float64, error)) ([]Point, error) {
+	return SweepParallel(procs, predict, 1)
+}
+
+// SweepParallel is Sweep with the per-processor-count predictions fanned
+// out over a worker pool (workers < 1 selects runtime.GOMAXPROCS(0)).
+// predict must be safe for concurrent use when more than one worker is
+// configured; the curve is identical to the serial Sweep at every worker
+// count, since speedups and efficiencies are derived serially from the
+// ordered prediction results.
+func SweepParallel(procs []int, predict func(p int) (float64, error), workers int) ([]Point, error) {
 	if len(procs) == 0 {
 		return nil, ErrNoPoints
 	}
@@ -41,16 +53,18 @@ func Sweep(procs []int, predict func(p int) (float64, error)) ([]Point, error) {
 	if ps[0] <= 0 {
 		return nil, fmt.Errorf("scaling: invalid processor count %d", ps[0])
 	}
-	points := make([]Point, len(ps))
-	for i, p := range ps {
+	points, err := sweep.Map(ps, func(_ int, p int) (Point, error) {
 		t, err := predict(p)
 		if err != nil {
-			return nil, fmt.Errorf("scaling: predicting P=%d: %w", p, err)
+			return Point{}, fmt.Errorf("scaling: predicting P=%d: %w", p, err)
 		}
 		if t <= 0 {
-			return nil, fmt.Errorf("scaling: non-positive time %g at P=%d", t, p)
+			return Point{}, fmt.Errorf("scaling: non-positive time %g at P=%d", t, p)
 		}
-		points[i] = Point{P: p, Time: t}
+		return Point{P: p, Time: t}, nil
+	}, sweep.Workers(workers))
+	if err != nil {
+		return nil, err
 	}
 	base := points[0]
 	for i := range points {

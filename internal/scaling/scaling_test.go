@@ -155,3 +155,45 @@ func TestGEScaling(t *testing.T) {
 		t.Fatalf("8 processors yield speedup %g; expected at least 2", pts[len(pts)-1].Speedup)
 	}
 }
+
+// TestSweepParallelMatchesSerial: the fanned-out scaling sweep must
+// produce the exact serial curve at every worker count.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	model := cost.DefaultAnalytic()
+	predict := func(p int) (float64, error) {
+		g, err := ge.NewGrid(96, 16)
+		if err != nil {
+			return 0, err
+		}
+		pr, err := ge.BuildProgram(g, layout.Diagonal(p, g.NB))
+		if err != nil {
+			return 0, err
+		}
+		pred, err := predictor.Predict(pr, predictor.Config{
+			Params: loggp.MeikoCS2(p), Cost: model, Seed: 1,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return pred.Total, nil
+	}
+	procs := []int{1, 2, 3, 4, 6}
+	want, err := Sweep(procs, predict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := SweepParallel(procs, predict, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d point %d: %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

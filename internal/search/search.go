@@ -5,12 +5,19 @@
 // exhaustive sweep plus two cheaper heuristics — a discrete ternary
 // search exploiting the roughly unimodal shape of the time-versus-block-
 // size curve, and a local hill climb for sawtooth-shaped curves where
-// unimodality only holds approximately.
+// unimodality only holds approximately. The exhaustive sweep can fan out
+// over a worker pool (SweepParallel) with results identical to the
+// serial loop; the heuristics are inherently sequential but share the
+// concurrency-safe memoization, so a heuristic and a sweep may probe one
+// objective from concurrent goroutines.
 package search
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+
+	"loggpsim/internal/sweep"
 )
 
 // Objective evaluates one candidate block size, returning the predicted
@@ -34,39 +41,83 @@ var ErrNoCandidates = errors.New("search: no candidate block sizes")
 
 // Memoized wraps an objective with a cache so repeated probes of the
 // same block size cost nothing; the returned counter reports distinct
-// evaluations.
+// evaluations. The wrapper is safe for concurrent use: simultaneous
+// probes of the same block size run the underlying objective once, the
+// late arrivals blocking until the in-flight evaluation finishes and
+// then sharing its result. A failed evaluation is not cached (matching
+// the serial behaviour), so a later probe retries; its error is still
+// delivered to every goroutine that was waiting on it. Read the counter
+// only after all evaluations have completed.
 func Memoized(f Objective) (Objective, *int) {
-	cache := map[int]float64{}
+	type inflight struct {
+		done chan struct{}
+		val  float64
+		err  error
+	}
+	var mu sync.Mutex
+	cache := map[int]*inflight{}
 	count := new(int)
 	return func(b int) (float64, error) {
-		if v, ok := cache[b]; ok {
-			return v, nil
+		mu.Lock()
+		if c, ok := cache[b]; ok {
+			mu.Unlock()
+			<-c.done
+			return c.val, c.err
 		}
-		v, err := f(b)
-		if err != nil {
-			return 0, err
+		c := &inflight{done: make(chan struct{})}
+		cache[b] = c
+		mu.Unlock()
+
+		c.val, c.err = f(b)
+
+		mu.Lock()
+		if c.err != nil {
+			delete(cache, b)
+		} else {
+			*count++
 		}
-		cache[b] = v
-		*count++
-		return v, nil
+		mu.Unlock()
+		close(c.done)
+		if c.err != nil {
+			return 0, c.err
+		}
+		return c.val, nil
 	}, count
 }
 
 // Sweep evaluates every candidate and returns the global minimum — the
-// paper's baseline strategy.
+// paper's baseline strategy. It is SweepParallel with one worker.
 func Sweep(sizes []int, f Objective) (Result, error) {
+	return SweepParallel(sizes, f, 1)
+}
+
+// SweepParallel is Sweep fanned out over a worker pool (workers < 1
+// selects runtime.GOMAXPROCS(0)). The objective must be safe for
+// concurrent use when more than one worker is configured; duplicate
+// candidates are deduplicated by the memoizing wrapper, so each distinct
+// block size is evaluated once. The result is identical to the serial
+// Sweep at every worker count: values are collected in input order and
+// the minimum scan runs serially, so ties resolve to the earliest
+// candidate exactly as in the serial loop.
+func SweepParallel(sizes []int, f Objective, workers int) (Result, error) {
 	if len(sizes) == 0 {
 		return Result{}, ErrNoCandidates
 	}
 	mf, count := Memoized(f)
-	best := Result{Best: -1}
-	for _, b := range sizes {
+	vals, err := sweep.Map(sizes, func(i, b int) (float64, error) {
 		v, err := mf(b)
 		if err != nil {
-			return Result{}, fmt.Errorf("search: evaluating block size %d: %w", b, err)
+			return 0, fmt.Errorf("search: evaluating block size %d: %w", b, err)
 		}
+		return v, nil
+	}, sweep.Workers(workers))
+	if err != nil {
+		return Result{}, err
+	}
+	best := Result{Best: -1}
+	for i, v := range vals {
 		if best.Best < 0 || v < best.Value {
-			best.Best, best.Value = b, v
+			best.Best, best.Value = sizes[i], v
 		}
 	}
 	best.Evaluations = *count

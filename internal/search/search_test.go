@@ -3,7 +3,10 @@ package search
 import (
 	"errors"
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 var sizes = []int{8, 10, 12, 16, 20, 24, 30, 32, 40, 48, 60, 80, 96, 120}
@@ -143,5 +146,116 @@ func TestArgmin(t *testing.T) {
 	boom := errors.New("x")
 	if _, _, err := Argmin(2, func(int) (float64, error) { return 0, boom }); !errors.Is(err, boom) {
 		t.Error("Argmin error not propagated")
+	}
+}
+
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	// Deterministic-equivalence: the parallel sweep must return exactly
+	// the serial result (same best, same value bit-for-bit, same
+	// evaluation count) at every worker count — including on a curve with
+	// a tied minimum, where input order decides the winner.
+	tied := func(b int) (float64, error) {
+		if b == 24 || b == 60 {
+			return 1.0, nil
+		}
+		return convex(b)
+	}
+	for _, f := range []Objective{convex, sawtooth, tied} {
+		want, err := Sweep(sizes, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			got, err := SweepParallel(sizes, f, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("workers=%d: %+v, want serial %+v", workers, got, want)
+			}
+		}
+	}
+}
+
+func TestSweepParallelDedupsDuplicates(t *testing.T) {
+	var calls atomic.Int64
+	f := func(b int) (float64, error) {
+		calls.Add(1)
+		return float64(b), nil
+	}
+	dup := []int{8, 8, 16, 8, 16, 24}
+	r, err := SweepParallel(dup, f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Best != 8 || r.Evaluations != 3 {
+		t.Fatalf("got %+v, want best 8 with 3 evaluations", r)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("objective ran %d times, want 3 (in-flight dedup)", calls.Load())
+	}
+}
+
+func TestMemoizedConcurrentSingleEvaluation(t *testing.T) {
+	// Many goroutines probing the same block size simultaneously must run
+	// the objective exactly once; a slow first evaluation forces the rest
+	// to actually wait on the in-flight call.
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	f := func(b int) (float64, error) {
+		calls.Add(1)
+		<-gate
+		return float64(b * b), nil
+	}
+	mf, count := Memoized(f)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	results := make([]float64, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := mf(7)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let every goroutine reach the cache before releasing the single
+	// in-flight evaluation.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if calls.Load() != 1 || *count != 1 {
+		t.Fatalf("objective ran %d times (count %d), want 1", calls.Load(), *count)
+	}
+	for i, v := range results {
+		if v != 49 {
+			t.Fatalf("goroutine %d got %g, want 49", i, v)
+		}
+	}
+}
+
+func TestMemoizedErrorNotCachedButShared(t *testing.T) {
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	f := func(b int) (float64, error) {
+		if calls.Add(1) == 1 {
+			return 0, boom
+		}
+		return float64(b), nil
+	}
+	mf, count := Memoized(f)
+	if _, err := mf(5); !errors.Is(err, boom) {
+		t.Fatalf("first call error = %v", err)
+	}
+	// The failure must not be cached: the retry re-runs the objective.
+	v, err := mf(5)
+	if err != nil || v != 5 {
+		t.Fatalf("retry = (%g, %v), want (5, nil)", v, err)
+	}
+	if calls.Load() != 2 || *count != 1 {
+		t.Fatalf("calls = %d count = %d, want 2 calls and 1 success", calls.Load(), *count)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"loggpsim/internal/loggp"
+	"loggpsim/internal/sweep"
 )
 
 // Elasticity is one parameter's finite-difference sensitivity.
@@ -52,41 +53,72 @@ func abs(x float64) float64 {
 }
 
 // Analyze perturbs each parameter of base by the relative delta
-// (e.g. 0.1 for +10%) and evaluates predict at every point.
+// (e.g. 0.1 for +10%) and evaluates predict at every point. It is
+// AnalyzeParallel with one worker.
 func Analyze(base loggp.Params, delta float64,
 	predict func(p loggp.Params) (float64, error)) (*Report, error) {
+	return AnalyzeParallel(base, delta, predict, 1)
+}
+
+// AnalyzeParallel is Analyze with the five predictions — the base point
+// plus the four perturbations — fanned out over a worker pool (workers
+// < 1 selects runtime.GOMAXPROCS(0)). predict must be safe for
+// concurrent use when more than one worker is configured. The report is
+// identical to the serial Analyze at every worker count: the evaluation
+// points depend only on base and delta, and the elasticities are
+// assembled serially from the ordered results.
+func AnalyzeParallel(base loggp.Params, delta float64,
+	predict func(p loggp.Params) (float64, error), workers int) (*Report, error) {
 	if delta <= 0 {
 		return nil, fmt.Errorf("sensitivity: delta must be positive, got %g", delta)
 	}
-	baseTime, err := predict(base)
-	if err != nil {
-		return nil, fmt.Errorf("sensitivity: base prediction: %w", err)
-	}
-	if baseTime <= 0 {
-		return nil, fmt.Errorf("sensitivity: non-positive base prediction %g", baseTime)
-	}
-	r := &Report{Base: baseTime}
-	perturbations := []struct {
+	type point struct {
 		name  string
 		value float64
 		apply func(p *loggp.Params, v float64)
-	}{
+	}
+	// Item 0 is the base prediction; the rest are the perturbations in
+	// L, o, g, G order. A base failure has the lowest item index, so it
+	// wins error propagation exactly as in the serial loop.
+	points := []point{
+		{name: "base"},
 		{"L", base.L, func(p *loggp.Params, v float64) { p.L = v }},
 		{"o", base.O, func(p *loggp.Params, v float64) { p.O = v }},
 		{"g", base.Gap, func(p *loggp.Params, v float64) { p.Gap = v }},
 		{"G", base.G, func(p *loggp.Params, v float64) { p.G = v }},
 	}
-	for i, pert := range perturbations {
-		e := Elasticity{Param: pert.name, Base: baseTime, Perturbed: baseTime}
-		if pert.value > 0 {
-			p := base
-			pert.apply(&p, pert.value*(1+delta))
-			t, err := predict(p)
+	times, err := sweep.Map(points, func(i int, pt point) (float64, error) {
+		if i == 0 {
+			t, err := predict(base)
 			if err != nil {
-				return nil, fmt.Errorf("sensitivity: perturbing %s: %w", pert.name, err)
+				return 0, fmt.Errorf("sensitivity: base prediction: %w", err)
 			}
-			e.Perturbed = t
-			e.Value = ((t - baseTime) / baseTime) / delta
+			if t <= 0 {
+				return 0, fmt.Errorf("sensitivity: non-positive base prediction %g", t)
+			}
+			return t, nil
+		}
+		if pt.value <= 0 {
+			return 0, nil // zero-valued parameters cannot be perturbed relatively
+		}
+		p := base
+		pt.apply(&p, pt.value*(1+delta))
+		t, err := predict(p)
+		if err != nil {
+			return 0, fmt.Errorf("sensitivity: perturbing %s: %w", pt.name, err)
+		}
+		return t, nil
+	}, sweep.Workers(workers))
+	if err != nil {
+		return nil, err
+	}
+	baseTime := times[0]
+	r := &Report{Base: baseTime}
+	for i, pt := range points[1:] {
+		e := Elasticity{Param: pt.name, Base: baseTime, Perturbed: baseTime}
+		if pt.value > 0 {
+			e.Perturbed = times[i+1]
+			e.Value = ((e.Perturbed - baseTime) / baseTime) / delta
 		}
 		r.PerParam[i] = e
 	}

@@ -133,3 +133,39 @@ func TestGESensitivities(t *testing.T) {
 		t.Errorf("bandwidth elasticity did not grow with block size: %g vs %g", GSmall, GLarge)
 	}
 }
+
+// TestAnalyzeParallelMatchesSerial: the fanned-out analysis must produce
+// the exact serial report (bit-for-bit elasticities) at every worker
+// count, on a real GE prediction.
+func TestAnalyzeParallelMatchesSerial(t *testing.T) {
+	g, err := ge.NewGrid(96, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := ge.BuildProgram(g, layout.Diagonal(4, g.NB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cost.DefaultAnalytic()
+	predict := func(p loggp.Params) (float64, error) {
+		pred, err := predictor.Predict(pr, predictor.Config{Params: p, Cost: model, Seed: 1})
+		if err != nil {
+			return 0, err
+		}
+		return pred.Total, nil
+	}
+	base := loggp.MeikoCS2(4)
+	want, err := Analyze(base, 0.1, predict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5, 8} {
+		got, err := AnalyzeParallel(base, 0.1, predict, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *want {
+			t.Fatalf("workers=%d: %+v, want serial %+v", workers, got, want)
+		}
+	}
+}

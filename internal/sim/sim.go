@@ -72,17 +72,28 @@ type Config struct {
 	// gives an average behavior ... not a precise one"). The pure
 	// predictor leaves it nil.
 	Jitter func(msgIndex int, bytes int) float64
+
+	// NoTimeline enables the quiet fast path for callers that only need
+	// finish times and clocks (sweeps evaluate hundreds of candidates and
+	// throw every timeline away): Communicate skips all timeline
+	// recording and the per-step ProcFinish allocation, leaving
+	// Result.Timeline and Result.ProcFinish nil. The schedule itself is
+	// computed identically, so Finish and the session clocks are exactly
+	// the values a recording run produces.
+	NoTimeline bool
 }
 
 // Result is the outcome of simulating one communication step.
 type Result struct {
-	// Timeline records every committed operation of the step.
+	// Timeline records every committed operation of the step; nil when
+	// the quiet mode (Config.NoTimeline) is on.
 	Timeline *timeline.Timeline
 	// Finish is the completion time of the step: the maximum processor
 	// finish time.
 	Finish float64
 	// ProcFinish is each processor's clock after the step, counting its
-	// ready time even if it performed no operation.
+	// ready time even if it performed no operation; nil in quiet mode
+	// (use Session.Clocks / ClocksInto instead).
 	ProcFinish []float64
 	// SelfMessages counts pattern messages with equal endpoints, which
 	// the LogGP simulation skips (they are local memory transfers; the
@@ -158,11 +169,21 @@ func NewSession(procs int, cfg Config) (*Session, error) {
 
 // Clocks returns a copy of the current per-processor clocks.
 func (s *Session) Clocks() []float64 {
-	out := make([]float64, s.p)
-	for i, st := range s.st {
-		out[i] = st.ctime
+	return s.ClocksInto(nil)
+}
+
+// ClocksInto writes the current per-processor clocks into dst, growing it
+// if needed, and returns the slice. Sweep drivers call it once per step
+// with a reused buffer to keep the hot loop allocation-free.
+func (s *Session) ClocksInto(dst []float64) []float64 {
+	if cap(dst) < s.p {
+		dst = make([]float64, s.p)
 	}
-	return out
+	dst = dst[:s.p]
+	for i, st := range s.st {
+		dst[i] = st.ctime
+	}
+	return dst
 }
 
 // Finish returns the maximum clock: the program's running time so far.
@@ -215,7 +236,10 @@ func (s *Session) Communicate(pt *trace.Pattern) (*Result, error) {
 	if pt.P != s.p {
 		return nil, fmt.Errorf("sim: pattern uses %d processors but session has %d", pt.P, s.p)
 	}
-	r := &Result{Timeline: timeline.New(pt.P)}
+	r := &Result{}
+	if !s.cfg.NoTimeline {
+		r.Timeline = timeline.New(pt.P)
+	}
 	for idx, m := range pt.Msgs {
 		if m.Src == m.Dst {
 			r.SelfMessages++
@@ -233,9 +257,13 @@ func (s *Session) Communicate(pt *trace.Pattern) (*Result, error) {
 		st.sendQ = st.sendQ[:0]
 		st.sendHead = 0
 	}
-	r.ProcFinish = make([]float64, s.p)
-	for i, st := range s.st {
-		r.ProcFinish[i] = st.ctime
+	if !s.cfg.NoTimeline {
+		r.ProcFinish = make([]float64, s.p)
+		for i, st := range s.st {
+			r.ProcFinish[i] = st.ctime
+		}
+	}
+	for _, st := range s.st {
 		if st.ctime > r.Finish {
 			r.Finish = st.ctime
 		}
@@ -251,10 +279,12 @@ func (s *Session) commitSend(pt *trace.Pattern, tl *timeline.Timeline, src int, 
 	idx := st.sendQ[st.sendHead]
 	st.sendHead++
 	m := pt.Msgs[idx]
-	tl.Record(timeline.Op{
-		Proc: src, Kind: loggp.Send, Peer: m.Dst, Bytes: m.Bytes,
-		Start: start, MsgIndex: idx,
-	})
+	if tl != nil {
+		tl.Record(timeline.Op{
+			Proc: src, Kind: loggp.Send, Peer: m.Dst, Bytes: m.Bytes,
+			Start: start, MsgIndex: idx,
+		})
+	}
 	arrival := start + p.ArrivalDelay(m.Bytes)
 	if s.cfg.Network != nil {
 		arrival = s.cfg.Network.Arrival(m.Src, m.Dst, m.Bytes, start+p.O)
@@ -276,10 +306,12 @@ func (s *Session) commitRecv(pt *trace.Pattern, tl *timeline.Timeline, dst int, 
 	st := s.st[dst]
 	arrival, idx := st.recvQ.Pop()
 	m := pt.Msgs[idx]
-	tl.Record(timeline.Op{
-		Proc: dst, Kind: loggp.Recv, Peer: m.Src, Bytes: m.Bytes,
-		Start: start, Arrival: arrival, MsgIndex: idx,
-	})
+	if tl != nil {
+		tl.Record(timeline.Op{
+			Proc: dst, Kind: loggp.Recv, Peer: m.Src, Bytes: m.Bytes,
+			Start: start, Arrival: arrival, MsgIndex: idx,
+		})
+	}
 	st.ctime = start + p.O
 	st.hasLast, st.lastKind, st.lastStart, st.lastBytes = true, loggp.Recv, start, m.Bytes
 }

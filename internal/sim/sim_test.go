@@ -390,3 +390,98 @@ func TestSessionGapStatePersistsAcrossSteps(t *testing.T) {
 		t.Fatalf("second-step send at %g, want 1 (gap carried)", ops[0].Start)
 	}
 }
+
+// TestQuietModeMatchesRecordingRun asserts the quiet fast path computes
+// the identical schedule: finish times, per-processor clocks and
+// self-message counts match the timeline-recording run exactly, over
+// many random patterns and both scheduler variants, while Timeline and
+// ProcFinish stay nil.
+func TestQuietModeMatchesRecordingRun(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		pt := trace.Random(8, 60, 512, seed)
+		for _, globalOrder := range []bool{false, true} {
+			loud := Config{Params: loggp.MeikoCS2(8), Seed: seed, GlobalOrder: globalOrder}
+			quiet := loud
+			quiet.NoTimeline = true
+
+			lr, err := Run(pt, loud)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qr, err := Run(pt, quiet)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if qr.Timeline != nil || qr.ProcFinish != nil {
+				t.Fatal("quiet mode must not record a timeline or ProcFinish")
+			}
+			if qr.Finish != lr.Finish {
+				t.Fatalf("seed %d globalOrder=%v: quiet finish %g != recorded %g",
+					seed, globalOrder, qr.Finish, lr.Finish)
+			}
+			if qr.SelfMessages != lr.SelfMessages {
+				t.Fatalf("seed %d: self messages %d != %d", seed, qr.SelfMessages, lr.SelfMessages)
+			}
+		}
+	}
+}
+
+// TestQuietSessionClocksMatch chains several steps and checks the
+// carried clocks (and therefore the gap state) evolve identically with
+// and without timeline recording.
+func TestQuietSessionClocksMatch(t *testing.T) {
+	params := loggp.MeikoCS2(6)
+	loud, err := NewSession(6, Config{Params: params, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, err := NewSession(6, Config{Params: params, Seed: 9, NoTimeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	durs := []float64{3, 0, 5, 1, 0, 2}
+	for step := int64(0); step < 5; step++ {
+		pt := trace.Random(6, 25, 256, step)
+		if err := loud.Compute(durs); err != nil {
+			t.Fatal(err)
+		}
+		if err := quiet.Compute(durs); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loud.Communicate(pt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := quiet.Communicate(pt); err != nil {
+			t.Fatal(err)
+		}
+		lc, qc := loud.Clocks(), quiet.Clocks()
+		for i := range lc {
+			if lc[i] != qc[i] {
+				t.Fatalf("step %d proc %d: quiet clock %g != recorded %g", step, i, qc[i], lc[i])
+			}
+		}
+	}
+}
+
+// TestClocksInto checks the allocation-free clock reader reuses a
+// sufficiently large buffer and grows a small one.
+func TestClocksInto(t *testing.T) {
+	s, err := NewSession(4, Config{Params: uni, Ready: []float64{1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 4)
+	got := s.ClocksInto(buf)
+	if &got[0] != &buf[0] {
+		t.Fatal("ClocksInto reallocated a sufficient buffer")
+	}
+	for i, want := range []float64{1, 2, 3, 4} {
+		if got[i] != want {
+			t.Fatalf("clock %d = %g, want %g", i, got[i], want)
+		}
+	}
+	grown := s.ClocksInto(make([]float64, 1))
+	if len(grown) != 4 || grown[3] != 4 {
+		t.Fatalf("ClocksInto failed to grow: %v", grown)
+	}
+}

@@ -1,0 +1,133 @@
+// Package sweep is the repository's parallel fan-out engine. The paper's
+// method replaces closed-form analysis by simulation, so every practical
+// question — best block size, best layout, sensitivity to a LogGP
+// parameter, scaling over processor counts — becomes a sweep of many
+// independent predictions. This package runs such sweeps on a worker
+// pool while keeping them indistinguishable from the serial loops they
+// replace: results come back in input order, each item sees exactly the
+// inputs the serial code would give it, and a deterministic per-item
+// seed derivation is provided for callers that want independent random
+// streams per candidate.
+//
+// The engine itself introduces no randomness and no ordering dependence:
+// a sweep whose items are pure functions of their inputs produces
+// byte-identical output at any worker count, which the equivalence tests
+// in the consuming packages assert.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+)
+
+// options collects the knobs of one Map call.
+type options struct {
+	workers  int
+	progress func(done, total int)
+}
+
+// Option configures a Map call.
+type Option func(*options)
+
+// Workers sets the number of concurrent workers. Values below 1 select
+// the default, runtime.GOMAXPROCS(0).
+func Workers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// Progress installs a callback invoked after each item completes, with
+// the number of finished items and the total. Calls are serialized (the
+// callback needs no locking) but may arrive out of item order.
+func Progress(fn func(done, total int)) Option {
+	return func(o *options) { o.progress = fn }
+}
+
+// Objective lifts an item-only function — the shape of search.Objective
+// and the predict callbacks of the sensitivity and scaling packages —
+// into the (index, item) shape Map expects.
+func Objective[T, R any](f func(T) (R, error)) func(int, T) (R, error) {
+	return func(_ int, item T) (R, error) { return f(item) }
+}
+
+// Seed derives a deterministic per-item seed from a base seed and an
+// item index, using a SplitMix64-style finalizer so that consecutive
+// indices yield statistically independent streams. Item i always gets
+// the same seed regardless of worker count or completion order.
+func Seed(base int64, index int) int64 {
+	z := uint64(base) + uint64(index+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Map evaluates fn over every item on a pool of workers and returns the
+// results in input order. fn receives the item's index and value; it must
+// be safe for concurrent use when more than one worker is configured.
+//
+// On failure Map cancels the sweep — workers stop picking up new items —
+// and returns the error of the lowest-indexed failed item among those
+// that ran (with one worker this is exactly the serial loop's first
+// error). Which later items still execute after a failure is
+// unspecified; their results are discarded.
+func Map[T, R any](items []T, fn func(i int, item T) (R, error), opts ...Option) ([]R, error) {
+	o := options{workers: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.workers < 1 {
+		o.workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]R, len(items))
+	if len(items) == 0 {
+		return results, nil
+	}
+	if o.workers > len(items) {
+		o.workers = len(items)
+	}
+
+	var (
+		mu     sync.Mutex
+		next   int // next unclaimed item index
+		done   int
+		errIdx = -1 // lowest failed index seen
+		first  error
+	)
+	var wg sync.WaitGroup
+	wg.Add(o.workers)
+	for w := 0; w < o.workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if errIdx >= 0 || next >= len(items) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				r, err := fn(i, items[i])
+
+				mu.Lock()
+				if err != nil {
+					if errIdx < 0 || i < errIdx {
+						errIdx, first = i, err
+					}
+				} else {
+					results[i] = r
+					done++
+					if o.progress != nil {
+						o.progress(done, len(items))
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return results, nil
+}

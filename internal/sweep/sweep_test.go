@@ -1,0 +1,163 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 8, 200} {
+		got, err := Map(items, func(i, v int) (int, error) { return v * v, nil }, Workers(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, r := range got {
+			if r != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, r, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(nil, func(i, v int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Map(nil) = (%v, %v)", got, err)
+	}
+}
+
+func TestMapEveryItemSeen(t *testing.T) {
+	var n atomic.Int64
+	items := make([]int, 57)
+	_, err := Map(items, func(i, v int) (int, error) {
+		n.Add(1)
+		return 0, nil
+	}, Workers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 57 {
+		t.Fatalf("fn called %d times, want 57", n.Load())
+	}
+}
+
+func TestMapFirstErrorSerial(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4}
+	boom := errors.New("boom")
+	var calls []int
+	_, err := Map(items, func(i, v int) (int, error) {
+		calls = append(calls, i)
+		if i >= 2 {
+			return 0, fmt.Errorf("item %d: %w", i, boom)
+		}
+		return v, nil
+	}, Workers(1))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	// One worker behaves exactly like the serial loop: the error is item
+	// 2's and nothing after it runs.
+	if err.Error() != "item 2: boom" {
+		t.Fatalf("err = %v, want item 2's error", err)
+	}
+	want := []int{0, 1, 2}
+	if len(calls) != len(want) {
+		t.Fatalf("ran items %v, want %v", calls, want)
+	}
+}
+
+func TestMapLowestIndexedErrorParallel(t *testing.T) {
+	// Every item fails; regardless of scheduling, the reported error must
+	// be item 0's (it always runs: cancellation can only stop items that
+	// were not yet claimed, and item 0 is claimed first).
+	items := make([]int, 20)
+	_, err := Map(items, func(i, v int) (int, error) {
+		return 0, fmt.Errorf("item %d failed", i)
+	}, Workers(8))
+	if err == nil || err.Error() != "item 0 failed" {
+		t.Fatalf("err = %v, want item 0's", err)
+	}
+}
+
+func TestMapCancelsAfterError(t *testing.T) {
+	var ran atomic.Int64
+	items := make([]int, 1000)
+	_, err := Map(items, func(i, v int) (int, error) {
+		ran.Add(1)
+		return 0, errors.New("fail fast")
+	}, Workers(2))
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	// With 2 workers at most a couple of items past the failure can have
+	// been claimed before cancellation is observed.
+	if ran.Load() > 10 {
+		t.Fatalf("%d items ran after the first failure", ran.Load())
+	}
+}
+
+func TestMapWorkersDefault(t *testing.T) {
+	// Workers(0) and Workers(-3) select the GOMAXPROCS default and must
+	// still complete correctly.
+	for _, w := range []int{0, -3} {
+		got, err := Map([]int{1, 2, 3}, func(i, v int) (int, error) { return v + 1, nil }, Workers(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != 2 || got[1] != 3 || got[2] != 4 {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestProgressReachesTotal(t *testing.T) {
+	var last, calls int
+	items := make([]int, 30)
+	_, err := Map(items, func(i, v int) (int, error) { return 0, nil },
+		Workers(4), Progress(func(done, total int) {
+			calls++
+			if done < 1 || done > total || total != 30 {
+				t.Errorf("progress(%d, %d) out of range", done, total)
+			}
+			if done > last {
+				last = done
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 30 || calls != 30 {
+		t.Fatalf("progress peaked at %d over %d calls, want 30/30", last, calls)
+	}
+}
+
+func TestObjectiveAdapter(t *testing.T) {
+	f := Objective(func(b int) (float64, error) { return float64(b) * 2, nil })
+	v, err := f(99, 21) // index must be ignored
+	if err != nil || v != 42 {
+		t.Fatalf("adapter = (%g, %v)", v, err)
+	}
+}
+
+func TestSeedDeterministicAndDistinct(t *testing.T) {
+	seen := map[int64]int{}
+	for i := 0; i < 1000; i++ {
+		s := Seed(7, i)
+		if s2 := Seed(7, i); s2 != s {
+			t.Fatalf("Seed(7,%d) not deterministic: %d vs %d", i, s, s2)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("Seed(7,%d) collides with Seed(7,%d)", i, prev)
+		}
+		seen[s] = i
+	}
+	if Seed(1, 0) == Seed(2, 0) {
+		t.Fatal("different bases produced the same seed")
+	}
+}

@@ -36,15 +36,21 @@ type Config struct {
 	// Seed drives the random choice of which blocked processor releases
 	// a message when a deadlock must be broken.
 	Seed int64
+	// NoTimeline enables the quiet fast path (see sim.Config.NoTimeline):
+	// Communicate skips timeline recording and the ProcFinish allocation,
+	// leaving Result.Timeline and Result.ProcFinish nil while computing
+	// the identical schedule.
+	NoTimeline bool
 }
 
 // Result is the outcome of one worst-case communication step.
 type Result struct {
-	// Timeline records every committed operation.
+	// Timeline records every committed operation; nil in quiet mode.
 	Timeline *timeline.Timeline
 	// Finish is the completion time of the step.
 	Finish float64
-	// ProcFinish is each processor's clock after the step.
+	// ProcFinish is each processor's clock after the step; nil in quiet
+	// mode (use Session.Clocks / ClocksInto instead).
 	ProcFinish []float64
 	// SelfMessages counts skipped local messages.
 	SelfMessages int
@@ -122,11 +128,20 @@ func NewSession(procs int, cfg Config) (*Session, error) {
 
 // Clocks returns a copy of the current per-processor clocks.
 func (s *Session) Clocks() []float64 {
-	out := make([]float64, s.p)
-	for i, st := range s.st {
-		out[i] = st.ctime
+	return s.ClocksInto(nil)
+}
+
+// ClocksInto writes the current per-processor clocks into dst, growing it
+// if needed, and returns the slice (see sim.Session.ClocksInto).
+func (s *Session) ClocksInto(dst []float64) []float64 {
+	if cap(dst) < s.p {
+		dst = make([]float64, s.p)
 	}
-	return out
+	dst = dst[:s.p]
+	for i, st := range s.st {
+		dst[i] = st.ctime
+	}
+	return dst
 }
 
 // Finish returns the maximum clock.
@@ -176,7 +191,10 @@ func (s *Session) Communicate(pt *trace.Pattern) (*Result, error) {
 		return nil, fmt.Errorf("worstcase: pattern uses %d processors but session has %d", pt.P, s.p)
 	}
 	p := s.cfg.Params
-	r := &Result{Timeline: timeline.New(pt.P)}
+	r := &Result{}
+	if !s.cfg.NoTimeline {
+		r.Timeline = timeline.New(pt.P)
+	}
 	for idx, m := range pt.Msgs {
 		if m.Src == m.Dst {
 			r.SelfMessages++
@@ -191,10 +209,12 @@ func (s *Session) Communicate(pt *trace.Pattern) (*Result, error) {
 		idx := st.sendQ[st.sendHead]
 		st.sendHead++
 		m := pt.Msgs[idx]
-		r.Timeline.Record(timeline.Op{
-			Proc: src, Kind: loggp.Send, Peer: m.Dst, Bytes: m.Bytes,
-			Start: start, MsgIndex: idx,
-		})
+		if r.Timeline != nil {
+			r.Timeline.Record(timeline.Op{
+				Proc: src, Kind: loggp.Send, Peer: m.Dst, Bytes: m.Bytes,
+				Start: start, MsgIndex: idx,
+			})
+		}
 		s.st[m.Dst].recvQ.Push(start+p.ArrivalDelay(m.Bytes), idx)
 		st.ctime = start + p.O
 		st.hasLast, st.lastKind, st.lastStart, st.lastBytes = true, loggp.Send, start, m.Bytes
@@ -203,10 +223,12 @@ func (s *Session) Communicate(pt *trace.Pattern) (*Result, error) {
 		st := s.st[dst]
 		arrival, idx := st.recvQ.Pop()
 		m := pt.Msgs[idx]
-		r.Timeline.Record(timeline.Op{
-			Proc: dst, Kind: loggp.Recv, Peer: m.Src, Bytes: m.Bytes,
-			Start: start, Arrival: arrival, MsgIndex: idx,
-		})
+		if r.Timeline != nil {
+			r.Timeline.Record(timeline.Op{
+				Proc: dst, Kind: loggp.Recv, Peer: m.Src, Bytes: m.Bytes,
+				Start: start, Arrival: arrival, MsgIndex: idx,
+			})
+		}
 		st.toRecv--
 		st.ctime = start + p.O
 		st.hasLast, st.lastKind, st.lastStart, st.lastBytes = true, loggp.Recv, start, m.Bytes
@@ -265,9 +287,13 @@ func (s *Session) Communicate(pt *trace.Pattern) (*Result, error) {
 		st.toRecv = 0
 		st.forced = 0
 	}
-	r.ProcFinish = make([]float64, s.p)
-	for i, st := range s.st {
-		r.ProcFinish[i] = st.ctime
+	if !s.cfg.NoTimeline {
+		r.ProcFinish = make([]float64, s.p)
+		for i, st := range s.st {
+			r.ProcFinish[i] = st.ctime
+		}
+	}
+	for _, st := range s.st {
 		if st.ctime > r.Finish {
 			r.Finish = st.ctime
 		}

@@ -217,3 +217,33 @@ func TestDeterministicGivenSeed(t *testing.T) {
 		}
 	}
 }
+
+// TestQuietModeMatchesRecordingRun mirrors the sim package's quiet-mode
+// equivalence check for the overestimation algorithm, including cyclic
+// patterns where random deadlock breaking consumes the seeded stream.
+func TestQuietModeMatchesRecordingRun(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		pt := trace.Random(8, 60, 512, seed)
+		loud := Config{Params: loggp.MeikoCS2(8), Seed: seed}
+		quiet := loud
+		quiet.NoTimeline = true
+
+		lr, err := Run(pt, loud)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qr, err := Run(pt, quiet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qr.Timeline != nil || qr.ProcFinish != nil {
+			t.Fatal("quiet mode must not record a timeline or ProcFinish")
+		}
+		if qr.Finish != lr.Finish {
+			t.Fatalf("seed %d: quiet finish %g != recorded %g", seed, qr.Finish, lr.Finish)
+		}
+		if qr.DeadlocksBroken != lr.DeadlocksBroken {
+			t.Fatalf("seed %d: deadlocks broken %d != %d", seed, qr.DeadlocksBroken, lr.DeadlocksBroken)
+		}
+	}
+}

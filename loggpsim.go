@@ -63,6 +63,7 @@ import (
 	"loggpsim/internal/sensitivity"
 	"loggpsim/internal/sim"
 	"loggpsim/internal/stencil"
+	"loggpsim/internal/sweep"
 	"loggpsim/internal/timeline"
 	"loggpsim/internal/trace"
 	"loggpsim/internal/trisolve"
@@ -345,9 +346,18 @@ type SearchResult = search.Result
 // (exhaustive), "ternary" (O(log n) probes, assumes unimodality) or
 // "climb" (local descent from the middle of the range).
 func OptimalBlockSize(sizes []int, strategy string, predict func(b int) (float64, error)) (SearchResult, error) {
+	return OptimalBlockSizeParallel(sizes, strategy, predict, 1)
+}
+
+// OptimalBlockSizeParallel is OptimalBlockSize with the exhaustive sweep
+// fanned out over a worker pool (workers < 1 selects all CPUs; the
+// sequential "ternary" and "climb" heuristics ignore the worker count).
+// predict must be safe for concurrent use when more than one worker is
+// configured; the chosen optimum is identical to the serial search.
+func OptimalBlockSizeParallel(sizes []int, strategy string, predict func(b int) (float64, error), workers int) (SearchResult, error) {
 	switch strategy {
 	case "sweep":
-		return search.Sweep(sizes, predict)
+		return search.SweepParallel(sizes, predict, workers)
 	case "ternary":
 		return search.Ternary(sizes, predict)
 	case "climb":
@@ -355,4 +365,35 @@ func OptimalBlockSize(sizes []int, strategy string, predict func(b int) (float64
 	default:
 		return search.Result{}, fmt.Errorf("loggpsim: unknown search strategy %q", strategy)
 	}
+}
+
+// ParallelMap fans an arbitrary per-item evaluation — one prediction per
+// candidate configuration, typically — out over a worker pool (workers
+// < 1 selects all CPUs), returning results in input order. fn must be
+// safe for concurrent use; a failure cancels the sweep and the
+// lowest-indexed error is returned. See internal/sweep for the engine's
+// determinism guarantees.
+func ParallelMap[T, R any](items []T, fn func(i int, item T) (R, error), workers int) ([]R, error) {
+	return sweep.Map(items, fn, sweep.Workers(workers))
+}
+
+// SweepSeed derives a deterministic per-item seed from a base seed and
+// an item index, for sweeps whose candidates each want an independent
+// random stream. Item i always receives the same seed regardless of
+// worker count or completion order.
+func SweepSeed(base int64, index int) int64 { return sweep.Seed(base, index) }
+
+// AnalyzeSensitivityParallel is AnalyzeSensitivity with the five
+// predictions fanned out over a worker pool; predict must be safe for
+// concurrent use. The report is identical to the serial analysis.
+func AnalyzeSensitivityParallel(base Params, delta float64,
+	predict func(p Params) (float64, error), workers int) (*SensitivityReport, error) {
+	return sensitivity.AnalyzeParallel(base, delta, predict, workers)
+}
+
+// ScalingSweepParallel is ScalingSweep with the per-processor-count
+// predictions fanned out over a worker pool; predict must be safe for
+// concurrent use. The curve is identical to the serial sweep.
+func ScalingSweepParallel(procs []int, predict func(p int) (float64, error), workers int) ([]ScalingPoint, error) {
+	return scaling.SweepParallel(procs, predict, workers)
 }

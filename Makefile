@@ -1,14 +1,18 @@
 # Build/verify targets for the loggpsim repository.
 #
-#   make ci      — what a CI runner executes: vet + race-enabled tests
+#   make ci      — what a CI runner executes: vet + differential tests
+#                  under -race + race-enabled full suite
 #   make test    — fast tier-1 check (go build + go test)
 #   make race    — full test suite under the race detector
-#   make bench   — the sweep-engine and figure benchmarks
+#   make diff    — scheduler differential tests (indexed vs reference
+#                  cores) under the race detector
+#   make bench   — figure + large-P scheduler benchmarks; writes the
+#                  scheduler results to BENCH_scheduler.json
 #   make sweep   — serial-vs-parallel sweep benchmark pair only
 
 GO ?= go
 
-.PHONY: all build test vet race bench sweep ci
+.PHONY: all build test vet race diff bench sweep ci
 
 all: ci
 
@@ -26,10 +30,25 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# The indexed scheduler cores must stay bit-identical to the reference
+# scans (DESIGN.md §perf); run the differential suites under -race so a
+# data race in the session-reuse machinery cannot hide behind identical
+# output.
+diff:
+	$(GO) test -race -run 'Reference|Reset|Reconfigure|Fuzz' \
+		./internal/sim ./internal/worstcase
+
+# Figure-level benchmarks (repo root) plus the scheduler-core stress
+# benchmarks; the scheduler run is also recorded, with -benchmem, as
+# test2json output in BENCH_scheduler.json for regression tracking.
 bench:
 	$(GO) test -run NONE -bench . -benchmem .
+	$(GO) test -run NONE -json -benchmem \
+		-bench 'BenchmarkScheduler|BenchmarkSession|BenchmarkWorstcaseScheduler|BenchmarkPredict(Reuse|Fresh)' \
+		./internal/sim ./internal/worstcase ./internal/predictor \
+		> BENCH_scheduler.json
 
 sweep:
 	$(GO) test -run NONE -bench 'BenchmarkSweep(Serial|Parallel)|BenchmarkQuietModeSimulation' -benchmem .
 
-ci: vet test race
+ci: vet test diff race

@@ -7,6 +7,7 @@
 //
 //	experiments [-fig all|3|4|5|6|7|8|9] [-claims] [-ablations] [-sensitivity]
 //	            [-n 960] [-procs 8] [-workers 0] [-csv]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The sweeps fan out over -workers goroutines (0 = all CPUs); the output
 // is byte-identical at any worker count.
@@ -19,6 +20,7 @@ import (
 
 	"loggpsim/internal/experiments"
 	"loggpsim/internal/loggp"
+	"loggpsim/internal/profiling"
 	"loggpsim/internal/stats"
 	"loggpsim/internal/trace"
 )
@@ -34,7 +36,15 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	width := flag.Int("width", 100, "gantt chart width for figures 4 and 5")
 	seed := flag.Int64("seed", 1, "seed for all randomized components")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to `file` on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	cfg := experiments.Default()
 	cfg.N = *n
@@ -142,6 +152,7 @@ func main() {
 			fmt.Printf("  [%s] %-58s %s\n", status, c.Name, c.Detail)
 		}
 		if failed > 0 {
+			stopProf()
 			os.Exit(1)
 		}
 	}

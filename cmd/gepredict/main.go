@@ -9,6 +9,7 @@
 //	gepredict [-n 960] [-procs 8] [-blocks 8,10,...] [-layout both|diagonal|row|col|2d]
 //	          [-model analytic|measured] [-search sweep|ternary|climb]
 //	          [-emulate] [-profile] [-workers 0] [-csv]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The per-block-size predictions fan out over -workers goroutines (0 =
 // all CPUs); the tables and the chosen optimum are byte-identical at any
@@ -30,6 +31,7 @@ import (
 	"loggpsim/internal/loggp"
 	"loggpsim/internal/machine"
 	"loggpsim/internal/predictor"
+	"loggpsim/internal/profiling"
 	"loggpsim/internal/search"
 	"loggpsim/internal/stats"
 	"loggpsim/internal/sweep"
@@ -47,7 +49,15 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = all CPUs)")
 	csv := flag.Bool("csv", false, "emit CSV")
 	seed := flag.Int64("seed", 1, "random seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to `file` on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	sizes := experiments.BlockSizes
 	if *blocks != "" {

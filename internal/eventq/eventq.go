@@ -90,12 +90,48 @@ func (q *Queue[T]) down(i int) {
 	}
 }
 
-// Drain removes all values in key order and returns them.
+// Reserve grows the queue's backing storage so that at least n values can
+// be pushed without further allocation. Pattern ingestion uses it to
+// pre-size receive queues from the message counts instead of growing the
+// heap incrementally.
+func (q *Queue[T]) Reserve(n int) {
+	if need := len(q.entries) + n; need > cap(q.entries) {
+		grown := make([]entry[T], len(q.entries), need)
+		copy(grown, q.entries)
+		q.entries = grown
+	}
+}
+
+// Clear empties the queue, keeping the backing storage for reuse and
+// resetting the insertion-order counter, so a cleared queue behaves
+// exactly like a zero-value one (equal-key ties come out in the order of
+// the pushes that follow).
+func (q *Queue[T]) Clear() {
+	clear(q.entries) // release held values for GC
+	q.entries = q.entries[:0]
+	q.nextSeq = 0
+}
+
+// Drain removes all values in key order and returns them. It is
+// DrainInto(nil).
 func (q *Queue[T]) Drain() []T {
-	out := make([]T, 0, q.Len())
+	return q.DrainInto(nil)
+}
+
+// DrainInto removes all values in key order, appending them to dst and
+// returning the extended slice. dst's existing backing is reused where
+// possible, so a caller that drains repeatedly into the same buffer pays
+// no steady-state allocation; the queue's own entry storage is likewise
+// retained for the next round of pushes.
+func (q *Queue[T]) DrainInto(dst []T) []T {
+	if need := len(dst) + q.Len(); need > cap(dst) {
+		grown := make([]T, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
 	for !q.Empty() {
 		_, v := q.Pop()
-		out = append(out, v)
+		dst = append(dst, v)
 	}
-	return out
+	return dst
 }

@@ -192,9 +192,9 @@ func BenchmarkPushPop(b *testing.B) {
 // between.
 func TestStableUnderInterleavedPushPop(t *testing.T) {
 	var q Queue[int]
-	next := 0         // next value to insert; also its insertion rank
-	perKey := 3       // equal-key burst size
-	var expect []int  // values in the order they must pop for key k
+	next := 0        // next value to insert; also its insertion rank
+	perKey := 3      // equal-key burst size
+	var expect []int // values in the order they must pop for key k
 	popKey := func(k float64, n int) {
 		for i := 0; i < n; i++ {
 			key, v := q.Pop()

@@ -1,0 +1,100 @@
+package eventq
+
+import "math"
+
+// Tournament is a fixed-size min-tournament tree over the indices
+// 0..n-1, each carrying a float64 key. It answers "which index currently
+// has the smallest key" in O(1) and absorbs a single-key change in
+// O(log n), which is what the incremental schedulers need: after a
+// commit only one or two processors' candidate start times move, so the
+// global minimum must not cost a full rescan.
+//
+// Ties resolve to the lowest index, matching the reference schedulers'
+// ascending linear scans with strict-less updates. Indices with no
+// candidate hold +Inf.
+type Tournament struct {
+	n    int
+	base int       // number of leaves (power of two >= n)
+	key  []float64 // per index; +Inf = no candidate
+	win  []int32   // win[v] = index winning the subtree at node v; nodes 1..2*base-1
+}
+
+// Reset re-dimensions the tree for n indices and sets every key to +Inf,
+// reusing the previous storage when it is large enough.
+func (t *Tournament) Reset(n int) {
+	if n <= 0 {
+		t.n = 0
+		return
+	}
+	base := 1
+	for base < n {
+		base <<= 1
+	}
+	t.n, t.base = n, base
+	if cap(t.key) < n {
+		t.key = make([]float64, n)
+	}
+	t.key = t.key[:n]
+	inf := math.Inf(1)
+	for i := range t.key {
+		t.key[i] = inf
+	}
+	if cap(t.win) < 2*base {
+		t.win = make([]int32, 2*base)
+	}
+	t.win = t.win[:2*base]
+	// With all keys equal (+Inf) every subtree is won by its leftmost
+	// leaf, clamped into range.
+	for v := 2*base - 1; v >= 1; v-- {
+		if v >= base {
+			leaf := v - base
+			if leaf >= n {
+				leaf = n - 1
+			}
+			t.win[v] = int32(leaf)
+		} else {
+			t.win[v] = t.win[2*v]
+		}
+	}
+}
+
+// Len returns the number of indices the tree currently covers.
+func (t *Tournament) Len() int { return t.n }
+
+// Key returns the current key of index i.
+func (t *Tournament) Key(i int) float64 { return t.key[i] }
+
+// Update sets index i's key and replays its matches up the tree.
+func (t *Tournament) Update(i int, key float64) {
+	t.key[i] = key
+	v := t.base + i
+	for v >>= 1; v >= 1; v >>= 1 {
+		l, r := t.win[2*v], t.win[2*v+1]
+		w := l
+		// Strict less keeps the lower index (always in the left subtree
+		// of its sibling pair) on equal keys.
+		if t.key[r] < t.key[l] {
+			w = r
+		}
+		if t.win[v] == w && w != int32(i) {
+			// The winner along the remaining path cannot change either:
+			// i lost here to the same index that was already winning.
+			break
+		}
+		t.win[v] = w
+	}
+}
+
+// Min returns the index with the smallest key and that key. When every
+// key is +Inf it returns -1.
+func (t *Tournament) Min() (int, float64) {
+	if t.n == 0 {
+		return -1, math.Inf(1)
+	}
+	w := t.win[1]
+	k := t.key[w]
+	if math.IsInf(k, 1) {
+		return -1, k
+	}
+	return int(w), k
+}

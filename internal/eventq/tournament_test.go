@@ -1,0 +1,136 @@
+package eventq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scanMin is the oracle: the ascending linear scan with strict-less
+// updates that the tournament tree replaces in the schedulers.
+func scanMin(keys []float64) (int, float64) {
+	best, bestKey := -1, math.Inf(1)
+	for i, k := range keys {
+		if k < bestKey {
+			best, bestKey = i, k
+		}
+	}
+	if best < 0 {
+		return -1, math.Inf(1)
+	}
+	return best, bestKey
+}
+
+func TestTournamentEmpty(t *testing.T) {
+	var tt Tournament
+	if i, k := tt.Min(); i != -1 || !math.IsInf(k, 1) {
+		t.Fatalf("zero-value Min = (%d, %v)", i, k)
+	}
+	tt.Reset(0)
+	if i, _ := tt.Min(); i != -1 {
+		t.Fatalf("Reset(0) Min = %d", i)
+	}
+	tt.Reset(5)
+	if i, k := tt.Min(); i != -1 || !math.IsInf(k, 1) {
+		t.Fatalf("all-Inf Min = (%d, %v)", i, k)
+	}
+	if tt.Len() != 5 {
+		t.Fatalf("Len = %d", tt.Len())
+	}
+}
+
+func TestTournamentTiesPickLowestIndex(t *testing.T) {
+	var tt Tournament
+	tt.Reset(7)
+	for _, i := range []int{6, 2, 4} {
+		tt.Update(i, 10)
+	}
+	if i, k := tt.Min(); i != 2 || k != 10 {
+		t.Fatalf("Min = (%d, %v), want (2, 10)", i, k)
+	}
+	tt.Update(2, math.Inf(1))
+	if i, _ := tt.Min(); i != 4 {
+		t.Fatalf("Min after removing 2 = %d, want 4", i)
+	}
+	tt.Update(0, 10)
+	if i, _ := tt.Min(); i != 0 {
+		t.Fatalf("Min after adding 0 = %d, want 0", i)
+	}
+}
+
+func TestTournamentSingleIndex(t *testing.T) {
+	var tt Tournament
+	tt.Reset(1)
+	tt.Update(0, 3.5)
+	if i, k := tt.Min(); i != 0 || k != 3.5 {
+		t.Fatalf("Min = (%d, %v)", i, k)
+	}
+	tt.Update(0, math.Inf(1))
+	if i, _ := tt.Min(); i != -1 {
+		t.Fatalf("Min = %d after clearing the only index", i)
+	}
+}
+
+// TestTournamentMatchesScanRandomized drives random update sequences over
+// varying sizes (powers of two and not) and checks Min against the scan
+// oracle after every update, including duplicate keys and +Inf removals.
+func TestTournamentMatchesScanRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var tt Tournament
+	for _, n := range []int{1, 2, 3, 7, 8, 9, 33, 100} {
+		tt.Reset(n)
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = math.Inf(1)
+		}
+		for step := 0; step < 400; step++ {
+			i := rng.Intn(n)
+			var k float64
+			switch rng.Intn(4) {
+			case 0:
+				k = math.Inf(1) // remove
+			case 1:
+				k = float64(rng.Intn(8)) // heavy duplicates
+			default:
+				k = rng.Float64() * 100
+			}
+			keys[i] = k
+			tt.Update(i, k)
+			wantI, wantK := scanMin(keys)
+			gotI, gotK := tt.Min()
+			if gotI != wantI || gotK != wantK {
+				t.Fatalf("n=%d step=%d: Min = (%d, %v), scan = (%d, %v)",
+					n, step, gotI, gotK, wantI, wantK)
+			}
+			if gotI >= 0 && tt.Key(gotI) != gotK {
+				t.Fatalf("Key(%d) = %v, Min key = %v", gotI, tt.Key(gotI), gotK)
+			}
+		}
+	}
+}
+
+// TestTournamentResetReuses shrinks and regrows a tree, checking stale
+// state never leaks across Reset.
+func TestTournamentResetReuses(t *testing.T) {
+	var tt Tournament
+	tt.Reset(64)
+	for i := 0; i < 64; i++ {
+		tt.Update(i, float64(64-i))
+	}
+	tt.Reset(5)
+	if i, _ := tt.Min(); i != -1 {
+		t.Fatalf("stale keys survived shrink: Min = %d", i)
+	}
+	tt.Update(3, 2)
+	if i, k := tt.Min(); i != 3 || k != 2 {
+		t.Fatalf("Min = (%d, %v)", i, k)
+	}
+	tt.Reset(64)
+	if i, _ := tt.Min(); i != -1 {
+		t.Fatalf("stale keys survived regrow: Min = %d", i)
+	}
+	allocs := testing.AllocsPerRun(10, func() { tt.Reset(64) })
+	if allocs != 0 {
+		t.Fatalf("Reset to a previously seen size allocated %v times", allocs)
+	}
+}

@@ -9,6 +9,7 @@ package loggp
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // OpKind distinguishes the two communication operations a processor can
@@ -77,23 +78,29 @@ type Params struct {
 }
 
 // Validate reports whether the parameters describe a usable machine.
+// Besides sign checks, each time parameter must be finite: a NaN slips
+// past every ordered comparison (NaN < 0 is false) and, once it reaches
+// the simulators, silently corrupts their clock orderings and
+// arrival-keyed heaps.
 func (p Params) Validate() error {
 	switch {
 	case p.P <= 0:
 		return fmt.Errorf("loggp: P must be positive, got %d", p.P)
-	case p.L < 0:
-		return fmt.Errorf("loggp: L must be non-negative, got %g", p.L)
-	case p.O < 0:
-		return fmt.Errorf("loggp: o must be non-negative, got %g", p.O)
-	case p.Gap < 0:
-		return fmt.Errorf("loggp: g must be non-negative, got %g", p.Gap)
-	case p.G < 0:
-		return fmt.Errorf("loggp: G must be non-negative, got %g", p.G)
+	case !finite(p.L) || p.L < 0:
+		return fmt.Errorf("loggp: L must be finite and non-negative, got %g", p.L)
+	case !finite(p.O) || p.O < 0:
+		return fmt.Errorf("loggp: o must be finite and non-negative, got %g", p.O)
+	case !finite(p.Gap) || p.Gap < 0:
+		return fmt.Errorf("loggp: g must be finite and non-negative, got %g", p.Gap)
+	case !finite(p.G) || p.G < 0:
+		return fmt.Errorf("loggp: G must be finite and non-negative, got %g", p.G)
 	case p.S < 0:
 		return fmt.Errorf("loggp: S must be non-negative, got %d", p.S)
 	}
 	return nil
 }
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 
 // ErrBadMessageSize is returned (wrapped) for non-positive message sizes.
 var ErrBadMessageSize = errors.New("loggp: message size must be at least one byte")

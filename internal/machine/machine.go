@@ -130,11 +130,15 @@ func Run(pr *program.Program, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("machine: %d assigned-block counts for %d processors",
 			len(cfg.AssignedBlocks), pr.P)
 	}
-	charged, err := run(pr, cfg, true)
+	// One simulator session serves both passes: run re-aims it with
+	// Reconfigure, so the second pass reuses the first one's scheduler
+	// state and queue storage instead of rebuilding it.
+	sess := &sim.Session{}
+	charged, err := run(pr, cfg, true, sess)
 	if err != nil {
 		return nil, err
 	}
-	warm, err := run(pr, cfg, false)
+	warm, err := run(pr, cfg, false, sess)
 	if err != nil {
 		return nil, err
 	}
@@ -144,7 +148,7 @@ func Run(pr *program.Program, cfg Config) (*Result, error) {
 
 // run performs one emulated execution. chargeCache selects whether cache
 // misses cost time (they are tracked either way).
-func run(pr *program.Program, cfg Config, chargeCache bool) (*Result, error) {
+func run(pr *program.Program, cfg Config, chargeCache bool, sess *sim.Session) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	// The emulator only reads clocks, so the replay runs in quiet mode
 	// (no timeline recording; see sim.Config.NoTimeline).
@@ -157,8 +161,7 @@ func run(pr *program.Program, cfg Config, chargeCache bool) (*Result, error) {
 		cfg.Network.Reset()
 		simCfg.Network = cfg.Network
 	}
-	sess, err := sim.NewSession(pr.P, simCfg)
-	if err != nil {
+	if err := sess.Reconfigure(pr.P, simCfg); err != nil {
 		return nil, err
 	}
 
@@ -179,6 +182,7 @@ func run(pr *program.Program, cfg Config, chargeCache bool) (*Result, error) {
 
 	durs := make([]float64, pr.P)
 	var before, after []float64 // clock scratch, reused across steps
+	var stepRes sim.Result      // reused quiet-mode step result
 	for stepIdx, step := range pr.Steps {
 		// Computation phase: iteration overhead + cache warming +
 		// operation costs.
@@ -232,7 +236,7 @@ func run(pr *program.Program, cfg Config, chargeCache bool) (*Result, error) {
 		if err := sess.Compute(durs); err != nil {
 			return nil, fmt.Errorf("machine: step %d: %w", stepIdx, err)
 		}
-		if _, err := sess.Communicate(step.Comm); err != nil {
+		if err := sess.CommunicateInto(&stepRes, step.Comm); err != nil {
 			return nil, fmt.Errorf("machine: step %d: %w", stepIdx, err)
 		}
 		after = sess.ClocksInto(after)

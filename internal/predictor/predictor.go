@@ -17,6 +17,7 @@ package predictor
 
 import (
 	"fmt"
+	"sync"
 
 	"loggpsim/internal/cache"
 	"loggpsim/internal/cost"
@@ -120,13 +121,72 @@ type StepProfile struct {
 	Finish float64
 }
 
-// Predict runs the method on a program.
+// Evaluator owns the reusable state of one prediction pipeline: the two
+// simulator sessions (standard and worst-case) and every scratch buffer
+// the replay loop needs. Sweeps that evaluate hundreds of candidate
+// programs keep one evaluator per worker and call PredictInto, making
+// steady-state candidate evaluation allocation-free; the package-level
+// Predict draws evaluators from a shared pool, so every existing caller
+// gets the reuse without a signature change. An Evaluator must not be
+// used concurrently from multiple goroutines.
+type Evaluator struct {
+	sim *sim.Session
+	wc  *worstcase.Session
+
+	durs, commStd, commWC []float64
+	beforeStd, beforeWC   []float64
+	afterStd, afterWC     []float64
+	stepStd               sim.Result
+	stepWC                worstcase.Result
+}
+
+// NewEvaluator returns an empty evaluator; the first prediction sizes
+// its buffers.
+func NewEvaluator() *Evaluator { return &Evaluator{} }
+
+var evalPool = sync.Pool{New: func() any { return NewEvaluator() }}
+
+// Predict runs the method on a program. It is equivalent to
+// NewEvaluator().Predict but reuses pooled evaluators, so concurrent
+// sweep workers pay no per-candidate session construction.
 func Predict(pr *program.Program, cfg Config) (*Prediction, error) {
+	e := evalPool.Get().(*Evaluator)
+	defer evalPool.Put(e)
+	return e.Predict(pr, cfg)
+}
+
+// Predict runs the method on a program, reusing the evaluator's sessions
+// and buffers, and returns a freshly allocated Prediction.
+func (e *Evaluator) Predict(pr *program.Program, cfg Config) (*Prediction, error) {
+	p := &Prediction{}
+	if err := e.PredictInto(p, pr, cfg); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// grow resizes buf to n entries, reusing its backing when possible, and
+// zeroes it.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// PredictInto runs the method on a program, writing the result over
+// *out (whose slices are reused when large enough). With cache-aware
+// mode off and CollectSteps off, a steady-state call performs no heap
+// allocation: the sessions are re-aimed with Reconfigure, and every
+// scratch buffer lives on the evaluator.
+func (e *Evaluator) PredictInto(out *Prediction, pr *program.Program, cfg Config) error {
 	if cfg.Cost == nil {
-		return nil, fmt.Errorf("predictor: no cost model")
+		return fmt.Errorf("predictor: no cost model")
 	}
 	if err := pr.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 
 	// The predictor only reads finish times and clocks, never the
@@ -141,20 +201,37 @@ func Predict(pr *program.Program, cfg Config) (*Prediction, error) {
 		Network:      cfg.Network,
 		NoTimeline:   true,
 	}
-	full, err := sim.NewSession(pr.P, simCfg)
-	if err != nil {
-		return nil, err
-	}
-	wcFull, err := worstcase.NewSession(pr.P, worstcase.Config{
+	wcCfg := worstcase.Config{
 		Params: cfg.Params, Seed: cfg.Seed, NoTimeline: true,
-	})
-	if err != nil {
-		return nil, err
 	}
+	var err error
+	if e.sim == nil {
+		e.sim, err = sim.NewSession(pr.P, simCfg)
+	} else {
+		err = e.sim.Reconfigure(pr.P, simCfg)
+	}
+	if err != nil {
+		return err
+	}
+	full := e.sim
+	if e.wc == nil {
+		e.wc, err = worstcase.NewSession(pr.P, wcCfg)
+	} else {
+		err = e.wc.Reconfigure(pr.P, wcCfg)
+	}
+	if err != nil {
+		return err
+	}
+	wcFull := e.wc
 
-	p := &Prediction{
-		CompPerProc: make([]float64, pr.P),
+	p := out
+	*p = Prediction{
+		CompPerProc: grow(p.CompPerProc, pr.P),
 		Steps:       len(pr.Steps),
+		PerStep:     p.PerStep[:0],
+	}
+	if !cfg.CollectSteps {
+		p.PerStep = nil
 	}
 	// Cache-aware mode: the same block-granularity LRU the emulator
 	// uses. Cache behaviour depends only on the program's touch order,
@@ -174,11 +251,17 @@ func Predict(pr *program.Program, cfg Config) (*Prediction, error) {
 			caches[i] = cache.New(cfg.CacheBytes)
 		}
 	}
-	durs := make([]float64, pr.P)
-	commStd := make([]float64, pr.P)
-	commWC := make([]float64, pr.P)
-	// Clock scratch buffers, reused across steps (ClocksInto).
-	var beforeStd, beforeWC, afterStd, afterWC []float64
+	e.durs = grow(e.durs, pr.P)
+	e.commStd = grow(e.commStd, pr.P)
+	e.commWC = grow(e.commWC, pr.P)
+	// Clock scratch buffers, reused across steps: pre-grown to P entries
+	// here so the ClocksInto calls below never reallocate.
+	e.beforeStd = grow(e.beforeStd, pr.P)
+	e.beforeWC = grow(e.beforeWC, pr.P)
+	e.afterStd = grow(e.afterStd, pr.P)
+	e.afterWC = grow(e.afterWC, pr.P)
+	durs, commStd, commWC := e.durs, e.commStd, e.commWC
+	beforeStd, beforeWC, afterStd, afterWC := e.beforeStd, e.beforeWC, e.afterStd, e.afterWC
 	for i, step := range pr.Steps {
 		for proc := range durs {
 			d := 0.0
@@ -215,18 +298,18 @@ func Predict(pr *program.Program, cfg Config) (*Prediction, error) {
 		}
 		if !cfg.Overlap {
 			if err := full.Compute(durs); err != nil {
-				return nil, fmt.Errorf("predictor: step %d: %w", i, err)
+				return fmt.Errorf("predictor: step %d: %w", i, err)
 			}
 			if err := wcFull.Compute(durs); err != nil {
-				return nil, fmt.Errorf("predictor: step %d: %w", i, err)
+				return fmt.Errorf("predictor: step %d: %w", i, err)
 			}
 		}
 		beforeStd, beforeWC = full.ClocksInto(beforeStd), wcFull.ClocksInto(beforeWC)
-		if _, err := full.Communicate(step.Comm); err != nil {
-			return nil, fmt.Errorf("predictor: step %d: %w", i, err)
+		if err := full.CommunicateInto(&e.stepStd, step.Comm); err != nil {
+			return fmt.Errorf("predictor: step %d: %w", i, err)
 		}
-		if _, err := wcFull.Communicate(step.Comm); err != nil {
-			return nil, fmt.Errorf("predictor: step %d: %w", i, err)
+		if err := wcFull.CommunicateInto(&e.stepWC, step.Comm); err != nil {
+			return fmt.Errorf("predictor: step %d: %w", i, err)
 		}
 		if cfg.Overlap {
 			// Busy-time bound: the processor still executes its
@@ -236,11 +319,11 @@ func Predict(pr *program.Program, cfg Config) (*Prediction, error) {
 			for proc := 0; proc < pr.P; proc++ {
 				busy := beforeStd[proc] + durs[proc] + float64(in[proc]+out[proc])*cfg.Params.O
 				if err := full.AdvanceTo(proc, busy); err != nil {
-					return nil, err
+					return err
 				}
 				busyWC := beforeWC[proc] + durs[proc] + float64(in[proc]+out[proc])*cfg.Params.O
 				if err := wcFull.AdvanceTo(proc, busyWC); err != nil {
-					return nil, err
+					return err
 				}
 			}
 		}
@@ -278,5 +361,5 @@ func Predict(pr *program.Program, cfg Config) (*Prediction, error) {
 			p.CacheWarm = warmPerProc[proc]
 		}
 	}
-	return p, nil
+	return nil
 }

@@ -1,0 +1,55 @@
+// Package profiling wires the standard pprof profiles into the CLIs:
+// the -cpuprofile/-memprofile flags of cmd/experiments and cmd/gepredict
+// feed Start, and the resulting files open directly in `go tool pprof`.
+// The scheduler-core benchmarks were tuned off exactly these profiles
+// (see DESIGN.md §perf).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile when cpuPath is non-empty and returns a
+// stop function that ends the CPU profile and, when memPath is
+// non-empty, writes a heap profile. The stop function is idempotent, so
+// callers both defer it and invoke it explicitly before os.Exit paths.
+// Empty paths make Start (and its stop function) a no-op.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: starting CPU profile: %w", err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live-heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+			}
+		}
+	}, nil
+}

@@ -78,5 +78,48 @@ func FuzzSimulationAlgorithms(f *testing.F) {
 		if err := g.Timeline.Verify(params); err != nil {
 			t.Fatalf("global-order timeline: %v", err)
 		}
+
+		// The indexed scheduler cores must be bit-identical to the
+		// reference scans on every fuzz input, in every mode: same
+		// operations, same order, same starts, same tie-breaks.
+		for _, mode := range []struct {
+			name         string
+			sendPriority bool
+			globalOrder  bool
+		}{
+			{"paper", false, false},
+			{"sendpri", true, false},
+			{"globalorder", false, true},
+			{"globalorder_sendpri", true, true},
+		} {
+			cfg := Config{
+				Params:       params,
+				Seed:         seed,
+				SendPriority: mode.sendPriority,
+				GlobalOrder:  mode.globalOrder,
+			}
+			indexed, err := Run(pt, cfg)
+			if err != nil {
+				t.Fatalf("%s indexed: %v", mode.name, err)
+			}
+			refCfg := cfg
+			refCfg.referenceScheduler = true
+			reference, err := Run(pt, refCfg)
+			if err != nil {
+				t.Fatalf("%s reference: %v", mode.name, err)
+			}
+			if indexed.Finish != reference.Finish {
+				t.Fatalf("%s Finish: indexed %v, reference %v", mode.name, indexed.Finish, reference.Finish)
+			}
+			ia, ra := indexed.Timeline.Ops, reference.Timeline.Ops
+			if len(ia) != len(ra) {
+				t.Fatalf("%s timeline length: indexed %d, reference %d", mode.name, len(ia), len(ra))
+			}
+			for i := range ia {
+				if ia[i] != ra[i] {
+					t.Fatalf("%s op %d: indexed %+v, reference %+v", mode.name, i, ia[i], ra[i])
+				}
+			}
+		}
 	})
 }

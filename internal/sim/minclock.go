@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"math/bits"
+	"math/rand"
+)
+
+// minClock is the indexed min-structure behind the Figure-2 main loop:
+// it tracks, for every processor that still wants to send, the
+// processor's current clock, and hands back one member of the equal-min
+// set per pick — chosen exactly as the reference linear scan chooses, so
+// the random tie-break sequence (and therefore the whole timeline) is
+// bit-identical.
+//
+// Layout: processors are grouped by their exact clock value. Each group
+// is a bitset over processor indices with a popcount, so the equal-min
+// set is implicitly ordered by processor index and the j-th member pops
+// in O(P/64) words. The distinct clock values live in a lazy min-heap:
+// keys are pushed when a group is created and stale keys (whose group
+// has emptied) are discarded at pick time. Per committed operation the
+// structure costs O(log P) amortized heap work plus one word-scan,
+// versus the reference's O(P) float compares — and, unlike a plain
+// (clock, proc)-keyed heap, it does not degrade when many processors
+// share a clock (the lockstep regime of symmetric patterns like
+// all-to-all, where the equal-min set stays Θ(P) for the whole run).
+type minClock struct {
+	words  int // uint64 words per group bitset
+	keys   []float64
+	groups map[float64]int32 // clock value -> index into pool
+	pool   []mcGroup
+	free   []int32
+}
+
+type mcGroup struct {
+	bits  []uint64
+	count int32
+}
+
+// reset prepares the structure for a step over p processors, reusing all
+// prior storage.
+func (mc *minClock) reset(p int) {
+	mc.words = (p + 63) / 64
+	// Any leftover groups (there are none after a completed run, but a
+	// failed run may abandon state) must drop their bits before reuse.
+	for k, gi := range mc.groups {
+		g := &mc.pool[gi]
+		clear(g.bits)
+		g.count = 0
+		mc.free = append(mc.free, gi)
+		delete(mc.groups, k)
+	}
+	if mc.groups == nil {
+		mc.groups = make(map[float64]int32)
+	}
+	mc.keys = mc.keys[:0]
+}
+
+// add registers processor proc under clock value key.
+func (mc *minClock) add(proc int, key float64) {
+	gi, ok := mc.groups[key]
+	if !ok {
+		if n := len(mc.free); n > 0 {
+			gi = mc.free[n-1]
+			mc.free = mc.free[:n-1]
+		} else {
+			mc.pool = append(mc.pool, mcGroup{})
+			gi = int32(len(mc.pool) - 1)
+		}
+		mc.groups[key] = gi
+		mc.heapPush(key)
+	}
+	g := &mc.pool[gi]
+	if cap(g.bits) < mc.words {
+		g.bits = make([]uint64, mc.words)
+	}
+	g.bits = g.bits[:mc.words]
+	g.bits[proc>>6] |= 1 << (uint(proc) & 63)
+	g.count++
+}
+
+// pick removes and returns one processor from the minimum-clock group:
+// the rng.Intn(k)-th lowest-index member when the group has k > 1
+// members, the single member otherwise — the reference scan's exact
+// selection. ok is false when no processor wants to send.
+func (mc *minClock) pick(rng *rand.Rand) (proc int, ok bool) {
+	for len(mc.keys) > 0 {
+		key := mc.keys[0]
+		gi, live := mc.groups[key]
+		if !live {
+			mc.heapPop() // stale key from an emptied group
+			continue
+		}
+		g := &mc.pool[gi]
+		j := 0
+		if g.count > 1 {
+			j = rng.Intn(int(g.count))
+		}
+		proc = g.selectNth(j)
+		g.bits[proc>>6] &^= 1 << (uint(proc) & 63)
+		g.count--
+		if g.count == 0 {
+			delete(mc.groups, key)
+			mc.free = append(mc.free, gi)
+			mc.heapPop()
+		}
+		return proc, true
+	}
+	return 0, false
+}
+
+// selectNth returns the processor index of the group's j-th set bit
+// (j counted from zero, bits in ascending processor order).
+func (g *mcGroup) selectNth(j int) int {
+	for w, word := range g.bits {
+		if n := bits.OnesCount64(word); n <= j {
+			j -= n
+			continue
+		}
+		for ; j > 0; j-- {
+			word &= word - 1 // clear lowest set bit
+		}
+		return w<<6 + bits.TrailingZeros64(word)
+	}
+	panic("sim: minClock select past group population")
+}
+
+// heapPush / heapPop maintain the lazy min-heap of distinct clock values.
+func (mc *minClock) heapPush(key float64) {
+	mc.keys = append(mc.keys, key)
+	i := len(mc.keys) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if mc.keys[parent] <= mc.keys[i] {
+			break
+		}
+		mc.keys[i], mc.keys[parent] = mc.keys[parent], mc.keys[i]
+		i = parent
+	}
+}
+
+func (mc *minClock) heapPop() {
+	last := len(mc.keys) - 1
+	mc.keys[0] = mc.keys[last]
+	mc.keys = mc.keys[:last]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= last {
+			return
+		}
+		small := left
+		if right := left + 1; right < last && mc.keys[right] < mc.keys[left] {
+			small = right
+		}
+		if mc.keys[i] <= mc.keys[small] {
+			return
+		}
+		mc.keys[i], mc.keys[small] = mc.keys[small], mc.keys[i]
+		i = small
+	}
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refMinPick is the oracle for one pick: the reference loop's linear
+// scan, including its exact RNG discipline (Intn called only when the
+// equal-min set has more than one member).
+func refMinPick(clocks []float64, active []bool, rng *rand.Rand) (int, bool) {
+	var minSet []int
+	minTime := math.Inf(1)
+	for i := range clocks {
+		if !active[i] {
+			continue
+		}
+		switch {
+		case clocks[i] < minTime:
+			minTime = clocks[i]
+			minSet = append(minSet[:0], i)
+		case clocks[i] == minTime:
+			minSet = append(minSet, i)
+		}
+	}
+	if len(minSet) == 0 {
+		return 0, false
+	}
+	if len(minSet) == 1 {
+		return minSet[0], true
+	}
+	return minSet[rng.Intn(len(minSet))], true
+}
+
+// TestMinClockMatchesScan runs randomized add/pick/re-add schedules —
+// the exact access pattern of runPaper — against the scan oracle with a
+// twin RNG, checking every pick and the implied RNG positions agree.
+func TestMinClockMatchesScan(t *testing.T) {
+	for _, p := range []int{1, 2, 17, 64, 65, 200} {
+		drive := rand.New(rand.NewSource(int64(p)))
+		rngA := rand.New(rand.NewSource(99))
+		rngB := rand.New(rand.NewSource(99))
+
+		var mc minClock
+		mc.reset(p)
+		clocks := make([]float64, p)
+		active := make([]bool, p)
+		for i := range clocks {
+			// Few distinct values => large equal-min sets (the lockstep
+			// regime where tie-break randomness is consumed every pick).
+			clocks[i] = float64(drive.Intn(4))
+			active[i] = true
+			mc.add(i, clocks[i])
+		}
+		for step := 0; ; step++ {
+			got, gotOK := mc.pick(rngA)
+			want, wantOK := refMinPick(clocks, active, rngB)
+			if gotOK != wantOK || (gotOK && got != want) {
+				t.Fatalf("p=%d step=%d: pick = (%d,%v), scan = (%d,%v)",
+					p, step, got, gotOK, want, wantOK)
+			}
+			if !gotOK {
+				break
+			}
+			// Mimic a commit: the picked processor's clock advances and it
+			// re-enters with probability 2/3, else it is done sending.
+			if drive.Intn(3) < 2 {
+				clocks[got] += float64(drive.Intn(3)) // may stay equal
+				mc.add(got, clocks[got])
+			} else {
+				active[got] = false
+			}
+		}
+		// Both RNGs must be at the same position afterwards.
+		if a, b := rngA.Int63(), rngB.Int63(); a != b {
+			t.Fatalf("p=%d: RNG streams diverged (%d vs %d)", p, a, b)
+		}
+	}
+}
+
+// TestMinClockSelectNth checks the j-th-member selection across word
+// boundaries.
+func TestMinClockSelectNth(t *testing.T) {
+	g := mcGroup{bits: make([]uint64, 3)}
+	members := []int{0, 1, 63, 64, 70, 128, 190}
+	for _, m := range members {
+		g.bits[m>>6] |= 1 << (uint(m) & 63)
+		g.count++
+	}
+	for j, want := range members {
+		if got := g.selectNth(j); got != want {
+			t.Fatalf("selectNth(%d) = %d, want %d", j, got, want)
+		}
+	}
+}
+
+// TestMinClockResetClearsAbandonedState simulates the failed-run case:
+// groups left populated (as after a hook error) must not leak into the
+// next step, even when the processor count changes.
+func TestMinClockResetClearsAbandonedState(t *testing.T) {
+	var mc minClock
+	mc.reset(128)
+	for i := 0; i < 128; i++ {
+		mc.add(i, float64(i%5))
+	}
+	mc.reset(8) // abandon mid-run, shrink
+	rng := rand.New(rand.NewSource(0))
+	if proc, ok := mc.pick(rng); ok {
+		t.Fatalf("stale processor %d survived reset", proc)
+	}
+	mc.add(3, 7)
+	if proc, ok := mc.pick(rng); !ok || proc != 3 {
+		t.Fatalf("pick = (%d, %v), want (3, true)", proc, ok)
+	}
+}

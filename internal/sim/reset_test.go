@@ -1,0 +1,161 @@
+package sim
+
+// Session-reuse tests: a Reset (or Reconfigure) session must be
+// indistinguishable from a freshly constructed one — no leakage of
+// clocks, gap state (hasLast/lastStart/lastBytes), queued messages or
+// RNG position between candidates — including across patterns of
+// different processor counts and message counts.
+
+import (
+	"testing"
+
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/trace"
+)
+
+// freshResult runs pt on a brand-new session with the given config.
+func freshResult(t *testing.T, procs int, cfg Config, pt *trace.Pattern) *Result {
+	t.Helper()
+	sess, err := NewSession(procs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sess.Communicate(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestResetMatchesFreshSession drives one session through a sequence of
+// patterns with different processor counts and message counts, resetting
+// between them, and checks every run equals a fresh session's.
+func TestResetMatchesFreshSession(t *testing.T) {
+	params := loggp.Params{L: 9, O: 2, Gap: 16, G: 0.07, P: 16}
+	cfg := Config{Params: params, Seed: 3}
+	sequence := []*trace.Pattern{
+		trace.AllToAll(16, 64),         // dense, P=16
+		trace.Figure3(),                // sparse, P=10
+		trace.Butterfly(4, 512),        // P=16 again, more messages
+		trace.Ring(2, 1000),            // tiny, P=2
+		trace.Random(12, 100, 2048, 9), // P=12, random sizes
+	}
+	sess, err := NewSession(16, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := make([]float64, 16)
+	for _, pt := range sequence {
+		if err := sess.Reset(ready[:pt.P]); err != nil {
+			t.Fatal(err)
+		}
+		got, err := sess.Communicate(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := freshResult(t, pt.P, cfg, pt)
+		requireIdentical(t, got, want)
+	}
+	// Reset(nil) restores the configured shape (16 processors, zero
+	// clocks) even after the session was last dimensioned to P=12.
+	if err := sess.Reset(nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Communicate(sequence[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, got, freshResult(t, 16, cfg, sequence[0]))
+}
+
+// TestResetClearsMultiStepState resets a session mid-program — after
+// computation steps and a communication step have accumulated clocks,
+// gap state and RNG draws — and checks the replay is exact.
+func TestResetClearsMultiStepState(t *testing.T) {
+	params := loggp.Params{L: 9, O: 2, Gap: 16, G: 0.07, P: 10}
+	cfg := Config{Params: params, Seed: 17}
+	durs := make([]float64, 10)
+	for i := range durs {
+		durs[i] = float64(i % 3)
+	}
+	program := func(t *testing.T, sess *Session) []*Result {
+		t.Helper()
+		var out []*Result
+		for _, pt := range []*trace.Pattern{trace.Figure3(), trace.Gather(10, 2, 512)} {
+			if err := sess.Compute(durs); err != nil {
+				t.Fatal(err)
+			}
+			r, err := sess.Communicate(pt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, r)
+		}
+		return out
+	}
+
+	sess, err := NewSession(10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := program(t, sess)
+	if err := sess.Reset(nil); err != nil {
+		t.Fatal(err)
+	}
+	second := program(t, sess)
+	for i := range first {
+		requireIdentical(t, first[i], second[i])
+	}
+
+	fresh, err := NewSession(10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := program(t, fresh)
+	for i := range want {
+		requireIdentical(t, second[i], want[i])
+	}
+}
+
+// TestReconfigureMatchesNewSession re-aims one session across machines
+// and processor counts and checks each reconfiguration behaves exactly
+// like a new session — including when P shrinks and grows again, which
+// exercises the state-revival path of resize.
+func TestReconfigureMatchesNewSession(t *testing.T) {
+	shapes := []struct {
+		procs int
+		cfg   Config
+		pt    *trace.Pattern
+	}{
+		{16, Config{Params: loggp.Params{L: 9, O: 2, Gap: 16, G: 0.07, P: 16}, Seed: 1}, trace.AllToAll(16, 64)},
+		{4, Config{Params: loggp.Params{L: 1, O: 1, Gap: 40, G: 0.5, P: 4}, Seed: 2}, trace.Ring(4, 300)},
+		{16, Config{Params: loggp.Params{L: 25, O: 12, Gap: 3, G: 0, P: 16}, Seed: 3, GlobalOrder: true}, trace.Butterfly(4, 128)},
+		{10, Config{Params: loggp.Params{L: 9, O: 2, Gap: 16, G: 0.07, P: 10}, Seed: 4, SendPriority: true}, trace.Figure3()},
+	}
+	sess := &Session{}
+	for _, sh := range shapes {
+		if err := sess.Reconfigure(sh.procs, sh.cfg); err != nil {
+			t.Fatal(err)
+		}
+		got, err := sess.Communicate(sh.pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, got, freshResult(t, sh.procs, sh.cfg, sh.pt))
+	}
+}
+
+// TestResetBoundsChecked: re-dimensioning past the machine's P, or to
+// zero processors, must fail.
+func TestResetBoundsChecked(t *testing.T) {
+	sess, err := NewSession(4, Config{Params: loggp.Params{L: 1, O: 1, Gap: 1, G: 0, P: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Reset(make([]float64, 5)); err == nil {
+		t.Fatal("Reset grew past Params.P")
+	}
+	if err := sess.Reset([]float64{}); err == nil {
+		t.Fatal("Reset accepted zero processors")
+	}
+}

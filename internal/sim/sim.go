@@ -16,10 +16,21 @@
 // each would have; the strict comparison gives receives priority on ties.
 // Afterwards every processor drains its remaining receives.
 //
+// The min-clock selection is served by an indexed structure over the
+// sender clocks (see minClock) rather than a per-operation linear scan,
+// and the global-order ablation replays commits off an incrementally
+// maintained tournament tree; both produce timelines bit-identical to
+// the straightforward scans, which are kept as reference paths for the
+// differential tests. See DESIGN.md §perf.
+//
 // A Session chains multiple alternating computation and communication
 // steps — the paper's restricted program class — carrying both the
 // per-processor clocks and the gap state (a network-interface constraint
-// that does not vanish at step boundaries) across steps.
+// that does not vanish at step boundaries) across steps. Sessions are
+// reusable: Reset (or Reconfigure, to re-aim at a different machine)
+// returns a session to its freshly constructed state while keeping every
+// internal buffer, so sweep drivers evaluate candidates without
+// steady-state allocation.
 package sim
 
 import (
@@ -40,7 +51,8 @@ type Config struct {
 	// Ready optionally gives each processor's clock at the start of the
 	// communication step (the time its preceding computation finished).
 	// Nil means all processors start at time zero. Its length must equal
-	// the pattern's P when non-nil.
+	// the pattern's P when non-nil, and every entry must be finite and
+	// non-negative.
 	Ready []float64
 	// Seed drives the random tie-break between processors with equal
 	// clocks (the paper picks one of them randomly). Runs with the same
@@ -81,6 +93,13 @@ type Config struct {
 	// computed identically, so Finish and the session clocks are exactly
 	// the values a recording run produces.
 	NoTimeline bool
+
+	// referenceScheduler selects the pre-indexed scheduler cores — the
+	// linear min-clock scan of Figure 2 and the full-rescan global-order
+	// loop. The reference paths exist so the differential tests can
+	// prove the indexed cores bit-identical; they are not reachable from
+	// outside the package.
+	referenceScheduler bool
 }
 
 // Result is the outcome of simulating one communication step.
@@ -101,14 +120,17 @@ type Result struct {
 	SelfMessages int
 }
 
-// procState is the per-processor bookkeeping of Figure 2.
+// procState is the per-processor bookkeeping of Figure 2. States live in
+// one flat slice on the session, and the send queues are windows into a
+// shared arena sized from the pattern, so a step's setup costs no
+// steady-state allocation.
 type procState struct {
 	ctime     float64 // current simulation time
 	hasLast   bool
 	lastKind  loggp.OpKind
 	lastStart float64
 	lastBytes int
-	sendQ     []int // message indices in send order
+	sendQ     []int // message indices in send order (session arena window)
 	sendHead  int
 	recvQ     eventq.Queue[int] // message indices keyed by arrival time
 }
@@ -131,40 +153,127 @@ func (s *procState) earliest(p loggp.Params, kind loggp.OpKind) float64 {
 // communication steps on one machine, preserving clocks and gap state
 // between steps.
 type Session struct {
-	cfg Config
-	p   int
-	st  []*procState
-	rng *rand.Rand
+	cfg      Config
+	cfgProcs int // processor count given to Reconfigure; Reset(nil) restores it
+	p        int
+	st       []procState
+	rng      *rand.Rand
+	// hookErr records a non-finite arrival produced by the Network or
+	// Jitter hook; the commit loops stop on it and Communicate reports
+	// it (a NaN key would otherwise silently corrupt the receive heaps).
+	hookErr error
+
+	// Step scratch, reused across Communicate calls.
+	sendArena []int
+	counts    []int
+	mc        minClock
+	tt        eventq.Tournament
+	ttKind    []loggp.OpKind
 }
 
 // NewSession returns a session over procs processors. cfg.Ready, if set,
 // seeds the initial clocks.
 func NewSession(procs int, cfg Config) (*Session, error) {
-	if err := cfg.Params.Validate(); err != nil {
+	s := &Session{}
+	if err := s.Reconfigure(procs, cfg); err != nil {
 		return nil, err
 	}
+	return s, nil
+}
+
+// Reconfigure re-aims the session at a new machine description and
+// processor count, reusing all internal storage, and resets it (see
+// Reset). A reconfigured session is indistinguishable from one freshly
+// built by NewSession with the same arguments.
+func (s *Session) Reconfigure(procs int, cfg Config) error {
+	if err := cfg.Params.Validate(); err != nil {
+		return err
+	}
 	if procs <= 0 {
-		return nil, fmt.Errorf("sim: session needs at least one processor, got %d", procs)
+		return fmt.Errorf("sim: session needs at least one processor, got %d", procs)
 	}
 	if procs > cfg.Params.P {
-		return nil, fmt.Errorf("sim: session uses %d processors but machine has P=%d", procs, cfg.Params.P)
+		return fmt.Errorf("sim: session uses %d processors but machine has P=%d", procs, cfg.Params.P)
 	}
 	if cfg.Ready != nil && len(cfg.Ready) != procs {
-		return nil, fmt.Errorf("sim: %d ready times for %d processors", len(cfg.Ready), procs)
+		return fmt.Errorf("sim: %d ready times for %d processors", len(cfg.Ready), procs)
 	}
-	s := &Session{
-		cfg: cfg,
-		p:   procs,
-		st:  make([]*procState, procs),
-		rng: rand.New(rand.NewSource(cfg.Seed)),
+	if err := validateReady(cfg.Ready); err != nil {
+		return err
 	}
+	s.cfg = cfg
+	s.cfgProcs = procs
+	s.resize(procs)
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return s.Reset(nil)
+}
+
+// Reset returns the session to its initial state — clocks, gap state,
+// queues and the tie-break RNG all as freshly constructed — while
+// keeping every internal buffer, so a sweep can reuse one session per
+// worker and evaluate candidates allocation-free. ready overrides the
+// configured start clocks; nil restores Config.Ready (or zero clocks).
+// A non-nil ready of a different length re-dimensions the session to
+// len(ready) processors (still bounded by Params.P), so one session can
+// serve patterns of different sizes.
+func (s *Session) Reset(ready []float64) error {
+	if ready == nil {
+		ready = s.cfg.Ready
+		s.resize(s.cfgProcs) // restore the configured shape
+	} else {
+		if len(ready) == 0 {
+			return fmt.Errorf("sim: session needs at least one processor, got 0 ready times")
+		}
+		if len(ready) > s.cfg.Params.P {
+			return fmt.Errorf("sim: session uses %d processors but machine has P=%d", len(ready), s.cfg.Params.P)
+		}
+		if err := validateReady(ready); err != nil {
+			return err
+		}
+		s.resize(len(ready))
+	}
+	s.rng.Seed(s.cfg.Seed)
+	s.hookErr = nil
 	for i := range s.st {
-		s.st[i] = &procState{}
-		if cfg.Ready != nil {
-			s.st[i].ctime = cfg.Ready[i]
+		st := &s.st[i]
+		st.ctime = 0
+		if ready != nil {
+			st.ctime = ready[i]
+		}
+		st.hasLast = false
+		st.lastKind = 0
+		st.lastStart = 0
+		st.lastBytes = 0
+		st.sendQ = nil
+		st.sendHead = 0
+		st.recvQ.Clear()
+	}
+	return nil
+}
+
+// validateReady rejects the start clocks that would corrupt the
+// simulation: NaN and ±Inf poison every comparison (and the receive-heap
+// ordering downstream), negative times precede the program's origin.
+func validateReady(ready []float64) error {
+	for i, t := range ready {
+		if math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+			return fmt.Errorf("sim: ready time %g for processor %d: must be finite and non-negative", t, i)
 		}
 	}
-	return s, nil
+	return nil
+}
+
+// resize sets the processor count, reviving previously used state (and
+// its queue storage) from the slice capacity where possible.
+func (s *Session) resize(procs int) {
+	if procs <= cap(s.st) {
+		s.st = s.st[:procs]
+	} else {
+		s.st = append(s.st[:cap(s.st)], make([]procState, procs-cap(s.st))...)
+	}
+	s.p = procs
 }
 
 // Clocks returns a copy of the current per-processor clocks.
@@ -180,8 +289,8 @@ func (s *Session) ClocksInto(dst []float64) []float64 {
 		dst = make([]float64, s.p)
 	}
 	dst = dst[:s.p]
-	for i, st := range s.st {
-		dst[i] = st.ctime
+	for i := range s.st {
+		dst[i] = s.st[i].ctime
 	}
 	return dst
 }
@@ -189,9 +298,9 @@ func (s *Session) ClocksInto(dst []float64) []float64 {
 // Finish returns the maximum clock: the program's running time so far.
 func (s *Session) Finish() float64 {
 	finish := 0.0
-	for _, st := range s.st {
-		if st.ctime > finish {
-			finish = st.ctime
+	for i := range s.st {
+		if s.st[i].ctime > finish {
+			finish = s.st[i].ctime
 		}
 	}
 	return finish
@@ -230,52 +339,105 @@ func (s *Session) AdvanceTo(proc int, t float64) error {
 // Communicate simulates one communication step, updating the session
 // state.
 func (s *Session) Communicate(pt *trace.Pattern) (*Result, error) {
-	if err := pt.Validate(); err != nil {
+	r := &Result{}
+	if err := s.CommunicateInto(r, pt); err != nil {
 		return nil, err
 	}
-	if pt.P != s.p {
-		return nil, fmt.Errorf("sim: pattern uses %d processors but session has %d", pt.P, s.p)
+	return r, nil
+}
+
+// CommunicateInto is Communicate writing into a caller-owned Result,
+// which is reset first. In quiet mode (Config.NoTimeline) a steady-state
+// call allocates nothing, so sweep drivers that reuse one Result per
+// worker evaluate candidates allocation-free.
+func (s *Session) CommunicateInto(r *Result, pt *trace.Pattern) error {
+	if err := pt.Validate(); err != nil {
+		return err
 	}
-	r := &Result{}
+	if pt.P != s.p {
+		return fmt.Errorf("sim: pattern uses %d processors but session has %d", pt.P, s.p)
+	}
+	*r = Result{}
 	if !s.cfg.NoTimeline {
 		r.Timeline = timeline.New(pt.P)
 	}
-	for idx, m := range pt.Msgs {
+	// Build every processor's send queue in one shared arena and pre-size
+	// the receive queues from the in-degrees: two O(M) passes, no
+	// steady-state allocation.
+	if cap(s.counts) < 2*s.p {
+		s.counts = make([]int, 2*s.p)
+	}
+	outCnt, inCnt := s.counts[:s.p], s.counts[s.p:2*s.p]
+	clear(outCnt)
+	clear(inCnt)
+	for _, m := range pt.Msgs {
 		if m.Src == m.Dst {
 			r.SelfMessages++
 			continue
 		}
-		s.st[m.Src].sendQ = append(s.st[m.Src].sendQ, idx)
+		outCnt[m.Src]++
+		inCnt[m.Dst]++
 	}
-	if s.cfg.GlobalOrder {
+	off := 0
+	for i, n := range outCnt {
+		outCnt[i] = off
+		off += n
+	}
+	if cap(s.sendArena) < off {
+		s.sendArena = make([]int, off)
+	}
+	arena := s.sendArena[:off]
+	for idx, m := range pt.Msgs {
+		if m.Src == m.Dst {
+			continue
+		}
+		arena[outCnt[m.Src]] = idx
+		outCnt[m.Src]++ // outCnt[i] ends as processor i's arena end offset
+	}
+	prev := 0
+	for i := range s.st {
+		s.st[i].sendQ = arena[prev:outCnt[i]]
+		prev = outCnt[i]
+		s.st[i].recvQ.Reserve(inCnt[i])
+	}
+
+	switch {
+	case s.cfg.GlobalOrder && s.cfg.referenceScheduler:
+		s.runGlobalOrderReference(pt, r)
+	case s.cfg.GlobalOrder:
 		s.runGlobalOrder(pt, r)
-	} else {
+	case s.cfg.referenceScheduler:
+		s.runPaperReference(pt, r)
+	default:
 		s.runPaper(pt, r)
 	}
 	// Reset the per-step queues; clocks and gap state persist.
-	for _, st := range s.st {
-		st.sendQ = st.sendQ[:0]
-		st.sendHead = 0
+	for i := range s.st {
+		s.st[i].sendQ = nil
+		s.st[i].sendHead = 0
+	}
+	if s.hookErr != nil {
+		return fmt.Errorf("%w (session state is inconsistent; Reset before reuse)", s.hookErr)
 	}
 	if !s.cfg.NoTimeline {
 		r.ProcFinish = make([]float64, s.p)
-		for i, st := range s.st {
-			r.ProcFinish[i] = st.ctime
+		for i := range s.st {
+			r.ProcFinish[i] = s.st[i].ctime
 		}
 	}
-	for _, st := range s.st {
-		if st.ctime > r.Finish {
-			r.Finish = st.ctime
+	for i := range s.st {
+		if s.st[i].ctime > r.Finish {
+			r.Finish = s.st[i].ctime
 		}
 	}
-	return r, nil
+	return nil
 }
 
 // commitSend performs the head send of processor src at the given start
 // time, enqueues the arrival at the destination, and advances the clock.
 func (s *Session) commitSend(pt *trace.Pattern, tl *timeline.Timeline, src int, start float64) {
 	p := s.cfg.Params
-	st := s.st[src]
+	st := &s.st[src]
 	idx := st.sendQ[st.sendHead]
 	st.sendHead++
 	m := pt.Msgs[idx]
@@ -290,8 +452,19 @@ func (s *Session) commitSend(pt *trace.Pattern, tl *timeline.Timeline, src int, 
 		arrival = s.cfg.Network.Arrival(m.Src, m.Dst, m.Bytes, start+p.O)
 	}
 	if s.cfg.Jitter != nil {
-		if extra := s.cfg.Jitter(idx, m.Bytes); extra > 0 {
+		// A NaN must propagate into arrival (to be rejected below) rather
+		// than be silently dropped by the positivity guard.
+		if extra := s.cfg.Jitter(idx, m.Bytes); extra > 0 || math.IsNaN(extra) {
 			arrival += extra
+		}
+	}
+	if s.cfg.Network != nil || s.cfg.Jitter != nil {
+		// A NaN or ±Inf key from a hook would silently corrupt the
+		// receive heap's ordering; refuse it before it enters the queue.
+		if math.IsNaN(arrival) || math.IsInf(arrival, 0) {
+			s.hookErr = fmt.Errorf("sim: message %d (%d->%d): non-finite arrival time %g from network/jitter hook",
+				idx, m.Src, m.Dst, arrival)
+			return
 		}
 	}
 	s.st[m.Dst].recvQ.Push(arrival, idx)
@@ -303,7 +476,7 @@ func (s *Session) commitSend(pt *trace.Pattern, tl *timeline.Timeline, src int, 
 // the given start time and advances the clock.
 func (s *Session) commitRecv(pt *trace.Pattern, tl *timeline.Timeline, dst int, start float64) {
 	p := s.cfg.Params
-	st := s.st[dst]
+	st := &s.st[dst]
 	arrival, idx := st.recvQ.Pop()
 	m := pt.Msgs[idx]
 	if tl != nil {
@@ -331,14 +504,54 @@ func (s *Session) candidateStarts(st *procState) (startSend, startRecv float64) 
 	return startSend, startRecv
 }
 
-// runPaper is the Figure-2 main loop plus the drain phase.
+// runPaper is the Figure-2 main loop plus the drain phase, served by the
+// indexed min-clock structure: each iteration pops the (randomly
+// tie-broken) minimum-clock sender in O(log P) amortized instead of
+// rescanning all P processors. Only the committed processor's clock can
+// change between iterations, so the index is maintained by removing the
+// picked processor and re-adding it after the commit.
 func (s *Session) runPaper(pt *trace.Pattern, r *Result) {
+	mc := &s.mc
+	mc.reset(s.p)
+	for i := range s.st {
+		if s.st[i].wantsSend() {
+			mc.add(i, s.st[i].ctime)
+		}
+	}
+	for s.hookErr == nil {
+		proc, ok := mc.pick(s.rng)
+		if !ok {
+			break
+		}
+		st := &s.st[proc]
+		startSend, startRecv := s.candidateStarts(st)
+		sendWins := startSend < startRecv
+		if s.cfg.SendPriority {
+			sendWins = startSend <= startRecv
+		}
+		if sendWins {
+			s.commitSend(pt, r.Timeline, proc, startSend)
+		} else {
+			s.commitRecv(pt, r.Timeline, proc, startRecv)
+		}
+		if st.wantsSend() {
+			mc.add(proc, st.ctime)
+		}
+	}
+	s.drainReceives(pt, r)
+}
+
+// runPaperReference is the pre-indexed Figure-2 loop: a linear scan over
+// all processors per committed operation. Kept verbatim as the oracle
+// for the differential tests.
+func (s *Session) runPaperReference(pt *trace.Pattern, r *Result) {
 	var minSet []int // scratch for the random tie-break
-	for {
+	for s.hookErr == nil {
 		// min_proc: minimum ctime among processors that want to send.
 		minSet = minSet[:0]
 		minTime := math.Inf(1)
-		for i, st := range s.st {
+		for i := range s.st {
+			st := &s.st[i]
 			if !st.wantsSend() {
 				continue
 			}
@@ -357,7 +570,7 @@ func (s *Session) runPaper(pt *trace.Pattern, r *Result) {
 		if len(minSet) > 1 {
 			proc = minSet[s.rng.Intn(len(minSet))]
 		}
-		startSend, startRecv := s.candidateStarts(s.st[proc])
+		startSend, startRecv := s.candidateStarts(&s.st[proc])
 		sendWins := startSend < startRecv
 		if s.cfg.SendPriority {
 			sendWins = startSend <= startRecv
@@ -368,8 +581,17 @@ func (s *Session) runPaper(pt *trace.Pattern, r *Result) {
 			s.commitRecv(pt, r.Timeline, proc, startRecv)
 		}
 	}
-	// Drain: every processor performs its remaining receives.
-	for proc, st := range s.st {
+	s.drainReceives(pt, r)
+}
+
+// drainReceives is the post-main-loop phase: every processor performs
+// its remaining receives.
+func (s *Session) drainReceives(pt *trace.Pattern, r *Result) {
+	if s.hookErr != nil {
+		return
+	}
+	for proc := range s.st {
+		st := &s.st[proc]
 		for !st.recvQ.Empty() {
 			arrival, _ := st.recvQ.Peek()
 			start := max(st.earliest(s.cfg.Params, loggp.Recv), arrival)
@@ -382,13 +604,68 @@ func (s *Session) runPaper(pt *trace.Pattern, r *Result) {
 // globally smallest start time (receives winning ties, then lower
 // processor index). Unlike the paper's loop it can never commit a receive
 // whose message is logically preceded by an uncommitted earlier send.
+//
+// After a commit only the committed processor's candidates — and, for a
+// send, the destination's receive candidate — can change, so the per-
+// processor best candidates are cached in a tournament tree and only
+// those one or two leaves are recomputed, replacing the reference loop's
+// 2P candidate evaluations per iteration.
 func (s *Session) runGlobalOrder(pt *trace.Pattern, r *Result) {
-	for {
+	s.tt.Reset(s.p)
+	if cap(s.ttKind) < s.p {
+		s.ttKind = make([]loggp.OpKind, s.p)
+	}
+	s.ttKind = s.ttKind[:s.p]
+	for i := range s.st {
+		s.refreshCandidate(i)
+	}
+	for s.hookErr == nil {
+		best, bestStart := s.tt.Min()
+		if best < 0 {
+			return
+		}
+		if s.ttKind[best] == loggp.Send {
+			st := &s.st[best]
+			dst := pt.Msgs[st.sendQ[st.sendHead]].Dst
+			s.commitSend(pt, r.Timeline, best, bestStart)
+			s.refreshCandidate(best)
+			s.refreshCandidate(dst)
+		} else {
+			s.commitRecv(pt, r.Timeline, best, bestStart)
+			s.refreshCandidate(best)
+		}
+	}
+}
+
+// refreshCandidate recomputes processor i's best next operation — the
+// smaller of its send and receive candidate starts, the priority kind
+// winning ties — and updates its tournament leaf.
+func (s *Session) refreshCandidate(i int) {
+	startSend, startRecv := s.candidateStarts(&s.st[i])
+	first, second := startRecv, startSend
+	firstKind, secondKind := loggp.Recv, loggp.Send
+	if s.cfg.SendPriority {
+		first, second = startSend, startRecv
+		firstKind, secondKind = loggp.Send, loggp.Recv
+	}
+	key, kind := first, firstKind
+	if second < key {
+		key, kind = second, secondKind
+	}
+	s.ttKind[i] = kind
+	s.tt.Update(i, key)
+}
+
+// runGlobalOrderReference is the pre-indexed global-order loop — both
+// candidate starts of all P processors recomputed every iteration — kept
+// as the oracle for the differential tests.
+func (s *Session) runGlobalOrderReference(pt *trace.Pattern, r *Result) {
+	for s.hookErr == nil {
 		best := -1
 		bestStart := math.Inf(1)
 		bestKind := loggp.Send
-		for i, st := range s.st {
-			startSend, startRecv := s.candidateStarts(st)
+		for i := range s.st {
+			startSend, startRecv := s.candidateStarts(&s.st[i])
 			first, second := startRecv, startSend
 			firstKind, secondKind := loggp.Recv, loggp.Send
 			if s.cfg.SendPriority {

@@ -1,0 +1,124 @@
+package sim
+
+// Large-P stress benchmarks for the scheduler core: the indexed
+// min-clock/tournament paths against the reference linear scans, on the
+// workloads where the scans' O(P) per-operation cost bites. Run via
+// `make bench`, which records the results in BENCH_scheduler.json; the
+// headline numbers live in EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"testing"
+
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/trace"
+)
+
+func stressParams(p int) loggp.Params {
+	return loggp.Params{L: 9, O: 2, Gap: 16, G: 0.07, P: p}
+}
+
+// stressPatterns returns the large-P workloads: dense symmetric
+// (all-to-all, P-1 messages per processor and a Θ(P) equal-min set for
+// most of the run), log-depth symmetric (butterfly), and irregular
+// (random, 16 messages per processor on average).
+func stressPatterns(p, dims int) map[string]*trace.Pattern {
+	return map[string]*trace.Pattern{
+		"alltoall":  trace.AllToAll(p, 64),
+		"butterfly": trace.Butterfly(dims, 64),
+		"random":    trace.Random(p, 16*p, 1024, 1),
+	}
+}
+
+// benchCommunicate measures repeated quiet-mode simulation of pt on a
+// reused session: Reset + CommunicateInto per iteration, the sweep
+// engine's steady state.
+func benchCommunicate(b *testing.B, pt *trace.Pattern, cfg Config) {
+	b.Helper()
+	sess, err := NewSession(pt.P, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var r Result
+	msgs := pt.NetworkMessages()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.Reset(nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := sess.CommunicateInto(&r, pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(msgs)*float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkScheduler is the indexed-vs-reference comparison across
+// workloads and machine sizes. The acceptance target of the scheduler-
+// core rework is >=2x throughput on all-to-all or butterfly at P>=64.
+func BenchmarkScheduler(b *testing.B) {
+	for _, size := range []struct{ p, dims int }{{64, 6}, {256, 8}} {
+		for name, pt := range stressPatterns(size.p, size.dims) {
+			for _, core := range []struct {
+				name      string
+				reference bool
+			}{{"indexed", false}, {"reference", true}} {
+				b.Run(fmt.Sprintf("%s/P%d/%s", name, size.p, core.name), func(b *testing.B) {
+					cfg := Config{
+						Params:             stressParams(pt.P),
+						NoTimeline:         true,
+						referenceScheduler: core.reference,
+					}
+					benchCommunicate(b, pt, cfg)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkSchedulerGlobalOrder compares the incremental tournament
+// commit loop against the full-rescan reference on the ablation path.
+func BenchmarkSchedulerGlobalOrder(b *testing.B) {
+	pt := trace.AllToAll(64, 64)
+	for _, core := range []struct {
+		name      string
+		reference bool
+	}{{"indexed", false}, {"reference", true}} {
+		b.Run(core.name, func(b *testing.B) {
+			cfg := Config{
+				Params:             stressParams(64),
+				GlobalOrder:        true,
+				NoTimeline:         true,
+				referenceScheduler: core.reference,
+			}
+			benchCommunicate(b, pt, cfg)
+		})
+	}
+}
+
+// BenchmarkSessionReuse is the allocation acceptance check in benchmark
+// form: steady-state quiet-mode candidate evaluation on a reused session
+// must report 0 allocs/op under -benchmem.
+func BenchmarkSessionReuse(b *testing.B) {
+	pt := trace.Butterfly(6, 512)
+	cfg := Config{Params: stressParams(64), NoTimeline: true}
+	benchCommunicate(b, pt, cfg)
+}
+
+// BenchmarkSessionFresh is the old cost for contrast: a new session per
+// candidate, as every sweep driver paid before session reuse.
+func BenchmarkSessionFresh(b *testing.B) {
+	pt := trace.Butterfly(6, 512)
+	cfg := Config{Params: stressParams(64), NoTimeline: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sess, err := NewSession(pt.P, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Communicate(pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -76,6 +76,23 @@ func HypercubeExchange(dims, dim, bytes int) *Pattern {
 	return pt
 }
 
+// Butterfly returns the full butterfly exchange over 2^dims processors:
+// the concatenation of the pairwise hypercube exchanges of every
+// dimension, lowest bit first, in one communication step. It is the
+// canonical log-depth pattern of FFT-style and recursive-doubling
+// collectives, and — with P messages per stage and log2(P) stages — a
+// standard large-P stress workload for the scheduler core.
+func Butterfly(dims, bytes int) *Pattern {
+	p := 1 << dims
+	pt := New(p)
+	for dim := 0; dim < dims; dim++ {
+		for i := 0; i < p; i++ {
+			pt.Add(i, i^(1<<dim), bytes)
+		}
+	}
+	return pt
+}
+
 // Gather returns the pattern where every non-root processor sends one
 // message to root.
 func Gather(p, root, bytes int) *Pattern {

@@ -198,6 +198,35 @@ func TestGenerators(t *testing.T) {
 			}
 		}
 	})
+	t.Run("butterfly", func(t *testing.T) {
+		pt := Butterfly(3, 64)
+		if err := pt.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// 2^dims processors, one message per processor per dimension.
+		if pt.P != 8 || len(pt.Msgs) != 8*3 {
+			t.Fatalf("butterfly: P=%d msgs=%d, want P=8 msgs=24", pt.P, len(pt.Msgs))
+		}
+		// Every stage is a symmetric pairwise exchange: in- and
+		// out-degree dims at every processor, and each message is
+		// mirrored within its stage.
+		for i, d := range pt.InDegrees() {
+			if d != 3 || pt.OutDegrees()[i] != 3 {
+				t.Fatalf("proc %d degrees in=%d out=%d, want 3/3", i, d, pt.OutDegrees()[i])
+			}
+		}
+		for stage := 0; stage < 3; stage++ {
+			for _, m := range pt.Msgs[stage*8 : (stage+1)*8] {
+				if m.Dst != m.Src^(1<<stage) {
+					t.Fatalf("stage %d: %d -> %d, want partner %d",
+						stage, m.Src, m.Dst, m.Src^(1<<stage))
+				}
+			}
+		}
+		if !pt.HasCycle() {
+			t.Fatal("butterfly exchanges are mutual, so the pattern must be cyclic")
+		}
+	})
 }
 
 func TestJSONRoundTrip(t *testing.T) {

@@ -1,0 +1,59 @@
+package worstcase
+
+import (
+	"testing"
+
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/trace"
+)
+
+// fuzzPattern decodes a fuzz input into a pattern and machine, mirroring
+// the sim package's decoder so the two fuzzers share corpus shapes.
+func fuzzPattern(data []byte) (*trace.Pattern, loggp.Params, int64, bool) {
+	if len(data) < 8 {
+		return nil, loggp.Params{}, 0, false
+	}
+	procs := int(data[0]%15) + 2
+	params := loggp.Params{
+		L:   float64(data[1]%50) + 1,
+		O:   float64(data[2]%20) + 1,
+		Gap: float64(data[3] % 40),
+		G:   float64(data[4]%10) / 100,
+		P:   procs,
+	}
+	seed := int64(data[5])
+	pt := trace.New(procs)
+	for i := 6; i+3 < len(data); i += 4 {
+		src := int(data[i]) % procs
+		dst := int(data[i+1]) % procs
+		bytes := int(data[i+2])<<4 + int(data[i+3]) + 1
+		pt.Add(src, dst, bytes)
+	}
+	return pt, params, seed, true
+}
+
+// FuzzWorstcaseScheduler throws arbitrary patterns — cyclic ones
+// included, so deadlock breaking fires — at the indexed commit loop and
+// checks it stays bit-identical to the reference rescan loop, and that
+// both deliver every network message under the verifier's constraints.
+func FuzzWorstcaseScheduler(f *testing.F) {
+	f.Add([]byte{8, 9, 2, 16, 1, 1, 0, 1, 0, 112, 1, 2, 0, 112})
+	f.Add([]byte{2, 1, 1, 1, 0, 0, 0, 1, 0, 1, 1, 0, 0, 1}) // two-cycle
+	f.Add([]byte{15, 49, 19, 39, 9, 255, 0, 0, 0, 255})     // self message
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pt, params, seed, ok := fuzzPattern(data)
+		if !ok {
+			return
+		}
+		indexed, reference := runBoth(t, pt, Config{Params: params, Seed: seed})
+		requireIdentical(t, indexed, reference)
+		if err := indexed.Timeline.Verify(params); err != nil {
+			t.Fatalf("timeline: %v", err)
+		}
+		net := pt.NetworkMessages()
+		if indexed.Timeline.Sends() != net || indexed.Timeline.Recvs() != net {
+			t.Fatalf("delivered %d/%d of %d",
+				indexed.Timeline.Sends(), indexed.Timeline.Recvs(), net)
+		}
+	})
+}

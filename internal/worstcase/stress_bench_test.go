@@ -1,0 +1,54 @@
+package worstcase
+
+// Large-P stress benchmarks for the worst-case commit loop: the
+// incremental tournament core against the reference full rescan (see
+// the sim package's stress benchmarks; `make bench` records both).
+
+import (
+	"fmt"
+	"testing"
+
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/trace"
+)
+
+func BenchmarkWorstcaseScheduler(b *testing.B) {
+	for _, size := range []struct{ p, dims int }{{64, 6}, {256, 8}} {
+		patterns := map[string]*trace.Pattern{
+			"alltoall":  trace.AllToAll(size.p, 64),
+			"butterfly": trace.Butterfly(size.dims, 64),
+			"random":    trace.Random(size.p, 16*size.p, 1024, 1),
+		}
+		for name, pt := range patterns {
+			for _, core := range []struct {
+				name      string
+				reference bool
+			}{{"indexed", false}, {"reference", true}} {
+				b.Run(fmt.Sprintf("%s/P%d/%s", name, size.p, core.name), func(b *testing.B) {
+					cfg := Config{
+						Params:             loggp.Params{L: 9, O: 2, Gap: 16, G: 0.07, P: pt.P},
+						NoTimeline:         true,
+						referenceScheduler: core.reference,
+					}
+					sess, err := NewSession(pt.P, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var r Result
+					msgs := pt.NetworkMessages()
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := sess.Reset(nil); err != nil {
+							b.Fatal(err)
+						}
+						if err := sess.CommunicateInto(&r, pt); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(msgs)*float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+				})
+			}
+		}
+	}
+}

@@ -11,9 +11,17 @@
 // as the paper prescribes, the algorithm performs some message
 // transmissions at random to break the deadlock.
 //
+// The globally time-ordered commit loop is served by an incrementally
+// maintained tournament tree over the per-processor candidate starts
+// (after a commit only one or two processors' candidates can change),
+// replacing a full 2P-candidate rescan per committed operation; the
+// rescan loop is kept as a reference path for the differential tests,
+// which prove the two bit-identical. See DESIGN.md §perf.
+//
 // Like sim, the package offers a Session for chaining the alternating
 // computation and communication steps of a program, carrying clocks and
-// gap state across steps.
+// gap state across steps; Reset and Reconfigure return a session to its
+// freshly constructed state without giving up its internal buffers.
 package worstcase
 
 import (
@@ -32,6 +40,7 @@ type Config struct {
 	// Params is the LogGP machine description.
 	Params loggp.Params
 	// Ready optionally gives per-processor start clocks (see sim.Config).
+	// Every entry must be finite and non-negative.
 	Ready []float64
 	// Seed drives the random choice of which blocked processor releases
 	// a message when a deadlock must be broken.
@@ -41,6 +50,11 @@ type Config struct {
 	// leaving Result.Timeline and Result.ProcFinish nil while computing
 	// the identical schedule.
 	NoTimeline bool
+
+	// referenceScheduler selects the pre-indexed commit loop (full
+	// candidate rescan per operation), kept for the differential tests;
+	// not reachable from outside the package.
+	referenceScheduler bool
 }
 
 // Result is the outcome of one worst-case communication step.
@@ -58,13 +72,16 @@ type Result struct {
 	DeadlocksBroken int
 }
 
+// procState is the per-processor bookkeeping. States live in one flat
+// slice on the session, and the send queues are windows into a shared
+// arena sized from the pattern (see sim.procState).
 type procState struct {
 	ctime     float64
 	hasLast   bool
 	lastKind  loggp.OpKind
 	lastStart float64
 	lastBytes int
-	sendQ     []int
+	sendQ     []int // session arena window
 	sendHead  int
 	recvQ     eventq.Queue[int]
 	// toRecv is the messages-to-receive counter of Section 4.2: how many
@@ -91,39 +108,118 @@ func (s *procState) earliest(p loggp.Params, kind loggp.OpKind) float64 {
 // Session chains alternating computation and communication steps under
 // the worst-case strategy.
 type Session struct {
-	cfg Config
-	p   int
-	st  []*procState
-	rng *rand.Rand
+	cfg      Config
+	cfgProcs int // processor count given to Reconfigure; Reset(nil) restores it
+	p        int
+	st       []procState
+	rng      *rand.Rand
+
+	// Step scratch, reused across Communicate calls.
+	sendArena []int
+	counts    []int
+	tt        eventq.Tournament
+	ttKind    []loggp.OpKind
+	blocked   []int
 }
 
 // NewSession returns a session over procs processors.
 func NewSession(procs int, cfg Config) (*Session, error) {
-	if err := cfg.Params.Validate(); err != nil {
+	s := &Session{}
+	if err := s.Reconfigure(procs, cfg); err != nil {
 		return nil, err
 	}
+	return s, nil
+}
+
+// Reconfigure re-aims the session at a new machine description and
+// processor count, reusing all internal storage, and resets it. A
+// reconfigured session is indistinguishable from a fresh NewSession with
+// the same arguments.
+func (s *Session) Reconfigure(procs int, cfg Config) error {
+	if err := cfg.Params.Validate(); err != nil {
+		return err
+	}
 	if procs <= 0 {
-		return nil, fmt.Errorf("worstcase: session needs at least one processor, got %d", procs)
+		return fmt.Errorf("worstcase: session needs at least one processor, got %d", procs)
 	}
 	if procs > cfg.Params.P {
-		return nil, fmt.Errorf("worstcase: session uses %d processors but machine has P=%d", procs, cfg.Params.P)
+		return fmt.Errorf("worstcase: session uses %d processors but machine has P=%d", procs, cfg.Params.P)
 	}
 	if cfg.Ready != nil && len(cfg.Ready) != procs {
-		return nil, fmt.Errorf("worstcase: %d ready times for %d processors", len(cfg.Ready), procs)
+		return fmt.Errorf("worstcase: %d ready times for %d processors", len(cfg.Ready), procs)
 	}
-	s := &Session{
-		cfg: cfg,
-		p:   procs,
-		st:  make([]*procState, procs),
-		rng: rand.New(rand.NewSource(cfg.Seed)),
+	if err := validateReady(cfg.Ready); err != nil {
+		return err
 	}
+	s.cfg = cfg
+	s.cfgProcs = procs
+	s.resize(procs)
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return s.Reset(nil)
+}
+
+// Reset returns the session to its initial state — clocks, gap state,
+// queues, counters and the deadlock RNG all as freshly constructed —
+// keeping every internal buffer (see sim.Session.Reset). ready overrides
+// the configured start clocks; nil restores Config.Ready (or zero
+// clocks). A non-nil ready of a different length re-dimensions the
+// session to len(ready) processors (still bounded by Params.P).
+func (s *Session) Reset(ready []float64) error {
+	if ready == nil {
+		ready = s.cfg.Ready
+		s.resize(s.cfgProcs) // restore the configured shape
+	} else {
+		if len(ready) == 0 {
+			return fmt.Errorf("worstcase: session needs at least one processor, got 0 ready times")
+		}
+		if len(ready) > s.cfg.Params.P {
+			return fmt.Errorf("worstcase: session uses %d processors but machine has P=%d", len(ready), s.cfg.Params.P)
+		}
+		if err := validateReady(ready); err != nil {
+			return err
+		}
+		s.resize(len(ready))
+	}
+	s.rng.Seed(s.cfg.Seed)
 	for i := range s.st {
-		s.st[i] = &procState{}
-		if cfg.Ready != nil {
-			s.st[i].ctime = cfg.Ready[i]
+		st := &s.st[i]
+		st.ctime = 0
+		if ready != nil {
+			st.ctime = ready[i]
+		}
+		st.hasLast = false
+		st.lastKind = 0
+		st.lastStart = 0
+		st.lastBytes = 0
+		st.sendQ = nil
+		st.sendHead = 0
+		st.recvQ.Clear()
+		st.toRecv = 0
+		st.forced = 0
+	}
+	return nil
+}
+
+func validateReady(ready []float64) error {
+	for i, t := range ready {
+		if math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+			return fmt.Errorf("worstcase: ready time %g for processor %d: must be finite and non-negative", t, i)
 		}
 	}
-	return s, nil
+	return nil
+}
+
+// resize sets the processor count, reviving previously used state (and
+// its queue storage) from the slice capacity where possible.
+func (s *Session) resize(procs int) {
+	if procs <= cap(s.st) {
+		s.st = s.st[:procs]
+	} else {
+		s.st = append(s.st[:cap(s.st)], make([]procState, procs-cap(s.st))...)
+	}
+	s.p = procs
 }
 
 // Clocks returns a copy of the current per-processor clocks.
@@ -138,8 +234,8 @@ func (s *Session) ClocksInto(dst []float64) []float64 {
 		dst = make([]float64, s.p)
 	}
 	dst = dst[:s.p]
-	for i, st := range s.st {
-		dst[i] = st.ctime
+	for i := range s.st {
+		dst[i] = s.st[i].ctime
 	}
 	return dst
 }
@@ -147,9 +243,9 @@ func (s *Session) ClocksInto(dst []float64) []float64 {
 // Finish returns the maximum clock.
 func (s *Session) Finish() float64 {
 	finish := 0.0
-	for _, st := range s.st {
-		if st.ctime > finish {
-			finish = st.ctime
+	for i := range s.st {
+		if s.st[i].ctime > finish {
+			finish = s.st[i].ctime
 		}
 	}
 	return finish
@@ -184,65 +280,229 @@ func (s *Session) AdvanceTo(proc int, t float64) error {
 // Communicate simulates one communication step under the worst-case
 // strategy, updating the session state.
 func (s *Session) Communicate(pt *trace.Pattern) (*Result, error) {
-	if err := pt.Validate(); err != nil {
+	r := &Result{}
+	if err := s.CommunicateInto(r, pt); err != nil {
 		return nil, err
 	}
-	if pt.P != s.p {
-		return nil, fmt.Errorf("worstcase: pattern uses %d processors but session has %d", pt.P, s.p)
+	return r, nil
+}
+
+// CommunicateInto is Communicate writing into a caller-owned Result,
+// which is reset first; in quiet mode a steady-state call allocates
+// nothing (see sim.Session.CommunicateInto).
+func (s *Session) CommunicateInto(r *Result, pt *trace.Pattern) error {
+	if err := pt.Validate(); err != nil {
+		return err
 	}
-	p := s.cfg.Params
-	r := &Result{}
+	if pt.P != s.p {
+		return fmt.Errorf("worstcase: pattern uses %d processors but session has %d", pt.P, s.p)
+	}
+	*r = Result{}
 	if !s.cfg.NoTimeline {
 		r.Timeline = timeline.New(pt.P)
 	}
-	for idx, m := range pt.Msgs {
+	// Build the send queues in the shared arena, pre-size the receive
+	// queues, and set the messages-to-receive counters: two O(M) passes,
+	// no steady-state allocation (see sim.Session.Communicate).
+	if cap(s.counts) < 2*s.p {
+		s.counts = make([]int, 2*s.p)
+	}
+	outCnt, inCnt := s.counts[:s.p], s.counts[s.p:2*s.p]
+	clear(outCnt)
+	clear(inCnt)
+	for _, m := range pt.Msgs {
 		if m.Src == m.Dst {
 			r.SelfMessages++
 			continue
 		}
-		s.st[m.Src].sendQ = append(s.st[m.Src].sendQ, idx)
-		s.st[m.Dst].toRecv++
+		outCnt[m.Src]++
+		inCnt[m.Dst]++
+	}
+	off := 0
+	for i, n := range outCnt {
+		outCnt[i] = off
+		off += n
+	}
+	if cap(s.sendArena) < off {
+		s.sendArena = make([]int, off)
+	}
+	arena := s.sendArena[:off]
+	for idx, m := range pt.Msgs {
+		if m.Src == m.Dst {
+			continue
+		}
+		arena[outCnt[m.Src]] = idx
+		outCnt[m.Src]++ // outCnt[i] ends as processor i's arena end offset
+	}
+	prev := 0
+	for i := range s.st {
+		st := &s.st[i]
+		st.sendQ = arena[prev:outCnt[i]]
+		prev = outCnt[i]
+		st.recvQ.Reserve(inCnt[i])
+		st.toRecv = inCnt[i]
 	}
 
-	commitSend := func(src int, start float64) {
-		st := s.st[src]
-		idx := st.sendQ[st.sendHead]
-		st.sendHead++
-		m := pt.Msgs[idx]
-		if r.Timeline != nil {
-			r.Timeline.Record(timeline.Op{
-				Proc: src, Kind: loggp.Send, Peer: m.Dst, Bytes: m.Bytes,
-				Start: start, MsgIndex: idx,
-			})
-		}
-		s.st[m.Dst].recvQ.Push(start+p.ArrivalDelay(m.Bytes), idx)
-		st.ctime = start + p.O
-		st.hasLast, st.lastKind, st.lastStart, st.lastBytes = true, loggp.Send, start, m.Bytes
-	}
-	commitRecv := func(dst int, start float64) {
-		st := s.st[dst]
-		arrival, idx := st.recvQ.Pop()
-		m := pt.Msgs[idx]
-		if r.Timeline != nil {
-			r.Timeline.Record(timeline.Op{
-				Proc: dst, Kind: loggp.Recv, Peer: m.Src, Bytes: m.Bytes,
-				Start: start, Arrival: arrival, MsgIndex: idx,
-			})
-		}
-		st.toRecv--
-		st.ctime = start + p.O
-		st.hasLast, st.lastKind, st.lastStart, st.lastBytes = true, loggp.Recv, start, m.Bytes
+	if s.cfg.referenceScheduler {
+		s.runReference(pt, r)
+	} else {
+		s.run(pt, r)
 	}
 
-	// Commit, in global time order, the earliest available action: a
-	// receive whenever one has arrived, a send only once the processor's
-	// counter has drained (or the send was force-released). When nothing
-	// is available but messages remain unsent, the pattern is cyclic:
-	// release one random blocked send.
+	// Reset the per-step queues; clocks and gap state persist.
+	for i := range s.st {
+		st := &s.st[i]
+		st.sendQ = nil
+		st.sendHead = 0
+		st.toRecv = 0
+		st.forced = 0
+	}
+	if !s.cfg.NoTimeline {
+		r.ProcFinish = make([]float64, s.p)
+		for i := range s.st {
+			r.ProcFinish[i] = s.st[i].ctime
+		}
+	}
+	for i := range s.st {
+		if s.st[i].ctime > r.Finish {
+			r.Finish = s.st[i].ctime
+		}
+	}
+	return nil
+}
+
+// commitSend performs the head send of processor src at the given start
+// time: the message arrives at the destination, the clock and gap state
+// advance, and a forced release is consumed when the counter has not
+// drained.
+func (s *Session) commitSend(pt *trace.Pattern, r *Result, src int, start float64) {
+	p := s.cfg.Params
+	st := &s.st[src]
+	if st.toRecv != 0 {
+		st.forced--
+	}
+	idx := st.sendQ[st.sendHead]
+	st.sendHead++
+	m := pt.Msgs[idx]
+	if r.Timeline != nil {
+		r.Timeline.Record(timeline.Op{
+			Proc: src, Kind: loggp.Send, Peer: m.Dst, Bytes: m.Bytes,
+			Start: start, MsgIndex: idx,
+		})
+	}
+	s.st[m.Dst].recvQ.Push(start+p.ArrivalDelay(m.Bytes), idx)
+	st.ctime = start + p.O
+	st.hasLast, st.lastKind, st.lastStart, st.lastBytes = true, loggp.Send, start, m.Bytes
+}
+
+// commitRecv performs the earliest pending receive of processor dst at
+// the given start time, draining the messages-to-receive counter.
+func (s *Session) commitRecv(pt *trace.Pattern, r *Result, dst int, start float64) {
+	p := s.cfg.Params
+	st := &s.st[dst]
+	arrival, idx := st.recvQ.Pop()
+	m := pt.Msgs[idx]
+	if r.Timeline != nil {
+		r.Timeline.Record(timeline.Op{
+			Proc: dst, Kind: loggp.Recv, Peer: m.Src, Bytes: m.Bytes,
+			Start: start, Arrival: arrival, MsgIndex: idx,
+		})
+	}
+	st.toRecv--
+	st.ctime = start + p.O
+	st.hasLast, st.lastKind, st.lastStart, st.lastBytes = true, loggp.Recv, start, m.Bytes
+}
+
+// candidateStarts returns the earliest start times of proc's next
+// eligible send — blocked entirely while the messages-to-receive counter
+// is positive and no forced release is banked — and its next receive
+// (+Inf when it has none pending).
+func (s *Session) candidateStarts(st *procState) (startSend, startRecv float64) {
+	p := s.cfg.Params
+	startSend, startRecv = math.Inf(1), math.Inf(1)
+	if st.wantsSend() && (st.toRecv == 0 || st.forced > 0) {
+		startSend = st.earliest(p, loggp.Send)
+	}
+	if !st.recvQ.Empty() {
+		arrival, _ := st.recvQ.Peek()
+		startRecv = max(st.earliest(p, loggp.Recv), arrival)
+	}
+	return startSend, startRecv
+}
+
+// refreshCandidate recomputes processor i's best next operation — the
+// smaller of its receive and eligible-send starts, receives winning ties
+// — and updates its tournament leaf.
+func (s *Session) refreshCandidate(i int) {
+	startSend, startRecv := s.candidateStarts(&s.st[i])
+	key, kind := startRecv, loggp.Recv
+	if startSend < key {
+		key, kind = startSend, loggp.Send
+	}
+	s.ttKind[i] = kind
+	s.tt.Update(i, key)
+}
+
+// run commits, in global time order, the earliest available action: a
+// receive whenever one has arrived, a send only once the processor's
+// counter has drained (or the send was force-released). When nothing is
+// available but messages remain unsent, the pattern is cyclic: one
+// random blocked send is released.
+//
+// The per-processor candidates are cached in a tournament tree; a commit
+// invalidates at most the committed processor's and — for a send — the
+// destination's candidates, so each operation costs O(log P) updates
+// instead of a 2P-candidate rescan.
+func (s *Session) run(pt *trace.Pattern, r *Result) {
+	s.tt.Reset(s.p)
+	if cap(s.ttKind) < s.p {
+		s.ttKind = make([]loggp.OpKind, s.p)
+	}
+	s.ttKind = s.ttKind[:s.p]
+	for i := range s.st {
+		s.refreshCandidate(i)
+	}
+	for {
+		best, bestStart := s.tt.Min()
+		if best >= 0 {
+			if s.ttKind[best] == loggp.Send {
+				st := &s.st[best]
+				dst := pt.Msgs[st.sendQ[st.sendHead]].Dst
+				s.commitSend(pt, r, best, bestStart)
+				s.refreshCandidate(best)
+				s.refreshCandidate(dst)
+			} else {
+				s.commitRecv(pt, r, best, bestStart)
+				s.refreshCandidate(best)
+			}
+			continue
+		}
+		s.blocked = s.blocked[:0]
+		for i := range s.st {
+			if s.st[i].wantsSend() {
+				s.blocked = append(s.blocked, i)
+			}
+		}
+		if len(s.blocked) == 0 {
+			break
+		}
+		release := s.blocked[s.rng.Intn(len(s.blocked))]
+		s.st[release].forced++
+		s.refreshCandidate(release)
+		r.DeadlocksBroken++
+	}
+}
+
+// runReference is the pre-indexed commit loop — both candidate starts of
+// all P processors recomputed every iteration — kept verbatim as the
+// oracle for the differential tests.
+func (s *Session) runReference(pt *trace.Pattern, r *Result) {
+	p := s.cfg.Params
 	for {
 		best, bestStart := -1, math.Inf(1)
 		bestKind := loggp.Send
-		for i, st := range s.st {
+		for i := range s.st {
+			st := &s.st[i]
 			if !st.recvQ.Empty() {
 				arrival, _ := st.recvQ.Peek()
 				if start := max(st.earliest(p, loggp.Recv), arrival); start < bestStart {
@@ -257,19 +517,15 @@ func (s *Session) Communicate(pt *trace.Pattern) (*Result, error) {
 		}
 		if best >= 0 {
 			if bestKind == loggp.Send {
-				st := s.st[best]
-				if st.toRecv != 0 {
-					st.forced--
-				}
-				commitSend(best, bestStart)
+				s.commitSend(pt, r, best, bestStart)
 			} else {
-				commitRecv(best, bestStart)
+				s.commitRecv(pt, r, best, bestStart)
 			}
 			continue
 		}
 		var blocked []int
-		for i, st := range s.st {
-			if st.wantsSend() {
+		for i := range s.st {
+			if s.st[i].wantsSend() {
 				blocked = append(blocked, i)
 			}
 		}
@@ -279,26 +535,6 @@ func (s *Session) Communicate(pt *trace.Pattern) (*Result, error) {
 		s.st[blocked[s.rng.Intn(len(blocked))]].forced++
 		r.DeadlocksBroken++
 	}
-
-	// Reset the per-step queues; clocks and gap state persist.
-	for _, st := range s.st {
-		st.sendQ = st.sendQ[:0]
-		st.sendHead = 0
-		st.toRecv = 0
-		st.forced = 0
-	}
-	if !s.cfg.NoTimeline {
-		r.ProcFinish = make([]float64, s.p)
-		for i, st := range s.st {
-			r.ProcFinish[i] = st.ctime
-		}
-	}
-	for _, st := range s.st {
-		if st.ctime > r.Finish {
-			r.Finish = st.ctime
-		}
-	}
-	return r, nil
 }
 
 // Run simulates a single communication step with fresh state.

@@ -1,8 +1,10 @@
 # Build/verify targets for the loggpsim repository.
 #
-#   make ci      — what a CI runner executes: vet + differential tests
-#                  under -race + race-enabled full suite
+#   make ci      — what a CI runner executes: vet + determinism lint +
+#                  differential tests under -race + race-enabled full
+#                  suite
 #   make test    — fast tier-1 check (go build + go test)
+#   make lint    — determinism vettool (cmd/loggpvet) over the repo
 #   make race    — full test suite under the race detector
 #   make diff    — scheduler differential tests (indexed vs reference
 #                  cores) under the race detector
@@ -11,8 +13,9 @@
 #   make sweep   — serial-vs-parallel sweep benchmark pair only
 
 GO ?= go
+LOGGPVET := $(CURDIR)/bin/loggpvet
 
-.PHONY: all build test vet race diff bench sweep ci
+.PHONY: all build test vet lint race diff bench sweep ci
 
 all: ci
 
@@ -24,6 +27,15 @@ test: build
 
 vet:
 	$(GO) vet ./...
+
+# Determinism lint: forbid map-range iteration, the global RNG / wall
+# clock, and non-finite clock arithmetic in the scheduling packages (see
+# internal/lintrules). The tool must report nothing on the repository;
+# its per-rule true-positive fixtures live under
+# internal/lintrules/testdata/fixtures.
+lint:
+	$(GO) build -o $(LOGGPVET) ./cmd/loggpvet
+	$(GO) vet -vettool=$(LOGGPVET) ./...
 
 # The concurrent paths (internal/sweep, search.Memoized, the parallel
 # sweeps in experiments/sensitivity/scaling) must stay race-clean.
@@ -51,4 +63,4 @@ bench:
 sweep:
 	$(GO) test -run NONE -bench 'BenchmarkSweep(Serial|Parallel)|BenchmarkQuietModeSimulation' -benchmem .
 
-ci: vet test diff race
+ci: vet lint test diff race

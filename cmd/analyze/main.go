@@ -1,0 +1,160 @@
+// Command analyze is the static analyzer's command-line front end: it
+// certifies a communication pattern (or the Gaussian-elimination
+// programs of the paper's Section 5) without running a simulation,
+// reporting structural findings, the deadlock verdict with a minimal
+// witness cycle, and the LogGP bound certificates that sandwich the
+// simulators.
+//
+// Pattern mode (default):
+//
+//	analyze -pattern ring -procs 8 -bytes 256
+//	analyze -file pattern.json -json
+//
+// exits non-zero when the analysis finds Error-severity issues, so it
+// works as a pipeline precheck. With -json the full report is printed as
+// one JSON object.
+//
+// GE mode (-ge) sweeps the paper's Figure-7 experiment and prints the
+// bound-tightness table — static lower bound, standard simulation,
+// worst-case simulation, static upper bound, in seconds — for every
+// block size on both layouts:
+//
+//	analyze -ge -n 960 -procs 8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"loggpsim/internal/analyze"
+	"loggpsim/internal/cost"
+	"loggpsim/internal/ge"
+	"loggpsim/internal/layout"
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/predictor"
+	"loggpsim/internal/trace"
+)
+
+func main() {
+	patternName := flag.String("pattern", "figure3", "built-in pattern: "+strings.Join(trace.BuiltinNames(), ", "))
+	file := flag.String("file", "", "JSON pattern file (overrides -pattern)")
+	procs := flag.Int("procs", 10, "processors for generated patterns (and the GE sweep)")
+	bytes := flag.Int("bytes", trace.Figure3MessageBytes, "message size for generated patterns")
+	seed := flag.Int64("seed", 1, "seed for generated patterns (and the GE sweep's simulators)")
+	lFlag := flag.Float64("L", 9, "LogGP latency L (µs)")
+	oFlag := flag.Float64("o", 2, "LogGP overhead o (µs)")
+	gFlag := flag.Float64("g", 16, "LogGP gap g (µs)")
+	gbFlag := flag.Float64("G", 0.005, "LogGP gap per byte G (µs/B)")
+	sFlag := flag.Int("S", 0, "LogGPS rendezvous threshold (bytes, 0 = eager)")
+	jsonOut := flag.Bool("json", false, "print the report as JSON")
+	geMode := flag.Bool("ge", false, "bound-tightness sweep over the Figure-7 Gaussian elimination")
+	n := flag.Int("n", 960, "matrix size for -ge")
+	flag.Parse()
+
+	if *geMode {
+		if err := runGE(*n, *procs, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	pt, err := loadPattern(*file, *patternName, *procs, *bytes, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	params := loggp.Params{L: *lFlag, O: *oFlag, Gap: *gFlag, G: *gbFlag, P: pt.P, S: *sFlag}
+	rep := analyze.Check(pt, params)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		printReport(rep)
+	}
+	if len(rep.Issues.Errs()) > 0 {
+		os.Exit(1)
+	}
+}
+
+func printReport(r *analyze.PatternReport) {
+	fmt.Printf("processors        %d\n", r.P)
+	fmt.Printf("network messages  %d (%d bytes)\n", r.NetworkMessages, r.NetworkBytes)
+	fmt.Printf("local messages    %d\n", r.LocalMessages)
+	fmt.Printf("max in/out degree %d / %d\n", r.MaxInDegree, r.MaxOutDegree)
+	if r.DeadlockFree {
+		fmt.Printf("deadlock-free     yes\n")
+	} else if r.WitnessCycle != nil {
+		fmt.Printf("deadlock-free     no (witness cycle %s)\n", trace.FormatCycle(r.WitnessCycle))
+	} else {
+		fmt.Printf("deadlock-free     not certified (structural errors)\n")
+	}
+	if r.Bounds != nil {
+		fmt.Printf("lower bound       %.3f µs\n", r.Bounds.Lower)
+		fmt.Printf("upper bound       %.3f µs\n", r.Bounds.Upper)
+	}
+	for _, issue := range r.Issues {
+		fmt.Println(issue)
+	}
+}
+
+// runGE prints the bound-tightness table of the Figure-7 sweep: the
+// static certificates next to both simulated times, in seconds, for
+// every block size on both paper layouts.
+func runGE(n, p int, seed int64) error {
+	params := loggp.MeikoCS2(p)
+	model := cost.DefaultAnalytic()
+	fmt.Printf("%-10s %4s %12s %12s %12s %12s %8s\n",
+		"layout", "b", "lower", "standard", "worst", "upper", "ub/lb")
+	for _, b := range []int{8, 10, 12, 16, 20, 24, 30, 32, 40, 48, 60, 80, 96, 120} {
+		if n%b != 0 {
+			continue
+		}
+		grid, err := ge.NewGrid(n, b)
+		if err != nil {
+			return err
+		}
+		for _, lay := range []layout.Layout{layout.Diagonal(p, grid.NB), layout.RowCyclic(p)} {
+			pr, err := ge.BuildProgram(grid, lay)
+			if err != nil {
+				return err
+			}
+			bounds, err := analyze.BoundProgram(pr, params, model)
+			if err != nil {
+				return err
+			}
+			pred, err := predictor.Predict(pr, predictor.Config{Params: params, Cost: model, Seed: seed})
+			if err != nil {
+				return err
+			}
+			const sec = 1e-6
+			fmt.Printf("%-10s %4d %12.4f %12.4f %12.4f %12.4f %8.3f\n",
+				lay.Name(), b,
+				bounds.Lower*sec, pred.Total*sec, pred.TotalWorst*sec, bounds.Upper*sec,
+				bounds.Upper/bounds.Lower)
+		}
+	}
+	return nil
+}
+
+func loadPattern(file, name string, procs, bytes int, seed int64) (*trace.Pattern, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Decode(f)
+	}
+	return trace.Builtin(name, procs, bytes, seed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "analyze:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,155 @@
+// Command loggpvet is the repository's determinism vettool: a `go vet
+// -vettool=` compatible binary enforcing the lint rules of
+// internal/lintrules (maprange, globalrand, nonfinite) on the
+// scheduling packages. Run it through the standard vet driver:
+//
+//	go build -o bin/loggpvet ./cmd/loggpvet
+//	go vet -vettool=bin/loggpvet ./...
+//
+// (`make lint` does both). Findings are printed one per line as
+// file:line:col: message (rule), and the tool exits non-zero, failing
+// the vet run.
+//
+// The tool speaks the vet driver's unitchecker protocol directly with
+// the standard library only (the x/tools analysis framework is not a
+// dependency of this repository): it answers the -V=full version
+// handshake and the -flags query, and otherwise receives a JSON .cfg
+// describing one package — file set, import map, and the export data of
+// every dependency — against which it typechecks the package with the
+// gc importer before applying the rules. The driver invokes it for
+// every package in the build graph, dependencies included; packages the
+// rules cannot cover are acknowledged (vet requires an output facts
+// file) and skipped without typechecking.
+//
+// The module whose packages are analyzed defaults to this repository
+// (loggpsim); the LOGGPVET_MODULE environment variable overrides the
+// prefix so the rule fixtures — and, in principle, any other module —
+// can be vetted by the same binary.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"loggpsim/internal/lintrules"
+)
+
+// vetConfig is the subset of the vet driver's per-package .cfg file the
+// tool consumes (the format is stable; x/tools' unitchecker reads the
+// same fields).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	for _, a := range args {
+		switch a {
+		case "-V=full":
+			// The driver hashes this line into its build cache key.
+			fmt.Printf("%s version devel buildID=none\n", filepath.Base(os.Args[0]))
+			return 0
+		case "-flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintln(os.Stderr, "usage: loggpvet package.cfg (invoke via go vet -vettool=)")
+		return 1
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loggpvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "loggpvet:", err)
+		return 1
+	}
+	// The driver demands an output facts file for every package it
+	// hands us, analyzed or not; the rules exchange no facts, so an
+	// empty file acknowledges each one.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "loggpvet:", err)
+			return 1
+		}
+	}
+
+	module := os.Getenv("LOGGPVET_MODULE")
+	if module == "" {
+		module = "loggpsim"
+	}
+	if !strings.HasPrefix(cfg.ImportPath, module) || !lintrules.Covered(cfg.ImportPath) {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loggpvet:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	// Dependencies are typechecked from the export data the driver
+	// already compiled, keyed through the import map (vendoring and
+	// version resolution happened upstream).
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("loggpvet: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tc := &types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(error) {}, // collect every finding, not the first type error
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	if _, err := tc.Check(cfg.ImportPath, fset, files, info); err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "loggpvet:", err)
+		return 1
+	}
+
+	findings := lintrules.Run(fset, files, cfg.ImportPath, info)
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,49 @@
+package analyze
+
+import (
+	"fmt"
+
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/program"
+	"loggpsim/internal/trace"
+)
+
+// Precheck adapts the structural analysis into the opt-in hook fields of
+// sim.Config and worstcase.Config: the returned func reports every
+// Error-severity finding of Check at once (warnings — deadlock cycles
+// included — pass, matching what the schedulers accept).
+func Precheck(params loggp.Params) func(*trace.Pattern) error {
+	return func(pt *trace.Pattern) error {
+		if pt == nil {
+			return fmt.Errorf("analyze: nil pattern")
+		}
+		return Check(pt, params).Issues.Err()
+	}
+}
+
+// DeadlockFreePrecheck is Precheck with the deadlock warning escalated:
+// a cyclic pattern is rejected with its minimal witness cycle in the
+// error. Install it on worstcase.Config when random deadlock breaking
+// should be treated as an input error rather than simulated, or on
+// sim.Config when a step must also be safe for the worst-case replay.
+func DeadlockFreePrecheck(params loggp.Params) func(*trace.Pattern) error {
+	strict := Precheck(params)
+	return func(pt *trace.Pattern) error {
+		if err := strict(pt); err != nil {
+			return err
+		}
+		return pt.ValidateDeadlockFree()
+	}
+}
+
+// ProgramPrecheck adapts the whole-program analysis into
+// predictor.Config.Precheck: every restricted-class violation across all
+// steps is reported at once. Warnings pass.
+func ProgramPrecheck(params loggp.Params) func(*program.Program) error {
+	return func(pr *program.Program) error {
+		if pr == nil {
+			return fmt.Errorf("analyze: nil program")
+		}
+		return CheckProgram(pr, params, nil).Issues.Err()
+	}
+}

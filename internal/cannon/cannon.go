@@ -57,8 +57,11 @@ func (c Config) BuildProgram() *program.Program {
 	q := c.Q
 	bytes := blockops.BlockBytes(c.BlockSize())
 
-	// Alignment: A(i,j) -> (i, j-i), B(i,j) -> (i-j, j).
+	// Alignment: A(i,j) -> (i, j-i), B(i,j) -> (i-j, j). On-diagonal
+	// ranks (and the whole grid at q=1) align in place: intentional
+	// local transfers.
 	align := pr.AddStep()
+	align.Comm.WithLocalTransfers()
 	for i := 0; i < q; i++ {
 		for j := 0; j < q; j++ {
 			align.Comm.Add(c.rank(i, j), c.rank(i, ((j-i)%q+q)%q), bytes)
@@ -68,6 +71,7 @@ func (c Config) BuildProgram() *program.Program {
 
 	for r := 0; r < q; r++ {
 		s := pr.AddStep()
+		s.Comm.WithLocalTransfers() // q=1 rotations degenerate to self messages
 		for p := 0; p < c.P(); p++ {
 			// The owned block is the processor's C accumulator; the A
 			// and B operands arrive as the rotation messages.

@@ -96,6 +96,9 @@ func Capture(procs int, fn func(p *Proc)) (*program.Program, error) {
 	pr := program.New(procs)
 	for s := 0; s < steps; s++ {
 		step := pr.AddStep()
+		// Captured sends to the recording processor itself are local
+		// transfers by definition (see Processor.Send).
+		step.Comm.WithLocalTransfers()
 		for proc, r := range recs {
 			step.Comp[proc] = append(step.Comp[proc], r.steps[s].comp...)
 			for _, m := range r.steps[s].msgs {

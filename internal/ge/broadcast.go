@@ -33,6 +33,7 @@ func BuildBroadcastProgram(g Grid, lay layout.Layout) (*program.Program, error) 
 	for k := 0; k < nb; k++ {
 		// Step 1: factor the diagonal block, broadcast the inverses.
 		s1 := pr.AddStep()
+		s1.Comm.WithLocalTransfers() // broadcasts to co-located blocks stay local
 		diagOwner := lay.Owner(k, k)
 		s1.AddOpOn(diagOwner, blockops.Op1, g.B, id(k, k))
 		rowOwners := map[int]bool{}
@@ -58,6 +59,7 @@ func BuildBroadcastProgram(g Grid, lay layout.Layout) (*program.Program, error) 
 		// Step 2: panel updates, then broadcast each panel block into
 		// its trailing row or column.
 		s2 := pr.AddStep()
+		s2.Comm.WithLocalTransfers()
 		for j := k + 1; j < nb; j++ {
 			owner := lay.Owner(k, j)
 			s2.AddOpOn(owner, blockops.Op2, g.B, id(k, j))

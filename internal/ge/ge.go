@@ -119,6 +119,9 @@ func BuildProgram(g Grid, lay layout.Layout) (*program.Program, error) {
 	bytes := blockops.BlockBytes(g.B)
 	for t := 0; t < g.Waves(); t++ {
 		s := pr.AddStep()
+		// Edges between co-located blocks are intentional local
+		// transfers, not accidental self-sends.
+		s.Comm.WithLocalTransfers()
 		g.active(t, func(i, j, k int) {
 			owner := lay.Owner(i, j)
 			s.AddOpOn(owner, OpFor(i, j, k), g.B, uint64(i*g.NB+j))

@@ -1,0 +1,168 @@
+// Package lintrules implements the determinism lint rules behind
+// cmd/loggpvet: static checks that forbid the constructs able to
+// desynchronize the simulators' reproducible schedules. The repository's
+// guarantees — same seed ⇒ identical timeline, differential tests
+// bit-identical across scheduler implementations, predictions stable
+// across runs — are all dynamic properties with purely syntactic failure
+// modes:
+//
+//   - maprange: ranging over a map in timeline-affecting code (the
+//     scheduler cores, the event queue, the timeline) iterates in
+//     randomized order, so any clock arithmetic or tie-break fed from the
+//     iteration silently varies between runs.
+//
+//   - globalrand: the schedulers' randomness must flow from Config.Seed
+//     through a locally owned rand source; the global math/rand functions
+//     (and any reading of the wall clock — time.Now in a simulator that
+//     OWNS virtual time is a category error) break replay.
+//
+//   - nonfinite: clock arithmetic must stay finite. math.Inf is a legal
+//     sentinel (the schedulers use it for "no candidate") in assignments
+//     and comparisons, but as an operand of +, -, * or / it yields Inf/NaN
+//     clocks that propagate through every later max(); math.NaN() has no
+//     legal use in simulator code at all (NaN even breaks the sentinel
+//     comparisons).
+//
+// The rules are scoped by import path: a package is covered when its
+// final path segment names a scheduling package (sim, worstcase, eventq,
+// timeline). Test files are exempt — tests may range over maps to build
+// inputs, and fuzzers use whatever randomness they like.
+package lintrules
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	// Pos locates the violation.
+	Pos token.Position
+	// Rule names the rule that fired (maprange, globalrand, nonfinite).
+	Rule string
+	// Msg is the human-readable description.
+	Msg string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Msg, f.Rule)
+}
+
+// timelinePkgs are the package names whose code constructs or orders the
+// simulated timeline: map iteration order must not leak into them.
+var timelinePkgs = map[string]bool{"sim": true, "worstcase": true, "eventq": true, "timeline": true}
+
+// schedulerPkgs are the package names that own virtual time and seeded
+// randomness: the global RNG and the wall clock are forbidden there.
+var schedulerPkgs = map[string]bool{"sim": true, "worstcase": true, "eventq": true}
+
+// randConstructors are the math/rand (and v2) functions that build a
+// locally owned generator rather than touching the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// pkgSegment returns the final segment of an import path.
+func pkgSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// Covered reports whether any rule applies to the package at all —
+// callers can skip parsing and typechecking uncovered packages.
+func Covered(pkgPath string) bool {
+	return timelinePkgs[pkgSegment(pkgPath)]
+}
+
+// Run applies every rule to the typechecked package and returns the
+// findings in file order. info must carry Types and Uses. Files whose
+// position is in a _test.go file are skipped.
+func Run(fset *token.FileSet, files []*ast.File, pkgPath string, info *types.Info) []Finding {
+	seg := pkgSegment(pkgPath)
+	var out []Finding
+	add := func(pos token.Pos, rule, msg string) {
+		out = append(out, Finding{Pos: fset.Position(pos), Rule: rule, Msg: msg})
+	}
+	// stdFunc resolves a call to a package-level function of a standard
+	// package, returning its package path and name ("" for anything
+	// else — methods in particular: rng.Intn on an owned *rand.Rand is
+	// exactly the sanctioned pattern and must not match rand.Intn).
+	stdFunc := func(call *ast.CallExpr) (pkg, name string) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return "", ""
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return "", ""
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return "", ""
+		}
+		return fn.Pkg().Path(), fn.Name()
+	}
+	// infCall reports whether e (parens stripped) is a math.Inf or
+	// math.NaN call.
+	infCall := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		pkg, name := stdFunc(call)
+		return pkg == "math" && (name == "Inf" || name == "NaN")
+	}
+
+	for _, f := range files {
+		if strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if !timelinePkgs[seg] {
+					return true
+				}
+				tv, ok := info.Types[n.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					add(n.Pos(), "maprange",
+						"range over map in timeline-affecting code: iteration order is randomized and desynchronizes reproducible schedules; iterate a sorted slice instead")
+				}
+			case *ast.CallExpr:
+				pkg, name := stdFunc(n)
+				switch {
+				case schedulerPkgs[seg] && (pkg == "math/rand" || pkg == "math/rand/v2") && !randConstructors[name]:
+					add(n.Pos(), "globalrand",
+						fmt.Sprintf("%s.%s uses the global generator: scheduler randomness must flow from Config.Seed through an owned source", pkgSegment(pkg), name))
+				case schedulerPkgs[seg] && pkg == "time" && (name == "Now" || name == "Since" || name == "Until"):
+					add(n.Pos(), "globalrand",
+						fmt.Sprintf("time.%s reads the wall clock inside a simulator that owns virtual time; thread times through clocks and results", name))
+				case timelinePkgs[seg] && pkg == "math" && name == "NaN":
+					add(n.Pos(), "nonfinite",
+						"math.NaN() in clock-arithmetic code: NaN poisons every max/min and comparison downstream")
+				}
+			case *ast.BinaryExpr:
+				if !timelinePkgs[seg] {
+					return true
+				}
+				switch n.Op {
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+					if infCall(n.X) || infCall(n.Y) {
+						add(n.Pos(), "nonfinite",
+							"math.Inf as an arithmetic operand yields non-finite clocks; Inf is legal only as an assigned or compared sentinel")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package lintrules
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// expectation is one "// want <rule>" marker in a fixture file.
+type expectation struct {
+	file string
+	line int
+	rule string
+}
+
+func (e expectation) String() string { return fmt.Sprintf("%s:%d %s", e.file, e.line, e.rule) }
+
+// loadExpectations scans a fixture file for want markers.
+func loadExpectations(t *testing.T, path string) []expectation {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out []expectation
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		if _, rule, ok := strings.Cut(sc.Text(), "// want "); ok {
+			out = append(out, expectation{file: filepath.Base(path), line: line, rule: strings.TrimSpace(rule)})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// checkFixture typechecks one fixture package from source and asserts
+// the rules report exactly its want markers. includeTests controls
+// whether _test.go files are loaded (they must stay silent even when
+// loaded — the engine skips them by filename).
+func checkFixture(t *testing.T, dir, pkgPath string, includeTests bool) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var want []expectation
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		if !strings.HasSuffix(e.Name(), "_test.go") {
+			want = append(want, loadExpectations(t, path)...)
+		}
+	}
+	// The fixtures import only the standard library, which the source
+	// importer typechecks from $GOROOT/src — no build artifacts needed.
+	tc := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	if _, err := tc.Check(pkgPath, fset, files, info); err != nil {
+		t.Fatalf("typecheck %s: %v", pkgPath, err)
+	}
+
+	var got []expectation
+	for _, f := range Run(fset, files, pkgPath, info) {
+		got = append(got, expectation{
+			file: filepath.Base(f.Pos.Filename), line: f.Pos.Line, rule: f.Rule,
+		})
+	}
+	key := func(e expectation) string { return e.String() }
+	slices.SortFunc(got, func(a, b expectation) int { return strings.Compare(key(a), key(b)) })
+	slices.SortFunc(want, func(a, b expectation) int { return strings.Compare(key(a), key(b)) })
+	if !slices.Equal(got, want) {
+		t.Fatalf("%s:\n got  %v\n want %v", pkgPath, got, want)
+	}
+}
+
+func TestRulesOnFixtures(t *testing.T) {
+	fixtures := filepath.Join("testdata", "fixtures")
+	for _, tc := range []struct {
+		dir, pkgPath string
+		includeTests bool
+	}{
+		{"sim", "lintfixtures/sim", true}, // _test.go loaded and must stay exempt
+		{"worstcase", "lintfixtures/worstcase", false},
+		{"eventq", "lintfixtures/eventq", false},
+		{"app", "lintfixtures/app", false}, // out of scope: no findings despite all constructs
+	} {
+		t.Run(tc.dir, func(t *testing.T) {
+			checkFixture(t, filepath.Join(fixtures, tc.dir), tc.pkgPath, tc.includeTests)
+		})
+	}
+}
+
+func TestCovered(t *testing.T) {
+	for path, want := range map[string]bool{
+		"loggpsim/internal/sim":       true,
+		"loggpsim/internal/worstcase": true,
+		"loggpsim/internal/eventq":    true,
+		"loggpsim/internal/timeline":  true,
+		"loggpsim/internal/analyze":   false,
+		"loggpsim/internal/trace":     false,
+		"sim":                         true,
+		"lintfixtures/app":            false,
+	} {
+		if got := Covered(path); got != want {
+			t.Errorf("Covered(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

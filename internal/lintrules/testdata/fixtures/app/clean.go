@@ -1,0 +1,20 @@
+// Package app is the out-of-scope fixture: it is not a scheduling
+// package, so every construct the rules forbid elsewhere is legal here.
+// No findings.
+package app
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Report uses all three forbidden constructs outside the rules' scope.
+func Report(m map[string]int) float64 {
+	n := 0
+	for range m {
+		n++
+	}
+	_ = time.Now()
+	return float64(rand.Intn(n+1)) + math.Inf(1) + math.NaN()
+}

@@ -1,0 +1,26 @@
+// Package eventq is the nonfinite true-positive fixture: math.NaN and
+// arithmetic on math.Inf must be reported, while Inf sentinels in
+// assignments and comparisons stay legal.
+package eventq
+
+import "math"
+
+// Poison injects NaN into a clock. One finding.
+func Poison() float64 {
+	return math.NaN() // want nonfinite
+}
+
+// Drift adds Inf into clock arithmetic. One finding.
+func Drift(t float64) float64 {
+	return t + math.Inf(1) // want nonfinite
+}
+
+// Sentinel uses Inf the sanctioned way: assigned, compared, fed to
+// max/min. No findings.
+func Sentinel(clocks []float64) (float64, bool) {
+	best := math.Inf(1)
+	for _, c := range clocks {
+		best = min(best, c)
+	}
+	return best, best == math.Inf(1)
+}

@@ -1,0 +1,23 @@
+// Package sim is the maprange true-positive fixture: its import path
+// ends in a timeline-affecting segment, so ranging over a map here must
+// be reported.
+package sim
+
+// Schedule sums clocks from a map — iteration order leaks into the
+// result. One finding.
+func Schedule(clocks map[int]float64) float64 {
+	total := 0.0
+	for _, c := range clocks { // want maprange
+		total += c
+	}
+	return total
+}
+
+// Sorted ranges over a slice, which is ordered and legal.
+func Sorted(clocks []float64) float64 {
+	total := 0.0
+	for _, c := range clocks {
+		total += c
+	}
+	return total
+}

@@ -1,0 +1,13 @@
+package sim
+
+// Test files are exempt: building inputs from a map is fine when the
+// assertion doesn't depend on order. No finding.
+func buildInputs() map[int]float64 {
+	m := map[int]float64{1: 2}
+	total := 0.0
+	for _, c := range m {
+		total += c
+	}
+	_ = total
+	return m
+}

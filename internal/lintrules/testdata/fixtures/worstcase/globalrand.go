@@ -1,0 +1,25 @@
+// Package worstcase is the globalrand true-positive fixture: the global
+// math/rand functions and the wall clock are forbidden in scheduler
+// packages.
+package worstcase
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BreakTie picks with the global generator. One finding.
+func BreakTie(n int) int {
+	return rand.Intn(n) // want globalrand
+}
+
+// Stamp reads the wall clock inside the simulator. One finding.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want globalrand
+}
+
+// Seeded builds an owned source from a seed — the constructors are the
+// sanctioned path. No finding.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -143,7 +143,7 @@ func TestIterationOverheadExact(t *testing.T) {
 func TestLocalTransfersCharged(t *testing.T) {
 	pr := program.New(2)
 	s := pr.AddStep()
-	s.Comm.Add(0, 0, 1000) // self message
+	s.Comm.AddLocal(0, 1000) // intentional local transfer
 	cfg := bareConfig()
 	cfg.LocalFixed = 2
 	cfg.LocalPerByte = 0.01

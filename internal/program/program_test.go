@@ -13,7 +13,7 @@ func TestBuildAndValidate(t *testing.T) {
 	s.AddOp(0, blockops.Op1, 8)
 	s.AddOp(1, blockops.Op4, 8)
 	s.Comm.Add(0, 1, 512)
-	s.Comm.Add(2, 2, 512) // self message
+	s.Comm.AddLocal(2, 512) // intentional local transfer
 	if err := pr.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestSummarize(t *testing.T) {
 	s1.Comm.Add(0, 1, 800)
 	s2 := pr.AddStep()
 	s2.AddOp(1, blockops.Op4, 10)
-	s2.Comm.Add(1, 1, 800) // local
+	s2.Comm.AddLocal(1, 800) // local
 	st := pr.Summarize()
 	if st.Steps != 2 {
 		t.Fatalf("Steps = %d", st.Steps)

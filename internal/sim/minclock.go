@@ -42,7 +42,15 @@ func (mc *minClock) reset(p int) {
 	mc.words = (p + 63) / 64
 	// Any leftover groups (there are none after a completed run, but a
 	// failed run may abandon state) must drop their bits before reuse.
-	for k, gi := range mc.groups {
+	// Walked via the key heap, not the map: every live group's key is in
+	// mc.keys (add pushes on creation, discards are lazy), and the slice
+	// order keeps the rebuilt free list — and with it the pool layout of
+	// the next run — independent of map iteration order.
+	for _, k := range mc.keys {
+		gi, ok := mc.groups[k]
+		if !ok {
+			continue // stale heap key; its group was already cleared
+		}
 		g := &mc.pool[gi]
 		clear(g.bits)
 		g.count = 0

@@ -34,8 +34,8 @@ func diffParams(p int) []loggp.Params {
 // cyclic, dense, sparse, randomized and self-message-bearing shapes.
 func diffCorpus() map[string]*trace.Pattern {
 	withSelf := trace.Random(9, 40, 2048, 5)
-	withSelf.Add(3, 3, 100) // self messages are skipped, not scheduled
-	withSelf.Add(7, 7, 1)
+	withSelf.AddLocal(3, 100) // self messages are skipped, not scheduled
+	withSelf.AddLocal(7, 1)
 	return map[string]*trace.Pattern{
 		"figure3":   trace.Figure3(),
 		"ring":      trace.Ring(16, 112),

@@ -77,6 +77,13 @@ type Config struct {
 		Arrival(src, dst, bytes int, inject float64) float64
 	}
 
+	// Precheck, when non-nil, is consulted before any clock advances: a
+	// non-nil return aborts the step with that error and no simulation
+	// state is touched. The static analyzer provides implementations
+	// (analyze.Precheck and analyze.DeadlockFreePrecheck) with
+	// multi-error reporting and witness cycles; any func works.
+	Precheck func(*trace.Pattern) error
+
 	// Jitter, when non-nil, returns an extra non-negative network delay
 	// added to the arrival time of each message (indexed by its position
 	// in the pattern). The machine emulator uses it to model the network
@@ -351,6 +358,11 @@ func (s *Session) Communicate(pt *trace.Pattern) (*Result, error) {
 // call allocates nothing, so sweep drivers that reuse one Result per
 // worker evaluate candidates allocation-free.
 func (s *Session) CommunicateInto(r *Result, pt *trace.Pattern) error {
+	if s.cfg.Precheck != nil {
+		if err := s.cfg.Precheck(pt); err != nil {
+			return err
+		}
+	}
 	if err := pt.Validate(); err != nil {
 		return err
 	}

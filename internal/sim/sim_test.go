@@ -51,7 +51,7 @@ func TestTwoSendsRespectGap(t *testing.T) {
 }
 
 func TestSelfMessagesSkipped(t *testing.T) {
-	pt := trace.New(2).Add(0, 0, 64).Add(0, 1, 1)
+	pt := trace.New(2).AddLocal(0, 64).Add(0, 1, 1)
 	r := mustRun(t, pt, Config{Params: uni})
 	if r.SelfMessages != 1 {
 		t.Fatalf("SelfMessages = %d, want 1", r.SelfMessages)

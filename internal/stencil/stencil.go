@@ -57,6 +57,9 @@ func BuildProgram(g Grid, iters int, lay layout.Layout) (*program.Program, error
 	bytes := blockops.VecBytes(g.B)
 
 	exchange := func(s *program.Step) {
+		// Halo edges between co-located blocks are intentional local
+		// transfers.
+		s.Comm.WithLocalTransfers()
 		for bi := 0; bi < g.NB; bi++ {
 			for bj := 0; bj < g.NB; bj++ {
 				src := lay.Owner(bi, bj)

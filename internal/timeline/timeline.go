@@ -163,9 +163,11 @@ func (t *Timeline) Verify(p loggp.Params) error {
 				op.MsgIndex, snd.Proc, snd.Peer, op.Proc, op.Peer)
 		}
 	}
-	for idx := range sends {
-		if !seenRecv[idx] {
-			return fmt.Errorf("timeline: message %d sent but never received", idx)
+	// Walked in commit order, not map order, so the reported message is
+	// the same on every run.
+	for _, op := range t.Ops {
+		if op.Kind == loggp.Send && !seenRecv[op.MsgIndex] {
+			return fmt.Errorf("timeline: message %d sent but never received", op.MsgIndex)
 		}
 	}
 	return nil

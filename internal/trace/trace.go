@@ -10,8 +10,10 @@ package trace
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // Msg is one message of a communication step.
@@ -31,6 +33,15 @@ type Pattern struct {
 	// Msgs lists the messages. For a fixed Src, earlier entries are
 	// sent earlier.
 	Msgs []Msg `json:"msgs"`
+	// AllowLocal declares that self messages (src == dst) in this
+	// pattern are intentional local memory transfers: the LogGP
+	// simulators skip them and the machine emulator charges a
+	// memory-copy cost. Without the flag Validate rejects self messages,
+	// so an accidental self-send is caught before it silently vanishes
+	// inside a scheduler. Generators that deliberately model co-located
+	// data movement (GE, Cannon, stencil, triangular solve, capture) set
+	// it via AddLocal or WithLocalTransfers.
+	AllowLocal bool `json:"allow_local,omitempty"`
 }
 
 // New returns an empty pattern over p processors.
@@ -39,38 +50,96 @@ func New(p int) *Pattern {
 }
 
 // Add appends a message of the given size and returns the pattern for
-// chaining.
+// chaining. A self message (src == dst) added through Add is rejected by
+// Validate — and therefore by every scheduler entry point — unless the
+// pattern allows local transfers; intentional local transfers go through
+// AddLocal (or WithLocalTransfers), keeping Add chainable and panic-free
+// while still catching accidental self-sends before they reach the
+// schedulers.
 func (pt *Pattern) Add(src, dst, bytes int) *Pattern {
 	pt.Msgs = append(pt.Msgs, Msg{Src: src, Dst: dst, Bytes: bytes})
 	return pt
 }
 
-// Validate checks processor bounds, message sizes, and that self
-// messages are flagged as allowed or not. Self messages (src == dst) are
-// legal in a pattern — the LogGP simulators skip them (the paper treats
-// them as local memory transfers) while the machine emulator charges a
-// memory-copy cost.
+// AddLocal appends an intentional local transfer (a self message on proc)
+// and marks the pattern as allowing them.
+func (pt *Pattern) AddLocal(proc, bytes int) *Pattern {
+	pt.AllowLocal = true
+	return pt.Add(proc, proc, bytes)
+}
+
+// WithLocalTransfers marks the pattern as deliberately carrying self
+// messages (local memory transfers) and returns it for chaining.
+func (pt *Pattern) WithLocalTransfers() *Pattern {
+	pt.AllowLocal = true
+	return pt
+}
+
+// Validate checks processor bounds, message sizes, and — unless the
+// pattern declares AllowLocal — the absence of self messages. Unlike the
+// schedulers' historical first-error behaviour it accumulates every
+// violation and returns them as one joined error (errors.Join), so a
+// malformed generated pattern reports all of its defects at once.
+//
+// Self messages (src == dst) are only legal when flagged via AllowLocal /
+// AddLocal / WithLocalTransfers: the LogGP simulators skip them (the
+// paper treats them as local memory transfers) while the machine
+// emulator charges a memory-copy cost; an unflagged one is almost always
+// a generator bug and is rejected before it can reach the schedulers.
 func (pt *Pattern) Validate() error {
 	if pt.P <= 0 {
 		return fmt.Errorf("trace: pattern has no processors (P=%d)", pt.P)
 	}
+	var errs []error
 	for i, m := range pt.Msgs {
 		if m.Src < 0 || m.Src >= pt.P {
-			return fmt.Errorf("trace: msg %d: src %d out of range [0,%d)", i, m.Src, pt.P)
+			errs = append(errs, fmt.Errorf("trace: msg %d: src %d out of range [0,%d)", i, m.Src, pt.P))
 		}
 		if m.Dst < 0 || m.Dst >= pt.P {
-			return fmt.Errorf("trace: msg %d: dst %d out of range [0,%d)", i, m.Dst, pt.P)
+			errs = append(errs, fmt.Errorf("trace: msg %d: dst %d out of range [0,%d)", i, m.Dst, pt.P))
 		}
 		if m.Bytes < 1 {
-			return fmt.Errorf("trace: msg %d: size %d bytes; must be >= 1", i, m.Bytes)
+			errs = append(errs, fmt.Errorf("trace: msg %d: size %d bytes; must be >= 1", i, m.Bytes))
+		}
+		if m.Src == m.Dst && !pt.AllowLocal {
+			errs = append(errs, fmt.Errorf("trace: msg %d: self message %d->%d; local transfers must be declared with AddLocal or WithLocalTransfers", i, m.Src, m.Dst))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
+}
+
+// ValidateDeadlockFree is Validate plus a deadlock-freedom requirement:
+// the processor dependency graph must be acyclic. On a cyclic pattern the
+// error names a minimal witness cycle (see FindCycle). The worst-case
+// algorithm breaks such deadlocks randomly, so cyclic patterns are legal
+// inputs to the simulators; this stricter check serves callers — the
+// static analyzer's precheck hooks — that want certainty the worst-case
+// schedule involves no random deadlock breaking.
+func (pt *Pattern) ValidateDeadlockFree() error {
+	err := pt.Validate()
+	if cyc := pt.FindCycle(); cyc != nil {
+		err = errors.Join(err, fmt.Errorf("trace: pattern can deadlock the worst-case scheduler: witness cycle %s", FormatCycle(cyc)))
+	}
+	return err
+}
+
+// FormatCycle renders a witness cycle as "P3 -> P5 -> P3" (0-based
+// processor indices).
+func FormatCycle(cycle []int) string {
+	if len(cycle) == 0 {
+		return "(none)"
+	}
+	var b strings.Builder
+	for _, p := range cycle {
+		fmt.Fprintf(&b, "P%d -> ", p)
+	}
+	fmt.Fprintf(&b, "P%d", cycle[0])
+	return b.String()
 }
 
 // Clone returns a deep copy of the pattern.
 func (pt *Pattern) Clone() *Pattern {
-	c := &Pattern{P: pt.P, Msgs: make([]Msg, len(pt.Msgs))}
+	c := &Pattern{P: pt.P, Msgs: make([]Msg, len(pt.Msgs)), AllowLocal: pt.AllowLocal}
 	copy(c.Msgs, pt.Msgs)
 	return c
 }
@@ -137,6 +206,7 @@ func (pt *Pattern) NetworkMessages() int {
 // src to dst for every network message) contains a directed cycle. The
 // worst-case algorithm deadlocks on cyclic patterns and must break them
 // randomly (Section 4.2), so callers use this to anticipate that path.
+// FindCycle additionally produces a minimal witness cycle.
 func (pt *Pattern) HasCycle() bool {
 	adj := make([][]int, pt.P)
 	for _, m := range pt.Msgs {
@@ -172,6 +242,74 @@ func (pt *Pattern) HasCycle() bool {
 		}
 	}
 	return false
+}
+
+// FindCycle returns a minimal witness cycle of the processor dependency
+// graph — the processors of a shortest directed cycle, in order — or nil
+// if the pattern is acyclic. Minimality makes the witness actionable:
+// the reported processors really are mutually waiting on one another,
+// with no incidental bystanders, which is what the static analyzer
+// prints when it refuses to certify a pattern deadlock-free.
+func (pt *Pattern) FindCycle() []int {
+	// Deduplicated adjacency (multi-edges add nothing to cycle finding).
+	adj := make([][]int, pt.P)
+	seen := make(map[[2]int]bool, len(pt.Msgs))
+	for _, m := range pt.Msgs {
+		if m.Src == m.Dst {
+			continue
+		}
+		k := [2]int{m.Src, m.Dst}
+		if !seen[k] {
+			seen[k] = true
+			adj[m.Src] = append(adj[m.Src], m.Dst)
+		}
+	}
+	// Shortest cycle through each start vertex via BFS; the global
+	// minimum over starts is a shortest cycle of the graph. O(P·(P+E))
+	// on deduplicated edges — patterns are small next to simulation.
+	var best []int
+	dist := make([]int, pt.P)
+	parent := make([]int, pt.P)
+	queue := make([]int, 0, pt.P)
+	for s := 0; s < pt.P; s++ {
+		for i := range dist {
+			dist[i], parent[i] = -1, -1
+		}
+		dist[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			if best != nil && dist[u]+1 >= len(best) {
+				continue // cannot improve on the best cycle found so far
+			}
+			for _, v := range adj[u] {
+				if v == s {
+					// Cycle s -> ... -> u -> s of length dist[u]+1.
+					cyc := make([]int, 0, dist[u]+1)
+					for w := u; w != -1; w = parent[w] {
+						cyc = append(cyc, w)
+					}
+					// Reverse into s-first order.
+					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					if best == nil || len(cyc) < len(best) {
+						best = cyc
+					}
+					continue
+				}
+				if dist[v] == -1 {
+					dist[v], parent[v] = dist[u]+1, u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if len(best) == 2 {
+			break // no directed cycle is shorter than 2
+		}
+	}
+	return best
 }
 
 // String summarizes the pattern.

@@ -15,7 +15,8 @@ func TestValidate(t *testing.T) {
 	}{
 		{"empty ok", New(4), true},
 		{"simple", New(2).Add(0, 1, 8), true},
-		{"self message ok", New(2).Add(1, 1, 8), true},
+		{"self message flagged ok", New(2).AddLocal(1, 8), true},
+		{"self message unflagged", New(2).Add(1, 1, 8), false},
 		{"no processors", New(0), false},
 		{"src out of range", New(2).Add(2, 0, 8), false},
 		{"negative src", New(2).Add(-1, 0, 8), false},

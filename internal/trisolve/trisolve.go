@@ -67,6 +67,7 @@ func BuildProgram(g Grid, lay layout.Layout) (*program.Program, error) {
 	vecID := func(i int) uint64 { return uint64(i) }
 	for k := 0; k < g.NB; k++ {
 		s := pr.AddStep()
+		s.Comm.WithLocalTransfers() // co-owners receive the pivot row locally
 		if k > 0 {
 			for i := k; i < g.NB; i++ {
 				s.AddOpOn(owner(lay, i), blockops.Op6, g.B, vecID(i))

@@ -22,7 +22,7 @@ func fuzzPattern(data []byte) (*trace.Pattern, loggp.Params, int64, bool) {
 		P:   procs,
 	}
 	seed := int64(data[5])
-	pt := trace.New(procs)
+	pt := trace.New(procs).WithLocalTransfers() // fuzz inputs may legitimately contain self messages
 	for i := 6; i+3 < len(data); i += 4 {
 		src := int(data[i]) % procs
 		dst := int(data[i+1]) % procs

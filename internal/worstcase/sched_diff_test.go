@@ -28,7 +28,7 @@ func diffParams(p int) []loggp.Params {
 // randomized choice; the acyclic shapes check the pure counter path.
 func diffCorpus() map[string]*trace.Pattern {
 	withSelf := trace.Random(9, 40, 2048, 5)
-	withSelf.Add(3, 3, 100)
+	withSelf.AddLocal(3, 100)
 	return map[string]*trace.Pattern{
 		"figure3":   trace.Figure3(),
 		"ring":      trace.Ring(16, 112),

@@ -50,6 +50,12 @@ type Config struct {
 	// leaving Result.Timeline and Result.ProcFinish nil while computing
 	// the identical schedule.
 	NoTimeline bool
+	// Precheck, when non-nil, is consulted before any clock advances
+	// (see sim.Config.Precheck). The worst-case scheduler tolerates
+	// cyclic patterns by construction, but a pipeline that treats random
+	// deadlock breaking as an input error can install
+	// analyze.DeadlockFreePrecheck here.
+	Precheck func(*trace.Pattern) error
 
 	// referenceScheduler selects the pre-indexed commit loop (full
 	// candidate rescan per operation), kept for the differential tests;
@@ -291,6 +297,11 @@ func (s *Session) Communicate(pt *trace.Pattern) (*Result, error) {
 // which is reset first; in quiet mode a steady-state call allocates
 // nothing (see sim.Session.CommunicateInto).
 func (s *Session) CommunicateInto(r *Result, pt *trace.Pattern) error {
+	if s.cfg.Precheck != nil {
+		if err := s.cfg.Precheck(pt); err != nil {
+			return err
+		}
+	}
 	if err := pt.Validate(); err != nil {
 		return err
 	}

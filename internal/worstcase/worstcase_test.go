@@ -121,7 +121,7 @@ func TestTwoCycleDeadlock(t *testing.T) {
 }
 
 func TestSelfMessagesSkipped(t *testing.T) {
-	pt := trace.New(2).Add(1, 1, 4).Add(0, 1, 1)
+	pt := trace.New(2).AddLocal(1, 4).Add(0, 1, 1)
 	r := mustRun(t, pt, Config{Params: uni})
 	if r.SelfMessages != 1 {
 		t.Fatalf("SelfMessages = %d, want 1", r.SelfMessages)

@@ -9,13 +9,17 @@
 #   make diff    — scheduler differential tests (indexed vs reference
 #                  cores) under the race detector
 #   make bench   — figure + large-P scheduler benchmarks; writes the
-#                  scheduler results to BENCH_scheduler.json
+#                  scheduler results to BENCH_scheduler.json and the
+#                  fault-hook overhead results to BENCH_faults.json
 #   make sweep   — serial-vs-parallel sweep benchmark pair only
+#   make fuzz-smoke — short fuzz of the fault injector and the
+#                  checkpoint/resume journal (part of ci)
 
 GO ?= go
 LOGGPVET := $(CURDIR)/bin/loggpvet
+FUZZTIME ?= 15s
 
-.PHONY: all build test vet lint race diff bench sweep ci
+.PHONY: all build test vet lint race diff bench sweep fuzz-smoke ci
 
 all: ci
 
@@ -59,8 +63,21 @@ bench:
 		-bench 'BenchmarkScheduler|BenchmarkSession|BenchmarkWorstcaseScheduler|BenchmarkPredict(Reuse|Fresh)' \
 		./internal/sim ./internal/worstcase ./internal/predictor \
 		> BENCH_scheduler.json
+	$(GO) test -run NONE -json -benchmem \
+		-bench 'BenchmarkFaultHook|BenchmarkWorstcaseFaultHook' \
+		./internal/sim ./internal/worstcase \
+		> BENCH_faults.json
 
 sweep:
 	$(GO) test -run NONE -bench 'BenchmarkSweep(Serial|Parallel)|BenchmarkQuietModeSimulation' -benchmem .
 
-ci: vet lint test diff race
+# Short fuzz runs of the two robustness-critical state machines: the
+# fault injector's retry/backoff accounting (clock monotonicity, no lost
+# messages below MaxRetries) and the checkpoint journal's resume path
+# (any interrupted prefix resumes byte-identically). `go test -fuzz`
+# accepts one package per invocation, hence two lines.
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz FuzzSendOutcome -fuzztime $(FUZZTIME) ./internal/faults
+	$(GO) test -run NONE -fuzz FuzzJournalResume -fuzztime $(FUZZTIME) ./internal/sweep
+
+ci: vet lint test diff race fuzz-smoke

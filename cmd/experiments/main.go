@@ -7,21 +7,34 @@
 //
 //	experiments [-fig all|3|4|5|6|7|8|9] [-claims] [-ablations] [-sensitivity]
 //	            [-n 960] [-procs 8] [-workers 0] [-csv]
+//	            [-faults drop=0.01,...] [-perturb l=0.1,...] [-samples 64]
+//	            [-resume sweep.journal]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The sweeps fan out over -workers goroutines (0 = all CPUs); the output
-// is byte-identical at any worker count.
+// is byte-identical at any worker count. SIGINT/SIGTERM cancel the
+// sweeps gracefully: with -resume, finished block sizes are already
+// flushed to the checkpoint journal, and relaunching the same command
+// reuses them, producing byte-identical final output.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"loggpsim/internal/experiments"
+	"loggpsim/internal/faults"
+	"loggpsim/internal/layout"
 	"loggpsim/internal/loggp"
 	"loggpsim/internal/profiling"
+	"loggpsim/internal/robust"
 	"loggpsim/internal/stats"
+	"loggpsim/internal/sweep"
 	"loggpsim/internal/trace"
 )
 
@@ -36,6 +49,10 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	width := flag.Int("width", 100, "gantt chart width for figures 4 and 5")
 	seed := flag.Int64("seed", 1, "seed for all randomized components")
+	faultSpec := flag.String("faults", "", "fault plan for the predictions, e.g. drop=0.01,jitter=0.1,stragglers=1")
+	perturbSpec := flag.String("perturb", "", "LogGP perturbation spread for the envelope table, e.g. l=0.1,o=0.1,gap=0.1,g=0.1")
+	samples := flag.Int("samples", 64, "Monte-Carlo samples per block size for the envelope table")
+	resume := flag.String("resume", "", "checkpoint journal `file`: flush finished sweep cells and resume from them on relaunch")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to `file` on exit")
 	flag.Parse()
@@ -46,12 +63,47 @@ func main() {
 	}
 	defer stopProf()
 
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	cfg := experiments.Default()
 	cfg.N = *n
 	cfg.P = *procs
 	cfg.Params = loggp.MeikoCS2(*procs)
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Options = []sweep.Option{sweep.Context(ctx)}
+	if cfg.Faults, err = faults.Parse(*faultSpec); err != nil {
+		fatal(err)
+	}
+	perturb, err := robust.Parse(*perturbSpec)
+	if err != nil {
+		fatal(err)
+	}
+	var journal *sweep.Journal
+	if *resume != "" {
+		if journal, err = sweep.OpenJournal(*resume); err != nil {
+			fatal(err)
+		}
+		defer journal.Close()
+		cfg.Journal = journal
+	}
+	// bail reports err and exits; on cancellation it points at the
+	// checkpoint journal holding the flushed partial results.
+	bail := func(err error) {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted")
+			if journal != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %d finished cells flushed to %s; relaunch with -resume %s to continue\n",
+					journal.Len(), journal.Path(), journal.Path())
+				journal.Close()
+			}
+			stopProf()
+			stopSignals()
+			os.Exit(130)
+		}
+		fatal(err)
+	}
 
 	emit := func(title string, t *stats.Table) {
 		fmt.Printf("## %s\n\n", title)
@@ -113,13 +165,13 @@ func main() {
 		emit("Sensitivity: elasticity of the GE prediction to each LogGP parameter", tab)
 	}
 
+	envelopes := perturb.Enabled() || cfg.Faults.Enabled()
 	needSweep := want("7") || want("8") || want("9") || *claims
-	if !needSweep {
-		return
-	}
-	byLayout, err := experiments.RunBothLayouts(cfg)
-	if err != nil {
-		fatal(err)
+	var byLayout map[string][]experiments.Point
+	if needSweep {
+		if byLayout, err = experiments.RunBothLayouts(cfg); err != nil {
+			bail(err)
+		}
 	}
 	for _, name := range []string{"diagonal", "row-cyclic"} {
 		pts, ok := byLayout[name]
@@ -137,6 +189,32 @@ func main() {
 		if want("9") {
 			emit(fmt.Sprintf("Figure 9: computation time (s), %s mapping", name),
 				experiments.Figure9Table(pts))
+		}
+	}
+	if envelopes {
+		// Monte-Carlo envelope of the Figure-7 prediction under the
+		// requested parameter perturbation and fault plan.
+		for _, lay := range []struct {
+			name string
+			mk   func(nb int) layout.Layout
+		}{
+			{"diagonal", func(nb int) layout.Layout { return layout.Diagonal(cfg.P, nb) }},
+			{"row-cyclic", func(nb int) layout.Layout { return layout.RowCyclic(cfg.P) }},
+		} {
+			envs, err := robust.Run(robust.Config{
+				N: cfg.N, P: cfg.P, Sizes: cfg.Sizes,
+				Params: cfg.Params, Model: cfg.Model, Layout: lay.mk,
+				Samples: *samples, Seed: cfg.Seed,
+				Perturb: perturb, Faults: cfg.Faults,
+				Workers: cfg.Workers, Journal: journal,
+				Scope:   "envelope/" + lay.name,
+				Options: cfg.Options,
+			})
+			if err != nil {
+				bail(err)
+			}
+			emit(fmt.Sprintf("Figure 7 envelope: predicted total (s) over %d samples, %s mapping", *samples, lay.name),
+				robust.Table(envs))
 		}
 	}
 	if *claims {

@@ -9,29 +9,40 @@
 //	gepredict [-n 960] [-procs 8] [-blocks 8,10,...] [-layout both|diagonal|row|col|2d]
 //	          [-model analytic|measured] [-search sweep|ternary|climb]
 //	          [-emulate] [-profile] [-workers 0] [-csv]
+//	          [-faults drop=0.01,...] [-perturb l=0.1,...] [-samples 64]
+//	          [-resume sweep.journal]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The per-block-size predictions fan out over -workers goroutines (0 =
 // all CPUs); the tables and the chosen optimum are byte-identical at any
-// worker count.
+// worker count. SIGINT/SIGTERM cancel the sweep gracefully: with
+// -resume, finished block sizes are already flushed to the checkpoint
+// journal and a relaunch reuses them, so the final output is
+// byte-identical to an uninterrupted run.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"loggpsim/internal/cost"
 	"loggpsim/internal/experiments"
+	"loggpsim/internal/faults"
 	"loggpsim/internal/ge"
 	"loggpsim/internal/layout"
 	"loggpsim/internal/loggp"
 	"loggpsim/internal/machine"
 	"loggpsim/internal/predictor"
 	"loggpsim/internal/profiling"
+	"loggpsim/internal/robust"
 	"loggpsim/internal/search"
 	"loggpsim/internal/stats"
 	"loggpsim/internal/sweep"
@@ -49,6 +60,10 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = all CPUs)")
 	csv := flag.Bool("csv", false, "emit CSV")
 	seed := flag.Int64("seed", 1, "random seed")
+	faultSpec := flag.String("faults", "", "fault plan for the predictions, e.g. drop=0.01,jitter=0.1,stragglers=1")
+	perturbSpec := flag.String("perturb", "", "LogGP perturbation spread for the envelope table, e.g. l=0.1,o=0.1,gap=0.1,g=0.1")
+	samples := flag.Int("samples", 64, "Monte-Carlo samples per block size for the envelope table")
+	resume := flag.String("resume", "", "checkpoint journal `file`: flush finished sweep cells and resume from them on relaunch")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to `file` on exit")
 	flag.Parse()
@@ -58,6 +73,41 @@ func main() {
 		fatal(err)
 	}
 	defer stopProf()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	plan, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	perturb, err := robust.Parse(*perturbSpec)
+	if err != nil {
+		fatal(err)
+	}
+	var journal *sweep.Journal
+	if *resume != "" {
+		if journal, err = sweep.OpenJournal(*resume); err != nil {
+			fatal(err)
+		}
+		defer journal.Close()
+	}
+	// bail reports err and exits; on cancellation it points at the
+	// checkpoint journal holding the flushed partial results.
+	bail := func(err error) {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "gepredict: interrupted")
+			if journal != nil {
+				fmt.Fprintf(os.Stderr, "gepredict: %d finished cells flushed to %s; relaunch with -resume %s to continue\n",
+					journal.Len(), journal.Path(), journal.Path())
+				journal.Close()
+			}
+			stopProf()
+			stopSignals()
+			os.Exit(130)
+		}
+		fatal(err)
+	}
 
 	sizes := experiments.BlockSizes
 	if *blocks != "" {
@@ -126,7 +176,7 @@ func main() {
 			if err != nil {
 				return nil, nil, err
 			}
-			pred, err := predictor.Predict(pr, predictor.Config{Params: params, Cost: model, Seed: *seed})
+			pred, err := predictor.Predict(pr, predictor.Config{Params: params, Cost: model, Seed: *seed, Faults: plan})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -143,24 +193,25 @@ func main() {
 		}
 
 		// One independent prediction (plus optional emulation) per block
-		// size: fan out, then emit the ordered rows.
+		// size: fan out, then emit the ordered rows. Fields are exported
+		// so the checkpoint journal round-trips cells losslessly.
 		type cell struct {
-			pred *predictor.Prediction
-			meas *machine.Result
+			Pred *predictor.Prediction `json:"pred"`
+			Meas *machine.Result       `json:"meas,omitempty"`
 		}
-		cells, err := sweep.Map(usable, func(_ int, b int) (cell, error) {
+		cells, err := sweep.MapResume(journal, "gepredict/"+name, usable, func(_ int, b int) (cell, error) {
 			pred, meas, err := predict(b)
 			return cell{pred, meas}, err
-		}, sweep.Workers(*workers))
+		}, sweep.Workers(*workers), sweep.Context(ctx))
 		if err != nil {
-			fatal(err)
+			bail(err)
 		}
 		for i, b := range usable {
 			measured := "-"
-			if cells[i].meas != nil {
-				measured = fmt.Sprintf("%.4g", cells[i].meas.Total/1e6)
+			if cells[i].Meas != nil {
+				measured = fmt.Sprintf("%.4g", cells[i].Meas.Total/1e6)
 			}
-			p := cells[i].pred
+			p := cells[i].Pred
 			tab.AddRow(b, p.Total/1e6, p.TotalWorst/1e6, p.Comp/1e6, p.Comm/1e6, measured)
 		}
 		fmt.Printf("## %s mapping, n=%d, P=%d, %s cost model\n\n", name, *n, *procs, *modelName)
@@ -171,6 +222,31 @@ func main() {
 		}
 		if err != nil {
 			fatal(err)
+		}
+
+		if perturb.Enabled() || plan.Enabled() {
+			envs, err := robust.Run(robust.Config{
+				N: *n, P: *procs, Sizes: usable,
+				Params: params, Model: model, Layout: mk,
+				Samples: *samples, Seed: *seed,
+				Perturb: perturb, Faults: plan,
+				Workers: *workers, Journal: journal,
+				Scope:   "envelope/" + name,
+				Options: []sweep.Option{sweep.Context(ctx)},
+			})
+			if err != nil {
+				bail(err)
+			}
+			etab := robust.Table(envs)
+			fmt.Printf("\n## %s mapping: prediction envelope over %d samples (s)\n\n", name, *samples)
+			if *csv {
+				err = etab.WriteCSV(os.Stdout)
+			} else {
+				err = etab.WriteText(os.Stdout)
+			}
+			if err != nil {
+				fatal(err)
+			}
 		}
 
 		objective := func(b int) (float64, error) {

@@ -1,0 +1,83 @@
+package main
+
+// Scripted end-to-end test of gepredict's interrupt path, mirroring the
+// cmd/experiments one: SIGINT mid-sweep must exit non-zero with the
+// finished cells flushed, and a -resume relaunch must reproduce an
+// uninterrupted run byte for byte.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func buildBinary(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "gepredict.bin")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func waitForJournal(t *testing.T, path string, deadline time.Duration) {
+	t.Helper()
+	for start := time.Now(); time.Since(start) < deadline; time.Sleep(10 * time.Millisecond) {
+		b, err := os.ReadFile(path)
+		if err == nil && bytes.Count(b, []byte{'\n'}) >= 1 {
+			return
+		}
+	}
+	t.Fatalf("journal %s never received a cell within %v", path, deadline)
+}
+
+func TestSigintFlushesJournalAndResumeIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	dir := t.TempDir()
+	bin := buildBinary(t, dir)
+	journal := filepath.Join(dir, "sweep.journal")
+	args := []string{"-n", "960", "-layout", "diagonal", "-emulate", "-workers", "1", "-resume", journal}
+
+	var out1 bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &out1
+	cmd.Stderr = &out1
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitForJournal(t, journal, 60*time.Second)
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err == nil {
+		t.Fatalf("process exited 0 before SIGINT took effect:\n%s", out1.String())
+	}
+	if code := cmd.ProcessState.ExitCode(); code == 0 {
+		t.Fatalf("interrupted run did not exit non-zero:\n%s", out1.String())
+	}
+	if !bytes.Contains(out1.Bytes(), []byte("interrupted")) {
+		t.Fatalf("interrupted run did not report the interrupt:\n%s", out1.String())
+	}
+
+	resumed, err := exec.Command(bin, args...).Output()
+	if err != nil {
+		t.Fatalf("resumed run failed: %v", err)
+	}
+	cleanArgs := []string{"-n", "960", "-layout", "diagonal", "-emulate", "-workers", "1",
+		"-resume", filepath.Join(dir, "clean.journal")}
+	clean, err := exec.Command(bin, cleanArgs...).Output()
+	if err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	if !bytes.Equal(resumed, clean) {
+		t.Fatalf("resumed output differs from uninterrupted run:\n--- resumed ---\n%s\n--- clean ---\n%s",
+			resumed, clean)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"loggpsim/internal/cost"
+	"loggpsim/internal/faults"
 	"loggpsim/internal/ge"
 	"loggpsim/internal/layout"
 	"loggpsim/internal/loggp"
@@ -46,6 +47,24 @@ type Config struct {
 	// independent prediction seeded identically to the serial loop, so
 	// the output is byte-identical at any worker count.
 	Workers int
+
+	// Faults, when enabled, injects the plan into every prediction (see
+	// predictor.Config.Faults). The emulated "measured" columns stay
+	// fault-free: the plan models machine misbehaviour the predictions
+	// should anticipate, so comparing faulty predictions against clean
+	// measurements is the point of the exercise.
+	Faults faults.Plan
+
+	// Journal, when non-nil, checkpoints each finished Point so an
+	// interrupted sweep resumes from completed block sizes with
+	// byte-identical output (see sweep.MapResume). Keys are scoped by
+	// Scope and the layout name, so one journal serves both layouts.
+	Journal *sweep.Journal
+	// Scope namespaces the journal keys; empty means "experiments".
+	Scope string
+	// Options are extra sweep options (e.g. sweep.Context for
+	// SIGINT-driven cancellation), applied after Workers.
+	Options []sweep.Option
 }
 
 // Default returns the paper-scale configuration: a 960×960 matrix on the
@@ -111,7 +130,19 @@ func RunGE(cfg Config, makeLayout func(nb int) layout.Layout) ([]Point, error) {
 			usable = append(usable, b)
 		}
 	}
-	return sweep.Map(usable, func(_ int, b int) (Point, error) {
+	scope := cfg.Scope
+	if scope == "" {
+		scope = "experiments"
+	}
+	if cfg.Journal != nil && len(usable) > 0 {
+		// Key the journal by layout name so one journal file serves a
+		// both-layouts run without collisions.
+		if g, err := ge.NewGrid(cfg.N, usable[0]); err == nil {
+			scope += "/" + makeLayout(g.NB).Name()
+		}
+	}
+	opts := append([]sweep.Option{sweep.Workers(cfg.Workers)}, cfg.Options...)
+	return sweep.MapResume(cfg.Journal, scope, usable, func(_ int, b int) (Point, error) {
 		g, err := ge.NewGrid(cfg.N, b)
 		if err != nil {
 			return Point{}, err
@@ -122,7 +153,7 @@ func RunGE(cfg Config, makeLayout func(nb int) layout.Layout) ([]Point, error) {
 			return Point{}, err
 		}
 		pred, err := predictor.Predict(pr, predictor.Config{
-			Params: cfg.Params, Cost: cfg.Model, Seed: cfg.Seed,
+			Params: cfg.Params, Cost: cfg.Model, Seed: cfg.Seed, Faults: cfg.Faults,
 		})
 		if err != nil {
 			return Point{}, err
@@ -149,7 +180,7 @@ func RunGE(cfg Config, makeLayout func(nb int) layout.Layout) ([]Point, error) {
 			CacheWarm:            meas.CacheWarm * secPerMicro,
 			Misses:               meas.Misses,
 		}, nil
-	}, sweep.Workers(cfg.Workers))
+	}, opts...)
 }
 
 // RunBothLayouts runs the sweep for the paper's two layouts, keyed by

@@ -1,0 +1,476 @@
+// Package faults is the deterministic fault-injection and perturbation
+// layer of the predictor. The paper's guarantee — measured times fall
+// between the standard and the worst-case simulation — assumes a
+// perfect machine and exact LogGP constants; real interconnects drop
+// and retransmit packets, links degrade transiently, and processors
+// jitter and straggle (Barchet-Estefanel & Mounié's measurements show
+// model-parameter variability dominating prediction error; see
+// PAPERS.md). This package lets the *simulated* machine exhibit those
+// failures while keeping every repository invariant intact:
+//
+//   - Faults are pure functions of identity. Every random decision —
+//     is attempt a of message m in step s dropped? how much jitter does
+//     processor q's computation in step s get? — is derived by hashing
+//     (plan seed, purpose, identities) with a SplitMix64-style
+//     finalizer. There is no RNG state, so outcomes are independent of
+//     commit order, worker count and evaluation order: the same seed
+//     and plan give bit-identical timelines everywhere.
+//
+//   - Faults are charged in LogGP terms. A retransmitted message
+//     re-pays the sender overhead o, the inter-send gap g and the
+//     serialization (k-1)G, and its payload re-crosses the network for
+//     another L; a degraded link scales G and L inside its window; a
+//     slow or straggling processor's computation charges are inflated
+//     multiplicatively. Charges only ever increase times, so the
+//     zero-fault prediction stays a lower bound on every faulty one.
+//
+//   - The zero-value Plan means "no faults": Plan.Injector returns nil
+//     and the schedulers' hook stays uninstalled, keeping the zero-fault
+//     path bit-identical and allocation-free (asserted by the
+//     differential suites in internal/sim and internal/worstcase).
+//
+// The schedulers consume an Injector through sim.Config.Fault /
+// worstcase.Config.Fault (one call per committed send); the predictor
+// additionally perturbs computation charges with PerturbCompute. See
+// DESIGN.md §5f for the charging rules.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"loggpsim/internal/loggp"
+)
+
+// Drop models per-message packet loss with timeout/retransmit and
+// exponential backoff.
+type Drop struct {
+	// Prob is the per-attempt drop probability in [0, 1). Zero disables
+	// the model.
+	Prob float64
+	// RTO is the retransmit timeout of the first attempt, in
+	// microseconds: the sender waits RTO after starting a transmission
+	// before concluding it lost. Zero selects the per-message default
+	// 2(o+L) + (k-1)G — a round trip plus the payload's serialization.
+	RTO float64
+	// Backoff multiplies the timeout after every failed attempt
+	// (exponential backoff). Zero selects 2; values below 1 are invalid.
+	Backoff float64
+	// MaxRetries bounds the retransmissions after the first attempt.
+	// When all 1+MaxRetries attempts drop, the message is lost and the
+	// simulation reports a *LossError* instead of silently swallowing
+	// it. Zero selects 8; capped at 64 (the backoff would overflow any
+	// horizon long before that).
+	MaxRetries int
+}
+
+// Compute models per-processor computation perturbation: multiplicative
+// jitter on every computation charge plus a deterministic straggler set.
+type Compute struct {
+	// Jitter is the relative jitter magnitude: each (step, processor)
+	// computation charge is scaled by a factor drawn uniformly from
+	// [1, 1+Jitter]. Zero disables jitter.
+	Jitter float64
+	// Stragglers is the number of processors (chosen deterministically
+	// from the plan seed) whose computation runs Factor times slower.
+	Stragglers int
+	// Factor is the straggler slowdown multiplier; zero selects 2.
+	// Values below 1 are invalid (faults only ever slow things down).
+	Factor float64
+}
+
+// Degrade is a transient link-degradation window: transmissions whose
+// (retransmission-adjusted) start falls inside [Start, End) pay scaled
+// serialization and latency.
+type Degrade struct {
+	// Start and End delimit the window in simulated microseconds.
+	Start, End float64
+	// GScale and LScale multiply the per-byte gap G and the latency L
+	// for transmissions inside the window. Zero selects 1 (no change);
+	// values below 1 are invalid.
+	GScale, LScale float64
+}
+
+// Plan configures the fault models of one simulated execution. The zero
+// value injects nothing.
+type Plan struct {
+	// Seed drives every fault decision. Two executions with the same
+	// plan (seed included) exhibit bit-identical faults.
+	Seed int64
+	// Drop is the packet-loss/retransmission model.
+	Drop Drop
+	// Compute is the computation-perturbation model.
+	Compute Compute
+	// Degrade lists transient link-degradation windows.
+	Degrade []Degrade
+}
+
+// Enabled reports whether the plan injects any fault at all.
+func (p Plan) Enabled() bool {
+	return p.Drop.Prob > 0 || p.Compute.Jitter > 0 || p.Compute.Stragglers > 0 || len(p.Degrade) > 0
+}
+
+// Validate rejects plans whose parameters would produce nonsensical or
+// non-finite charges.
+func (p Plan) Validate() error {
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("faults: "+format, args...))
+	}
+	d := p.Drop
+	if math.IsNaN(d.Prob) || d.Prob < 0 || d.Prob >= 1 {
+		bad("drop probability %g outside [0,1)", d.Prob)
+	}
+	if math.IsNaN(d.RTO) || math.IsInf(d.RTO, 0) || d.RTO < 0 {
+		bad("retransmit timeout %g must be finite and non-negative", d.RTO)
+	}
+	if d.Backoff != 0 && (math.IsNaN(d.Backoff) || math.IsInf(d.Backoff, 0) || d.Backoff < 1) {
+		bad("backoff %g must be finite and at least 1", d.Backoff)
+	}
+	if d.MaxRetries < 0 || d.MaxRetries > 64 {
+		bad("max retries %d outside [0,64]", d.MaxRetries)
+	}
+	c := p.Compute
+	if math.IsNaN(c.Jitter) || math.IsInf(c.Jitter, 0) || c.Jitter < 0 {
+		bad("compute jitter %g must be finite and non-negative", c.Jitter)
+	}
+	if c.Stragglers < 0 {
+		bad("straggler count %d negative", c.Stragglers)
+	}
+	if c.Factor != 0 && (math.IsNaN(c.Factor) || math.IsInf(c.Factor, 0) || c.Factor < 1) {
+		bad("straggler factor %g must be finite and at least 1", c.Factor)
+	}
+	for i, w := range p.Degrade {
+		if math.IsNaN(w.Start) || math.IsInf(w.Start, 0) || w.Start < 0 ||
+			math.IsNaN(w.End) || math.IsInf(w.End, 0) || w.End <= w.Start {
+			bad("degrade window %d [%g,%g) must be finite, non-negative and non-empty", i, w.Start, w.End)
+		}
+		if w.GScale != 0 && (math.IsNaN(w.GScale) || math.IsInf(w.GScale, 0) || w.GScale < 1) {
+			bad("degrade window %d G scale %g must be finite and at least 1", i, w.GScale)
+		}
+		if w.LScale != 0 && (math.IsNaN(w.LScale) || math.IsInf(w.LScale, 0) || w.LScale < 1) {
+			bad("degrade window %d L scale %g must be finite and at least 1", i, w.LScale)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// LossError reports a message whose every transmission attempt dropped:
+// the retry budget is exhausted and the simulated execution cannot
+// complete. It satisfies the satellite guarantee that a dropped send is
+// eventually received or *reported* — never silently lost.
+type LossError struct {
+	// Step is the communication step (0-based Communicate call on the
+	// session) in which the message was sent.
+	Step int
+	// MsgIndex is the message's index within its pattern.
+	MsgIndex int
+	// Src, Dst and Bytes identify the message.
+	Src, Dst, Bytes int
+	// Attempts is the number of transmissions tried (1 + MaxRetries).
+	Attempts int
+}
+
+func (e *LossError) Error() string {
+	return fmt.Sprintf("faults: message %d (%d->%d, %dB) in step %d lost after %d attempts",
+		e.MsgIndex, e.Src, e.Dst, e.Bytes, e.Step, e.Attempts)
+}
+
+// Injector applies a validated plan to one machine. It is immutable
+// after construction and safe for concurrent use — all methods are pure
+// functions of their arguments — so one injector can serve every worker
+// of a sweep.
+type Injector struct {
+	plan      Plan
+	params    loggp.Params
+	backoff   float64
+	retries   int
+	factor    float64
+	straggler []bool
+}
+
+// Injector compiles the plan against a machine description. A disabled
+// plan (zero value) yields a nil injector and nil error: callers
+// install no hook and the zero-fault path stays untouched.
+func (p Plan) Injector(params loggp.Params) (*Injector, error) {
+	if !p.Enabled() {
+		return nil, nil
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Injector{plan: p, params: params}
+	in.backoff = p.Drop.Backoff
+	if in.backoff == 0 {
+		in.backoff = 2
+	}
+	in.retries = p.Drop.MaxRetries
+	if in.retries == 0 {
+		in.retries = 8
+	}
+	in.factor = p.Compute.Factor
+	if in.factor == 0 {
+		in.factor = 2
+	}
+	if n := p.Compute.Stragglers; n > 0 {
+		in.straggler = stragglerSet(p.Seed, params.P, n)
+	}
+	return in, nil
+}
+
+// Plan returns the compiled plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// stragglerSet picks n of p processors deterministically from the seed:
+// the n processors whose per-processor hash ranks smallest, ties broken
+// by index. Independent of any iteration order.
+func stragglerSet(seed int64, p, n int) []bool {
+	set := make([]bool, p)
+	if n >= p {
+		for i := range set {
+			set[i] = true
+		}
+		return set
+	}
+	type rank struct {
+		h uint64
+		i int
+	}
+	ranks := make([]rank, p)
+	for i := range ranks {
+		ranks[i] = rank{h: mix(mix(uint64(seed)^streamStraggler) + uint64(i)*oddGamma), i: i}
+	}
+	sort.Slice(ranks, func(a, b int) bool {
+		if ranks[a].h != ranks[b].h {
+			return ranks[a].h < ranks[b].h
+		}
+		return ranks[a].i < ranks[b].i
+	})
+	for _, r := range ranks[:n] {
+		set[r.i] = true
+	}
+	return set
+}
+
+// Stream-separation constants: distinct purposes draw from disjoint
+// hash streams even for equal identity tuples.
+const (
+	streamDrop      uint64 = 0xD509_AF8A_93B1_C001
+	streamJitter    uint64 = 0x7C15_93B1_AF8A_C002
+	streamStraggler uint64 = 0x93B1_7C15_D509_C003
+
+	oddGamma uint64 = 0x9E3779B97F4A7C15
+)
+
+// mix is the SplitMix64 finalizer (the same one sweep.Seed uses).
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// u01 hashes (seed, stream, a, b, c) to a uniform float64 in [0, 1).
+func (in *Injector) u01(stream uint64, a, b, c int) float64 {
+	z := uint64(in.plan.Seed) ^ stream
+	z = mix(z + uint64(a)*oddGamma + 1)
+	z = mix(z + uint64(b)*oddGamma + 2)
+	z = mix(z + uint64(c)*oddGamma + 3)
+	return float64(z>>11) / (1 << 53)
+}
+
+// rto returns the first-attempt retransmit timeout for a k-byte message.
+func (in *Injector) rto(bytes int) float64 {
+	if in.plan.Drop.RTO > 0 {
+		return in.plan.Drop.RTO
+	}
+	return 2*(in.params.O+in.params.L) + in.params.Serialization(bytes)
+}
+
+// SendOutcome resolves the fault-adjusted delivery of one message and
+// matches the schedulers' Fault hook signature. step counts the
+// session's Communicate calls since Reset, msgIndex is the message's
+// index in its pattern, and start is the send operation's start time.
+//
+// It returns the extra time the sender's port stays busy past the
+// nominal o (each retransmission re-pays o plus max(g, (k-1)G), the
+// port re-engaging and the payload re-serializing) and the extra delay
+// added to the message's flat-LogGP arrival (the retransmit timeouts
+// the successful attempt waited through, plus the degradation
+// surcharge (GScale-1)·(k-1)G + (LScale-1)·L when the winning
+// transmission falls in a degraded window). Both are non-negative and
+// finite. When every attempt drops, err is a *LossError and the
+// simulation fails loudly.
+func (in *Injector) SendOutcome(step, msgIndex, src, dst, bytes int, start float64) (busy, delay float64, err error) {
+	d := in.plan.Drop
+	if d.Prob > 0 {
+		// Identity of a drop decision: (step, message, attempt). src/dst
+		// are implied by the message index; mixing them in would change
+		// nothing but cost two multiplies.
+		timeout := in.rto(bytes)
+		perRetry := in.params.O + max(in.params.Gap, in.params.Serialization(bytes))
+		attempt := 0
+		for in.u01(streamDrop, step, msgIndex, attempt) < d.Prob {
+			if attempt == in.retries {
+				return 0, 0, &LossError{
+					Step: step, MsgIndex: msgIndex,
+					Src: src, Dst: dst, Bytes: bytes,
+					Attempts: attempt + 1,
+				}
+			}
+			delay += timeout
+			busy += perRetry
+			timeout *= in.backoff
+			attempt++
+		}
+	}
+	// The winning transmission leaves the sender at start+delay (the
+	// sends before it timed out); a degraded window at that instant
+	// stretches its serialization and latency.
+	if len(in.plan.Degrade) > 0 {
+		t := start + delay
+		gScale, lScale := 1.0, 1.0
+		for _, w := range in.plan.Degrade {
+			if t < w.Start || t >= w.End {
+				continue
+			}
+			if w.GScale > gScale {
+				gScale = w.GScale
+			}
+			if w.LScale > lScale {
+				lScale = w.LScale
+			}
+		}
+		ser := 0.0
+		if bytes > 1 {
+			ser = float64(bytes-1) * in.params.G
+		}
+		delay += (gScale-1)*ser + (lScale-1)*in.params.L
+	}
+	return busy, delay, nil
+}
+
+// PerturbCompute scales one computation charge by the processor's
+// straggler factor and its per-(step, processor) jitter draw. The
+// factor is always at least 1, so perturbed programs are never faster
+// than the zero-fault prediction.
+func (in *Injector) PerturbCompute(step, proc int, dur float64) float64 {
+	f := 1.0
+	if in.straggler != nil && proc < len(in.straggler) && in.straggler[proc] {
+		f = in.factor
+	}
+	if j := in.plan.Compute.Jitter; j > 0 {
+		f *= 1 + j*in.u01(streamJitter, step, proc, 0)
+	}
+	return dur * f
+}
+
+// Stragglers returns the indices of the plan's straggler processors in
+// ascending order (empty when the model is off).
+func (in *Injector) Stragglers() []int {
+	var out []int
+	for i, s := range in.straggler {
+		if s {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Parse builds a Plan from a CLI spec: comma-separated key=value pairs.
+//
+//	drop=0.01        per-attempt drop probability
+//	rto=50           first retransmit timeout (µs; 0 = per-message default)
+//	backoff=2        timeout multiplier per failed attempt
+//	retries=8        retransmissions before the message counts as lost
+//	jitter=0.1       relative computation jitter magnitude
+//	stragglers=1     number of straggling processors
+//	factor=2         straggler slowdown multiplier
+//	degrade=a:b:g:l  link degradation window [a,b) µs scaling G by g and
+//	                 L by l (repeatable)
+//	seed=7           fault seed (defaults to the caller's -seed)
+//
+// Example: "drop=0.02,retries=6,jitter=0.05,degrade=0:500:2:1.5".
+// An empty spec returns the zero plan.
+func Parse(spec string) (Plan, error) {
+	var p Plan
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("faults: bad spec field %q (want key=value)", field)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		num := func() (float64, error) {
+			x, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return 0, fmt.Errorf("faults: bad %s value %q: %w", key, val, err)
+			}
+			return x, nil
+		}
+		var err error
+		switch key {
+		case "drop":
+			p.Drop.Prob, err = num()
+		case "rto":
+			p.Drop.RTO, err = num()
+		case "backoff":
+			p.Drop.Backoff, err = num()
+		case "retries":
+			p.Drop.MaxRetries, err = strconv.Atoi(val)
+			if err != nil {
+				err = fmt.Errorf("faults: bad retries value %q: %w", val, err)
+			}
+		case "jitter":
+			p.Compute.Jitter, err = num()
+		case "stragglers":
+			p.Compute.Stragglers, err = strconv.Atoi(val)
+			if err != nil {
+				err = fmt.Errorf("faults: bad stragglers value %q: %w", val, err)
+			}
+		case "factor":
+			p.Compute.Factor, err = num()
+		case "seed":
+			p.Seed, err = strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				err = fmt.Errorf("faults: bad seed value %q: %w", val, err)
+			}
+		case "degrade":
+			parts := strings.Split(val, ":")
+			if len(parts) != 4 {
+				return Plan{}, fmt.Errorf("faults: bad degrade window %q (want start:end:gscale:lscale)", val)
+			}
+			var w Degrade
+			for i, dst := range []*float64{&w.Start, &w.End, &w.GScale, &w.LScale} {
+				x, perr := strconv.ParseFloat(strings.TrimSpace(parts[i]), 64)
+				if perr != nil {
+					return Plan{}, fmt.Errorf("faults: bad degrade window %q: %w", val, perr)
+				}
+				*dst = x
+			}
+			p.Degrade = append(p.Degrade, w)
+		default:
+			return Plan{}, fmt.Errorf("faults: unknown spec key %q", key)
+		}
+		if err != nil {
+			return Plan{}, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}

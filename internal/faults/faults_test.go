@@ -1,0 +1,272 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"loggpsim/internal/loggp"
+)
+
+func testParams() loggp.Params {
+	return loggp.Params{L: 10, O: 2, Gap: 4, G: 0.05, P: 8}
+}
+
+func TestZeroPlanYieldsNilInjector(t *testing.T) {
+	in, err := Plan{}.Injector(testParams())
+	if err != nil || in != nil {
+		t.Fatalf("zero plan: (%v, %v), want (nil, nil)", in, err)
+	}
+	// A plan that only sets a seed is still disabled.
+	in, err = Plan{Seed: 42}.Injector(testParams())
+	if err != nil || in != nil {
+		t.Fatalf("seed-only plan: (%v, %v), want (nil, nil)", in, err)
+	}
+}
+
+func TestSendOutcomePure(t *testing.T) {
+	p := Plan{Seed: 7, Drop: Drop{Prob: 0.4}, Degrade: []Degrade{{Start: 100, End: 200, GScale: 2, LScale: 1.5}}}
+	in, err := p.Injector(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for msg := 0; msg < 200; msg++ {
+		b1, d1, e1 := in.SendOutcome(3, msg, 0, 1, 1024, 150)
+		b2, d2, e2 := in.SendOutcome(3, msg, 0, 1, 1024, 150)
+		if b1 != b2 || d1 != d2 || !errors.Is(e1, e2) && (e1 == nil) != (e2 == nil) {
+			t.Fatalf("msg %d: outcome not pure: (%g,%g,%v) vs (%g,%g,%v)", msg, b1, d1, e1, b2, d2, e2)
+		}
+	}
+}
+
+func TestSendOutcomeChargesLogGPTerms(t *testing.T) {
+	// Force exactly one retransmission: probe message indices until one
+	// drops on attempt 0 and succeeds on attempt 1.
+	params := testParams()
+	p := Plan{Seed: 1, Drop: Drop{Prob: 0.5, Backoff: 2, MaxRetries: 8}}
+	in, err := p.Injector(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes := 2048
+	found := false
+	for msg := 0; msg < 1000 && !found; msg++ {
+		if in.u01(streamDrop, 0, msg, 0) < 0.5 && in.u01(streamDrop, 0, msg, 1) >= 0.5 {
+			busy, delay, err := in.SendOutcome(0, msg, 2, 5, bytes, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One retry: delay = first RTO = 2(o+L) + (k-1)G; busy =
+			// o + max(g, (k-1)G).
+			wantDelay := 2*(params.O+params.L) + params.Serialization(bytes)
+			wantBusy := params.O + max(params.Gap, params.Serialization(bytes))
+			if math.Abs(delay-wantDelay) > 1e-12 || math.Abs(busy-wantBusy) > 1e-12 {
+				t.Fatalf("msg %d: (busy, delay) = (%g, %g), want (%g, %g)", msg, busy, delay, wantBusy, wantDelay)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no single-retry message among 1000 (statistically impossible)")
+	}
+}
+
+func TestSendOutcomeBackoffGrowsTimeouts(t *testing.T) {
+	params := testParams()
+	p := Plan{Seed: 3, Drop: Drop{Prob: 0.9, RTO: 10, Backoff: 3, MaxRetries: 64}}
+	in, err := p.Injector(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a message with at least 3 retries.
+	for msg := 0; msg < 5000; msg++ {
+		a := 0
+		for in.u01(streamDrop, 0, msg, a) < 0.9 {
+			a++
+		}
+		if a == 3 {
+			_, delay, err := in.SendOutcome(0, msg, 0, 1, 1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := 10.0 + 30.0 + 90.0; math.Abs(delay-want) > 1e-9 {
+				t.Fatalf("3 retries: delay %g, want %g", delay, want)
+			}
+			return
+		}
+	}
+	t.Fatal("no 3-retry message found")
+}
+
+func TestSendOutcomeLossReported(t *testing.T) {
+	p := Plan{Seed: 1, Drop: Drop{Prob: 0.999, RTO: 1, MaxRetries: 1}}
+	in, err := p.Injector(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := 0
+	for msg := 0; msg < 100; msg++ {
+		_, _, err := in.SendOutcome(2, msg, 1, 4, 64, 0)
+		if err == nil {
+			continue
+		}
+		var le *LossError
+		if !errors.As(err, &le) {
+			t.Fatalf("msg %d: error %v is not a *LossError", msg, err)
+		}
+		if le.MsgIndex != msg || le.Step != 2 || le.Src != 1 || le.Dst != 4 || le.Bytes != 64 || le.Attempts != 2 {
+			t.Fatalf("loss error misattributed: %+v", le)
+		}
+		lost++
+	}
+	if lost == 0 {
+		t.Fatal("p=0.999 with 1 retry lost nothing across 100 messages")
+	}
+}
+
+func TestDegradeWindowScalesGandL(t *testing.T) {
+	params := testParams()
+	p := Plan{Seed: 1, Degrade: []Degrade{{Start: 100, End: 200, GScale: 3, LScale: 2}}}
+	in, err := p.Injector(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes := 101
+	ser := float64(bytes-1) * params.G
+	// Inside the window: surcharge (3-1)·ser + (2-1)·L.
+	_, delay, err := in.SendOutcome(0, 0, 0, 1, bytes, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2*ser + params.L; math.Abs(delay-want) > 1e-12 {
+		t.Fatalf("inside window: delay %g, want %g", delay, want)
+	}
+	// Outside (boundary End is exclusive): no surcharge.
+	for _, start := range []float64{0, 99.999, 200, 500} {
+		_, delay, err := in.SendOutcome(0, 0, 0, 1, bytes, start)
+		if err != nil || delay != 0 {
+			t.Fatalf("start %g: (delay, err) = (%g, %v), want no surcharge", start, delay, err)
+		}
+	}
+}
+
+func TestPerturbComputeInflatesOnly(t *testing.T) {
+	p := Plan{Seed: 5, Compute: Compute{Jitter: 0.25, Stragglers: 2, Factor: 3}}
+	in, err := p.Injector(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stragglers := in.Stragglers()
+	if len(stragglers) != 2 {
+		t.Fatalf("straggler set %v, want 2 processors", stragglers)
+	}
+	isStraggler := map[int]bool{}
+	for _, q := range stragglers {
+		isStraggler[q] = true
+	}
+	for step := 0; step < 10; step++ {
+		for proc := 0; proc < 8; proc++ {
+			d := in.PerturbCompute(step, proc, 100)
+			lo, hi := 100.0, 125.0
+			if isStraggler[proc] {
+				lo, hi = 300, 375
+			}
+			if d < lo || d > hi {
+				t.Fatalf("step %d proc %d: perturbed %g outside [%g,%g]", step, proc, d, lo, hi)
+			}
+			if d2 := in.PerturbCompute(step, proc, 100); d2 != d {
+				t.Fatalf("PerturbCompute not pure: %g vs %g", d, d2)
+			}
+		}
+	}
+}
+
+func TestStragglerSetDeterministicAndSized(t *testing.T) {
+	a := stragglerSet(9, 16, 4)
+	b := stragglerSet(9, 16, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("straggler set not deterministic")
+	}
+	n := 0
+	for _, s := range a {
+		if s {
+			n++
+		}
+	}
+	if n != 4 {
+		t.Fatalf("straggler set has %d members, want 4", n)
+	}
+	// n >= p marks everyone.
+	all := stragglerSet(9, 4, 99)
+	for i, s := range all {
+		if !s {
+			t.Fatalf("processor %d not marked with n >= p", i)
+		}
+	}
+	// Different seeds should (overwhelmingly) pick different sets.
+	if reflect.DeepEqual(stragglerSet(1, 64, 8), stragglerSet(2, 64, 8)) {
+		t.Fatal("seeds 1 and 2 picked identical straggler sets")
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	cases := []Plan{
+		{Drop: Drop{Prob: 1.0}},
+		{Drop: Drop{Prob: -0.1}},
+		{Drop: Drop{Prob: 0.5, RTO: math.NaN()}},
+		{Drop: Drop{Prob: 0.5, Backoff: 0.5}},
+		{Drop: Drop{Prob: 0.5, MaxRetries: 100}},
+		{Compute: Compute{Jitter: -1}},
+		{Compute: Compute{Stragglers: 1, Factor: 0.5}},
+		{Degrade: []Degrade{{Start: 10, End: 5}}},
+		{Degrade: []Degrade{{Start: 0, End: 10, GScale: 0.2}}},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: plan %+v validated", i, p)
+		}
+		if _, err := p.Injector(testParams()); err == nil && p.Enabled() {
+			t.Fatalf("case %d: injector built from invalid plan", i)
+		}
+	}
+	if err := (Plan{}).Validate(); err != nil {
+		t.Fatalf("zero plan rejected: %v", err)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	p, err := Parse("drop=0.02, rto=50, backoff=3, retries=6, jitter=0.1, stragglers=2, factor=4, seed=11, degrade=0:500:2:1.5, degrade=900:1000:1:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{
+		Seed:    11,
+		Drop:    Drop{Prob: 0.02, RTO: 50, Backoff: 3, MaxRetries: 6},
+		Compute: Compute{Jitter: 0.1, Stragglers: 2, Factor: 4},
+		Degrade: []Degrade{{0, 500, 2, 1.5}, {900, 1000, 1, 3}},
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	if p, err := Parse(""); err != nil || p.Enabled() {
+		t.Fatalf("empty spec: (%+v, %v)", p, err)
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"drop",             // no value
+		"drop=x",           // bad number
+		"unknown=1",        // unknown key
+		"degrade=1:2:3",    // wrong arity
+		"degrade=1:2:z:1",  // bad number in window
+		"drop=1.5",         // validates
+		"retries=1.5",      // not an int
+		"stragglers=money", // not an int
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Fatalf("spec %q parsed", spec)
+		}
+	}
+}

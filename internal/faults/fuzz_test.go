@@ -1,0 +1,152 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"loggpsim/internal/loggp"
+)
+
+// FuzzSendOutcome drives the retry/backoff scheduler across the whole
+// plan space and asserts its safety contract: outcomes are pure, the
+// charges are finite, non-negative and monotone in the retry count
+// (clock monotonicity — a fault can only push times later), and every
+// dropped send is eventually received (finite charges returned) or
+// reported (*LossError); nothing is ever silently lost.
+func FuzzSendOutcome(f *testing.F) {
+	f.Add(int64(1), 0.3, 50.0, 2.0, 4, 1024, 100.0)
+	f.Add(int64(7), 0.95, 0.0, 1.0, 0, 1, 0.0)
+	f.Add(int64(-3), 0.0, 10.0, 4.0, 64, 1<<20, 1e9)
+	f.Fuzz(func(t *testing.T, seed int64, prob, rto, backoff float64, retries, bytes int, start float64) {
+		// Sanitize into the valid plan space; invalid plans are already
+		// covered by TestValidateRejectsBadPlans.
+		if math.IsNaN(prob) || prob < 0 {
+			prob = 0
+		}
+		if prob >= 1 {
+			prob = 0.999999
+		}
+		if math.IsNaN(rto) || math.IsInf(rto, 0) || rto < 0 {
+			rto = 0
+		}
+		if math.IsNaN(backoff) || math.IsInf(backoff, 0) || backoff < 1 || backoff > 64 {
+			backoff = 2
+		}
+		if retries < 0 || retries > 64 {
+			retries = 8
+		}
+		if bytes < 1 {
+			bytes = 1
+		}
+		if math.IsNaN(start) || math.IsInf(start, 0) || start < 0 {
+			start = 0
+		}
+		params := loggp.Params{L: 10, O: 2, Gap: 4, G: 0.05, P: 8}
+		plan := Plan{
+			Seed:    seed,
+			Drop:    Drop{Prob: prob, RTO: rto, Backoff: backoff, MaxRetries: retries},
+			Degrade: []Degrade{{Start: 50, End: 150, GScale: 2, LScale: 1.5}},
+		}
+		in, err := plan.Injector(params)
+		if err != nil {
+			t.Fatalf("sanitized plan rejected: %v", err)
+		}
+
+		for msg := 0; msg < 32; msg++ {
+			busy, delay, err := in.SendOutcome(1, msg, 0, 1, bytes, start)
+			busy2, delay2, err2 := in.SendOutcome(1, msg, 0, 1, bytes, start)
+			if busy != busy2 || delay != delay2 || (err == nil) != (err2 == nil) {
+				t.Fatalf("msg %d: outcome not pure", msg)
+			}
+			if err != nil {
+				// Reported: must be a LossError naming this message, and
+				// must only happen when drops are actually possible.
+				var le *LossError
+				if !errors.As(err, &le) {
+					t.Fatalf("msg %d: non-loss error %v", msg, err)
+				}
+				if le.MsgIndex != msg {
+					t.Fatalf("loss misattributed: %+v", le)
+				}
+				if prob == 0 {
+					t.Fatalf("msg %d: lost with drop probability 0", msg)
+				}
+				if le.Attempts != retriesOrDefault(retries)+1 {
+					t.Fatalf("msg %d: lost after %d attempts, want %d", msg, le.Attempts, retriesOrDefault(retries)+1)
+				}
+				continue
+			}
+			// Received: charges finite, non-negative — the simulated
+			// clocks they feed stay monotone.
+			if math.IsNaN(busy) || math.IsInf(busy, 0) || busy < 0 {
+				t.Fatalf("msg %d: busy %g", msg, busy)
+			}
+			if math.IsNaN(delay) || math.IsInf(delay, 0) || delay < 0 {
+				t.Fatalf("msg %d: delay %g", msg, delay)
+			}
+			// Retry accounting: count the drops the hash dictates and
+			// check both charges grow with them.
+			a := 0
+			for prob > 0 && in.u01(streamDrop, 1, msg, a) < prob {
+				a++
+			}
+			wantBusy := float64(a) * (params.O + max(params.Gap, params.Serialization(bytes)))
+			if math.Abs(busy-wantBusy) > 1e-9*(1+wantBusy) {
+				t.Fatalf("msg %d: busy %g for %d retries, want %g", msg, busy, a, wantBusy)
+			}
+			if a > 0 && delay <= 0 {
+				t.Fatalf("msg %d: %d retries but zero delay", msg, a)
+			}
+		}
+	})
+}
+
+func retriesOrDefault(r int) int {
+	if r == 0 {
+		return 8
+	}
+	return r
+}
+
+// FuzzPerturbCompute asserts the computation perturbation is pure,
+// finite, and never deflates a charge.
+func FuzzPerturbCompute(f *testing.F) {
+	f.Add(int64(1), 0.2, 2, 3.0, 100.0)
+	f.Add(int64(9), 0.0, 8, 1.5, 0.0)
+	f.Fuzz(func(t *testing.T, seed int64, jitter float64, stragglers int, factor, dur float64) {
+		if math.IsNaN(jitter) || math.IsInf(jitter, 0) || jitter < 0 || jitter > 100 {
+			jitter = 0.5
+		}
+		if stragglers < 0 {
+			stragglers = 0
+		}
+		stragglers %= 16
+		if math.IsNaN(factor) || math.IsInf(factor, 0) || factor < 1 || factor > 1e6 {
+			factor = 2
+		}
+		if math.IsNaN(dur) || math.IsInf(dur, 0) || dur < 0 || dur > 1e12 {
+			dur = 1
+		}
+		plan := Plan{Seed: seed, Compute: Compute{Jitter: jitter, Stragglers: stragglers, Factor: factor}}
+		params := loggp.Params{L: 10, O: 2, Gap: 4, G: 0.05, P: 8}
+		in, err := plan.Injector(params)
+		if err != nil {
+			t.Fatalf("sanitized plan rejected: %v", err)
+		}
+		if in == nil {
+			return // plan disabled (all knobs zero): nothing to assert
+		}
+		for step := 0; step < 4; step++ {
+			for proc := 0; proc < 8; proc++ {
+				d := in.PerturbCompute(step, proc, dur)
+				if math.IsNaN(d) || math.IsInf(d, 0) || d < dur {
+					t.Fatalf("step %d proc %d: perturbed %g from %g", step, proc, d, dur)
+				}
+				if d2 := in.PerturbCompute(step, proc, dur); d2 != d {
+					t.Fatalf("not pure: %g vs %g", d, d2)
+				}
+			}
+		}
+	})
+}

@@ -52,12 +52,22 @@ func (f Finding) String() string {
 }
 
 // timelinePkgs are the package names whose code constructs or orders the
-// simulated timeline: map iteration order must not leak into them.
-var timelinePkgs = map[string]bool{"sim": true, "worstcase": true, "eventq": true, "timeline": true}
+// simulated timeline: map iteration order must not leak into them. The
+// fault injector (faults) and the Monte-Carlo envelope sweep (robust)
+// feed charges and seeds into the schedulers, so they are covered too.
+var timelinePkgs = map[string]bool{
+	"sim": true, "worstcase": true, "eventq": true, "timeline": true,
+	"faults": true, "robust": true,
+}
 
 // schedulerPkgs are the package names that own virtual time and seeded
 // randomness: the global RNG and the wall clock are forbidden there.
-var schedulerPkgs = map[string]bool{"sim": true, "worstcase": true, "eventq": true}
+// faults and robust derive all randomness from hashes of Plan.Seed and
+// sweep.Seed, so the same prohibition applies.
+var schedulerPkgs = map[string]bool{
+	"sim": true, "worstcase": true, "eventq": true,
+	"faults": true, "robust": true,
+}
 
 // randConstructors are the math/rand (and v2) functions that build a
 // locally owned generator rather than touching the global one.

@@ -1,0 +1,109 @@
+package predictor
+
+// Tests for the fault-plan wiring: a disabled plan must change nothing,
+// an enabled plan must inflate both predictions deterministically and
+// coherently across evaluator reuse, and a lost message must abort the
+// prediction with the loss attributed.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"loggpsim/internal/faults"
+)
+
+// TestZeroFaultPlanChangesNothing asserts a zero-valued Faults field is
+// the exact same prediction as a build without fault support.
+func TestZeroFaultPlanChangesNothing(t *testing.T) {
+	pr := geProgram(t, 96, 12, 8)
+	base, err := Predict(pr, Config{Params: meiko, Cost: model, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := Predict(pr, Config{Params: meiko, Cost: model, Seed: 1, Faults: faults.Plan{Seed: 99}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, seeded) {
+		t.Fatalf("seed-only (disabled) plan changed the prediction:\nbase %+v\nwith %+v", base, seeded)
+	}
+}
+
+// TestFaultPlanInflatesDeterministically asserts an active plan is
+// pure — identical predictions across calls and evaluator reuse — and
+// only ever adds time, to both the standard and worst-case totals and
+// to the computation decomposition (the straggler's slowdown).
+func TestFaultPlanInflatesDeterministically(t *testing.T) {
+	pr := geProgram(t, 96, 12, 8)
+	plan := faults.Plan{
+		Seed:    3,
+		Drop:    faults.Drop{Prob: 0.05},
+		Compute: faults.Compute{Jitter: 0.1, Stragglers: 1, Factor: 2},
+		Degrade: []faults.Degrade{{Start: 0, End: 5e5, GScale: 1.5, LScale: 1.5}},
+	}
+	cfg := Config{Params: meiko, Cost: model, Seed: 1, Faults: plan}
+	base, err := Predict(pr, Config{Params: meiko, Cost: model, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Predict(pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEvaluator()
+	var b Prediction
+	for round := 0; round < 3; round++ {
+		if err := e.PredictInto(&b, pr, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, &b) {
+			t.Fatalf("round %d: faulty prediction not pure:\npooled %+v\nreused %+v", round, a, b)
+		}
+	}
+	if a.Total <= base.Total || a.TotalWorst <= base.TotalWorst || a.Comp <= base.Comp {
+		t.Fatalf("plan did not inflate: base (%g, %g, %g), faulty (%g, %g, %g)",
+			base.Total, base.TotalWorst, base.Comp, a.Total, a.TotalWorst, a.Comp)
+	}
+}
+
+// TestFaultLossAbortsPrediction drives a plan aggressive enough to
+// exhaust retries: the prediction must fail with a *faults.LossError
+// and a later zero-fault prediction on the same evaluator must still
+// equal a fresh one (the sessions recover via Reconfigure).
+func TestFaultLossAbortsPrediction(t *testing.T) {
+	pr := geProgram(t, 96, 12, 8)
+	e := NewEvaluator()
+	var out Prediction
+	err := e.PredictInto(&out, pr, Config{
+		Params: meiko, Cost: model, Seed: 1,
+		Faults: faults.Plan{Seed: 1, Drop: faults.Drop{Prob: 0.95, MaxRetries: 1}},
+	})
+	var le *faults.LossError
+	if err == nil || !errors.As(err, &le) {
+		t.Fatalf("error %v does not wrap a *faults.LossError", err)
+	}
+	if err := e.PredictInto(&out, pr, Config{Params: meiko, Cost: model, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Predict(pr, Config{Params: meiko, Cost: model, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, &out) {
+		t.Fatalf("evaluator did not recover after a loss:\nwant %+v\ngot  %+v", want, out)
+	}
+}
+
+// TestInvalidFaultPlanRejected asserts plan validation happens before
+// any session work.
+func TestInvalidFaultPlanRejected(t *testing.T) {
+	pr := geProgram(t, 96, 12, 8)
+	_, err := Predict(pr, Config{
+		Params: meiko, Cost: model,
+		Faults: faults.Plan{Drop: faults.Drop{Prob: 1.5}},
+	})
+	if err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}

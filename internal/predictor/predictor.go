@@ -21,6 +21,7 @@ import (
 
 	"loggpsim/internal/cache"
 	"loggpsim/internal/cost"
+	"loggpsim/internal/faults"
 	"loggpsim/internal/loggp"
 	"loggpsim/internal/program"
 	"loggpsim/internal/sim"
@@ -69,6 +70,16 @@ type Config struct {
 	// (start + computation + o per communication operation, the
 	// processor being a single resource).
 	Overlap bool
+
+	// Faults, when enabled (see faults.Plan.Enabled), injects
+	// deterministic failures into the replay: message drops re-pay their
+	// LogGP charges per retransmission, computation charges inflate on
+	// jittery and straggling processors, and degradation windows scale G
+	// and L for a span of simulated time. The same injector drives the
+	// standard and worst-case runs, so both predictions shift coherently;
+	// a message that exhausts its retries aborts the prediction with a
+	// *faults.LossError. The zero plan costs one nil check per message.
+	Faults faults.Plan
 
 	// CacheBytes, when positive, enables the cache-aware prediction the
 	// paper proposes as future work ("a model to simulate caching
@@ -201,6 +212,17 @@ func (e *Evaluator) PredictInto(out *Prediction, pr *program.Program, cfg Config
 		return err
 	}
 
+	// A disabled plan yields a nil injector and nil hooks, keeping the
+	// zero-fault path identical to a build without fault support.
+	injector, err := cfg.Faults.Injector(cfg.Params)
+	if err != nil {
+		return fmt.Errorf("predictor: %w", err)
+	}
+	var fault func(step, msgIndex, src, dst, bytes int, start float64) (float64, float64, error)
+	if injector != nil {
+		fault = injector.SendOutcome
+	}
+
 	// The predictor only reads finish times and clocks, never the
 	// timelines, so both replays run in quiet mode: no timeline records,
 	// no per-step result slices (a large constant factor on sweeps that
@@ -211,12 +233,12 @@ func (e *Evaluator) PredictInto(out *Prediction, pr *program.Program, cfg Config
 		SendPriority: cfg.SendPriority,
 		GlobalOrder:  cfg.GlobalOrder,
 		Network:      cfg.Network,
+		Fault:        fault,
 		NoTimeline:   true,
 	}
 	wcCfg := worstcase.Config{
-		Params: cfg.Params, Seed: cfg.Seed, NoTimeline: true,
+		Params: cfg.Params, Seed: cfg.Seed, Fault: fault, NoTimeline: true,
 	}
-	var err error
 	if e.sim == nil {
 		e.sim, err = sim.NewSession(pr.P, simCfg)
 	} else {
@@ -279,6 +301,13 @@ func (e *Evaluator) PredictInto(out *Prediction, pr *program.Program, cfg Config
 			d := 0.0
 			for _, call := range step.Comp[proc] {
 				d += cfg.Cost.Cost(call.Op, call.BlockSize)
+			}
+			if injector != nil {
+				// Slowdown, jitter and straggler factors inflate the charge
+				// (never below the fault-free cost) and flow into the
+				// computation decomposition: a straggler's extra time is
+				// computation time, not waiting.
+				d = injector.PerturbCompute(i, proc, d)
 			}
 			durs[proc] = d
 			p.CompPerProc[proc] += d

@@ -1,0 +1,229 @@
+package sim
+
+// Differential tests for the fault-injection hook (Config.Fault): the
+// zero-fault path must stay bit-identical and allocation-free whether
+// the hook is absent or a no-op, an active injector must drive the
+// indexed and reference scheduler cores to identical schedules, and a
+// lost message must surface as an error that names the message and
+// demands a Reset.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"loggpsim/internal/faults"
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/trace"
+)
+
+// noopFault is an installed-but-inert hook: the simulator takes the
+// fault branches but every charge is zero.
+func noopFault(step, msgIndex, src, dst, bytes int, start float64) (float64, float64, error) {
+	return 0, 0, nil
+}
+
+// testInjector builds a deterministic injector mixing drops (retry
+// charges), and a mid-run degradation window. Drop probability is low
+// enough that no message exhausts its retries on this corpus, so every
+// run completes; determinism makes that a fixed fact, not a gamble.
+func testInjector(t *testing.T, params loggp.Params) *faults.Injector {
+	t.Helper()
+	plan := faults.Plan{
+		Seed:    11,
+		Drop:    faults.Drop{Prob: 0.08},
+		Degrade: []faults.Degrade{{Start: 20, End: 400, GScale: 2, LScale: 1.5}},
+	}
+	in, err := plan.Injector(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestNoopFaultHookBitIdentical asserts installing a zero-charge hook
+// changes nothing: timelines, clocks and finish times match the
+// hookless run exactly on every pattern, machine and scheduler mode.
+func TestNoopFaultHookBitIdentical(t *testing.T) {
+	for name, pt := range diffCorpus() {
+		for pi, params := range diffParams(pt.P) {
+			for _, global := range []bool{false, true} {
+				t.Run(fmt.Sprintf("%s/m%d/global=%v", name, pi, global), func(t *testing.T) {
+					base, err := Run(pt, Config{Params: params, Seed: 1, GlobalOrder: global})
+					if err != nil {
+						t.Fatal(err)
+					}
+					hooked, err := Run(pt, Config{Params: params, Seed: 1, GlobalOrder: global, Fault: noopFault})
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireIdentical(t, hooked, base)
+				})
+			}
+		}
+	}
+}
+
+// TestFaultedIndexedMatchesReference runs an active injector through
+// both scheduler cores: retransmit and degradation charges perturb
+// every clock, so any ordering divergence between the indexed and
+// reference loops would surface as a different schedule.
+func TestFaultedIndexedMatchesReference(t *testing.T) {
+	for name, pt := range diffCorpus() {
+		for pi, params := range diffParams(pt.P) {
+			for _, global := range []bool{false, true} {
+				t.Run(fmt.Sprintf("%s/m%d/global=%v", name, pi, global), func(t *testing.T) {
+					in := testInjector(t, params)
+					cfg := Config{Params: params, Seed: 2, GlobalOrder: global, Fault: in.SendOutcome}
+					indexed, reference := runBoth(t, pt, cfg)
+					requireIdentical(t, indexed, reference)
+				})
+			}
+		}
+	}
+}
+
+// TestFaultsOnlyInflate asserts fault charges never make a program
+// finish earlier than its zero-fault prediction, and that the corpus
+// contains at least one pattern where they make it strictly later
+// (the injector is not accidentally inert).
+func TestFaultsOnlyInflate(t *testing.T) {
+	params := loggp.Params{L: 9, O: 2, Gap: 16, G: 0.07, P: 16}
+	strict := false
+	for name, pt := range diffCorpus() {
+		p := params
+		p.P = pt.P
+		base, err := Run(pt, Config{Params: p, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulted, err := Run(pt, Config{Params: p, Seed: 1, Fault: testInjector(t, p).SendOutcome})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if faulted.Finish < base.Finish {
+			t.Fatalf("%s: faults deflated finish %g -> %g", name, base.Finish, faulted.Finish)
+		}
+		if faulted.Finish > base.Finish {
+			strict = true
+		}
+	}
+	if !strict {
+		t.Fatal("injector left every pattern's finish unchanged")
+	}
+}
+
+// TestFaultLossAbortsAndResetRecovers drives a hook that loses exactly
+// one message: the run must fail with a *faults.LossError wrapped in
+// Reset guidance, and after a Reset the same session must reproduce a
+// clean session's result exactly (no hookErr or step leakage).
+func TestFaultLossAbortsAndResetRecovers(t *testing.T) {
+	pt := trace.AllToAll(8, 256)
+	params := loggp.Params{L: 9, O: 2, Gap: 16, G: 0.07, P: 8}
+	failures := 0
+	hook := func(step, msgIndex, src, dst, bytes int, start float64) (float64, float64, error) {
+		if failures == 0 {
+			failures++
+			return 0, 0, &faults.LossError{Step: step, MsgIndex: msgIndex, Src: src, Dst: dst, Bytes: bytes, Attempts: 3}
+		}
+		return 0, 0, nil
+	}
+	sess, err := NewSession(8, Config{Params: params, Seed: 1, Fault: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sess.Communicate(pt)
+	if err == nil {
+		t.Fatal("lost message did not abort the run")
+	}
+	var le *faults.LossError
+	if !errors.As(err, &le) {
+		t.Fatalf("error %v does not wrap a *faults.LossError", err)
+	}
+	if !strings.Contains(err.Error(), "Reset before reuse") {
+		t.Fatalf("error %q does not demand a Reset", err)
+	}
+	// The session is poisoned until Reset: a retry without one must
+	// keep failing rather than run on inconsistent clocks.
+	if _, err := sess.Communicate(pt); err == nil {
+		t.Fatal("poisoned session ran without a Reset")
+	}
+	if err := sess.Reset(make([]float64, 8)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Communicate(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(pt, Config{Params: params, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, got, want)
+}
+
+// TestFaultStepAdvancesPerCommunicate pins the hook's step argument:
+// it counts Communicate calls since Reset, so the fault identity space
+// distinguishes the same message index in different program steps.
+func TestFaultStepAdvancesPerCommunicate(t *testing.T) {
+	pt := trace.Ring(4, 64)
+	params := loggp.Params{L: 9, O: 2, Gap: 16, G: 0.07, P: 4}
+	var steps []int
+	hook := func(step, msgIndex, src, dst, bytes int, start float64) (float64, float64, error) {
+		steps = append(steps, step)
+		return 0, 0, nil
+	}
+	sess, err := NewSession(4, Config{Params: params, Seed: 1, Fault: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 0}
+	for i, w := range want {
+		if i == 2 {
+			if err := sess.Reset(make([]float64, 4)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		steps = steps[:0]
+		if _, err := sess.Communicate(pt); err != nil {
+			t.Fatal(err)
+		}
+		if len(steps) != len(pt.Msgs) {
+			t.Fatalf("call %d: hook saw %d messages, want %d", i, len(steps), len(pt.Msgs))
+		}
+		for _, s := range steps {
+			if s != w {
+				t.Fatalf("call %d: hook saw step %d, want %d", i, s, w)
+			}
+		}
+	}
+}
+
+// TestZeroFaultQuietPathAllocationFree is the overhead acceptance
+// check: with no Fault hook the quiet steady-state path must still
+// allocate nothing per step, exactly as before the hook existed.
+func TestZeroFaultQuietPathAllocationFree(t *testing.T) {
+	pt := trace.AllToAll(16, 128)
+	params := loggp.Params{L: 9, O: 2, Gap: 16, G: 0.07, P: 16}
+	sess, err := NewSession(16, Config{Params: params, Seed: 1, NoTimeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := make([]float64, 16)
+	var out Result
+	if err := sess.CommunicateInto(&out, pt); err != nil {
+		t.Fatal(err) // warm-up sizes every buffer
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := sess.Reset(ready); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.CommunicateInto(&out, pt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("zero-fault quiet path allocated %v times per step", allocs)
+	}
+}

@@ -92,6 +92,23 @@ type Config struct {
 	// predictor leaves it nil.
 	Jitter func(msgIndex int, bytes int) float64
 
+	// Fault, when non-nil, injects deterministic communication faults:
+	// it is called once per committed send, after the Network and Jitter
+	// hooks, with the session's communication-step count since Reset,
+	// the message's pattern index and endpoints, and the send's start
+	// time. It returns extra sender port occupancy (retransmissions
+	// re-paying o, g and (k-1)G) added to the sender's clock beyond the
+	// nominal o, extra delay added to the message's arrival, and an
+	// error when the message is lost outright (which aborts the step
+	// like a non-finite hook arrival would). Both returns must be
+	// finite and non-negative. internal/faults provides seed-
+	// deterministic implementations (Injector.SendOutcome); a nil hook
+	// is the zero-fault path, bit-identical to pre-hook behaviour. Like
+	// Jitter, fault delays break the timeline verifier's flat-LogGP
+	// arrival assumption and the static bound certificates' upper
+	// bound.
+	Fault func(step, msgIndex, src, dst, bytes int, start float64) (busy, delay float64, err error)
+
 	// NoTimeline enables the quiet fast path for callers that only need
 	// finish times and clocks (sweeps evaluate hundreds of candidates and
 	// throw every timeline away): Communicate skips all timeline
@@ -166,9 +183,14 @@ type Session struct {
 	st       []procState
 	rng      *rand.Rand
 	// hookErr records a non-finite arrival produced by the Network or
-	// Jitter hook; the commit loops stop on it and Communicate reports
-	// it (a NaN key would otherwise silently corrupt the receive heaps).
+	// Jitter hook, or a fault-hook failure (lost message, bad charge);
+	// the commit loops stop on it and Communicate reports it (a NaN key
+	// would otherwise silently corrupt the receive heaps).
 	hookErr error
+	// step counts the Communicate calls since Reset; the Fault hook
+	// receives it so fault decisions can vary across a program's
+	// communication steps.
+	step int
 
 	// Step scratch, reused across Communicate calls.
 	sendArena []int
@@ -243,6 +265,7 @@ func (s *Session) Reset(ready []float64) error {
 	}
 	s.rng.Seed(s.cfg.Seed)
 	s.hookErr = nil
+	s.step = 0
 	for i := range s.st {
 		st := &s.st[i]
 		st.ctime = 0
@@ -423,7 +446,10 @@ func (s *Session) CommunicateInto(r *Result, pt *trace.Pattern) error {
 	default:
 		s.runPaper(pt, r)
 	}
-	// Reset the per-step queues; clocks and gap state persist.
+	// Reset the per-step queues; clocks and gap state persist. The step
+	// counter advances even on a hook failure: the fault identity space
+	// is per-attempted-step.
+	s.step++
 	for i := range s.st {
 		s.st[i].sendQ = nil
 		s.st[i].sendHead = 0
@@ -470,17 +496,32 @@ func (s *Session) commitSend(pt *trace.Pattern, tl *timeline.Timeline, src int, 
 			arrival += extra
 		}
 	}
-	if s.cfg.Network != nil || s.cfg.Jitter != nil {
+	busy := 0.0
+	if s.cfg.Fault != nil {
+		extraBusy, delay, err := s.cfg.Fault(s.step, idx, m.Src, m.Dst, m.Bytes, start)
+		if err != nil {
+			s.hookErr = fmt.Errorf("sim: message %d (%d->%d): %w", idx, m.Src, m.Dst, err)
+			return
+		}
+		if math.IsNaN(extraBusy) || math.IsInf(extraBusy, 0) || extraBusy < 0 {
+			s.hookErr = fmt.Errorf("sim: message %d (%d->%d): fault hook returned bad busy time %g",
+				idx, m.Src, m.Dst, extraBusy)
+			return
+		}
+		busy = extraBusy
+		arrival += delay
+	}
+	if s.cfg.Network != nil || s.cfg.Jitter != nil || s.cfg.Fault != nil {
 		// A NaN or ±Inf key from a hook would silently corrupt the
 		// receive heap's ordering; refuse it before it enters the queue.
 		if math.IsNaN(arrival) || math.IsInf(arrival, 0) {
-			s.hookErr = fmt.Errorf("sim: message %d (%d->%d): non-finite arrival time %g from network/jitter hook",
+			s.hookErr = fmt.Errorf("sim: message %d (%d->%d): non-finite arrival time %g from network/jitter/fault hook",
 				idx, m.Src, m.Dst, arrival)
 			return
 		}
 	}
 	s.st[m.Dst].recvQ.Push(arrival, idx)
-	st.ctime = start + p.O
+	st.ctime = start + p.O + busy
 	st.hasLast, st.lastKind, st.lastStart, st.lastBytes = true, loggp.Send, start, m.Bytes
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"testing"
 
+	"loggpsim/internal/faults"
 	"loggpsim/internal/loggp"
 	"loggpsim/internal/trace"
 )
@@ -94,6 +95,41 @@ func BenchmarkSchedulerGlobalOrder(b *testing.B) {
 			}
 			benchCommunicate(b, pt, cfg)
 		})
+	}
+}
+
+// BenchmarkFaultHook measures what the fault plumbing costs on the
+// stress workloads: "nilhook" is the zero-fault production path (one
+// nil check per message, must stay within 2% of the pre-fault-layer
+// BenchmarkScheduler numbers in BENCH_scheduler.json), "noop" pays the
+// indirect call with zero charges, and "injector" runs a live
+// drop+degrade plan. Recorded in BENCH_faults.json by `make bench`.
+func BenchmarkFaultHook(b *testing.B) {
+	for name, pt := range map[string]*trace.Pattern{
+		"alltoall":  trace.AllToAll(64, 64),
+		"butterfly": trace.Butterfly(6, 64),
+	} {
+		params := stressParams(pt.P)
+		in, err := (faults.Plan{
+			Seed:    11,
+			Drop:    faults.Drop{Prob: 0.02},
+			Degrade: []faults.Degrade{{Start: 20, End: 400, GScale: 2, LScale: 1.5}},
+		}).Injector(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			name string
+			hook func(step, msgIndex, src, dst, bytes int, start float64) (float64, float64, error)
+		}{
+			{"nilhook", nil},
+			{"noop", func(int, int, int, int, int, float64) (float64, float64, error) { return 0, 0, nil }},
+			{"injector", in.SendOutcome},
+		} {
+			b.Run(fmt.Sprintf("%s/P%d/%s", name, pt.P, mode.name), func(b *testing.B) {
+				benchCommunicate(b, pt, Config{Params: params, NoTimeline: true, Fault: mode.hook})
+			})
+		}
 	}
 }
 

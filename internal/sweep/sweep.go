@@ -16,7 +16,10 @@
 package sweep
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -24,6 +27,7 @@ import (
 type options struct {
 	workers  int
 	progress func(done, total int)
+	ctx      context.Context
 }
 
 // Option configures a Map call.
@@ -33,6 +37,14 @@ type Option func(*options)
 // the default, runtime.GOMAXPROCS(0).
 func Workers(n int) Option {
 	return func(o *options) { o.workers = n }
+}
+
+// Context installs a cancellation context on the sweep. When ctx is
+// cancelled the drain is bounded: workers finish the items they are
+// already evaluating, claim no new ones, and Map returns. A nil ctx is
+// ignored (the sweep runs to completion, the zero-option behaviour).
+func Context(ctx context.Context) Option {
+	return func(o *options) { o.ctx = ctx }
 }
 
 // Progress installs a callback invoked after each item completes, with
@@ -60,6 +72,34 @@ func Seed(base int64, index int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
+// PanicError is the error Map reports when fn panics: the panic is
+// recovered inside the worker — one poisoned item must not kill a
+// process holding hours of sweep progress — converted into a positioned
+// error, and propagated through the ordinary lowest-index error path.
+type PanicError struct {
+	// Index is the input position of the item whose evaluation panicked.
+	Index int
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep: item %d panicked: %v", e.Index, e.Value)
+}
+
+// runItem evaluates one item, converting a panic in fn into a
+// *PanicError attributed to the item's index.
+func runItem[T, R any](fn func(i int, item T) (R, error), i int, item T) (r R, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i, item)
+}
+
 // Map evaluates fn over every item on a pool of workers and returns the
 // results in input order. fn receives the item's index and value; it must
 // be safe for concurrent use when more than one worker is configured.
@@ -67,8 +107,15 @@ func Seed(base int64, index int) int64 {
 // On failure Map cancels the sweep — workers stop picking up new items —
 // and returns the error of the lowest-indexed failed item among those
 // that ran (with one worker this is exactly the serial loop's first
-// error). Which later items still execute after a failure is
-// unspecified; their results are discarded.
+// error). A panic in fn counts as that item failing with a *PanicError
+// rather than crashing the process. Which later items still execute
+// after a failure is unspecified; their results are discarded.
+//
+// With the Context option, cancellation stops workers from claiming new
+// items; items already running finish (bounded drain). A cancelled Map
+// returns the context's error — unless some item had already failed, in
+// which case the lowest-index item error still wins, or every item had
+// already completed, in which case the full results are returned.
 func Map[T, R any](items []T, fn func(i int, item T) (R, error), opts ...Option) ([]R, error) {
 	o := options{workers: runtime.GOMAXPROCS(0)}
 	for _, opt := range opts {
@@ -98,6 +145,9 @@ func Map[T, R any](items []T, fn func(i int, item T) (R, error), opts ...Option)
 		go func() {
 			defer wg.Done()
 			for {
+				if o.ctx != nil && o.ctx.Err() != nil {
+					return
+				}
 				mu.Lock()
 				if errIdx >= 0 || next >= len(items) {
 					mu.Unlock()
@@ -107,7 +157,7 @@ func Map[T, R any](items []T, fn func(i int, item T) (R, error), opts ...Option)
 				next++
 				mu.Unlock()
 
-				r, err := fn(i, items[i])
+				r, err := runItem(fn, i, items[i])
 
 				mu.Lock()
 				if err != nil {
@@ -128,6 +178,11 @@ func Map[T, R any](items []T, fn func(i int, item T) (R, error), opts ...Option)
 	wg.Wait()
 	if first != nil {
 		return nil, first
+	}
+	if o.ctx != nil && done < len(items) {
+		if err := o.ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	return results, nil
 }

@@ -1,8 +1,10 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -159,5 +161,102 @@ func TestSeedDeterministicAndDistinct(t *testing.T) {
 	}
 	if Seed(1, 0) == Seed(2, 0) {
 		t.Fatal("different bases produced the same seed")
+	}
+}
+
+func TestMapPanicBecomesPositionedError(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, workers := range []int{1, 4} {
+		_, err := Map(items, func(i, v int) (int, error) {
+			if i == 3 {
+				panic("poisoned item")
+			}
+			return v, nil
+		}, Workers(workers))
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 3 || pe.Value != "poisoned item" {
+			t.Fatalf("workers=%d: panic attributed to item %d (%v), want 3", workers, pe.Index, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: no stack recorded", workers)
+		}
+	}
+}
+
+func TestMapPanicLowestIndexWins(t *testing.T) {
+	// Item 0 always runs; its panic must win over later items' errors.
+	items := make([]int, 16)
+	_, err := Map(items, func(i, v int) (int, error) {
+		if i == 0 {
+			panic(fmt.Sprintf("item %d", i))
+		}
+		return 0, fmt.Errorf("item %d failed", i)
+	}, Workers(4))
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 0 {
+		t.Fatalf("err = %v, want item 0's panic", err)
+	}
+}
+
+func TestMapContextCancelBoundedDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	items := make([]int, 1000)
+	started := make(chan struct{})
+	var once sync.Once
+	_, err := Map(items, func(i, v int) (int, error) {
+		once.Do(func() { close(started) })
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		return v, nil
+	}, Workers(2), Context(ctx))
+	<-started
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Bounded drain: only already-claimed items finished; nothing close to
+	// the full input ran.
+	if n := ran.Load(); n > 10 {
+		t.Fatalf("%d items ran after cancellation", n)
+	}
+}
+
+func TestMapContextItemErrorStillWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	items := make([]int, 100)
+	_, err := Map(items, func(i, v int) (int, error) {
+		if i == 0 {
+			cancel()
+			return 0, fmt.Errorf("item 0: %w", boom)
+		}
+		return v, nil
+	}, Workers(2), Context(ctx))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want item 0's error over context.Canceled", err)
+	}
+}
+
+func TestMapContextCompletedSweepIgnoresLateCancel(t *testing.T) {
+	// Cancelling after every item completed must not discard the results.
+	ctx, cancel := context.WithCancel(context.Background())
+	var left atomic.Int64
+	left.Store(10)
+	items := make([]int, 10)
+	got, err := Map(items, func(i, v int) (int, error) {
+		if left.Add(-1) == 0 {
+			cancel()
+		}
+		return i, nil
+	}, Workers(2), Context(ctx))
+	if err != nil {
+		t.Fatalf("err = %v, want nil: all items completed", err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d results, want 10", len(got))
 	}
 }

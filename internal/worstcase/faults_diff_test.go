@@ -1,0 +1,189 @@
+package worstcase
+
+// Differential tests for the fault-injection hook on the worst-case
+// scheduler: a no-op hook must leave every schedule bit-identical, an
+// active injector must drive the tournament-served and reference cores
+// to the same schedule (forced deadlock releases included), and losses
+// must poison the session until Reset.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"loggpsim/internal/faults"
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/trace"
+)
+
+func wcNoopFault(step, msgIndex, src, dst, bytes int, start float64) (float64, float64, error) {
+	return 0, 0, nil
+}
+
+func wcInjector(t *testing.T, params loggp.Params) *faults.Injector {
+	t.Helper()
+	plan := faults.Plan{
+		Seed:    11,
+		Drop:    faults.Drop{Prob: 0.08},
+		Degrade: []faults.Degrade{{Start: 20, End: 400, GScale: 2, LScale: 1.5}},
+	}
+	in, err := plan.Injector(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestWorstcaseNoopFaultHookBitIdentical asserts an inert hook changes
+// nothing — including the RNG-driven deadlock releases, which consume
+// randomness identically whether or not the fault branch is taken.
+func TestWorstcaseNoopFaultHookBitIdentical(t *testing.T) {
+	for name, pt := range diffCorpus() {
+		for pi, params := range diffParams(pt.P) {
+			t.Run(fmt.Sprintf("%s/m%d", name, pi), func(t *testing.T) {
+				base, err := Run(pt, Config{Params: params, Seed: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				hooked, err := Run(pt, Config{Params: params, Seed: 1, Fault: wcNoopFault})
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireIdentical(t, hooked, base)
+			})
+		}
+	}
+}
+
+// TestWorstcaseFaultedIndexedMatchesReference runs an active injector
+// through both commit loops. The cyclic patterns matter most here:
+// fault delays shift the clocks that decide when the blocked set forms,
+// so both cores must observe the same deadlocks and draw the same
+// releases from the RNG.
+func TestWorstcaseFaultedIndexedMatchesReference(t *testing.T) {
+	for name, pt := range diffCorpus() {
+		for pi, params := range diffParams(pt.P) {
+			for seed := int64(0); seed < 3; seed++ {
+				t.Run(fmt.Sprintf("%s/m%d/s%d", name, pi, seed), func(t *testing.T) {
+					in := wcInjector(t, params)
+					cfg := Config{Params: params, Seed: seed, Fault: in.SendOutcome}
+					indexed, reference := runBoth(t, pt, cfg)
+					requireIdentical(t, indexed, reference)
+				})
+			}
+		}
+	}
+}
+
+// TestWorstcaseFaultsInflateAcyclic asserts the inflate-only guarantee
+// on acyclic patterns, where no deadlock is ever broken and therefore
+// no RNG-driven release can reorder the schedule: with charges that
+// only add time, the finish can only move later.
+func TestWorstcaseFaultsInflateAcyclic(t *testing.T) {
+	params := loggp.Params{L: 9, O: 2, Gap: 16, G: 0.07}
+	strict := false
+	for name, pt := range map[string]*trace.Pattern{
+		"figure3":   trace.Figure3(),
+		"gather":    trace.Gather(10, 0, 1024),
+		"randomdag": trace.RandomDAG(11, 60, 2048, 7),
+	} {
+		p := params
+		p.P = pt.P
+		base, err := Run(pt, Config{Params: p, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulted, err := Run(pt, Config{Params: p, Seed: 1, Fault: wcInjector(t, p).SendOutcome})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.DeadlocksBroken != 0 || faulted.DeadlocksBroken != 0 {
+			t.Fatalf("%s: acyclic pattern broke deadlocks", name)
+		}
+		if faulted.Finish < base.Finish {
+			t.Fatalf("%s: faults deflated finish %g -> %g", name, base.Finish, faulted.Finish)
+		}
+		if faulted.Finish > base.Finish {
+			strict = true
+		}
+	}
+	if !strict {
+		t.Fatal("injector left every acyclic pattern's finish unchanged")
+	}
+}
+
+// TestWorstcaseFaultLossAbortsAndResetRecovers mirrors the sim test on
+// a cyclic pattern: the loss aborts mid-schedule (possibly mid-deadlock
+// resolution), the session stays poisoned, and Reset restores it to a
+// fresh session's behaviour bit for bit.
+func TestWorstcaseFaultLossAbortsAndResetRecovers(t *testing.T) {
+	pt := trace.AllToAll(8, 256)
+	params := loggp.Params{L: 9, O: 2, Gap: 16, G: 0.07, P: 8}
+	failures := 0
+	hook := func(step, msgIndex, src, dst, bytes int, start float64) (float64, float64, error) {
+		if failures == 0 {
+			failures++
+			return 0, 0, &faults.LossError{Step: step, MsgIndex: msgIndex, Src: src, Dst: dst, Bytes: bytes, Attempts: 3}
+		}
+		return 0, 0, nil
+	}
+	sess, err := NewSession(8, Config{Params: params, Seed: 1, Fault: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sess.Communicate(pt)
+	if err == nil {
+		t.Fatal("lost message did not abort the run")
+	}
+	var le *faults.LossError
+	if !errors.As(err, &le) {
+		t.Fatalf("error %v does not wrap a *faults.LossError", err)
+	}
+	if !strings.Contains(err.Error(), "Reset before reuse") {
+		t.Fatalf("error %q does not demand a Reset", err)
+	}
+	if _, err := sess.Communicate(pt); err == nil {
+		t.Fatal("poisoned session ran without a Reset")
+	}
+	if err := sess.Reset(make([]float64, 8)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Communicate(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(pt, Config{Params: params, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, got, want)
+}
+
+// TestWorstcaseZeroFaultQuietPathAllocationFree pins the overhead
+// budget: with no hook installed the quiet steady-state path allocates
+// nothing, so the fault plumbing costs one nil check.
+func TestWorstcaseZeroFaultQuietPathAllocationFree(t *testing.T) {
+	pt := trace.AllToAll(16, 128)
+	params := loggp.Params{L: 9, O: 2, Gap: 16, G: 0.07, P: 16}
+	sess, err := NewSession(16, Config{Params: params, Seed: 1, NoTimeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := make([]float64, 16)
+	var out Result
+	if err := sess.CommunicateInto(&out, pt); err != nil {
+		t.Fatal(err) // warm-up sizes every buffer
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := sess.Reset(ready); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.CommunicateInto(&out, pt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("zero-fault quiet path allocated %v times per step", allocs)
+	}
+}

@@ -57,6 +57,15 @@ type Config struct {
 	// analyze.DeadlockFreePrecheck here.
 	Precheck func(*trace.Pattern) error
 
+	// Fault, when non-nil, injects deterministic communication faults
+	// (see sim.Config.Fault): called once per committed send — forced
+	// deadlock releases included — returning extra sender occupancy,
+	// extra arrival delay, and an error for a lost message. The same
+	// hook drives both schedulers so a fault plan perturbs the standard
+	// and the worst-case prediction coherently. Fault delays break the
+	// static bound certificates' upper bound (internal/analyze).
+	Fault func(step, msgIndex, src, dst, bytes int, start float64) (busy, delay float64, err error)
+
 	// referenceScheduler selects the pre-indexed commit loop (full
 	// candidate rescan per operation), kept for the differential tests;
 	// not reachable from outside the package.
@@ -119,6 +128,12 @@ type Session struct {
 	p        int
 	st       []procState
 	rng      *rand.Rand
+	// hookErr records a Fault-hook failure (lost message, non-finite
+	// charge); the commit loops stop on it and Communicate reports it.
+	hookErr error
+	// step counts the Communicate calls since Reset (the Fault hook's
+	// step identity; see sim.Session).
+	step int
 
 	// Step scratch, reused across Communicate calls.
 	sendArena []int
@@ -189,6 +204,8 @@ func (s *Session) Reset(ready []float64) error {
 		s.resize(len(ready))
 	}
 	s.rng.Seed(s.cfg.Seed)
+	s.hookErr = nil
+	s.step = 0
 	for i := range s.st {
 		st := &s.st[i]
 		st.ctime = 0
@@ -360,13 +377,19 @@ func (s *Session) CommunicateInto(r *Result, pt *trace.Pattern) error {
 		s.run(pt, r)
 	}
 
-	// Reset the per-step queues; clocks and gap state persist.
+	// Reset the per-step queues; clocks and gap state persist. The step
+	// counter advances even on a hook failure: the fault identity space
+	// is per-attempted-step (see sim.Session).
+	s.step++
 	for i := range s.st {
 		st := &s.st[i]
 		st.sendQ = nil
 		st.sendHead = 0
 		st.toRecv = 0
 		st.forced = 0
+	}
+	if s.hookErr != nil {
+		return fmt.Errorf("%w (session state is inconsistent; Reset before reuse)", s.hookErr)
 	}
 	if !s.cfg.NoTimeline {
 		r.ProcFinish = make([]float64, s.p)
@@ -401,8 +424,26 @@ func (s *Session) commitSend(pt *trace.Pattern, r *Result, src int, start float6
 			Start: start, MsgIndex: idx,
 		})
 	}
-	s.st[m.Dst].recvQ.Push(start+p.ArrivalDelay(m.Bytes), idx)
-	st.ctime = start + p.O
+	arrival := start + p.ArrivalDelay(m.Bytes)
+	busy := 0.0
+	if s.cfg.Fault != nil {
+		extraBusy, delay, err := s.cfg.Fault(s.step, idx, m.Src, m.Dst, m.Bytes, start)
+		if err != nil {
+			s.hookErr = fmt.Errorf("worstcase: message %d (%d->%d): %w", idx, m.Src, m.Dst, err)
+			return
+		}
+		arrival += delay
+		busy = extraBusy
+		// A NaN or ±Inf from the hook would corrupt the receive heap's
+		// ordering (and every later clock max); refuse it here.
+		if math.IsNaN(arrival) || math.IsInf(arrival, 0) || math.IsNaN(busy) || math.IsInf(busy, 0) || busy < 0 {
+			s.hookErr = fmt.Errorf("worstcase: message %d (%d->%d): bad fault charge (busy %g, arrival %g)",
+				idx, m.Src, m.Dst, busy, arrival)
+			return
+		}
+	}
+	s.st[m.Dst].recvQ.Push(arrival, idx)
+	st.ctime = start + p.O + busy
 	st.hasLast, st.lastKind, st.lastStart, st.lastBytes = true, loggp.Send, start, m.Bytes
 }
 
@@ -473,7 +514,7 @@ func (s *Session) run(pt *trace.Pattern, r *Result) {
 	for i := range s.st {
 		s.refreshCandidate(i)
 	}
-	for {
+	for s.hookErr == nil {
 		best, bestStart := s.tt.Min()
 		if best >= 0 {
 			if s.ttKind[best] == loggp.Send {
@@ -509,7 +550,7 @@ func (s *Session) run(pt *trace.Pattern, r *Result) {
 // oracle for the differential tests.
 func (s *Session) runReference(pt *trace.Pattern, r *Result) {
 	p := s.cfg.Params
-	for {
+	for s.hookErr == nil {
 		best, bestStart := -1, math.Inf(1)
 		bestKind := loggp.Send
 		for i := range s.st {

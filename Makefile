@@ -14,12 +14,18 @@
 #   make sweep   — serial-vs-parallel sweep benchmark pair only
 #   make fuzz-smoke — short fuzz of the fault injector and the
 #                  checkpoint/resume journal (part of ci)
+#   make serve-smoke — boot the real predictd binary on an ephemeral
+#                  port and drive the robustness contract end to end:
+#                  healthy requests, 400/413 rejection, deadline
+#                  degradation to bound certificates, 429 shedding
+#                  under overload, SIGTERM drain with exit 0 (part
+#                  of ci)
 
 GO ?= go
 LOGGPVET := $(CURDIR)/bin/loggpvet
 FUZZTIME ?= 15s
 
-.PHONY: all build test vet lint race diff bench sweep fuzz-smoke ci
+.PHONY: all build test vet lint race diff bench sweep fuzz-smoke serve-smoke ci
 
 all: ci
 
@@ -80,4 +86,14 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzSendOutcome -fuzztime $(FUZZTIME) ./internal/faults
 	$(GO) test -run NONE -fuzz FuzzJournalResume -fuzztime $(FUZZTIME) ./internal/sweep
 
-ci: vet lint test diff race fuzz-smoke
+# End-to-end smoke of the hardened prediction service: builds the real
+# cmd/predictd binary, boots it on a random port, and asserts the
+# shed/degrade/drain behaviour from outside the process (see
+# cmd/predictd/main_test.go; the scripted interrupt tests of
+# cmd/experiments and cmd/robust run here too — -count=1 forces the
+# binaries to actually run rather than replaying cached results).
+serve-smoke:
+	$(GO) test -count=1 -v -run 'TestPredictd|TestSigint' \
+		./cmd/predictd ./cmd/robust ./cmd/experiments
+
+ci: vet lint test diff race fuzz-smoke serve-smoke

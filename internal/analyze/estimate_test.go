@@ -1,0 +1,67 @@
+package analyze
+
+import (
+	"testing"
+
+	"loggpsim/internal/blockops"
+	"loggpsim/internal/ge"
+	"loggpsim/internal/layout"
+	"loggpsim/internal/program"
+)
+
+func TestEstimateWorkCounts(t *testing.T) {
+	pr := program.New(4)
+	s1 := pr.AddStep()
+	s1.AddOp(0, blockops.Op4, 8)
+	s1.AddOp(1, blockops.Op4, 8)
+	s1.Comm.Add(0, 1, 100).Add(2, 3, 100).AddLocal(1, 50)
+	s2 := pr.AddStep()
+	s2.Comm.Add(1, 2, 10)
+
+	w := EstimateWork(pr)
+	want := Work{P: 4, Steps: 2, NetMessages: 3, LocalMessages: 1, Ops: 2, MaxStepMessages: 2}
+	if w != want {
+		t.Fatalf("EstimateWork = %+v, want %+v", w, want)
+	}
+	if w.Units() <= 0 {
+		t.Fatalf("Units() = %g, want positive", w.Units())
+	}
+}
+
+// TestEstimateWorkEmptyAndNilComm must not panic on degenerate shapes —
+// the serve layer prices requests before validation.
+func TestEstimateWorkEmptyAndNilComm(t *testing.T) {
+	if w := EstimateWork(program.New(2)); w.Units() != 0 {
+		t.Fatalf("empty program has %g units, want 0", w.Units())
+	}
+	pr := program.New(2)
+	pr.Steps = append(pr.Steps, &program.Step{Comp: make([][]program.OpCall, 2)})
+	w := EstimateWork(pr)
+	if w.Steps != 1 || w.NetMessages != 0 {
+		t.Fatalf("nil-comm step miscounted: %+v", w)
+	}
+}
+
+// TestEstimateWorkOrdersGESweep pins the property admission control
+// depends on: across the Figure-7 block sizes, more communication-heavy
+// configurations must price strictly higher, so a unit cap separates
+// cheap requests from expensive ones the same way the simulator's real
+// cost does.
+func TestEstimateWorkOrdersGESweep(t *testing.T) {
+	units := func(b int) float64 {
+		g, err := ge.NewGrid(192, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := ge.BuildProgram(g, layout.RowCyclic(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return EstimateWork(pr).Units()
+	}
+	// Smaller blocks ⇒ more steps and more messages ⇒ more work.
+	if !(units(8) > units(16) && units(16) > units(48)) {
+		t.Fatalf("work units not monotone in communication volume: u(8)=%g u(16)=%g u(48)=%g",
+			units(8), units(16), units(48))
+	}
+}

@@ -25,8 +25,12 @@
 //
 // The rules are scoped by import path: a package is covered when its
 // final path segment names a scheduling package (sim, worstcase, eventq,
-// timeline). Test files are exempt — tests may range over maps to build
-// inputs, and fuzzers use whatever randomness they like.
+// timeline) or a prediction-service package (serve, predictd) — the
+// latter get the iteration-order and finiteness rules plus the
+// owned-randomness rule, but not the wall-clock ban (a server's
+// deadlines and Retry-After headers are real time). Test files are
+// exempt — tests may range over maps to build inputs, and fuzzers use
+// whatever randomness they like.
 package lintrules
 
 import (
@@ -69,6 +73,18 @@ var schedulerPkgs = map[string]bool{
 	"faults": true, "robust": true,
 }
 
+// servicePkgs are the prediction-service layers (internal/serve,
+// cmd/predictd). They sit above the schedulers but answer with their
+// numbers, so the same syntactic hazards apply in weakened form: map
+// iteration must not order anything response-visible, clock arithmetic
+// must stay finite, and any randomness must flow from request seeds
+// through owned sources — but the wall clock is legitimate there
+// (deadlines, Retry-After, elapsed-time reporting), so the time.Now ban
+// does not apply.
+var servicePkgs = map[string]bool{
+	"serve": true, "predictd": true,
+}
+
 // randConstructors are the math/rand (and v2) functions that build a
 // locally owned generator rather than touching the global one.
 var randConstructors = map[string]bool{
@@ -87,7 +103,8 @@ func pkgSegment(path string) string {
 // Covered reports whether any rule applies to the package at all —
 // callers can skip parsing and typechecking uncovered packages.
 func Covered(pkgPath string) bool {
-	return timelinePkgs[pkgSegment(pkgPath)]
+	seg := pkgSegment(pkgPath)
+	return timelinePkgs[seg] || servicePkgs[seg]
 }
 
 // Run applies every rule to the typechecked package and returns the
@@ -95,6 +112,13 @@ func Covered(pkgPath string) bool {
 // position is in a _test.go file are skipped.
 func Run(fset *token.FileSet, files []*ast.File, pkgPath string, info *types.Info) []Finding {
 	seg := pkgSegment(pkgPath)
+	// Rule scopes: the service layer shares the map-iteration and
+	// finiteness hazards with the timeline packages and the owned-source
+	// randomness requirement with the schedulers, but not the wall-clock
+	// ban — a server legitimately reads real time.
+	orderScope := timelinePkgs[seg] || servicePkgs[seg]
+	randScope := schedulerPkgs[seg] || servicePkgs[seg]
+	clockScope := schedulerPkgs[seg]
 	var out []Finding
 	add := func(pos token.Pos, rule, msg string) {
 		out = append(out, Finding{Pos: fset.Position(pos), Rule: rule, Msg: msg})
@@ -135,7 +159,7 @@ func Run(fset *token.FileSet, files []*ast.File, pkgPath string, info *types.Inf
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.RangeStmt:
-				if !timelinePkgs[seg] {
+				if !orderScope {
 					return true
 				}
 				tv, ok := info.Types[n.X]
@@ -149,18 +173,18 @@ func Run(fset *token.FileSet, files []*ast.File, pkgPath string, info *types.Inf
 			case *ast.CallExpr:
 				pkg, name := stdFunc(n)
 				switch {
-				case schedulerPkgs[seg] && (pkg == "math/rand" || pkg == "math/rand/v2") && !randConstructors[name]:
+				case randScope && (pkg == "math/rand" || pkg == "math/rand/v2") && !randConstructors[name]:
 					add(n.Pos(), "globalrand",
 						fmt.Sprintf("%s.%s uses the global generator: scheduler randomness must flow from Config.Seed through an owned source", pkgSegment(pkg), name))
-				case schedulerPkgs[seg] && pkg == "time" && (name == "Now" || name == "Since" || name == "Until"):
+				case clockScope && pkg == "time" && (name == "Now" || name == "Since" || name == "Until"):
 					add(n.Pos(), "globalrand",
 						fmt.Sprintf("time.%s reads the wall clock inside a simulator that owns virtual time; thread times through clocks and results", name))
-				case timelinePkgs[seg] && pkg == "math" && name == "NaN":
+				case orderScope && pkg == "math" && name == "NaN":
 					add(n.Pos(), "nonfinite",
 						"math.NaN() in clock-arithmetic code: NaN poisons every max/min and comparison downstream")
 				}
 			case *ast.BinaryExpr:
-				if !timelinePkgs[seg] {
+				if !orderScope {
 					return true
 				}
 				switch n.Op {

@@ -109,7 +109,8 @@ func TestRulesOnFixtures(t *testing.T) {
 		{"sim", "lintfixtures/sim", true}, // _test.go loaded and must stay exempt
 		{"worstcase", "lintfixtures/worstcase", false},
 		{"eventq", "lintfixtures/eventq", false},
-		{"app", "lintfixtures/app", false}, // out of scope: no findings despite all constructs
+		{"serve", "lintfixtures/serve", false}, // service scope: no wall-clock ban
+		{"app", "lintfixtures/app", false},     // out of scope: no findings despite all constructs
 	} {
 		t.Run(tc.dir, func(t *testing.T) {
 			checkFixture(t, filepath.Join(fixtures, tc.dir), tc.pkgPath, tc.includeTests)
@@ -124,6 +125,8 @@ func TestCovered(t *testing.T) {
 		"loggpsim/internal/eventq":    true,
 		"loggpsim/internal/timeline":  true,
 		"loggpsim/internal/analyze":   false,
+		"loggpsim/internal/serve":     true,
+		"loggpsim/cmd/predictd":       true,
 		"loggpsim/internal/trace":     false,
 		"sim":                         true,
 		"lintfixtures/app":            false,

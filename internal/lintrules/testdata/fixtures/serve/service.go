@@ -1,0 +1,47 @@
+// Package serve is the service-scope fixture: the prediction-service
+// layer gets the iteration-order, finiteness, and owned-randomness
+// rules, but NOT the wall-clock ban — a server legitimately reads real
+// time for deadlines and elapsed-time reporting.
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// RouteOrder leaks map iteration order into a response. One finding.
+func RouteOrder(routes map[string]int) []string {
+	var out []string
+	for name := range routes { // want maprange
+		out = append(out, name)
+	}
+	return out
+}
+
+// Jitter uses the global generator for a retry hint. One finding.
+func Jitter() int {
+	return rand.Intn(100) // want globalrand
+}
+
+// Elapsed reads the wall clock — sanctioned in the service layer. No
+// finding (the same call in a scheduler package is an error).
+func Elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds()
+}
+
+// BadSentinel arithmetically combines Inf into a reported time. One
+// finding; NaN construction is a second.
+func BadSentinel(t float64) float64 {
+	worst := t + math.Inf(1) // want nonfinite
+	if worst > 0 {
+		return math.NaN() // want nonfinite
+	}
+	return worst
+}
+
+// SeededHint derives a hint from an owned source — the sanctioned
+// randomness pattern. No finding.
+func SeededHint(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(100)
+}

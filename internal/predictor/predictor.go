@@ -16,6 +16,7 @@
 package predictor
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -44,6 +45,14 @@ type Config struct {
 	// CollectSteps records a per-step profile in Prediction.PerStep —
 	// a predicted-execution profiler for finding which phases dominate.
 	CollectSteps bool
+
+	// Ctx, when non-nil, bounds the prediction in wall-clock time: it is
+	// polled once per program step, so a cancelled or deadline-expired
+	// context aborts the replay within one step and PredictInto returns
+	// an error wrapping ctx.Err(). The serve layer uses this to keep
+	// slow requests from overstaying their deadline by more than one
+	// scheduler step; a nil context reproduces the unbounded behaviour.
+	Ctx context.Context
 
 	// Precheck, when non-nil, is consulted once per prediction before
 	// any session is touched: a non-nil return aborts with that error.
@@ -162,15 +171,31 @@ type Evaluator struct {
 // its buffers.
 func NewEvaluator() *Evaluator { return &Evaluator{} }
 
-var evalPool = sync.Pool{New: func() any { return NewEvaluator() }}
+// evalPool backs the package-level Predict. A pointer so the poisoning
+// regression tests can swap in a private pool and observe what is (and
+// is not) returned to it.
+var evalPool = &sync.Pool{New: func() any { return NewEvaluator() }}
 
 // Predict runs the method on a program. It is equivalent to
 // NewEvaluator().Predict but reuses pooled evaluators, so concurrent
 // sweep workers pay no per-candidate session construction.
+//
+// An evaluator whose prediction fails is poisoned, not repooled: an
+// error (a fault-hook abort, a mid-replay cancellation, a hook
+// returning a non-finite arrival) or a panic can leave its simulator
+// sessions mid-step, and handing that state to an unrelated later
+// prediction would trade an isolated failure for a wrong answer. The
+// next Predict simply constructs a fresh evaluator through the pool.
 func Predict(pr *program.Program, cfg Config) (*Prediction, error) {
 	e := evalPool.Get().(*Evaluator)
-	defer evalPool.Put(e)
-	return e.Predict(pr, cfg)
+	p, err := e.Predict(pr, cfg)
+	if err != nil {
+		// Dropped on the floor — and a panic unwinds past this point
+		// without repooling either.
+		return nil, err
+	}
+	evalPool.Put(e)
+	return p, nil
 }
 
 // Predict runs the method on a program, reusing the evaluator's sessions
@@ -297,6 +322,11 @@ func (e *Evaluator) PredictInto(out *Prediction, pr *program.Program, cfg Config
 	durs, commStd, commWC := e.durs, e.commStd, e.commWC
 	beforeStd, beforeWC, afterStd, afterWC := e.beforeStd, e.beforeWC, e.afterStd, e.afterWC
 	for i, step := range pr.Steps {
+		if cfg.Ctx != nil {
+			if err := cfg.Ctx.Err(); err != nil {
+				return fmt.Errorf("predictor: step %d of %d: %w", i, len(pr.Steps), err)
+			}
+		}
 		for proc := range durs {
 			d := 0.0
 			for _, call := range step.Comp[proc] {

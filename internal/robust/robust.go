@@ -20,6 +20,7 @@
 package robust
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -133,6 +134,15 @@ type Config struct {
 	// Options are extra sweep options (e.g. sweep.Context for
 	// cancellation), applied after Workers.
 	Options []sweep.Option
+	// Ctx, when non-nil, deadline-bounds the sweep at sample
+	// granularity: it is checked before every Monte-Carlo sample and
+	// propagated into each sample's prediction (predictor.Config.Ctx),
+	// so a cancelled or expired context aborts within one scheduler
+	// step of one sample — no envelope waits for its remaining samples
+	// once the deadline is gone. The returned error wraps ctx.Err().
+	// Ctx is also installed as a sweep.Context option on the block-size
+	// fan-out.
+	Ctx context.Context
 }
 
 // Quantiles summarizes one prediction series across samples, in
@@ -244,6 +254,9 @@ func Run(cfg Config) ([]Envelope, error) {
 		scope = "robust"
 	}
 	opts := append([]sweep.Option{sweep.Workers(cfg.Workers)}, cfg.Options...)
+	if cfg.Ctx != nil {
+		opts = append(opts, sweep.Context(cfg.Ctx))
+	}
 	return sweep.MapResume(cfg.Journal, scope, usable, func(i int, b int) (Envelope, error) {
 		g, err := ge.NewGrid(cfg.N, b)
 		if err != nil {
@@ -259,7 +272,7 @@ func Run(cfg Config) ([]Envelope, error) {
 		}
 		e := predictor.NewEvaluator()
 		var pred predictor.Prediction
-		base := predictor.Config{Params: cfg.Params, Cost: cfg.Model, Seed: cfg.Seed}
+		base := predictor.Config{Params: cfg.Params, Cost: cfg.Model, Seed: cfg.Seed, Ctx: cfg.Ctx}
 		if err := e.PredictInto(&pred, pr, base); err != nil {
 			return Envelope{}, err
 		}
@@ -276,6 +289,13 @@ func Run(cfg Config) ([]Envelope, error) {
 		totals := make([]float64, 0, samples)
 		worsts := make([]float64, 0, samples)
 		for s := 0; s < samples; s++ {
+			if cfg.Ctx != nil {
+				// Early abort between samples: a deadline that expires
+				// mid-envelope must not pay for the remaining samples.
+				if err := cfg.Ctx.Err(); err != nil {
+					return Envelope{}, fmt.Errorf("robust: b=%d after %d of %d samples: %w", b, s, samples, err)
+				}
+			}
 			seed := sweep.Seed(cfg.Seed, i*samples+s)
 			scfg := base
 			scfg.Params = sampleParams(cfg.Params, cfg.Perturb, seed)

@@ -1,6 +1,8 @@
 package robust
 
 import (
+	"context"
+	"errors"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -175,5 +177,56 @@ func TestParsePerturb(t *testing.T) {
 		if _, err := Parse(spec); err == nil {
 			t.Fatalf("spec %q parsed", spec)
 		}
+	}
+}
+
+// TestCtxAbortsBetweenSamples pins the per-sample deadline contract the
+// prediction service leans on: a context cancelled mid-envelope aborts
+// before the next sample starts and surfaces as a wrapped ctx error,
+// and a live context leaves the envelopes byte-identical.
+func TestCtxAbortsBetweenSamples(t *testing.T) {
+	cfg := testConfig()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg.Ctx = ctx
+	if _, err := Run(cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run with cancelled ctx = %v, want wrapped context.Canceled", err)
+	}
+
+	cfg = testConfig()
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Ctx = context.Background()
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("live context changed the envelopes:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestCtxCancelMidSweepStopsEarly cancels after the first envelope
+// completes and checks the sweep reports cancellation rather than
+// running every remaining sample.
+func TestCtxCancelMidSweepStopsEarly(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.Samples = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg.Ctx = ctx
+	done := 0
+	cfg.Options = []sweep.Option{sweep.Progress(func(d, total int) {
+		done = d
+		cancel()
+	})}
+	_, err := Run(cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	if done == len(cfg.Sizes) {
+		t.Fatalf("sweep ran all %d envelopes despite cancellation", done)
 	}
 }

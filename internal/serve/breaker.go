@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes the Monte-Carlo circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive envelope requests that
+	// must die on per-sample timeouts before the breaker opens. Values
+	// below 1 select 3.
+	Threshold int
+	// Cooldown is how long the breaker stays open before letting one
+	// probe envelope through (half-open). Values ≤ 0 select 30s.
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold < 1 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Second
+	}
+	return c
+}
+
+// breaker trips Monte-Carlo envelope mode down to single-shot
+// prediction after repeated per-sample timeouts. Envelopes are the
+// service's most expensive mode — Samples × a full prediction — and a
+// deadline that kills one envelope's samples will usually kill the
+// next's too; without a breaker every such request burns a worker for
+// its full deadline before degrading. Classic three-state machine:
+// closed (envelopes run), open (envelopes answered single-shot until
+// the cooldown passes), half-open (one probe envelope runs; success
+// closes the breaker, another timeout reopens it).
+type breaker struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+
+	consecutive int // timeouts since the last success
+	open        bool
+	openedAt    time.Time
+	probing     bool // a half-open probe is in flight
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg.withDefaults()}
+}
+
+// allow reports whether an envelope may run the full Monte-Carlo sweep
+// at time now. While open it returns false until the cooldown has
+// passed, then admits exactly one probe at a time.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if now.Sub(b.openedAt) < b.cfg.Cooldown || b.probing {
+		return false
+	}
+	b.probing = true // half-open: one probe
+	return true
+}
+
+// success records an envelope that completed inside its deadline.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.open = false
+	b.probing = false
+}
+
+// timeout records an envelope whose samples died on the deadline.
+func (b *breaker) timeout(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wasProbe := b.probing
+	b.probing = false
+	b.consecutive++
+	if wasProbe || b.consecutive >= b.cfg.Threshold {
+		b.open = true
+		b.openedAt = now
+	}
+}
+
+// isOpen reports the breaker state (for /statsz).
+func (b *breaker) isOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}

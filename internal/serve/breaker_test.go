@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine drives the three states with an injected
+// clock: closed → open after Threshold consecutive timeouts, a single
+// probe after the cooldown, reopen on probe failure, close on probe
+// success.
+func TestBreakerStateMachine(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	b := newBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Minute})
+
+	if !b.allow(t0) {
+		t.Fatal("fresh breaker must allow")
+	}
+	b.timeout(t0)
+	if b.isOpen() {
+		t.Fatal("one timeout below threshold opened the breaker")
+	}
+	b.timeout(t0)
+	if !b.isOpen() {
+		t.Fatal("threshold timeouts did not open the breaker")
+	}
+	if b.allow(t0.Add(30 * time.Second)) {
+		t.Fatal("open breaker allowed inside the cooldown")
+	}
+
+	// After the cooldown exactly one probe is admitted.
+	t1 := t0.Add(2 * time.Minute)
+	if !b.allow(t1) {
+		t.Fatal("no probe after the cooldown")
+	}
+	if b.allow(t1) {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// A failed probe reopens immediately — no threshold accumulation.
+	b.timeout(t1)
+	if !b.isOpen() || b.allow(t1.Add(30*time.Second)) {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+
+	// A successful probe closes it fully.
+	t2 := t1.Add(2 * time.Minute)
+	if !b.allow(t2) {
+		t.Fatal("no probe after the second cooldown")
+	}
+	b.success()
+	if b.isOpen() || !b.allow(t2) {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	// And the consecutive count restarted: one timeout stays closed.
+	b.timeout(t2)
+	if b.isOpen() {
+		t.Fatal("timeout count survived the reset")
+	}
+}

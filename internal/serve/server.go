@@ -1,0 +1,561 @@
+// Package serve is the hardened prediction service behind cmd/predictd:
+// an HTTP/JSON front end over the repository's prediction stack
+// (predictor, analyze, robust) engineered to stay correct and available
+// under overload, malformed input, and slow requests.
+//
+// Robustness is layered:
+//
+//   - Admission control. A bounded queue (QueueDepth waiting slots on
+//     top of Workers running slots) backed by a sweep.Limiter sized off
+//     the evaluator pool. When the queue is full, excess requests are
+//     shed immediately with 429 and Retry-After — the server's memory
+//     is bounded by slots × capped request size no matter the offered
+//     load.
+//
+//   - Deadlines and budgets. Every request runs under a per-request
+//     deadline (client-supplied, clamped to a server maximum)
+//     propagated via context into the predictor's per-step polling and
+//     the Monte-Carlo sampler's per-sample checks. Before a worker is
+//     committed, the request is priced with analyze.EstimateWork;
+//     requests over budget never reach a simulator session.
+//
+//   - Graceful degradation. When the deadline or budget cannot fit the
+//     full simulation, the response degrades to the closed-form LogGP
+//     bound certificate (analyze.BoundProgram) instead of an error,
+//     flagged Degraded with a reason. A circuit breaker trips envelope
+//     mode down to single-shot prediction after repeated per-sample
+//     timeouts.
+//
+//   - Crash containment and lifecycle. A panic inside a prediction
+//     poisons (does not repool) the affected evaluator and answers 500
+//     without taking the process down; /healthz and /readyz report
+//     liveness and readiness; Drain stops admission, lets in-flight
+//     requests finish for a grace period, then bound-downgrades
+//     whatever is still running.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loggpsim/internal/analyze"
+	"loggpsim/internal/cost"
+	"loggpsim/internal/faults"
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/predictor"
+	"loggpsim/internal/program"
+	"loggpsim/internal/robust"
+	"loggpsim/internal/sweep"
+)
+
+// Config tunes the server. The zero value selects sane defaults.
+type Config struct {
+	// Workers bounds concurrently running predictions — and sizes the
+	// evaluator pool, one session pair per worker. Values below 1
+	// select runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker beyond the ones
+	// running. Negative means 0 (no waiting room); zero selects
+	// 2×Workers.
+	QueueDepth int
+	// DefaultDeadline applies when a request names none; ≤ 0 selects 5s.
+	DefaultDeadline time.Duration
+	// MaxDeadline clamps client-supplied deadlines; ≤ 0 selects 60s.
+	MaxDeadline time.Duration
+	// DefaultBudget is the per-request work cap (analyze.Work units)
+	// when the request names none; ≤ 0 selects 20e6 units — the repo's
+	// heaviest stock experiment (GE n=960, b=8, P=8) prices at ~6.6e6,
+	// so interactive use never sees the default cap.
+	DefaultBudget float64
+	// DrainGrace is how long in-flight requests keep running after
+	// Drain begins before being bound-downgraded; ≤ 0 selects 1s.
+	DrainGrace time.Duration
+	// Limits are the hard input caps (zero fields select defaults).
+	Limits Limits
+	// Breaker tunes the Monte-Carlo circuit breaker.
+	Breaker BreakerConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
+	case c.QueueDepth == 0:
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 5 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 60 * time.Second
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 20e6
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = time.Second
+	}
+	c.Limits = c.Limits.withDefaults()
+	return c
+}
+
+// Stats is a snapshot of the server's counters (see /statsz).
+type Stats struct {
+	// Accepted counts requests admitted past the queue; Shed the ones
+	// bounced with 429; Rejected the 4xx input failures; Degraded the
+	// 200s answered with a downgraded computation; Panics the contained
+	// prediction panics; Completed every request fully answered.
+	Accepted  int64 `json:"accepted"`
+	Shed      int64 `json:"shed"`
+	Rejected  int64 `json:"rejected"`
+	Degraded  int64 `json:"degraded"`
+	Panics    int64 `json:"panics"`
+	Completed int64 `json:"completed"`
+	// InFlight is the number of requests currently holding a queue or
+	// worker slot; BreakerOpen reports the Monte-Carlo breaker state.
+	InFlight    int64 `json:"in_flight"`
+	BreakerOpen bool  `json:"breaker_open"`
+	// Draining reports that shutdown has begun.
+	Draining bool `json:"draining"`
+}
+
+// Server is the prediction service. Construct with NewServer, mount
+// Handler on an http.Server, call Drain on shutdown.
+type Server struct {
+	cfg     Config
+	model   cost.Model
+	lim     *sweep.Limiter // worker gate, sized off the evaluator pool
+	slots   chan struct{}  // queue + run admission tokens
+	evals   chan *predictor.Evaluator
+	breaker *breaker
+	mux     *http.ServeMux
+
+	draining atomic.Bool
+	drainNow chan struct{} // closed DrainGrace after drain begins
+	drainOne sync.Once
+	inflight sync.WaitGroup
+
+	// testHook, when set, runs inside the panic guard while the request
+	// holds its worker slot, just before the prediction. Tests use it to
+	// pin a worker (overload), outwait a deadline, or panic on demand.
+	testHook func(ctx context.Context)
+
+	accepted, shed, rejected, degraded, panics, completed, inFlight atomic.Int64
+}
+
+// NewServer builds a server; the zero Config is usable.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		model:    cost.DefaultAnalytic(),
+		lim:      sweep.NewLimiter(cfg.Workers),
+		slots:    make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		evals:    make(chan *predictor.Evaluator, cfg.Workers),
+		breaker:  newBreaker(cfg.Breaker),
+		drainNow: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.evals <- predictor.NewEvaluator()
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats returns a counter snapshot.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted:    s.accepted.Load(),
+		Shed:        s.shed.Load(),
+		Rejected:    s.rejected.Load(),
+		Degraded:    s.degraded.Load(),
+		Panics:      s.panics.Load(),
+		Completed:   s.completed.Load(),
+		InFlight:    s.inFlight.Load(),
+		BreakerOpen: s.breaker.isOpen(),
+		Draining:    s.draining.Load(),
+	}
+}
+
+// BeginDrain flips the server into drain mode: readiness goes 503, new
+// predictions are refused, and after DrainGrace the contexts of
+// in-flight requests are released so they bound-downgrade. Idempotent.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		time.AfterFunc(s.cfg.DrainGrace, func() {
+			s.drainOne.Do(func() { close(s.drainNow) })
+		})
+	}
+}
+
+// Drain begins the drain (if not already begun) and blocks until every
+// in-flight request has been answered or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.rejected.Add(1)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// handlePredict is the main endpoint. See the package comment for the
+// shed/deadline/degrade state machine it implements.
+func (s *Server) handlePredict(w http.ResponseWriter, hr *http.Request) {
+	start := time.Now()
+	if hr.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+
+	// Input validation under hard caps. MaxBytesReader bounds what a
+	// hostile body can make us buffer; DisallowUnknownFields turns
+	// field typos into errors instead of silently-default behaviour.
+	hr.Body = http.MaxBytesReader(w, hr.Body, s.cfg.Limits.MaxBodyBytes)
+	dec := json.NewDecoder(hr.Body)
+	dec.DisallowUnknownFields()
+	var r Request
+	if err := dec.Decode(&r); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := r.validate(s.cfg.Limits); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pr, work, err := r.buildProgram(s.cfg.Limits)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	params, err := r.Machine.params(r.Workload.Procs)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mode := r.Mode
+	if mode == "" {
+		mode = ModeSimulate
+	}
+	resp := &Response{Mode: mode, WorkUnits: work.Units()}
+
+	// Analyze-only requests are cheap by construction (closed form, no
+	// event queue): they bypass the queue so the static service stays
+	// responsive even when every worker is busy simulating.
+	if mode == ModeAnalyze {
+		report := analyze.CheckProgram(pr, params, s.model)
+		resp.Report = report
+		if report.Bounds != nil {
+			resp.Bounds = &BoundsResult{LowerMicros: report.Bounds.Lower, UpperMicros: report.Bounds.Upper}
+		}
+		s.finish(w, resp, start)
+		return
+	}
+
+	// Budget gate: price the request before a worker ever sees it.
+	budget := s.cfg.DefaultBudget
+	if r.Budget > 0 {
+		budget = r.Budget
+	}
+	if resp.WorkUnits > budget {
+		s.degrade(w, resp, pr, params, "budget", start)
+		return
+	}
+
+	// Admission: a free queue-or-run token, or an immediate shed. The
+	// channel send is non-blocking, so the 429 goes out as fast as the
+	// request came in.
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server at capacity"})
+		return
+	}
+	s.accepted.Add(1)
+	s.inflight.Add(1)
+	s.inFlight.Add(1)
+	defer func() {
+		<-s.slots
+		s.inFlight.Add(-1)
+		s.inflight.Done()
+	}()
+
+	// Deadline: client-supplied, clamped, defaulted — and released
+	// early when the drain grace expires, so shutdown degrades
+	// in-flight work instead of waiting out long deadlines.
+	d := s.cfg.DefaultDeadline
+	if r.DeadlineMS > 0 {
+		d = time.Duration(r.DeadlineMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(hr.Context(), d)
+	defer cancel()
+	go func() {
+		select {
+		case <-s.drainNow:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	// Worker gate: wait for budgeted concurrency. A deadline that
+	// expires in the queue degrades without ever simulating.
+	if err := s.lim.Acquire(ctx); err != nil {
+		s.degrade(w, resp, pr, params, s.degradeReason(ctx, hr), start)
+		return
+	}
+	defer s.lim.Release()
+
+	switch mode {
+	case ModeSimulate, ModeWorstCase:
+		s.runSimulation(w, resp, &r, pr, params, ctx, hr, start)
+	case ModeEnvelope:
+		s.runEnvelope(w, resp, &r, pr, params, ctx, hr, start)
+	}
+}
+
+// degradeReason maps an expired request context to the response's
+// degrade_reason: the drain signal wins over the deadline, and a client
+// that simply went away is reported as a deadline (the write is dead
+// either way).
+func (s *Server) degradeReason(ctx context.Context, hr *http.Request) string {
+	select {
+	case <-s.drainNow:
+		return "drain"
+	default:
+	}
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) || hr.Context().Err() == nil {
+		return "deadline"
+	}
+	return "client-gone"
+}
+
+// degrade answers with the closed-form bound certificate instead of the
+// requested computation — the graceful floor of every downgrade path.
+func (s *Server) degrade(w http.ResponseWriter, resp *Response, pr *program.Program, params loggp.Params, reason string, start time.Time) {
+	b, err := analyze.BoundProgram(pr, params, s.model)
+	if err != nil {
+		// Validated inputs cannot fail the bound computation; if they
+		// somehow do, an honest error beats a fabricated certificate.
+		s.fail(w, http.StatusInternalServerError, "bound certificate: %v", err)
+		return
+	}
+	resp.Degraded = true
+	resp.DegradeReason = reason
+	resp.Bounds = &BoundsResult{LowerMicros: b.Lower, UpperMicros: b.Upper}
+	s.degraded.Add(1)
+	s.finish(w, resp, start)
+}
+
+func (s *Server) finish(w http.ResponseWriter, resp *Response, start time.Time) {
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	s.completed.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// checkoutEvaluator takes an evaluator from the pool. The worker gate
+// guarantees at most Workers holders, so the wait is momentary.
+func (s *Server) checkoutEvaluator() *predictor.Evaluator { return <-s.evals }
+
+// repool returns a healthy evaluator; poison replaces a failed one with
+// a fresh evaluator so pool capacity is preserved while the poisoned
+// sessions go to the collector.
+func (s *Server) repool(e *predictor.Evaluator) { s.evals <- e }
+func (s *Server) poison(_ *predictor.Evaluator) { s.evals <- predictor.NewEvaluator() }
+
+// runSimulation executes simulate/worstcase mode on a pooled evaluator
+// with panic containment.
+func (s *Server) runSimulation(w http.ResponseWriter, resp *Response, r *Request, pr *program.Program, params loggp.Params, ctx context.Context, hr *http.Request, start time.Time) {
+	plan, err := faults.Parse(r.Faults) // validated already; cannot fail
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg := predictor.Config{
+		Params: params,
+		Cost:   s.model,
+		Seed:   r.Seed,
+		Faults: plan,
+		Ctx:    ctx,
+	}
+	e := s.checkoutEvaluator()
+	var pred predictor.Prediction
+	err, panicked := guard(func() error {
+		if s.testHook != nil {
+			s.testHook(ctx)
+		}
+		return e.PredictInto(&pred, pr, cfg)
+	})
+	if panicked {
+		s.poison(e)
+		s.panics.Add(1)
+		s.fail(w, http.StatusInternalServerError, "internal error (prediction panicked; contained)")
+		return
+	}
+	switch {
+	case err == nil:
+		s.repool(e)
+		resp.Prediction = &PredictionResult{
+			TotalMicros:     pred.Total,
+			WorstMicros:     pred.TotalWorst,
+			CompMicros:      pred.Comp,
+			CommMicros:      pred.Comm,
+			CommWorstMicros: pred.CommWorst,
+			Steps:           pred.Steps,
+		}
+		s.finish(w, resp, start)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// The replay aborted within one step of the deadline: poison
+		// the evaluator (its sessions are mid-program) and answer with
+		// the certificate.
+		s.poison(e)
+		s.degrade(w, resp, pr, params, s.degradeReason(ctx, hr), start)
+	default:
+		// A fault-plan loss or a hook failure: an honest client error,
+		// and a poisoned evaluator either way.
+		s.poison(e)
+		s.fail(w, http.StatusUnprocessableEntity, "prediction failed: %v", err)
+	}
+}
+
+// runEnvelope executes envelope mode: the full Monte-Carlo sweep when
+// the breaker allows it, single-shot prediction when it is open.
+func (s *Server) runEnvelope(w http.ResponseWriter, resp *Response, r *Request, pr *program.Program, params loggp.Params, ctx context.Context, hr *http.Request, start time.Time) {
+	if !s.breaker.allow(time.Now()) {
+		// Breaker open: envelope downgrades to a single standard
+		// prediction — still a simulation, still seeded, just not
+		// Samples of them.
+		resp.Degraded = true
+		resp.DegradeReason = "breaker"
+		s.degraded.Add(1)
+		s.runSimulation(w, resp, r, pr, params, ctx, hr, start)
+		return
+	}
+	samples := r.Samples
+	if samples < 1 {
+		samples = 32
+	}
+	plan, _ := faults.Parse(r.Faults)
+	rcfg := robust.Config{
+		N:       r.Workload.N,
+		P:       r.Workload.Procs,
+		Sizes:   []int{r.Workload.Block},
+		Params:  params,
+		Model:   s.model,
+		Samples: samples,
+		Seed:    r.Seed,
+		Perturb: r.Perturb,
+		Faults:  plan,
+		Workers: 1, // the request already holds exactly one worker slot
+		Ctx:     ctx,
+	}
+	if lay, err := makeLayout(r.Workload.Layout, r.Workload.Procs); err == nil {
+		rcfg.Layout = lay
+	}
+	var envs []robust.Envelope
+	err, panicked := guard(func() (rerr error) {
+		if s.testHook != nil {
+			s.testHook(ctx)
+		}
+		envs, rerr = robust.Run(rcfg)
+		return rerr
+	})
+	switch {
+	case panicked:
+		s.panics.Add(1)
+		s.fail(w, http.StatusInternalServerError, "internal error (envelope panicked; contained)")
+	case err == nil && len(envs) == 1:
+		s.breaker.success()
+		resp.Envelope = &envs[0]
+		s.finish(w, resp, start)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// Per-sample timeout: feed the breaker, degrade to the bound
+		// certificate for this request.
+		s.breaker.timeout(time.Now())
+		s.degrade(w, resp, pr, params, s.degradeReason(ctx, hr), start)
+	case err != nil:
+		s.fail(w, http.StatusUnprocessableEntity, "envelope failed: %v", err)
+	default:
+		s.fail(w, http.StatusInternalServerError, "envelope produced %d results, want 1", len(envs))
+	}
+}
+
+// guard runs fn, converting a panic into (error, true).
+func guard(fn func() error) (err error, panicked bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("panic: %v", v)
+			panicked = true
+		}
+	}()
+	return fn(), false
+}

@@ -1,7 +1,9 @@
 package sweep
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -312,4 +314,80 @@ func FuzzJournalResume(f *testing.F) {
 			t.Fatalf("journal holds %d entries, want %d", j2.Len(), len(items))
 		}
 	})
+}
+
+// TestMapResumeTruncatedFinalRecordByteIdentical is the crash-mid-write
+// scenario end to end: a journal whose final line is cut short at every
+// possible byte offset (the write syscall landed partially before the
+// process died) must resume by discarding the partial record and
+// recomputing exactly that cell, and the resumed sweep's results must be
+// byte-identical — through JSON, the representation the CLIs print and
+// checkpoint — to an uninterrupted run's.
+func TestMapResumeTruncatedFinalRecordByteIdentical(t *testing.T) {
+	items := []int{7, 11, 13}
+	clean, err := Map(items, mkPoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanJSON, err := json.Marshal(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference journal: a completed run.
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+	j, err := OpenJournal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MapResume(j, "s", items, mkPoint, Workers(1)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastLine := bytes.LastIndexByte(bytes.TrimRight(data, "\n"), '\n') + 1
+
+	// Cut the final record at every offset: right after the previous
+	// newline (empty tail), mid-key, mid-float, and just shy of the
+	// trailing newline (complete JSON but no line terminator).
+	for cut := lastLine; cut < len(data); cut++ {
+		path := filepath.Join(dir, fmt.Sprintf("cut%d.jsonl", cut))
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, err := OpenJournal(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		var ran []int
+		got, err := MapResume(j2, "s", items, func(i, v int) (point, error) {
+			ran = append(ran, i)
+			return mkPoint(i, v)
+		}, Workers(1))
+		j2.Close()
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		// The torn cell — and only the torn cell — is recomputed.
+		// (A cut at a line boundary leaves a complete unterminated
+		// record, which the scanner still parses; both outcomes are
+		// correct as long as the results match.)
+		for _, i := range ran {
+			if i != 2 {
+				t.Fatalf("cut %d: recomputed cell %d, want only the torn final cell", cut, i)
+			}
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotJSON, cleanJSON) {
+			t.Fatalf("cut %d: resumed results differ from uninterrupted run:\n got %s\nwant %s",
+				cut, gotJSON, cleanJSON)
+		}
+	}
 }

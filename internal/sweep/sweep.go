@@ -28,6 +28,7 @@ type options struct {
 	workers  int
 	progress func(done, total int)
 	ctx      context.Context
+	limiter  *Limiter
 }
 
 // Option configures a Map call.
@@ -45,6 +46,75 @@ func Workers(n int) Option {
 // ignored (the sweep runs to completion, the zero-option behaviour).
 func Context(ctx context.Context) Option {
 	return func(o *options) { o.ctx = ctx }
+}
+
+// Limiter is a budgeted-submission gate: a counting semaphore shared by
+// any number of sweeps (and by non-sweep work — the serve layer's
+// request workers use one too), bounding their combined concurrency. A
+// single Map call bounds its own fan-out with Workers; a process running
+// several sweeps at once — one per in-flight prediction request, say —
+// needs the bound to hold across all of them, or the offered load
+// multiplies into the worker count and memory follows.
+type Limiter struct {
+	slots chan struct{}
+}
+
+// NewLimiter returns a limiter admitting up to n concurrent holders.
+// Values below 1 select 1.
+func NewLimiter(n int) *Limiter {
+	if n < 1 {
+		n = 1
+	}
+	return &Limiter{slots: make(chan struct{}, n)}
+}
+
+// Cap returns the limiter's concurrency budget.
+func (l *Limiter) Cap() int { return cap(l.slots) }
+
+// InUse returns the number of currently held slots.
+func (l *Limiter) InUse() int { return len(l.slots) }
+
+// Acquire blocks until a slot is free or ctx is done, returning ctx's
+// error in the latter case. A nil ctx blocks indefinitely.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	if ctx == nil {
+		l.slots <- struct{}{}
+		return nil
+	}
+	// A context that is already done must win even when a slot is also
+	// free, so a deadline-expired request never starts late work.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a slot without blocking, reporting whether it got one.
+func (l *Limiter) TryAcquire() bool {
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot taken by Acquire or TryAcquire.
+func (l *Limiter) Release() { <-l.slots }
+
+// Limit gates the sweep through a shared limiter: every worker acquires
+// a slot before claiming an item and releases it after the item
+// completes, so the combined concurrency of all work sharing the limiter
+// never exceeds its budget. Combined with Context, a cancellation that
+// arrives while a worker is waiting for a slot aborts the wait. A nil
+// limiter is ignored.
+func Limit(l *Limiter) Option {
+	return func(o *options) { o.limiter = l }
 }
 
 // Progress installs a callback invoked after each item completes, with
@@ -148,9 +218,21 @@ func Map[T, R any](items []T, fn func(i int, item T) (R, error), opts ...Option)
 				if o.ctx != nil && o.ctx.Err() != nil {
 					return
 				}
+				if o.limiter != nil {
+					// Budgeted submission: hold a shared slot for the
+					// duration of one item. Waiting respects the sweep's
+					// context, so a cancelled sweep does not queue up for
+					// budget it will never use.
+					if err := o.limiter.Acquire(o.ctx); err != nil {
+						return
+					}
+				}
 				mu.Lock()
 				if errIdx >= 0 || next >= len(items) {
 					mu.Unlock()
+					if o.limiter != nil {
+						o.limiter.Release()
+					}
 					return
 				}
 				i := next
@@ -158,6 +240,9 @@ func Map[T, R any](items []T, fn func(i int, item T) (R, error), opts ...Option)
 				mu.Unlock()
 
 				r, err := runItem(fn, i, items[i])
+				if o.limiter != nil {
+					o.limiter.Release()
+				}
 
 				mu.Lock()
 				if err != nil {

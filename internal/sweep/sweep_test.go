@@ -260,3 +260,95 @@ func TestMapContextCompletedSweepIgnoresLateCancel(t *testing.T) {
 		t.Fatalf("got %d results, want 10", len(got))
 	}
 }
+
+// TestLimiterBoundsCombinedConcurrency runs two sweeps sharing one
+// Limiter and asserts the number of simultaneously executing items never
+// exceeds the shared budget, even though each sweep alone has more
+// workers than that.
+func TestLimiterBoundsCombinedConcurrency(t *testing.T) {
+	const budget = 2
+	lim := NewLimiter(budget)
+	if lim.Cap() != budget {
+		t.Fatalf("Cap = %d, want %d", lim.Cap(), budget)
+	}
+	var running, peak atomic.Int32
+	fn := func(i, v int) (int, error) {
+		n := running.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		defer running.Add(-1)
+		return v, nil
+	}
+	items := make([]int, 40)
+	var wg sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := Map(items, fn, Workers(8), Limit(lim)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > budget {
+		t.Fatalf("peak concurrency %d exceeds shared budget %d", p, budget)
+	}
+	if lim.InUse() != 0 {
+		t.Fatalf("%d slots still held after both sweeps finished", lim.InUse())
+	}
+}
+
+// TestLimiterAcquireRespectsContext pins the deadline behaviour the
+// serve layer leans on: a request waiting for budget must give up the
+// moment its deadline expires, and an already-expired context must lose
+// even when a slot is free.
+func TestLimiterAcquireRespectsContext(t *testing.T) {
+	lim := NewLimiter(1)
+	if err := lim.Acquire(nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := lim.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire on exhausted limiter with cancelled ctx = %v, want context.Canceled", err)
+	}
+	lim.Release()
+	// Slot free, context already done: the context still wins.
+	if err := lim.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire with pre-cancelled ctx = %v, want context.Canceled", err)
+	}
+	if !lim.TryAcquire() {
+		t.Fatal("TryAcquire failed on an idle limiter")
+	}
+	if lim.TryAcquire() {
+		t.Fatal("TryAcquire succeeded past the budget")
+	}
+	lim.Release()
+}
+
+// TestMapLimitCancelledWhileWaiting cancels a sweep whose workers are
+// parked waiting for limiter budget held by someone else: the sweep must
+// return the context error instead of deadlocking.
+func TestMapLimitCancelledWhileWaiting(t *testing.T) {
+	lim := NewLimiter(1)
+	if err := lim.Acquire(nil); err != nil { // exhaust the budget
+		t.Fatal(err)
+	}
+	defer lim.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := Map([]int{1, 2, 3}, func(i, v int) (int, error) { return v, nil },
+			Workers(2), Limit(lim), Context(ctx))
+		done <- err
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Map = %v, want context.Canceled", err)
+	}
+}

@@ -12,6 +12,9 @@
 #                  scheduler results to BENCH_scheduler.json and the
 #                  fault-hook overhead results to BENCH_faults.json
 #   make sweep   — serial-vs-parallel sweep benchmark pair only
+#   make bench-envelope — Figure-7 envelope throughput, scalar vs
+#                  lockstep lane engine, at samples 16/64/256; writes
+#                  BENCH_envelope.json
 #   make fuzz-smoke — short fuzz of the fault injector and the
 #                  checkpoint/resume journal (part of ci)
 #   make serve-smoke — boot the real predictd binary on an ephemeral
@@ -25,7 +28,7 @@ GO ?= go
 LOGGPVET := $(CURDIR)/bin/loggpvet
 FUZZTIME ?= 15s
 
-.PHONY: all build test vet lint race diff bench sweep fuzz-smoke serve-smoke ci
+.PHONY: all build test vet lint race diff bench sweep bench-envelope fuzz-smoke serve-smoke ci
 
 all: ci
 
@@ -55,10 +58,14 @@ race:
 # The indexed scheduler cores must stay bit-identical to the reference
 # scans (DESIGN.md §perf); run the differential suites under -race so a
 # data race in the session-reuse machinery cannot hide behind identical
-# output.
+# output. The lockstep lane engine and the certificate shape pricer make
+# the same claim against scalar replays (DESIGN.md §5h), so their
+# differential suites run here too.
 diff:
 	$(GO) test -race -run 'Reference|Reset|Reconfigure|Fuzz' \
 		./internal/sim ./internal/worstcase
+	$(GO) test -race -run 'Lockstep|Shape|Lanes' \
+		./internal/robust ./internal/analyze ./internal/lanes
 
 # Figure-level benchmarks (repo root) plus the scheduler-core stress
 # benchmarks; the scheduler run is also recorded, with -benchmem, as
@@ -76,6 +83,16 @@ bench:
 
 sweep:
 	$(GO) test -run NONE -bench 'BenchmarkSweep(Serial|Parallel)|BenchmarkQuietModeSimulation' -benchmem .
+
+# Envelope-throughput benchmark: the Figure-7 sweep at samples 16/64/256
+# through the scalar per-sample path and the lockstep lane engine, both
+# recorded as test2json output in BENCH_envelope.json so the batched
+# path's speedup is tracked in-repo. The scalar s256 leg alone runs for
+# minutes; the long -timeout is deliberate.
+bench-envelope:
+	$(GO) test -run NONE -json -benchmem -benchtime 1x -timeout 120m \
+		-bench 'BenchmarkEnvelope(Scalar|Lockstep)' ./internal/robust \
+		> BENCH_envelope.json
 
 # Short fuzz runs of the two robustness-critical state machines: the
 # fault injector's retry/backoff accounting (clock monotonicity, no lost

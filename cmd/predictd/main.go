@@ -8,7 +8,7 @@
 //
 //	predictd [-addr :8080] [-workers 0] [-queue -1] [-deadline 5s]
 //	         [-max-deadline 60s] [-budget 0] [-drain-grace 1s]
-//	         [-drain-timeout 10s]
+//	         [-drain-timeout 10s] [-pprof]
 //
 // Endpoints:
 //
@@ -16,6 +16,7 @@
 //	GET  /healthz  liveness (200 while the process runs)
 //	GET  /readyz   readiness (503 once draining)
 //	GET  /statsz   counters: accepted/shed/rejected/degraded/panics
+//	GET  /debug/pprof/...  runtime profiles, only with -pprof
 //
 // On SIGINT/SIGTERM the server stops admitting work, lets in-flight
 // requests run for the drain grace, bound-downgrades the rest, and
@@ -46,6 +47,7 @@ func main() {
 	budget := flag.Float64("budget", 0, "default per-request work budget in analyze.Work units (0 = server default)")
 	drainGrace := flag.Duration("drain-grace", time.Second, "how long in-flight requests keep running after a shutdown signal before degrading to bound certificates")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "hard cap on the whole shutdown")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; profiles expose internals)")
 	flag.Parse()
 
 	// The flag's -1 means "default" (2×workers) while serve.Config uses
@@ -63,6 +65,7 @@ func main() {
 		MaxDeadline:     *maxDeadline,
 		DefaultBudget:   *budget,
 		DrainGrace:      *drainGrace,
+		Pprof:           *pprofFlag,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

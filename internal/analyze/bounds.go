@@ -200,6 +200,10 @@ type boundState struct {
 	ops      []int       // network operations per processor
 	arrivals [][]float64 // arrival lower bounds per receiver
 	stepIvx  []float64   // max ivx among the processor's step messages
+	// sorter, when non-nil, replaces the default arrivals sort with the
+	// pricer's run merge (see runSorter). The result is the same
+	// ascending sequence either way.
+	sorter *runSorter
 }
 
 func newBoundState(p int) *boundState {
@@ -208,6 +212,16 @@ func newBoundState(p int) *boundState {
 		sendAt: make([]float64, p), sumTerm: make([]float64, p),
 		maxTerm: make([]float64, p), ops: make([]int, p),
 		arrivals: make([][]float64, p), stepIvx: make([]float64, p),
+	}
+}
+
+// reset zeroes the chained clocks and gap-state carries, returning the
+// state to its freshly constructed condition; the per-step scratch needs
+// no clearing (communicate re-initializes it). The shape pricer reuses
+// one state across Bound calls through it.
+func (st *boundState) reset() {
+	for q := range st.lo {
+		st.lo[q], st.hi[q], st.carry[q] = 0, 0, 0
 	}
 }
 
@@ -281,7 +295,14 @@ func (st *boundState) communicate(pt *trace.Pattern, p loggp.Params) (lo, hi flo
 	if netMsgs == 0 {
 		return st.finish()
 	}
+	return st.finishStep(p, gLo, ubSum)
+}
 
+// finishStep folds the per-message quantities accumulated by a step's
+// message loop into the chained bounds and returns the resulting global
+// bounds. Shared by the pattern path (communicate) and the shape
+// pricer, so the two produce bit-identical folds.
+func (st *boundState) finishStep(p loggp.Params, gLo, ubSum float64) (lo, hi float64) {
 	// Upper bound: horizon start among participants, plus the carried
 	// gap state, plus the serialized per-message budget.
 	h0, sumCarry := math.Inf(-1), 0.0
@@ -307,7 +328,20 @@ func (st *boundState) communicate(pt *trace.Pattern, p loggp.Params) (lo, hi flo
 		}
 		clock := st.lo[q] + st.sumTerm[q] - st.maxTerm[q] + p.O // op-count chain
 		if arr := st.arrivals[q]; len(arr) > 0 {
-			slices.Sort(arr)
+			// Ascending order; any sort yields the same array, so short
+			// runs — the overwhelmingly common case — take an insertion
+			// sort instead of paying slices.Sort's dispatch overhead.
+			if st.sorter != nil {
+				st.sorter.sort(arr)
+			} else if len(arr) <= 24 {
+				for i := 1; i < len(arr); i++ {
+					for j := i; j > 0 && arr[j] < arr[j-1]; j-- {
+						arr[j], arr[j-1] = arr[j-1], arr[j]
+					}
+				}
+			} else {
+				slices.Sort(arr)
+			}
 			t := math.Inf(-1)
 			for _, a := range arr {
 				t = max(a, t+delta)

@@ -1,0 +1,367 @@
+// Program shapes: the structural half of a bound certificate, computed
+// once and re-priced per LogGP parameter vector.
+//
+// BoundProgram re-derives everything from scratch on every call:
+// program validation, per-step cost sums, and the walk over every
+// message. A Monte-Carlo envelope prices the same program under
+// hundreds of perturbed parameter vectors, so the robust sweep hoists
+// the parameter-independent work into a ProgramShape — validation, the
+// per-step computation charges (the cost model is not perturbed), and a
+// byte-class decomposition of every communication step — and re-prices
+// only the LogGP terms per sample. Each distinct message size maps to a
+// class; term(k), ivx(k) and ArrivalDelay(k) depend on the parameters
+// and the size alone, so a Bound call evaluates them once per class
+// instead of once per message, with the identical expressions, and the
+// per-message fold accumulates the identical float64 sequence. Bounds
+// from a Pricer are bit-identical to BoundProgram's (asserted by
+// TestShapePricerMatchesBoundProgram).
+package analyze
+
+import (
+	"fmt"
+
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/program"
+)
+
+// ProgramShape is the parameter-independent structure of a program's
+// bound certificate. Build it once per program with NewProgramShape,
+// then price it under any number of LogGP parameter vectors through
+// Pricer. A shape is immutable after construction and safe to share;
+// each goroutine needs its own Pricer.
+type ProgramShape struct {
+	p          int
+	classBytes []int // class id -> message size in bytes
+	steps      []shapeStep
+}
+
+type shapeStep struct {
+	durs []float64 // per-processor summed model costs
+	msgs []shapeMsg
+
+	// Receive-chain sort structure. A receiver's arrival array is a
+	// union of runs, one per (sender, class) pair, and within a run the
+	// arrivals are nondecreasing under every parameter vector: the
+	// sender's send chain only grows and the arrival delay is fixed by
+	// the class. The pricer therefore scatters arrivals into per-run
+	// segments (arrSlot gives each message's slot in its receiver's
+	// array) and sorts by merging the ≤ runs-per-receiver presorted
+	// segments instead of comparison-sorting n arbitrary floats.
+	arrSlot []int32 // per message: slot within arrivals[dst]
+	arrLen  []int32 // per processor: arrivals collected
+	bndIdx  []int32 // len p+1: run-boundary range per receiver
+	runBnd  []int32 // boundary lists: [0, end1, .., arrLen] per receiver
+}
+
+// shapeMsg is one network message with its size replaced by a byte
+// class; self messages are dropped at shape build (they are skipped by
+// the certificate's message loop anyway, so the fold is unchanged).
+type shapeMsg struct {
+	src, dst, class int32
+}
+
+// NewProgramShape validates the program once and extracts everything a
+// bound certificate needs that does not depend on the LogGP
+// parameters: the per-step per-processor computation charges and each
+// step's network messages keyed by byte class.
+func NewProgramShape(pr *program.Program, model costModel) (*ProgramShape, error) {
+	if model == nil {
+		return nil, fmt.Errorf("analyze: no cost model")
+	}
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	sh := &ProgramShape{p: pr.P}
+	sh.steps = make([]shapeStep, 0, len(pr.Steps))
+	classOf := make(map[int]int32)
+	for _, s := range pr.Steps {
+		st := shapeStep{durs: make([]float64, pr.P)}
+		for q := range st.durs {
+			d := 0.0
+			for _, call := range s.Comp[q] {
+				d += model.Cost(call.Op, call.BlockSize)
+			}
+			st.durs[q] = d
+		}
+		for _, m := range s.Comm.Msgs {
+			if m.Src == m.Dst {
+				continue // local transfer: never scheduled, never priced
+			}
+			c, ok := classOf[m.Bytes]
+			if !ok {
+				c = int32(len(sh.classBytes))
+				classOf[m.Bytes] = c
+				sh.classBytes = append(sh.classBytes, m.Bytes)
+			}
+			st.msgs = append(st.msgs, shapeMsg{src: int32(m.Src), dst: int32(m.Dst), class: c})
+		}
+		st.buildRuns(pr.P)
+		sh.steps = append(sh.steps, st)
+	}
+	return sh, nil
+}
+
+// buildRuns derives the step's receive-chain sort structure: run ids
+// per (dst, src, class) in first-appearance order, run segments grouped
+// per receiver, and each message's slot in its receiver's array.
+func (st *shapeStep) buildRuns(p int) {
+	if len(st.msgs) == 0 {
+		return
+	}
+	type runInfo struct{ dst, cnt int32 }
+	runID := make(map[int64]int32)
+	var runs []runInfo
+	msgRun := make([]int32, len(st.msgs))
+	for i, m := range st.msgs {
+		key := int64(m.dst)<<42 | int64(m.src)<<21 | int64(m.class)
+		r, ok := runID[key]
+		if !ok {
+			r = int32(len(runs))
+			runID[key] = r
+			runs = append(runs, runInfo{dst: m.dst})
+		}
+		runs[r].cnt++
+		msgRun[i] = r
+	}
+	// Lay the runs out receiver-major (appearance order within each
+	// receiver) and record the boundary lists the merge consumes.
+	st.arrLen = make([]int32, p)
+	st.bndIdx = make([]int32, p+1)
+	runBase := make([]int32, len(runs))
+	for dst := 0; dst < p; dst++ {
+		st.bndIdx[dst] = int32(len(st.runBnd))
+		cum := int32(0)
+		started := false
+		for r := range runs {
+			if int(runs[r].dst) != dst {
+				continue
+			}
+			if !started {
+				st.runBnd = append(st.runBnd, 0)
+				started = true
+			}
+			runBase[r] = cum
+			cum += runs[r].cnt
+			st.runBnd = append(st.runBnd, cum)
+		}
+		st.arrLen[dst] = cum
+	}
+	st.bndIdx[p] = int32(len(st.runBnd))
+	st.arrSlot = make([]int32, len(st.msgs))
+	fill := make([]int32, len(runs))
+	for i := range st.msgs {
+		r := msgRun[i]
+		st.arrSlot[i] = runBase[r] + fill[r]
+		fill[r]++
+	}
+}
+
+// Steps returns the number of program steps the shape summarizes.
+func (sh *ProgramShape) Steps() int { return len(sh.steps) }
+
+// Pricer returns a re-pricer over the shape with its own chained bound
+// state and class tables, so repeated Bound calls allocate only the
+// returned Bounds. A Pricer must not be used concurrently; shapes are
+// shared, pricers are per-goroutine.
+func (sh *ProgramShape) Pricer() *Pricer {
+	n := len(sh.classBytes)
+	pc := &Pricer{
+		sh:   sh,
+		st:   newBoundState(sh.p),
+		term: make([]float64, n),
+		ad:   make([]float64, n),
+		ivx:  make([]float64, n),
+		ub:   make([]float64, n),
+	}
+	pc.st.sorter = &pc.sorter
+	return pc
+}
+
+// Pricer prices a ProgramShape under successive LogGP parameter
+// vectors.
+type Pricer struct {
+	sh     *ProgramShape
+	st     *boundState
+	sorter runSorter
+	// Per-class tables, filled per Bound call: term(k), ArrivalDelay(k),
+	// ivx(k) and the upper bound's per-message budget 2·ivx + AD + o.
+	term, ad, ivx, ub []float64
+}
+
+// Bound prices the shape under params and returns the whole-program
+// certificate, bit-identical to BoundProgram(pr, params, model) for the
+// program and model the shape was built from.
+func (pc *Pricer) Bound(params loggp.Params) (*Bounds, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if pc.sh.p > params.P {
+		return nil, fmt.Errorf("analyze: program uses %d processors but machine has P=%d", pc.sh.p, params.P)
+	}
+	p := params
+	gLo := p.Gap
+	if p.NoCrossGap {
+		gLo = 0
+	}
+	// The class tables evaluate exactly the expressions the per-message
+	// loop of boundState.communicate evaluates, once per distinct size.
+	for c, bytes := range pc.sh.classBytes {
+		ser := p.Serialization(bytes)
+		ad := p.ArrivalDelay(bytes)
+		x := max(p.Gap, p.O, ser) - p.O
+		pc.term[c] = max(gLo, p.O, ser)
+		pc.ad[c] = ad
+		pc.ivx[c] = x
+		pc.ub[c] = 2*x + ad + p.O
+	}
+	st := pc.st
+	st.reset()
+	b := &Bounds{PerStep: make([]StepBounds, 0, len(pc.sh.steps))}
+	for i := range pc.sh.steps {
+		s := &pc.sh.steps[i]
+		st.compute(s.durs)
+		lo, hi := pc.communicate(s, p, gLo)
+		b.PerStep = append(b.PerStep, StepBounds{Lower: lo, Upper: hi})
+	}
+	b.Lower, b.Upper = st.finish()
+	return b, nil
+}
+
+// runSorter sorts the receive-chain arrival arrays of a Bound call by
+// merging their presorted (sender, class) runs — two-way cascades over
+// contiguous segments, O(n log k) for k runs per receiver where a
+// comparison sort pays O(n log n) on n arbitrary floats. The pricer's
+// communicate queues each receiver's boundary list (from the shape) in
+// processor order, the exact order finishStep sorts in, so a cursor
+// pairs every sort with its boundaries. Ascending output is the unique
+// sorted sequence whatever produced it, which keeps Bound bit-identical
+// to BoundProgram.
+type runSorter struct {
+	queue [][]int32 // per-receiver boundary lists, in sort-call order
+	next  int       // cursor: boundary lists consumed
+	buf   []float64 // merge scratch
+	bnd   []int32   // per-level boundary scratch
+}
+
+func (rs *runSorter) begin() {
+	rs.queue = rs.queue[:0]
+	rs.next = 0
+}
+
+func (rs *runSorter) push(bnd []int32) { rs.queue = append(rs.queue, bnd) }
+
+func (rs *runSorter) sort(arr []float64) {
+	bnd := rs.queue[rs.next]
+	rs.next++
+	if len(bnd) <= 2 {
+		return // zero or one run: already ascending
+	}
+	// Tiny arrays: insertion sort beats merge bookkeeping.
+	if len(arr) <= 24 {
+		for i := 1; i < len(arr); i++ {
+			for j := i; j > 0 && arr[j] < arr[j-1]; j-- {
+				arr[j], arr[j-1] = arr[j-1], arr[j]
+			}
+		}
+		return
+	}
+	if cap(rs.buf) < len(arr) {
+		rs.buf = make([]float64, len(arr))
+	}
+	buf := rs.buf[:len(arr)]
+	// Pairwise cascade: each level halves the run count, ping-ponging
+	// between arr and buf. Boundaries compact in place (every write
+	// lands at or before the reads it follows).
+	rs.bnd = append(rs.bnd[:0], bnd...)
+	cur := rs.bnd
+	src, dst := arr, buf
+	for len(cur) > 2 {
+		w := 1
+		i := 0
+		for ; i+2 < len(cur); i += 2 {
+			lo, mid, hi := cur[i], cur[i+1], cur[i+2]
+			mergeRuns(dst[lo:hi], src[lo:mid], src[mid:hi])
+			cur[w] = hi
+			w++
+		}
+		if i+1 < len(cur) { // odd run out: carry it to the next level
+			copy(dst[cur[i]:cur[i+1]], src[cur[i]:cur[i+1]])
+			cur[w] = cur[i+1]
+			w++
+		}
+		cur = cur[:w]
+		src, dst = dst, src
+	}
+	if &src[0] != &arr[0] {
+		copy(arr, src)
+	}
+}
+
+// mergeRuns merges two ascending runs into out (len(out) = len(a)+len(b)).
+func mergeRuns(out, a, b []float64) {
+	i, j := 0, 0
+	for k := range out {
+		if i < len(a) && (j >= len(b) || a[i] <= b[j]) {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+	}
+}
+
+// communicate is boundState.communicate with the per-message parameter
+// expressions served from the class tables: the same accumulations in
+// the same order, folded by the shared finishStep. Arrivals scatter
+// into their shape-assigned run segments (the multiset per receiver is
+// unchanged, and only the sorted sequence feeds the fold), and the
+// boundary lists queue up for the run-merging sort.
+func (pc *Pricer) communicate(s *shapeStep, p loggp.Params, gLo float64) (lo, hi float64) {
+	st := pc.st
+	for q := range st.sendAt {
+		st.sendAt[q] = st.lo[q]
+		st.sumTerm[q], st.maxTerm[q] = 0, 0
+		st.ops[q] = 0
+		st.arrivals[q] = st.arrivals[q][:0]
+		st.stepIvx[q] = 0
+	}
+	if len(s.msgs) == 0 {
+		return st.finish()
+	}
+	for q := range st.arrivals {
+		if n := int(s.arrLen[q]); cap(st.arrivals[q]) < n {
+			st.arrivals[q] = make([]float64, n)
+		} else {
+			st.arrivals[q] = st.arrivals[q][:n]
+		}
+	}
+	ubSum := 0.0
+	for i := range s.msgs {
+		m := &s.msgs[i]
+		src, dst, c := m.src, m.dst, m.class
+		t := pc.term[c]
+		// Sender side.
+		st.arrivals[dst][s.arrSlot[i]] = st.sendAt[src] + pc.ad[c]
+		st.sendAt[src] += t
+		st.sumTerm[src] += t
+		st.maxTerm[src] = max(st.maxTerm[src], t)
+		st.ops[src]++
+		// Receiver side.
+		st.sumTerm[dst] += t
+		st.maxTerm[dst] = max(st.maxTerm[dst], t)
+		st.ops[dst]++
+		// Upper bound accumulation.
+		x := pc.ivx[c]
+		ubSum += pc.ub[c]
+		st.stepIvx[src] = max(st.stepIvx[src], x)
+		st.stepIvx[dst] = max(st.stepIvx[dst], x)
+	}
+	pc.sorter.begin()
+	for q := 0; q < pc.sh.p; q++ {
+		if s.arrLen[q] > 0 {
+			pc.sorter.push(s.runBnd[s.bndIdx[q]:s.bndIdx[q+1]])
+		}
+	}
+	return st.finishStep(p, gLo, ubSum)
+}

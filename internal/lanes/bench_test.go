@@ -1,0 +1,40 @@
+package lanes_test
+
+// Engine micro-benchmark on the dominant Figure-7 instance (960x960,
+// b=8, P=8): isolates the lockstep scheduler cores from the rest of
+// the envelope pipeline for optimization work.
+
+import (
+	"testing"
+
+	"loggpsim/internal/cost"
+	"loggpsim/internal/ge"
+	"loggpsim/internal/lanes"
+	"loggpsim/internal/layout"
+	"loggpsim/internal/loggp"
+)
+
+func BenchmarkEngineFigure7B8(b *testing.B) {
+	g, err := ge.NewGrid(960, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := ge.BuildProgram(g, layout.Diagonal(8, g.NB))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ls := make([]lanes.Lane, 64)
+	for i := range ls {
+		m := loggp.MeikoCS2(8)
+		m.L *= 1 + 0.001*float64(i)
+		ls[i] = lanes.Lane{Params: m, Seed: int64(i + 1)}
+	}
+	var eng lanes.Engine
+	cfg := lanes.Config{Cost: cost.DefaultAnalytic()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(pr, cfg, ls); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package lanes_test
+
+// The lane engine's contract is bit-identity: every lane must finish at
+// exactly the totals a scalar predictor replay produces for the same
+// configuration. The corpus stresses every divergence source the
+// schedulers have — tie-break RNG consumption (symmetric patterns),
+// worst-case deadlock releases (cyclic rings), rendezvous and
+// no-cross-gap machines, mixed message sizes (byte classes), fault
+// retransmits, jitter, stragglers, degradation windows, and lanes that
+// lose a message and are masked out mid-run.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"loggpsim/internal/blockops"
+	"loggpsim/internal/cost"
+	"loggpsim/internal/faults"
+	"loggpsim/internal/ge"
+	"loggpsim/internal/lanes"
+	"loggpsim/internal/layout"
+	"loggpsim/internal/loggp"
+	"loggpsim/internal/predictor"
+	"loggpsim/internal/program"
+	"loggpsim/internal/trace"
+)
+
+// build wraps patterns into a program, interleaving computation phases
+// of uneven per-processor cost so clocks both collide (consuming
+// tie-break randomness) and spread (reordering sends).
+func build(p int, pats ...*trace.Pattern) *program.Program {
+	pr := program.New(p)
+	for i, pt := range pats {
+		s := pr.AddStep()
+		for q := 0; q < p; q++ {
+			for r := 0; r < (i+q)%3; r++ {
+				s.AddOp(q, blockops.Op1, 8+q%2)
+			}
+		}
+		s.Comm = pt
+	}
+	return pr
+}
+
+func corpus(t *testing.T) map[string]*program.Program {
+	t.Helper()
+	grid, err := ge.NewGrid(96, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gePr, err := ge.BuildProgram(grid, layout.Diagonal(6, grid.NB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*program.Program{
+		// Cyclic rings every step: the worst-case scheduler deadlocks and
+		// must consume its release RNG repeatedly.
+		"rings":     build(6, trace.Ring(6, 112), trace.Ring(6, 112), trace.Ring(6, 700)),
+		"symmetric": build(8, trace.AllToAll(8, 64), trace.Butterfly(3, 512)),
+		"figure3":   build(10, trace.Figure3()),
+		// Mixed message sizes across steps: many byte classes.
+		"random": build(9, trace.Random(9, 40, 2048, 5), trace.RandomDAG(9, 30, 4096, 3), trace.Shift(9, 2, 300)),
+		"empty":  build(4, trace.New(4), trace.New(4)),
+		"ge":     gePr,
+	}
+}
+
+// machines returns lane machine variants for p processors: presets, an
+// ablated no-cross-gap machine, and a rendezvous threshold splitting
+// the corpus' message sizes across both protocols.
+func machines(p int) []loggp.Params {
+	noCross := loggp.MeikoCS2(p)
+	noCross.NoCrossGap = true
+	rendez := loggp.Cluster(p)
+	rendez.S = 256
+	return []loggp.Params{loggp.MeikoCS2(p), loggp.LowOverhead(p), noCross, rendez}
+}
+
+func plans() []faults.Plan {
+	return []faults.Plan{
+		{},
+		{Seed: 3, Drop: faults.Drop{Prob: 0.1}},
+		{Seed: 9, Drop: faults.Drop{Prob: 0.08}, Compute: faults.Compute{Jitter: 0.4, Stragglers: 2, Factor: 3}},
+		{Seed: 5, Degrade: []faults.Degrade{{Start: 10, End: 500, GScale: 2.5, LScale: 2}}},
+		// Tight retry budget: lanes will lose messages and mask out.
+		{Seed: 7, Drop: faults.Drop{Prob: 0.3, MaxRetries: 1}},
+	}
+}
+
+// TestLanesMatchScalarPredictor fans every corpus program across lanes
+// covering the machine × seed × fault-plan grid in one engine run, then
+// replays each lane scalar through the predictor and demands exact
+// equality — totals bitwise, losses on exactly the same lanes.
+func TestLanesMatchScalarPredictor(t *testing.T) {
+	model := cost.DefaultAnalytic()
+	for name, pr := range corpus(t) {
+		t.Run(name, func(t *testing.T) {
+			var ls []lanes.Lane
+			for mi, m := range machines(pr.P) {
+				for si, seed := range []int64{1, 42, 999} {
+					plan := plans()[(mi+si)%len(plans())]
+					// Scale a couple of parameters so lanes disagree on the
+					// LogGP vector, not just on seeds and faults.
+					m := m
+					m.L *= 1 + 0.1*float64(si)
+					m.Gap *= 1 + 0.05*float64(mi)
+					ls = append(ls, lanes.Lane{Params: m, Seed: seed, Faults: plan})
+				}
+			}
+			var eng lanes.Engine
+			results, err := eng.Run(pr, lanes.Config{Cost: model}, ls)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := predictor.NewEvaluator()
+			lost := 0
+			for l, res := range results {
+				var pred predictor.Prediction
+				cfg := predictor.Config{Params: ls[l].Params, Cost: model, Seed: ls[l].Seed, Faults: ls[l].Faults}
+				refErr := e.PredictInto(&pred, pr, cfg)
+				if refErr != nil {
+					var le *faults.LossError
+					if !errors.As(refErr, &le) {
+						t.Fatalf("lane %d: scalar reference failed: %v", l, refErr)
+					}
+					if res.Err == nil || !errors.As(res.Err, &le) {
+						t.Fatalf("lane %d: scalar lost a message (%v); lane returned %v, %g/%g",
+							l, refErr, res.Err, res.Total, res.TotalWorst)
+					}
+					lost++
+					continue
+				}
+				if res.Err != nil {
+					t.Fatalf("lane %d: scalar succeeded but lane failed: %v", l, res.Err)
+				}
+				if res.Total != pred.Total || res.TotalWorst != pred.TotalWorst {
+					t.Fatalf("lane %d: totals diverge from scalar replay:\nscalar %g / %g\nlane   %g / %g",
+						l, pred.Total, pred.TotalWorst, res.Total, res.TotalWorst)
+				}
+			}
+			if name == "rings" && lost == 0 {
+				t.Fatal("no ring lane lost a message; masking went unexercised")
+			}
+		})
+	}
+}
+
+// TestEngineReuse runs the same engine across different programs and
+// lane counts; storage reuse must not leak state between runs.
+func TestEngineReuse(t *testing.T) {
+	model := cost.DefaultAnalytic()
+	prs := corpus(t)
+	var eng lanes.Engine
+	for _, name := range []string{"rings", "random", "rings", "empty", "symmetric", "rings"} {
+		pr := prs[name]
+		n := 3 + len(name)%4
+		ls := make([]lanes.Lane, n)
+		for i := range ls {
+			ls[i] = lanes.Lane{Params: loggp.MeikoCS2(pr.P), Seed: int64(i + 1)}
+		}
+		reused, err := eng.Run(pr, lanes.Config{Cost: model}, ls)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fresh, err := lanes.Run(pr, lanes.Config{Cost: model}, ls)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for l := range ls {
+			if reused[l] != fresh[l] {
+				t.Fatalf("%s lane %d: reused engine diverges: %+v vs %+v", name, l, reused[l], fresh[l])
+			}
+		}
+	}
+}
+
+// TestLaneIsolation checks that a lane rejected at configuration time
+// (bad parameters, machine too small) fails alone.
+func TestLaneIsolation(t *testing.T) {
+	pr := build(4, trace.Ring(4, 128))
+	ls := []lanes.Lane{
+		{Params: loggp.MeikoCS2(4), Seed: 1},
+		{Params: loggp.Params{L: -5, O: 1, Gap: 1, P: 4}, Seed: 1},
+		{Params: loggp.MeikoCS2(2), Seed: 1},
+		{Params: loggp.MeikoCS2(4), Seed: 1},
+	}
+	results, err := lanes.Run(pr, lanes.Config{Cost: cost.DefaultAnalytic()}, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[1].Err == nil || results[2].Err == nil {
+		t.Fatalf("invalid lanes accepted: %+v", results)
+	}
+	if results[0].Err != nil || results[3].Err != nil {
+		t.Fatalf("valid lanes poisoned by invalid neighbours: %+v", results)
+	}
+	if results[0] != results[3] {
+		t.Fatalf("identical lanes disagree: %+v vs %+v", results[0], results[3])
+	}
+}
+
+// TestRunRejectsBadInput covers the shared-input errors.
+func TestRunRejectsBadInput(t *testing.T) {
+	pr := build(2, trace.New(2).Add(0, 1, 64))
+	if _, err := lanes.Run(pr, lanes.Config{}, []lanes.Lane{{Params: loggp.MeikoCS2(2)}}); err == nil {
+		t.Fatal("nil cost model accepted")
+	}
+	if _, err := lanes.Run(pr, lanes.Config{Cost: cost.DefaultAnalytic()}, nil); err == nil {
+		t.Fatal("empty lane set accepted")
+	}
+}
+
+// TestContextCancellation checks the lane-step deadline granularity: a
+// pre-cancelled context aborts the whole run with the context's error.
+func TestContextCancellation(t *testing.T) {
+	pr := build(4, trace.Ring(4, 128), trace.Ring(4, 128))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := lanes.Run(pr, lanes.Config{Cost: cost.DefaultAnalytic(), Ctx: ctx},
+		[]lanes.Lane{{Params: loggp.MeikoCS2(4), Seed: 1}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestLostLanePreservesLossError pins the error contract: a lost lane's
+// error chain must expose the *faults.LossError so callers can separate
+// losses from internal failures, as robust does.
+func TestLostLanePreservesLossError(t *testing.T) {
+	pr := build(4, trace.AllToAll(4, 256), trace.AllToAll(4, 256))
+	ls := []lanes.Lane{{
+		Params: loggp.MeikoCS2(4),
+		Seed:   2,
+		Faults: faults.Plan{Seed: 1, Drop: faults.Drop{Prob: 0.95, MaxRetries: 1}},
+	}}
+	results, err := lanes.Run(pr, lanes.Config{Cost: cost.DefaultAnalytic()}, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var le *faults.LossError
+	if results[0].Err == nil || !errors.As(results[0].Err, &le) {
+		t.Fatalf("lost lane error %v does not expose *faults.LossError", results[0].Err)
+	}
+	if fmt.Sprint(le) == "" {
+		t.Fatal("empty loss error")
+	}
+}

@@ -58,19 +58,22 @@ func (f Finding) String() string {
 // timelinePkgs are the package names whose code constructs or orders the
 // simulated timeline: map iteration order must not leak into them. The
 // fault injector (faults) and the Monte-Carlo envelope sweep (robust)
-// feed charges and seeds into the schedulers, so they are covered too.
+// feed charges and seeds into the schedulers, so they are covered too,
+// as is the lockstep lane engine (lanes), which re-implements both
+// scheduler cores.
 var timelinePkgs = map[string]bool{
 	"sim": true, "worstcase": true, "eventq": true, "timeline": true,
-	"faults": true, "robust": true,
+	"faults": true, "robust": true, "lanes": true,
 }
 
 // schedulerPkgs are the package names that own virtual time and seeded
 // randomness: the global RNG and the wall clock are forbidden there.
 // faults and robust derive all randomness from hashes of Plan.Seed and
-// sweep.Seed, so the same prohibition applies.
+// sweep.Seed, and lanes owns per-lane tie-break streams, so the same
+// prohibition applies.
 var schedulerPkgs = map[string]bool{
 	"sim": true, "worstcase": true, "eventq": true,
-	"faults": true, "robust": true,
+	"faults": true, "robust": true, "lanes": true,
 }
 
 // servicePkgs are the prediction-service layers (internal/serve,

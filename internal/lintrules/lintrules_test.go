@@ -109,6 +109,7 @@ func TestRulesOnFixtures(t *testing.T) {
 		{"sim", "lintfixtures/sim", true}, // _test.go loaded and must stay exempt
 		{"worstcase", "lintfixtures/worstcase", false},
 		{"eventq", "lintfixtures/eventq", false},
+		{"lanes", "lintfixtures/lanes", false}, // lockstep engine: all three rule families
 		{"serve", "lintfixtures/serve", false}, // service scope: no wall-clock ban
 		{"app", "lintfixtures/app", false},     // out of scope: no findings despite all constructs
 	} {
@@ -124,6 +125,7 @@ func TestCovered(t *testing.T) {
 		"loggpsim/internal/worstcase": true,
 		"loggpsim/internal/eventq":    true,
 		"loggpsim/internal/timeline":  true,
+		"loggpsim/internal/lanes":     true,
 		"loggpsim/internal/analyze":   false,
 		"loggpsim/internal/serve":     true,
 		"loggpsim/cmd/predictd":       true,

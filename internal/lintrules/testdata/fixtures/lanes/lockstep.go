@@ -1,0 +1,50 @@
+// Package lanes is the lane-engine true-positive fixture: the lockstep
+// scheduler cores order the simulated timeline and own their tie-break
+// randomness, so all three rule families apply — map iteration must not
+// order lanes, the global RNG and wall clock are banned, and NaN/Inf
+// must not enter clock arithmetic.
+package lanes
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Decode sums per-lane clocks from a map — iteration order leaks into
+// the merged timeline. One finding.
+func Decode(clocks map[int]float64) float64 {
+	total := 0.0
+	for _, c := range clocks { // want maprange
+		total += c
+	}
+	return total
+}
+
+// BreakTie consults the global generator for a lane tie. One finding.
+func BreakTie(n int) int {
+	return rand.Intn(n) // want globalrand
+}
+
+// Stamp reads the wall clock inside the engine. One finding.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want globalrand
+}
+
+// Poison drifts a lane clock by Inf. One finding.
+func Poison(t float64) float64 {
+	return t + math.Inf(1) // want nonfinite
+}
+
+// Seeded derives a lane's owned stream from its seed, uses an Inf
+// sentinel in comparisons only, and indexes (not ranges) a map — the
+// sanctioned patterns. No findings.
+func Seeded(seed int64, classOf map[int]int32, clocks []float64) (int32, float64) {
+	rng := rand.New(rand.NewSource(seed))
+	best := math.Inf(1)
+	for _, c := range clocks {
+		best = min(best, c)
+	}
+	_ = rng.Intn(4)
+	return classOf[8], best
+}

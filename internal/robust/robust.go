@@ -26,14 +26,17 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"loggpsim/internal/analyze"
 	"loggpsim/internal/cost"
 	"loggpsim/internal/faults"
 	"loggpsim/internal/ge"
+	"loggpsim/internal/lanes"
 	"loggpsim/internal/layout"
 	"loggpsim/internal/loggp"
 	"loggpsim/internal/predictor"
+	"loggpsim/internal/program"
 	"loggpsim/internal/stats"
 	"loggpsim/internal/sweep"
 )
@@ -143,6 +146,16 @@ type Config struct {
 	// Ctx is also installed as a sweep.Context option on the block-size
 	// fan-out.
 	Ctx context.Context
+	// Scalar forces the per-sample reference path: one full
+	// predictor replay and one from-scratch certificate per sample.
+	// The default (false) advances all of a block size's samples in
+	// lockstep through internal/lanes and re-prices one structural
+	// certificate summary per sample, which is several times faster
+	// and bit-identical (the differential suite in
+	// lockstep_diff_test.go holds the two paths equal). The scalar
+	// path remains as the oracle for that suite and for baseline
+	// benchmarks.
+	Scalar bool
 }
 
 // Quantiles summarizes one prediction series across samples, in
@@ -175,6 +188,12 @@ type Envelope struct {
 }
 
 const secPerMicro = 1e-6
+
+// enginePool recycles lane engines across block sizes and sweep
+// workers: each Run call rebuilds the program plan but reuses the
+// engine's storage, and lane results do not depend on which engine ran
+// them.
+var enginePool = sync.Pool{New: func() any { return new(lanes.Engine) }}
 
 // u01 maps a derived seed to [0, 1) using its top 53 bits.
 func u01(seed int64) float64 {
@@ -276,6 +295,9 @@ func Run(cfg Config) ([]Envelope, error) {
 		if err := e.PredictInto(&pred, pr, base); err != nil {
 			return Envelope{}, err
 		}
+		if !cfg.Scalar {
+			return lockstepEnvelope(cfg, pr, pred.Total, i, b, samples)
+		}
 		nominalBounds, err := analyze.BoundProgram(pr, cfg.Params, cfg.Model)
 		if err != nil {
 			return Envelope{}, err
@@ -340,6 +362,90 @@ func Run(cfg Config) ([]Envelope, error) {
 		env.Worst = summarize(worsts)
 		return env, nil
 	}, opts...)
+}
+
+// laneSpecs derives the per-sample lane configurations for block-size
+// index i, with exactly the seed and parameter derivations of the
+// scalar loop.
+func laneSpecs(cfg Config, i, samples int) []lanes.Lane {
+	ls := make([]lanes.Lane, samples)
+	for s := range ls {
+		seed := sweep.Seed(cfg.Seed, i*samples+s)
+		ls[s] = lanes.Lane{Params: sampleParams(cfg.Params, cfg.Perturb, seed), Seed: seed}
+		if cfg.Faults.Enabled() {
+			ls[s].Faults = cfg.Faults
+			ls[s].Faults.Seed = sweep.Seed(seed, 4)
+		}
+	}
+	return ls
+}
+
+// lockstepEnvelope runs one block size's Monte-Carlo samples through
+// the lane engine: all samples advance together through one decode of
+// the program, and the certificate's structure is summarized once and
+// only re-priced per perturbed parameter vector. Quantiles, Samples and
+// Lost are bit-identical to the scalar loop's.
+func lockstepEnvelope(cfg Config, pr *program.Program, nominalTotal float64, i, b, samples int) (Envelope, error) {
+	shape, err := analyze.NewProgramShape(pr, cfg.Model)
+	if err != nil {
+		return Envelope{}, err
+	}
+	pricer := shape.Pricer()
+	nominalBounds, err := pricer.Bound(cfg.Params)
+	if err != nil {
+		return Envelope{}, err
+	}
+	env := Envelope{
+		B:         b,
+		Nominal:   nominalTotal * secPerMicro,
+		CertLower: nominalBounds.Lower * secPerMicro,
+		CertUpper: nominalBounds.Upper * secPerMicro,
+	}
+	ls := laneSpecs(cfg, i, samples)
+	eng := enginePool.Get().(*lanes.Engine)
+	results, err := eng.Run(pr, lanes.Config{Cost: cfg.Model, Ctx: cfg.Ctx}, ls)
+	enginePool.Put(eng)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("robust: b=%d: %w", b, err)
+	}
+	totals := make([]float64, 0, samples)
+	worsts := make([]float64, 0, samples)
+	for s, res := range results {
+		if res.Err != nil {
+			var le *faults.LossError
+			if errors.As(res.Err, &le) {
+				env.Lost++
+				continue
+			}
+			return Envelope{}, fmt.Errorf("robust: b=%d sample %d: %w", b, s, res.Err)
+		}
+		// Certificate sandwich, as in the scalar loop; the pricer's bounds
+		// are bit-identical to analyze.BoundProgram's.
+		bounds, err := pricer.Bound(ls[s].Params)
+		if err != nil {
+			return Envelope{}, fmt.Errorf("robust: b=%d sample %d: %w", b, s, err)
+		}
+		const tol = 1e-9
+		if res.Total < bounds.Lower*(1-tol)-tol {
+			return Envelope{}, fmt.Errorf(
+				"robust: b=%d sample %d: prediction %g below its certificate lower bound %g",
+				b, s, res.Total, bounds.Lower)
+		}
+		if !cfg.Faults.Enabled() && res.TotalWorst > bounds.Upper*(1+tol)+tol {
+			return Envelope{}, fmt.Errorf(
+				"robust: b=%d sample %d: worst-case prediction %g above its certificate upper bound %g",
+				b, s, res.TotalWorst, bounds.Upper)
+		}
+		env.Samples++
+		totals = append(totals, res.Total*secPerMicro)
+		worsts = append(worsts, res.TotalWorst*secPerMicro)
+	}
+	if env.Samples == 0 {
+		return Envelope{}, fmt.Errorf("robust: b=%d: all %d samples lost a message; lower the drop rate or raise the retry budget", b, samples)
+	}
+	env.Total = summarize(totals)
+	env.Worst = summarize(worsts)
+	return env, nil
 }
 
 // Table tabulates the envelopes in the style of the Figure-7 tables:

@@ -532,3 +532,24 @@ func TestResponseJSONShape(t *testing.T) {
 		}
 	}
 }
+
+// TestPprofGated checks the /debug/pprof mount is strictly opt-in:
+// present with Config.Pprof, absent (404) on a default server.
+func TestPprofGated(t *testing.T) {
+	for _, tc := range []struct {
+		pprof bool
+		want  int
+	}{
+		{pprof: true, want: http.StatusOK},
+		{pprof: false, want: http.StatusNotFound},
+	} {
+		s := NewServer(Config{Workers: 1, Pprof: tc.pprof})
+		req := httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil)
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		if w.Code != tc.want {
+			t.Fatalf("pprof=%v: /debug/pprof/ status %d, want %d (body %q)",
+				tc.pprof, w.Code, tc.want, w.Body.String())
+		}
+	}
+}

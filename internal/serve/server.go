@@ -40,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -81,6 +82,9 @@ type Config struct {
 	Limits Limits
 	// Breaker tunes the Monte-Carlo circuit breaker.
 	Breaker BreakerConfig
+	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiles expose internals, so the operator opts in (-pprof).
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -173,6 +177,15 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	if cfg.Pprof {
+		// net/http/pprof registers on http.DefaultServeMux at import;
+		// mount its handlers explicitly so they exist only when asked.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 

@@ -23,12 +23,19 @@
 #                  degradation to bound certificates, 429 shedding
 #                  under overload, SIGTERM drain with exit 0 (part
 #                  of ci)
+#   make loadtest — replay the Zipf-skewed mixed workload against
+#                  cache-on and cache-off predictd processes and record
+#                  req/s, p50/p99, and hit rate into BENCH_serve.json;
+#                  fails below a 90% hit rate or a 10x speedup
+#   make loadtest-smoke — small loadtest leg pair asserting a nonzero
+#                  hit rate and byte-identical repeated servings; no
+#                  artifact (part of ci)
 
 GO ?= go
 LOGGPVET := $(CURDIR)/bin/loggpvet
 FUZZTIME ?= 15s
 
-.PHONY: all build test vet lint race diff bench sweep bench-envelope fuzz-smoke serve-smoke ci
+.PHONY: all build test vet lint race diff bench sweep bench-envelope fuzz-smoke serve-smoke loadtest loadtest-smoke ci
 
 all: ci
 
@@ -113,4 +120,21 @@ serve-smoke:
 	$(GO) test -count=1 -v -run 'TestPredictd|TestSigint' \
 		./cmd/predictd ./cmd/robust ./cmd/experiments
 
-ci: vet lint test diff race fuzz-smoke serve-smoke
+# Result-cache benchmark: cmd/loadgen builds predictd, boots a cache-on
+# and a cache-off process, replays the identical Zipf workload against
+# each, and records both legs plus the speedup into BENCH_serve.json.
+# The -min-* floors turn the ISSUE acceptance numbers into assertions.
+loadtest:
+	$(GO) run ./cmd/loadgen -requests 4000 -off-requests 400 \
+		-universe 64 -skew 1.3 -seed 1 \
+		-min-hit-rate 0.9 -min-speedup 10 -out BENCH_serve.json
+
+# CI-sized loadtest: two short legs, no artifact; asserts the cache is
+# actually hitting (rate > 0) and every repeated serving stayed
+# byte-identical (cmd/loadgen exits non-zero on any mismatch).
+loadtest-smoke:
+	$(GO) run ./cmd/loadgen -requests 300 -off-requests 60 \
+		-universe 24 -skew 1.3 -seed 1 \
+		-min-hit-rate 0.01 -out ""
+
+ci: vet lint test diff race fuzz-smoke serve-smoke loadtest-smoke

@@ -1,0 +1,234 @@
+// Command loadgen measures what predictd's result cache is worth. It
+// boots two predictd processes — one with the cache on, one with
+// -cache-off — replays the identical Zipf-skewed request workload
+// against each (see internal/loadgen), and records both legs plus the
+// throughput speedup into a JSON benchmark artifact.
+//
+// Usage:
+//
+//	loadgen [-bin path/to/predictd] [-requests 4000] [-off-requests 400]
+//	        [-clients 8] [-universe 64] [-skew 1.3] [-seed 1]
+//	        [-min-hit-rate 0] [-min-speedup 0] [-out BENCH_serve.json]
+//
+// With -bin empty the command builds predictd itself (requires the go
+// toolchain). The cache-off leg may use fewer requests (-off-requests)
+// because every one of them is a fresh evaluation; throughput is
+// normalized to requests/second so the legs stay comparable.
+//
+// The command exits non-zero when either leg saw a byte-identity
+// mismatch between servings of one request, or when the cache-on leg's
+// hit rate or the cache-on/cache-off speedup falls below the -min-*
+// floors (0 disables a floor).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"loggpsim/internal/loadgen"
+)
+
+func main() {
+	bin := flag.String("bin", "", "predictd binary to benchmark (empty = go build it)")
+	requests := flag.Int("requests", 4000, "requests for the cache-on leg")
+	offRequests := flag.Int("off-requests", 400, "requests for the cache-off leg (every one evaluates)")
+	clients := flag.Int("clients", 8, "concurrent connections per leg")
+	universe := flag.Int("universe", 64, "distinct requests in the workload")
+	skew := flag.Float64("skew", 1.3, "Zipf skew (s > 1; larger = hotter hot keys)")
+	seed := flag.Int64("seed", 1, "workload seed (universe and replay order)")
+	minHitRate := flag.Float64("min-hit-rate", 0, "fail below this cache-on hit rate (0 = no floor)")
+	minSpeedup := flag.Float64("min-speedup", 0, "fail below this req/s speedup over cache-off (0 = no floor)")
+	out := flag.String("out", "BENCH_serve.json", "benchmark artifact path (empty = don't write)")
+	flag.Parse()
+
+	if err := run(*bin, *requests, *offRequests, *clients, *universe, *skew, *seed,
+		*minHitRate, *minSpeedup, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the BENCH_serve.json schema.
+type report struct {
+	Config struct {
+		Requests    int     `json:"requests"`
+		OffRequests int     `json:"off_requests"`
+		Clients     int     `json:"clients"`
+		Universe    int     `json:"universe"`
+		Skew        float64 `json:"skew"`
+		Seed        int64   `json:"seed"`
+	} `json:"config"`
+	CacheOn  loadgen.Result `json:"cache_on"`
+	CacheOff loadgen.Result `json:"cache_off"`
+	// Speedup is cache-on req/s over cache-off req/s.
+	Speedup float64 `json:"speedup"`
+}
+
+func run(bin string, requests, offRequests, clients, universe int, skew float64, seed int64,
+	minHitRate, minSpeedup float64, out string) error {
+	if bin == "" {
+		dir, err := os.MkdirTemp("", "loadgen")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		bin = filepath.Join(dir, "predictd")
+		build := exec.Command("go", "build", "-o", bin, "loggpsim/cmd/predictd")
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("building predictd: %w", err)
+		}
+	}
+
+	leg := func(label string, cacheOff bool, n int) (loadgen.Result, error) {
+		base, stop, err := startPredictd(bin, cacheOff)
+		if err != nil {
+			return loadgen.Result{}, fmt.Errorf("%s leg: %w", label, err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "loadgen: %s leg at %s, %d requests\n", label, base, n)
+		return loadgen.Run(loadgen.Config{
+			BaseURL:  base,
+			Universe: universe,
+			Skew:     skew,
+			Seed:     seed,
+			Clients:  clients,
+			Requests: n,
+		})
+	}
+
+	var rep report
+	rep.Config.Requests = requests
+	rep.Config.OffRequests = offRequests
+	rep.Config.Clients = clients
+	rep.Config.Universe = universe
+	rep.Config.Skew = skew
+	rep.Config.Seed = seed
+
+	var err error
+	if rep.CacheOn, err = leg("cache-on", false, requests); err != nil {
+		return err
+	}
+	if rep.CacheOff, err = leg("cache-off", true, offRequests); err != nil {
+		return err
+	}
+	if rep.CacheOff.ReqPerSec > 0 {
+		rep.Speedup = rep.CacheOn.ReqPerSec / rep.CacheOff.ReqPerSec
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"loadgen: cache-on %.0f req/s (hit rate %.3f, p50 %.2fms, p99 %.2fms) | cache-off %.0f req/s (p50 %.2fms, p99 %.2fms) | speedup %.1fx\n",
+		rep.CacheOn.ReqPerSec, rep.CacheOn.HitRate, rep.CacheOn.P50MS, rep.CacheOn.P99MS,
+		rep.CacheOff.ReqPerSec, rep.CacheOff.P50MS, rep.CacheOff.P99MS, rep.Speedup)
+
+	switch {
+	case rep.CacheOn.Errors > 0 || rep.CacheOff.Errors > 0:
+		return fmt.Errorf("transport errors: cache-on %d, cache-off %d",
+			rep.CacheOn.Errors, rep.CacheOff.Errors)
+	case rep.CacheOn.Mismatches > 0 || rep.CacheOff.Mismatches > 0:
+		return fmt.Errorf("byte-identity mismatches: cache-on %d, cache-off %d",
+			rep.CacheOn.Mismatches, rep.CacheOff.Mismatches)
+	case minHitRate > 0 && rep.CacheOn.HitRate < minHitRate:
+		return fmt.Errorf("cache-on hit rate %.3f below floor %.3f",
+			rep.CacheOn.HitRate, minHitRate)
+	case minSpeedup > 0 && rep.Speedup < minSpeedup:
+		return fmt.Errorf("speedup %.2fx below floor %.2fx", rep.Speedup, minSpeedup)
+	}
+	return nil
+}
+
+// startPredictd boots one predictd on an ephemeral port, parses the
+// bound address off its stderr "listening on" line, and waits for
+// /healthz. The returned stop function drains and reaps the process.
+func startPredictd(bin string, cacheOff bool) (base string, stop func(), err error) {
+	// A deep queue keeps the closed-loop client load inside admission on
+	// both legs: the loadtest measures evaluation throughput, not the
+	// shed rate (serve-smoke covers shedding).
+	args := []string{"-addr", "127.0.0.1:0", "-queue", "64"}
+	if cacheOff {
+		args = append(args, "-cache-off")
+	}
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return "", nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return "", nil, err
+	}
+	stop = func() {
+		cmd.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(15 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}
+
+	// The address arrives on the first stderr line; keep draining the
+	// pipe afterwards so the child never blocks on a full buffer.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+		close(addrCh)
+	}()
+
+	select {
+	case addr, ok := <-addrCh:
+		if !ok || addr == "" {
+			stop()
+			return "", nil, fmt.Errorf("predictd exited before reporting its address")
+		}
+		base = "http://" + addr
+	case <-time.After(10 * time.Second):
+		stop()
+		return "", nil, fmt.Errorf("timed out waiting for predictd to report its address")
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, herr := http.Get(base + "/healthz")
+		if herr == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return base, stop, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			stop()
+			return "", nil, fmt.Errorf("predictd at %s never became healthy", base)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

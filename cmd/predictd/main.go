@@ -8,15 +8,24 @@
 //
 //	predictd [-addr :8080] [-workers 0] [-queue -1] [-deadline 5s]
 //	         [-max-deadline 60s] [-budget 0] [-drain-grace 1s]
-//	         [-drain-timeout 10s] [-pprof]
+//	         [-drain-timeout 10s] [-cache-off] [-cache-bytes 268435456]
+//	         [-cache-entries 65536] [-cache-ttl 0] [-cache-shards 16]
+//	         [-pprof]
 //
 // Endpoints:
 //
 //	POST /predict  one prediction request (see internal/serve.Request)
 //	GET  /healthz  liveness (200 while the process runs)
 //	GET  /readyz   readiness (503 once draining)
-//	GET  /statsz   counters: accepted/shed/rejected/degraded/panics
+//	GET  /statsz   counters: accepted/shed/rejected/degraded/panics,
+//	               plus the result cache's hit/miss/eviction counters
 //	GET  /debug/pprof/...  runtime profiles, only with -pprof
+//
+// Identical prediction requests are answered from a content-addressed
+// result cache (every prediction is deterministic, so entries never go
+// stale; the TTL is purely a memory bound) and concurrent identical
+// misses coalesce onto one evaluation. -cache-off restores the
+// evaluate-every-request flow.
 //
 // On SIGINT/SIGTERM the server stops admitting work, lets in-flight
 // requests run for the drain grace, bound-downgrades the rest, and
@@ -35,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"loggpsim/internal/resultcache"
 	"loggpsim/internal/serve"
 )
 
@@ -47,6 +57,11 @@ func main() {
 	budget := flag.Float64("budget", 0, "default per-request work budget in analyze.Work units (0 = server default)")
 	drainGrace := flag.Duration("drain-grace", time.Second, "how long in-flight requests keep running after a shutdown signal before degrading to bound certificates")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "hard cap on the whole shutdown")
+	cacheOff := flag.Bool("cache-off", false, "disable the result cache and request coalescing (every request evaluates)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "result cache byte budget (0 = 256 MiB default, negative = unbounded)")
+	cacheEntries := flag.Int("cache-entries", 0, "result cache entry budget (0 = 65536 default, negative = unbounded)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "result cache entry lifetime as a memory bound (0 = never expire; entries cannot go stale)")
+	cacheShards := flag.Int("cache-shards", 0, "result cache shard count, rounded up to a power of two (0 = 16)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; profiles expose internals)")
 	flag.Parse()
 
@@ -65,7 +80,14 @@ func main() {
 		MaxDeadline:     *maxDeadline,
 		DefaultBudget:   *budget,
 		DrainGrace:      *drainGrace,
-		Pprof:           *pprofFlag,
+		CacheOff:        *cacheOff,
+		Cache: resultcache.Config{
+			MaxBytes:   *cacheBytes,
+			MaxEntries: *cacheEntries,
+			TTL:        *cacheTTL,
+			Shards:     *cacheShards,
+		},
+		Pprof: *pprofFlag,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

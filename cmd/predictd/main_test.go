@@ -10,6 +10,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os/exec"
@@ -134,6 +135,19 @@ func TestPredictdEndToEnd(t *testing.T) {
 		t.Fatalf("healthy predict: status %d body %v", code, m)
 	}
 
+	// Repeating it is answered from the result cache with the same
+	// prediction; /statsz shows the hit.
+	code, m2 := postJSON(t, base, `{"mode":"simulate","workload":{"kind":"ge","procs":4,"n":96,"block":8}}`)
+	if code != http.StatusOK {
+		t.Fatalf("repeat predict: status %d body %v", code, m2)
+	}
+	if p1, p2 := m["prediction"], m2["prediction"]; !jsonEqual(p1, p2) {
+		t.Fatalf("cached prediction drifted: %v vs %v", p1, p2)
+	}
+	if hits := cacheHits(t, base); hits < 1 {
+		t.Fatalf("statsz reports %d cache hits after a repeat request", hits)
+	}
+
 	// Malformed input is a 400 with an error body, not a hang or a 500.
 	if code, m = postJSON(t, base, `{"workload":{"kind":"ge","procs":4,"n":96,"block":7}}`); code != http.StatusBadRequest || m["error"] == "" {
 		t.Fatalf("malformed predict: status %d body %v", code, m)
@@ -164,9 +178,12 @@ func TestPredictdEndToEnd(t *testing.T) {
 	}()
 	waitInFlight(t, base, 3*time.Second) // the slow request holds the slot
 	shed := false
-	cheap := `{"mode":"simulate","workload":{"kind":"ge","procs":4,"n":96,"block":8}}`
-	for start := time.Now(); time.Since(start) < 3*time.Second && !shed; {
-		code, _ := postJSON(t, base, cheap)
+	// Every probe needs a fresh seed: a repeated body would be answered
+	// from the cache (or coalesce with an in-flight twin) instead of
+	// contending for the pinned worker slot.
+	probe := `{"mode":"simulate","workload":{"kind":"ge","procs":4,"n":96,"block":8},"seed":%d}`
+	for i, start := 0, time.Now(); time.Since(start) < 3*time.Second && !shed; i++ {
+		code, _ := postJSON(t, base, fmt.Sprintf(probe, i+1))
 		if code == http.StatusTooManyRequests {
 			shed = true
 		}
@@ -225,6 +242,32 @@ func TestPredictdEndToEnd(t *testing.T) {
 	if reason := m["degrade_reason"]; reason != "drain" && reason != "deadline" {
 		t.Fatalf("drained request reason %v", reason)
 	}
+}
+
+// jsonEqual compares two decoded-JSON values structurally.
+func jsonEqual(a, b any) bool {
+	ab, aerr := json.Marshal(a)
+	bb, berr := json.Marshal(b)
+	return aerr == nil && berr == nil && bytes.Equal(ab, bb)
+}
+
+// cacheHits reads the result cache's hit counter from /statsz.
+func cacheHits(t *testing.T, base string) int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Cache struct {
+			Hits int64 `json:"hits"`
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.Cache.Hits
 }
 
 // waitInFlight polls /statsz until a request is in flight.

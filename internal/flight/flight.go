@@ -1,0 +1,127 @@
+// Package flight is the repository's singleflight core: concurrent
+// calls for the same key collapse onto one execution of the supplied
+// function, with every caller receiving that execution's result. It is
+// the coalescing mechanism previously embedded in search.Memoized,
+// extracted so the prediction service's result cache
+// (internal/resultcache) and the block-size search share one
+// implementation.
+//
+// Unlike a memo table, a Group retains nothing: an entry lives only
+// while its function is in flight and is removed before the result is
+// delivered, so a later call for the same key executes again. Callers
+// that want storage layer it on top (search.Memoized keeps a results
+// map, resultcache keeps an LRU) — the split keeps "evaluate once at a
+// time" separate from "remember forever", which have different
+// lifetimes and different eviction policies.
+package flight
+
+import "sync"
+
+// Result is one delivered outcome. Shared reports that the receiver was
+// a follower: the value came from another caller's execution.
+type Result[V any] struct {
+	Val    V
+	Err    error
+	Shared bool
+}
+
+// Group collapses concurrent calls per key. The zero value is ready to
+// use. K is the coalescing key; V the function result.
+type Group[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*call[V]
+}
+
+// call is one in-flight execution. done is closed when the result is
+// ready (Do waiters block on it); chans are the DoChan subscribers, of
+// which leader identifies the one belonging to the caller that started
+// the execution (nil when a Do call did).
+type call[V any] struct {
+	done   chan struct{}
+	val    V
+	err    error
+	chans  []chan<- Result[V]
+	leader chan<- Result[V]
+}
+
+// Do executes fn exactly once among concurrent callers with the same
+// key: the first caller (the leader) runs fn in the calling goroutine
+// and returns its result with shared=false; callers arriving while fn
+// is running block until it finishes and receive the same result with
+// shared=true. Once the result is delivered the key is forgotten — a
+// subsequent Do runs fn again.
+//
+// A panic in fn is propagated to the leader after the entry is removed
+// and an error is delivered to the followers, so a crashing function
+// can neither wedge future calls nor strand waiters.
+func (g *Group[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[K]*call[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &call[V]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	g.run(key, c, fn)
+	return c.val, c.err, false
+}
+
+// DoChan is Do for callers that must keep selecting (on their own
+// context, typically) while the execution runs: it returns a buffered
+// channel that will receive the Result, and whether this caller is the
+// leader. The leader's fn runs in a new goroutine; abandoning the
+// channel leaks nothing.
+func (g *Group[K, V]) DoChan(key K, fn func() (V, error)) (<-chan Result[V], bool) {
+	ch := make(chan Result[V], 1)
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[K]*call[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		c.chans = append(c.chans, ch)
+		g.mu.Unlock()
+		return ch, false
+	}
+	c := &call[V]{done: make(chan struct{}), chans: []chan<- Result[V]{ch}, leader: ch}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	go g.run(key, c, fn)
+	return ch, true
+}
+
+// run executes fn for call c, then unregisters the key and delivers the
+// result to every waiter. On panic the entry is still unregistered and
+// waiters still unblocked (with a sentinel error) before the panic
+// continues.
+func (g *Group[K, V]) run(key K, c *call[V], fn func() (V, error)) {
+	panicked := true
+	defer func() {
+		if panicked {
+			c.err = errPanicked
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+		for _, ch := range c.chans {
+			ch <- Result[V]{Val: c.val, Err: c.err, Shared: ch != c.leader}
+		}
+	}()
+	c.val, c.err = fn()
+	panicked = false
+}
+
+// errPanicked is what followers observe when the leader's function
+// panicked; the panic itself propagates on the leader's goroutine.
+var errPanicked = errorString("flight: in-flight call panicked")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,269 @@
+package flight
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// holdUntil returns a function body that blocks until all n callers
+// have announced themselves (via started) plus a settling grace, so
+// every caller joins the one in-flight execution before it returns.
+// Callers must started.Add(1) immediately before invoking Do/DoChan.
+func holdUntil(started *atomic.Int32, n int32) {
+	for started.Load() < n {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+}
+
+// TestDoCollapsesConcurrentCalls pins the core contract: N concurrent
+// calls for one key run the function once, exactly one caller reports
+// shared=false, and everyone sees the same value.
+func TestDoCollapsesConcurrentCalls(t *testing.T) {
+	var g Group[string, int]
+	var calls, started, leaders atomic.Int32
+
+	const n = 50
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started.Add(1)
+			v, err, shared := g.Do("k", func() (int, error) {
+				calls.Add(1)
+				holdUntil(&started, n)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+			if !shared {
+				leaders.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("function ran %d times, want 1", got)
+	}
+	if got := leaders.Load(); got != 1 {
+		t.Fatalf("%d callers reported shared=false, want 1", got)
+	}
+}
+
+// TestDoForgetsCompletedCalls: flight is coalescing, not memoization —
+// a call after completion executes again.
+func TestDoForgetsCompletedCalls(t *testing.T) {
+	var g Group[int, int]
+	calls := 0
+	fn := func() (int, error) { calls++; return calls, nil }
+	if v, _, _ := g.Do(1, fn); v != 1 {
+		t.Fatalf("first call = %d, want 1", v)
+	}
+	if v, _, _ := g.Do(1, fn); v != 2 {
+		t.Fatalf("second call = %d, want 2 (entry must not be retained)", v)
+	}
+}
+
+// TestDoDeliversErrorsToFollowers: both coalesced callers see the one
+// evaluation's error; the error is not retained for later calls.
+func TestDoDeliversErrorsToFollowers(t *testing.T) {
+	var g Group[string, int]
+	boom := errors.New("boom")
+	var calls, started, sharedCount atomic.Int32
+
+	const n = 2
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started.Add(1)
+			_, err, shared := g.Do("k", func() (int, error) {
+				calls.Add(1)
+				holdUntil(&started, n)
+				return 0, boom
+			})
+			if shared {
+				sharedCount.Add(1)
+			}
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	if calls.Load() != 1 || sharedCount.Load() != 1 {
+		t.Fatalf("calls=%d shared=%d, want 1 call shared once", calls.Load(), sharedCount.Load())
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; !errors.Is(err, boom) {
+			t.Fatalf("caller %d error = %v, want boom", i, err)
+		}
+	}
+	// Errors are not cached: the next call runs afresh.
+	if v, err, _ := g.Do("k", func() (int, error) { return 5, nil }); err != nil || v != 5 {
+		t.Fatalf("post-error call = %d, %v", v, err)
+	}
+}
+
+// TestDoChanLeaderAndFollowers: DoChan reports leadership, runs the
+// function off the calling goroutine, and marks follower results
+// Shared.
+func TestDoChanLeaderAndFollowers(t *testing.T) {
+	var g Group[string, string]
+	release := make(chan struct{})
+	fn := func() (string, error) { <-release; return "v", nil }
+
+	ch1, lead1 := g.DoChan("k", fn)
+	if !lead1 {
+		t.Fatal("first DoChan not leader")
+	}
+	ch2, lead2 := g.DoChan("k", fn)
+	if lead2 {
+		t.Fatal("second DoChan claims leadership")
+	}
+	close(release)
+	r1, r2 := <-ch1, <-ch2
+	if r1.Val != "v" || r1.Err != nil || r1.Shared {
+		t.Fatalf("leader result %+v", r1)
+	}
+	if r2.Val != "v" || r2.Err != nil || !r2.Shared {
+		t.Fatalf("follower result %+v", r2)
+	}
+}
+
+// TestDoChanAbandonedFollower: an abandoned result channel (buffered)
+// must not block delivery to the others.
+func TestDoChanAbandonedFollower(t *testing.T) {
+	var g Group[string, int]
+	release := make(chan struct{})
+	fn := func() (int, error) { <-release; return 7, nil }
+	ch, _ := g.DoChan("k", fn)
+	g.DoChan("k", fn) // abandoned
+	close(release)
+	select {
+	case r := <-ch:
+		if r.Val != 7 {
+			t.Fatalf("result %+v", r)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delivery blocked on the abandoned follower")
+	}
+}
+
+// TestDoChanMixedWithDo: a Do waiter joining a DoChan-led call (and
+// vice versa) is correctly marked shared.
+func TestDoChanMixedWithDo(t *testing.T) {
+	var g Group[string, int]
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	ch, lead := g.DoChan("k", func() (int, error) {
+		close(entered)
+		<-release
+		return 3, nil
+	})
+	if !lead {
+		t.Fatal("DoChan not leader")
+	}
+	<-entered // the call is registered and running
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if v, err, shared := g.Do("k", func() (int, error) { return -1, nil }); v != 3 || err != nil || !shared {
+			t.Errorf("Do joiner got v=%d err=%v shared=%v, want 3 nil true", v, err, shared)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	if r := <-ch; r.Shared || r.Val != 3 {
+		t.Fatalf("leader result %+v", r)
+	}
+	<-done
+}
+
+// TestPanicUnblocksFollowers: a panicking execution must unregister the
+// key and hand the other callers an error rather than strand them, and
+// the panic itself must surface on the leader's goroutine.
+func TestPanicUnblocksFollowers(t *testing.T) {
+	var g Group[string, int]
+	var started, panics atomic.Int32
+
+	const n = 2
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if recover() != nil {
+					panics.Add(1)
+					errs <- nil
+				}
+			}()
+			started.Add(1)
+			_, err, _ := g.Do("k", func() (int, error) {
+				holdUntil(&started, n)
+				panic("synthetic")
+			})
+			errs <- err
+		}()
+	}
+	wg.Wait()
+
+	if got := panics.Load(); got != 1 {
+		t.Fatalf("panic reached %d goroutines, want exactly the leader", got)
+	}
+	sawErr := false
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("follower of a panicked call got no error")
+	}
+
+	// The key is usable again.
+	if v, err, _ := g.Do("k", func() (int, error) { return 9, nil }); err != nil || v != 9 {
+		t.Fatalf("post-panic call = %d, %v", v, err)
+	}
+}
+
+// TestDistinctKeysRunConcurrently: coalescing is per key, not global.
+func TestDistinctKeysRunConcurrently(t *testing.T) {
+	var g Group[int, int]
+	var running atomic.Int32
+	peak := make(chan int32, 1)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			g.Do(k, func() (int, error) {
+				if r := running.Add(1); r == 4 {
+					select {
+					case peak <- r:
+					default:
+					}
+				}
+				<-release
+				running.Add(-1)
+				return k, nil
+			})
+		}(i)
+	}
+	select {
+	case <-peak:
+	case <-time.After(2 * time.Second):
+		t.Fatal("distinct keys never ran concurrently")
+	}
+	close(release)
+	wg.Wait()
+}

@@ -77,15 +77,20 @@ var schedulerPkgs = map[string]bool{
 }
 
 // servicePkgs are the prediction-service layers (internal/serve,
-// cmd/predictd). They sit above the schedulers but answer with their
-// numbers, so the same syntactic hazards apply in weakened form: map
-// iteration must not order anything response-visible, clock arithmetic
-// must stay finite, and any randomness must flow from request seeds
-// through owned sources — but the wall clock is legitimate there
-// (deadlines, Retry-After, elapsed-time reporting), so the time.Now ban
-// does not apply.
+// cmd/predictd) and their supporting machinery: the content-addressed
+// result cache (resultcache), whose canonical key encodings must never
+// be fed from map iteration order; the request-coalescing core
+// (flight); and the load generator (loadgen), whose replayed workload
+// must be reproducible from its seed. They sit above the schedulers but
+// answer with (or address, or replay) their numbers, so the same
+// syntactic hazards apply in weakened form: map iteration must not
+// order anything response-visible, clock arithmetic must stay finite,
+// and any randomness must flow from seeds through owned sources — but
+// the wall clock is legitimate there (deadlines, Retry-After, latency
+// measurement), so the time.Now ban does not apply.
 var servicePkgs = map[string]bool{
 	"serve": true, "predictd": true,
+	"resultcache": true, "flight": true, "loadgen": true,
 }
 
 // randConstructors are the math/rand (and v2) functions that build a

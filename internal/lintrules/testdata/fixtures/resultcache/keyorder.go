@@ -1,0 +1,29 @@
+// Package resultcache is the cache-scope fixture: content-addressed
+// key construction is response-visible (two iteration orders hash to
+// two different addresses for one semantic request), so the
+// iteration-order rule covers it like the service layer.
+package resultcache
+
+import "hash/maphash"
+
+// KeyFromFields hashes request fields in map iteration order — the
+// exact bug the canonical KeyBuilder exists to prevent: the same
+// request hashes differently run to run, silently splitting one cache
+// entry into many. One finding.
+func KeyFromFields(fields map[string]float64) uint64 {
+	var h maphash.Hash
+	for name, v := range fields { // want maprange
+		h.WriteString(name)
+		h.WriteByte(byte(int(v)))
+	}
+	return h.Sum64()
+}
+
+// KeySorted hashes a caller-ordered slice — the sanctioned pattern. No
+// finding.
+func KeySorted(names []string, h *maphash.Hash) uint64 {
+	for _, name := range names {
+		h.WriteString(name)
+	}
+	return h.Sum64()
+}

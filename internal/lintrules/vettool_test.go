@@ -58,6 +58,10 @@ func TestVettoolEndToEnd(t *testing.T) {
 				t.Errorf("rule %s reported nothing:\n%s", rule, text)
 			}
 		}
+		// The cache fixture's map-ordered key construction must fire.
+		if !strings.Contains(text, "keyorder.go") {
+			t.Errorf("resultcache fixture reported nothing:\n%s", text)
+		}
 		// The exemptions must hold: nothing from the test file, nothing
 		// from the out-of-scope package, nothing from the sanctioned
 		// constructs.
@@ -71,7 +75,10 @@ func TestVettoolEndToEnd(t *testing.T) {
 	t.Run("repo_clean", func(t *testing.T) {
 		cmd := exec.Command("go", "vet", "-vettool="+bin,
 			"./internal/sim/...", "./internal/worstcase/...",
-			"./internal/eventq/...", "./internal/timeline/...")
+			"./internal/eventq/...", "./internal/timeline/...",
+			"./internal/serve/...", "./internal/resultcache/...",
+			"./internal/flight/...", "./internal/loadgen/...",
+			"./cmd/predictd/...", "./cmd/loadgen/...")
 		cmd.Dir = repoRoot(t)
 		if out, err := cmd.CombinedOutput(); err != nil {
 			t.Fatalf("vettool reports findings on the repository: %v\n%s", err, out)

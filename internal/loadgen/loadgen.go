@@ -1,0 +1,265 @@
+// Package loadgen replays a reproducible, Zipf-skewed prediction
+// workload against a running predictd instance and measures what the
+// result cache is worth: request throughput, latency percentiles, the
+// hit/miss/coalesced split, and — because every prediction is
+// deterministic — whether repeated servings of one request stayed
+// byte-identical.
+//
+// The workload is a function of (Universe, Skew, Seed) only: the
+// request universe is generated from an owned rand source and the
+// replay order from an owned Zipf generator, so two runs against two
+// server configurations (cache on, cache off) issue exactly the same
+// request sequence and their numbers are comparable. cmd/loadgen is the
+// CLI; `make loadtest` records both legs into BENCH_serve.json.
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config parameterizes one replay leg. The zero value is not usable:
+// BaseURL and Requests are required.
+type Config struct {
+	// BaseURL is the predictd root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Universe is the number of distinct requests (default 64).
+	Universe int
+	// Skew is the Zipf s parameter; larger means hotter hot keys.
+	// Values ≤ 1 select 1.3 (rand.NewZipf requires s > 1).
+	Skew float64
+	// Seed drives both universe generation and the replay order.
+	Seed int64
+	// Clients is the number of concurrent connections (default 8).
+	Clients int
+	// Requests is the total number of requests to issue.
+	Requests int
+	// Timeout bounds one request round trip (default 30s).
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Universe < 1 {
+		c.Universe = 64
+	}
+	if c.Skew <= 1 {
+		c.Skew = 1.3
+	}
+	if c.Clients < 1 {
+		c.Clients = 8
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// Result is the measured outcome of one replay leg.
+type Result struct {
+	// Requests actually issued; Errors the transport-level failures;
+	// NonOK the non-200 answers (sheds included); Degraded the 200s
+	// flagged degraded (excluded from the identity check — degradation
+	// reflects transient load, not request semantics).
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	NonOK    int `json:"non_ok"`
+	Degraded int `json:"degraded"`
+	// Mismatches counts full responses that differed byte-for-byte
+	// (elapsed_ms excluded) from the first full serving of the same
+	// request — any nonzero value is a correctness failure.
+	Mismatches int `json:"mismatches"`
+	// Hits/Misses/Coalesced are X-Cache header counts; Unlabeled are
+	// responses without the header (every response on a cache-off
+	// server).
+	Hits      int `json:"hits"`
+	Misses    int `json:"misses"`
+	Coalesced int `json:"coalesced"`
+	Unlabeled int `json:"unlabeled"`
+	// HitRate is (Hits+Coalesced)/Requests: the fraction of requests
+	// that were answered without a fresh evaluation.
+	HitRate float64 `json:"hit_rate"`
+	// Throughput and latency of the whole leg.
+	DurationMS float64 `json:"duration_ms"`
+	ReqPerSec  float64 `json:"req_per_sec"`
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+}
+
+// elapsedRE blanks the one legitimately nondeterministic field before
+// responses are compared.
+var elapsedRE = regexp.MustCompile(`"elapsed_ms":[0-9.e+-]+`)
+
+// StripElapsed normalizes a response body for byte comparison.
+func StripElapsed(b []byte) []byte {
+	return elapsedRE.ReplaceAll(b, []byte(`"elapsed_ms":0`))
+}
+
+// Corpus generates the request universe: a deterministic mix of GE
+// sweep points, pattern simulations, analyze requests, and small
+// Monte-Carlo envelopes, every one of them valid. Sizes are chosen so
+// an evaluation costs real simulator work (several milliseconds) while
+// a cache hit costs only the HTTP round trip — the gap the loadtest
+// exists to measure.
+func Corpus(universe int, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	procs := []int{2, 4, 8}
+	blocks := []int{8, 12, 16, 24}
+	mults := []int{16, 24, 32, 40}
+	layouts := []string{"", "diagonal", "row", "col"}
+	patterns := []string{"ring", "alltoall", "hypercube", "random"}
+	faultSpecs := []string{"", "", "", "drop=0.05,seed=3", "jitter=0.2,seed=7"}
+
+	bodies := make([]string, universe)
+	for i := range bodies {
+		switch pick := r.Intn(10); {
+		case pick < 5: // GE simulate/worstcase sweep point
+			mode := "simulate"
+			if r.Intn(4) == 0 {
+				mode = "worstcase"
+			}
+			b := blocks[r.Intn(len(blocks))]
+			n := b * mults[r.Intn(len(mults))]
+			bodies[i] = fmt.Sprintf(
+				`{"mode":%q,"workload":{"kind":"ge","procs":%d,"n":%d,"block":%d,"layout":%q},"seed":%d,"faults":%q}`,
+				mode, procs[r.Intn(len(procs))], n, b,
+				layouts[r.Intn(len(layouts))], r.Intn(8), faultSpecs[r.Intn(len(faultSpecs))])
+		case pick < 7: // closed-form analyze (GE)
+			b := blocks[r.Intn(len(blocks))]
+			n := b * mults[r.Intn(len(mults))]
+			bodies[i] = fmt.Sprintf(
+				`{"mode":"analyze","workload":{"kind":"ge","procs":%d,"n":%d,"block":%d}}`,
+				procs[r.Intn(len(procs))], n, b)
+		case pick < 9: // pattern simulation
+			bodies[i] = fmt.Sprintf(
+				`{"mode":"simulate","workload":{"kind":"pattern","procs":%d,"pattern":%q,"bytes":%d},"seed":%d}`,
+				procs[r.Intn(len(procs))], patterns[r.Intn(len(patterns))],
+				64<<r.Intn(4), r.Intn(8))
+		default: // small Monte-Carlo envelope
+			b := blocks[r.Intn(len(blocks))]
+			bodies[i] = fmt.Sprintf(
+				`{"mode":"envelope","workload":{"kind":"ge","procs":%d,"n":%d,"block":%d},"samples":8,"seed":%d,"perturb":{"l":0.1,"g":0.1}}`,
+				procs[r.Intn(len(procs))], b*16, b, r.Intn(8))
+		}
+	}
+	return bodies
+}
+
+// Sequence generates the replay order: Requests draws from a Zipf
+// distribution over the universe, deterministic in the seed. Index 0 is
+// the hottest request.
+func Sequence(requests, universe int, skew float64, seed int64) []int {
+	r := rand.New(rand.NewSource(seed ^ 0x5eed10ad))
+	z := rand.NewZipf(r, skew, 1, uint64(universe-1))
+	idx := make([]int, requests)
+	for i := range idx {
+		idx[i] = int(z.Uint64())
+	}
+	return idx
+}
+
+// Run replays the configured workload and measures it. The returned
+// error covers setup problems only; per-request failures are counted in
+// the Result.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" || cfg.Requests < 1 {
+		return Result{}, fmt.Errorf("loadgen: BaseURL and Requests are required")
+	}
+	bodies := Corpus(cfg.Universe, cfg.Seed)
+	seq := Sequence(cfg.Requests, cfg.Universe, cfg.Skew, cfg.Seed)
+
+	var (
+		mu        sync.Mutex
+		res       Result
+		latencies = make([]float64, 0, cfg.Requests)
+		reference = make([][]byte, cfg.Universe)
+	)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: cfg.Timeout}
+			for u := range jobs {
+				t0 := time.Now()
+				resp, err := client.Post(cfg.BaseURL+"/predict", "application/json",
+					strings.NewReader(bodies[u]))
+				if err != nil {
+					mu.Lock()
+					res.Errors++
+					mu.Unlock()
+					continue
+				}
+				raw, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				lat := float64(time.Since(t0)) / float64(time.Millisecond)
+				src := resp.Header.Get("X-Cache")
+
+				mu.Lock()
+				res.Requests++
+				latencies = append(latencies, lat)
+				switch src {
+				case "hit":
+					res.Hits++
+				case "miss":
+					res.Misses++
+				case "coalesced":
+					res.Coalesced++
+				default:
+					res.Unlabeled++
+				}
+				switch {
+				case rerr != nil:
+					res.Errors++
+				case resp.StatusCode != http.StatusOK:
+					res.NonOK++
+				case strings.Contains(string(raw), `"degraded":true`):
+					res.Degraded++
+				default:
+					norm := StripElapsed(raw)
+					if reference[u] == nil {
+						reference[u] = norm
+					} else if string(reference[u]) != string(norm) {
+						res.Mismatches++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, u := range seq {
+		jobs <- u
+	}
+	close(jobs)
+	wg.Wait()
+
+	res.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if res.DurationMS > 0 {
+		res.ReqPerSec = float64(res.Requests) / (res.DurationMS / 1000)
+	}
+	if res.Requests > 0 {
+		res.HitRate = float64(res.Hits+res.Coalesced) / float64(res.Requests)
+	}
+	sort.Float64s(latencies)
+	res.P50MS = percentile(latencies, 0.50)
+	res.P99MS = percentile(latencies, 0.99)
+	return res, nil
+}
+
+// percentile reads the p-quantile from a sorted slice (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,129 @@
+// Content-addressed keys. A cache entry is addressed by a cryptographic
+// hash of the canonical form of whatever produced it, so two requests
+// that mean the same thing — regardless of how their JSON spelled it —
+// address the same entry, and two requests that differ semantically
+// collide only with SHA-256 probability.
+//
+// The KeyBuilder enforces the two properties a canonical encoding
+// needs:
+//
+//   - Unambiguous framing. Every field is written with a fixed-width
+//     length or value prefix, so ("ab","c") and ("a","bc") — or a field
+//     that is absent versus empty — can never produce the same byte
+//     stream. Callers are expected to write fields in one fixed order
+//     (never an order derived from map iteration; see cmd/loggpvet's
+//     maprange rule, which covers this package).
+//
+//   - Float canonicalization. JSON offers many spellings of one number
+//     (0.5, 5e-1, 0.50); hashing the decoded float64's bit pattern
+//     makes them identical by construction. The two remaining bit-level
+//     aliases are collapsed explicitly: negative zero hashes as zero,
+//     and every NaN payload hashes as one canonical NaN.
+package resultcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+)
+
+// Key is a content address: the SHA-256 of a canonical encoding.
+type Key [sha256.Size]byte
+
+// String returns the key in hex, for logs and diagnostics.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// KeyBuilder accumulates a canonical encoding and hashes it. The zero
+// value is not ready; use NewKeyBuilder, which binds a domain string so
+// different key spaces (different endpoints, different schema versions)
+// can never alias.
+type KeyBuilder struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+// NewKeyBuilder starts a builder whose hash is bound to domain —
+// include a version in it (e.g. "loggpsim/predict/v1") so a schema
+// change invalidates every old address.
+func NewKeyBuilder(domain string) *KeyBuilder {
+	b := &KeyBuilder{h: sha256.New()}
+	b.String(domain)
+	return b
+}
+
+// tag bytes keep differently-typed fields from aliasing one another.
+const (
+	tagString byte = 1
+	tagInt    byte = 2
+	tagFloat  byte = 3
+	tagBool   byte = 4
+)
+
+func (b *KeyBuilder) writeTagged(tag byte, payload []byte) {
+	b.buf[0] = tag
+	b.h.Write(b.buf[:1])
+	b.h.Write(payload)
+}
+
+// String writes a length-prefixed string field.
+func (b *KeyBuilder) String(s string) {
+	binary.LittleEndian.PutUint64(b.buf[:], uint64(len(s)))
+	b.writeTagged(tagString, b.buf[:])
+	b.h.Write([]byte(s))
+}
+
+// Int writes an integer field.
+func (b *KeyBuilder) Int(v int64) {
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], uint64(v))
+	b.writeTagged(tagInt, p[:])
+}
+
+// Bool writes a boolean field.
+func (b *KeyBuilder) Bool(v bool) {
+	var p [1]byte
+	if v {
+		p[0] = 1
+	}
+	b.writeTagged(tagBool, p[:])
+}
+
+// canonicalNaN is the bit pattern every NaN payload collapses to: the
+// runtime's quiet NaN, math.Float64bits(math.NaN()). Spelled as a
+// constant because cmd/loggpvet rightly bans math.NaN() construction in
+// covered packages — here the bits are an opaque tag, never a number.
+const canonicalNaN = 0x7ff8000000000001
+
+// Float writes a float64 field, canonicalized: -0 hashes as +0 and any
+// NaN as one canonical NaN, so semantically equal numbers share a bit
+// pattern no matter how they were written or computed.
+func (b *KeyBuilder) Float(v float64) {
+	if v == 0 { // true for both +0 and -0
+		v = 0
+	}
+	bits := math.Float64bits(v)
+	if math.IsNaN(v) {
+		bits = canonicalNaN
+	}
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], bits)
+	b.writeTagged(tagFloat, p[:])
+}
+
+// Floats writes a float64 slice: a length field, then each element.
+func (b *KeyBuilder) Floats(vs []float64) {
+	b.Int(int64(len(vs)))
+	for _, v := range vs {
+		b.Float(v)
+	}
+}
+
+// Sum finalizes the key. The builder may keep accumulating afterwards
+// (Sum does not reset), but one-shot use is the norm.
+func (b *KeyBuilder) Sum() Key {
+	var k Key
+	copy(k[:], b.h.Sum(nil))
+	return k
+}

@@ -1,0 +1,118 @@
+package resultcache
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKeyDomainSeparation(t *testing.T) {
+	a := NewKeyBuilder("v1")
+	b := NewKeyBuilder("v2")
+	a.String("x")
+	b.String("x")
+	if a.Sum() == b.Sum() {
+		t.Fatal("different domains produced the same key")
+	}
+}
+
+func TestKeyFramingUnambiguous(t *testing.T) {
+	// ("ab","c") vs ("a","bc"): same concatenated bytes, different
+	// fields — the length prefixes must separate them.
+	a := NewKeyBuilder("d")
+	a.String("ab")
+	a.String("c")
+	b := NewKeyBuilder("d")
+	b.String("a")
+	b.String("bc")
+	if a.Sum() == b.Sum() {
+		t.Fatal("length framing is ambiguous")
+	}
+
+	// A present-but-empty string differs from an absent one.
+	c := NewKeyBuilder("d")
+	c.String("x")
+	d := NewKeyBuilder("d")
+	d.String("x")
+	d.String("")
+	if c.Sum() == d.Sum() {
+		t.Fatal("empty field aliases an absent field")
+	}
+}
+
+func TestKeyTypeTagsPreventAliasing(t *testing.T) {
+	// An int and a float with identical payload bits must not collide.
+	a := NewKeyBuilder("d")
+	a.Int(int64(math.Float64bits(1.5)))
+	b := NewKeyBuilder("d")
+	b.Float(1.5)
+	if a.Sum() == b.Sum() {
+		t.Fatal("int/float fields alias")
+	}
+}
+
+func TestFloatCanonicalization(t *testing.T) {
+	sum := func(v float64) Key {
+		b := NewKeyBuilder("d")
+		b.Float(v)
+		return b.Sum()
+	}
+	// JSON spellings of one number decode to one float64; the hash of
+	// the decoded value is spelling-independent by construction. The
+	// bit-level aliases need explicit collapsing:
+	if sum(0.0) != sum(math.Copysign(0, -1)) {
+		t.Fatal("-0 and +0 hash differently")
+	}
+	nan2 := math.Float64frombits(math.Float64bits(math.NaN()) ^ 1) // different payload
+	if sum(math.NaN()) != sum(nan2) {
+		t.Fatal("NaN payloads hash differently")
+	}
+	if sum(0.5) == sum(0.25) {
+		t.Fatal("distinct floats collide")
+	}
+}
+
+func TestFloatsSliceFraming(t *testing.T) {
+	a := NewKeyBuilder("d")
+	a.Floats([]float64{1, 2})
+	a.Floats([]float64{3})
+	b := NewKeyBuilder("d")
+	b.Floats([]float64{1})
+	b.Floats([]float64{2, 3})
+	if a.Sum() == b.Sum() {
+		t.Fatal("slice framing is ambiguous")
+	}
+}
+
+func TestBoolAndIntFields(t *testing.T) {
+	a := NewKeyBuilder("d")
+	a.Bool(true)
+	b := NewKeyBuilder("d")
+	b.Bool(false)
+	if a.Sum() == b.Sum() {
+		t.Fatal("bools collide")
+	}
+	c := NewKeyBuilder("d")
+	c.Int(-1)
+	d := NewKeyBuilder("d")
+	d.Int(1)
+	if c.Sum() == d.Sum() {
+		t.Fatal("ints collide")
+	}
+}
+
+func TestSumIsDeterministic(t *testing.T) {
+	mk := func() Key {
+		b := NewKeyBuilder("d")
+		b.String("workload")
+		b.Int(42)
+		b.Float(3.25)
+		b.Bool(true)
+		return b.Sum()
+	}
+	if mk() != mk() {
+		t.Fatal("identical field sequences produced different keys")
+	}
+	if mk().String() == "" {
+		t.Fatal("hex form empty")
+	}
+}

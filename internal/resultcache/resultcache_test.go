@@ -1,0 +1,266 @@
+package resultcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func keyOf(parts ...string) Key {
+	b := NewKeyBuilder("test")
+	for _, p := range parts {
+		b.String(p)
+	}
+	return b.Sum()
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New[string](Config{})
+	k := keyOf("a")
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	c.Put(k, "value", Meta{Size: 5, Cost: 1, Store: true})
+	v, ok := c.Get(k)
+	if !ok || v != "value" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Stores != 1 || st.Entries != 1 || st.Bytes != 5 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestStoreFalseIsNotRetained(t *testing.T) {
+	c := New[string](Config{})
+	k := keyOf("degraded")
+	c.Put(k, "nope", Meta{Size: 4, Store: false})
+	if _, ok := c.Get(k); ok {
+		t.Fatal("Store:false value was retained")
+	}
+}
+
+func TestEntryCapEvictsLeastRecentlyUsed(t *testing.T) {
+	// One shard so the LRU order is globally observable.
+	c := New[int](Config{Shards: 1, MaxEntries: 3, MaxBytes: -1})
+	ks := make([]Key, 4)
+	for i := range ks {
+		ks[i] = keyOf(fmt.Sprint(i))
+	}
+	for i := 0; i < 3; i++ {
+		c.Put(ks[i], i, Meta{Size: 1, Cost: 1, Store: true})
+	}
+	c.Get(ks[0]) // refresh 0; 1 is now the LRU tail
+	c.Put(ks[3], 3, Meta{Size: 1, Cost: 1, Store: true})
+	if _, ok := c.Get(ks[1]); ok {
+		t.Fatal("LRU entry survived the entry cap")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.Get(ks[i]); !ok {
+			t.Fatalf("entry %d evicted, want LRU victim only", i)
+		}
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestByteCapEnforced(t *testing.T) {
+	c := New[int](Config{Shards: 1, MaxBytes: 100, MaxEntries: -1})
+	for i := 0; i < 10; i++ {
+		c.Put(keyOf(fmt.Sprint(i)), i, Meta{Size: 30, Cost: 1, Store: true})
+	}
+	if st := c.Stats(); st.Bytes > 100 {
+		t.Fatalf("resident bytes %d exceed the 100-byte budget", st.Bytes)
+	}
+}
+
+func TestCostAwareEvictionPrefersCheapEntries(t *testing.T) {
+	c := New[int](Config{Shards: 1, MaxEntries: 3, MaxBytes: -1})
+	cheap, exp1, exp2 := keyOf("cheap"), keyOf("exp1"), keyOf("exp2")
+	// Insert the expensive entries first so "cheap" is the most
+	// recently used — pure LRU would evict exp1, cost-aware eviction
+	// must pick the cheap one despite its recency.
+	c.Put(exp1, 1, Meta{Size: 1, Cost: 1e6, Store: true})
+	c.Put(exp2, 2, Meta{Size: 1, Cost: 1e6, Store: true})
+	c.Put(cheap, 3, Meta{Size: 1, Cost: 1, Store: true})
+	c.Put(keyOf("new"), 4, Meta{Size: 1, Cost: 1e6, Store: true})
+	if _, ok := c.Get(cheap); ok {
+		t.Fatal("cheap entry survived; eviction is not cost-aware")
+	}
+	for _, k := range []Key{exp1, exp2} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatal("expensive entry evicted while a cheap one was in the sample")
+		}
+	}
+}
+
+func TestTTLExpiresLazily(t *testing.T) {
+	c := New[int](Config{TTL: time.Minute})
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	k := keyOf("t")
+	c.Put(k, 7, Meta{Size: 1, Cost: 1, Store: true})
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("expired entry served")
+	}
+	st := c.Stats()
+	if st.Expired != 1 || st.Entries != 0 {
+		t.Fatalf("stats after expiry %+v", st)
+	}
+}
+
+func TestOversizeValueNotStored(t *testing.T) {
+	c := New[int](Config{Shards: 1, MaxBytes: 64})
+	c.Put(keyOf("big"), 1, Meta{Size: 65, Cost: 1, Store: true})
+	if st := c.Stats(); st.Entries != 0 || st.Oversize != 1 {
+		t.Fatalf("oversize store leaked in: %+v", st)
+	}
+}
+
+func TestShardOccupancyIsReported(t *testing.T) {
+	c := New[int](Config{Shards: 4})
+	for i := 0; i < 64; i++ {
+		c.Put(keyOf(fmt.Sprint(i)), i, Meta{Size: 8, Cost: 1, Store: true})
+	}
+	st := c.Stats()
+	if len(st.Shards) != 4 {
+		t.Fatalf("shard stats length %d, want 4", len(st.Shards))
+	}
+	var total int64
+	populated := 0
+	for _, s := range st.Shards {
+		total += int64(s.Entries)
+		if s.Entries > 0 {
+			populated++
+		}
+	}
+	if total != 64 || st.Entries != 64 {
+		t.Fatalf("occupancy does not add up: %+v", st)
+	}
+	// SHA-256 keys spread essentially uniformly; with 64 keys over 4
+	// shards every shard is populated with overwhelming probability.
+	if populated != 4 {
+		t.Fatalf("only %d of 4 shards populated", populated)
+	}
+}
+
+func TestComputeCoalescesConcurrentMisses(t *testing.T) {
+	c := New[int](Config{})
+	k := keyOf("hot")
+	var evals, started atomic.Int32
+
+	const n = 32
+	var wg sync.WaitGroup
+	vals := make(chan int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started.Add(1)
+			ch, _ := c.GetOrCompute(k, func() (int, Meta, error) {
+				evals.Add(1)
+				for started.Load() < n {
+					time.Sleep(time.Millisecond)
+				}
+				time.Sleep(50 * time.Millisecond)
+				return 99, Meta{Size: 2, Cost: 10, Store: true}, nil
+			})
+			r := <-ch
+			if r.Err != nil {
+				t.Errorf("compute error: %v", r.Err)
+			}
+			vals <- r.Val
+		}()
+	}
+	wg.Wait()
+	if got := evals.Load(); got != 1 {
+		t.Fatalf("evaluated %d times under coalescing, want 1", got)
+	}
+	for i := 0; i < n; i++ {
+		if v := <-vals; v != 99 {
+			t.Fatalf("caller got %d, want 99", v)
+		}
+	}
+	st := c.Stats()
+	if st.Coalesced == 0 {
+		t.Fatalf("no coalesced followers recorded: %+v", st)
+	}
+	if st.Stores != 1 {
+		t.Fatalf("stores = %d, want 1", st.Stores)
+	}
+	// The value is now cached: a fresh GetOrCompute must not evaluate.
+	ch, leader := c.GetOrCompute(k, func() (int, Meta, error) {
+		t.Error("evaluated despite a cached entry")
+		return 0, Meta{}, nil
+	})
+	if leader {
+		t.Fatal("cache hit reported leadership")
+	}
+	if r := <-ch; r.Val != 99 {
+		t.Fatalf("hit value %d", r.Val)
+	}
+}
+
+func TestComputeErrorNotCached(t *testing.T) {
+	c := New[int](Config{})
+	k := keyOf("err")
+	ch, _ := c.Compute(k, func() (int, Meta, error) {
+		return 0, Meta{Size: 1, Store: true}, fmt.Errorf("boom")
+	})
+	if r := <-ch; r.Err == nil {
+		t.Fatal("error swallowed")
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("failed computation was cached")
+	}
+}
+
+func TestPutRefreshAdjustsBytes(t *testing.T) {
+	c := New[int](Config{Shards: 1})
+	k := keyOf("r")
+	c.Put(k, 1, Meta{Size: 10, Cost: 1, Store: true})
+	c.Put(k, 1, Meta{Size: 4, Cost: 1, Store: true})
+	if st := c.Stats(); st.Bytes != 4 || st.Entries != 1 {
+		t.Fatalf("refresh accounting broken: %+v", st)
+	}
+}
+
+// TestConcurrentMixedUse is the package's -race soak: readers, writers
+// and coalesced computes hammer a tiny cache whose budgets force
+// constant eviction.
+func TestConcurrentMixedUse(t *testing.T) {
+	c := New[int](Config{Shards: 4, MaxEntries: 32, MaxBytes: 1 << 12})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := keyOf(fmt.Sprint(i % 48))
+				switch i % 3 {
+				case 0:
+					c.Put(k, i, Meta{Size: 64, Cost: float64(i), Store: true})
+				case 1:
+					c.Get(k)
+				default:
+					ch, _ := c.GetOrCompute(k, func() (int, Meta, error) {
+						return i, Meta{Size: 64, Cost: float64(i), Store: true}, nil
+					})
+					<-ch
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries > 32 || st.Bytes > 1<<12 {
+		t.Fatalf("budgets exceeded after soak: %+v", st)
+	}
+}

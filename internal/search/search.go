@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 
+	"loggpsim/internal/flight"
 	"loggpsim/internal/sweep"
 )
 
@@ -42,46 +43,50 @@ var ErrNoCandidates = errors.New("search: no candidate block sizes")
 // Memoized wraps an objective with a cache so repeated probes of the
 // same block size cost nothing; the returned counter reports distinct
 // evaluations. The wrapper is safe for concurrent use: simultaneous
-// probes of the same block size run the underlying objective once, the
-// late arrivals blocking until the in-flight evaluation finishes and
-// then sharing its result. A failed evaluation is not cached (matching
-// the serial behaviour), so a later probe retries; its error is still
-// delivered to every goroutine that was waiting on it. Read the counter
-// only after all evaluations have completed.
+// probes of the same block size run the underlying objective once
+// (coalesced through a flight.Group, the repository's shared
+// singleflight core), the late arrivals blocking until the in-flight
+// evaluation finishes and then sharing its result. A failed evaluation
+// is not cached (matching the serial behaviour), so a later probe
+// retries; its error is still delivered to every goroutine that was
+// waiting on it. Read the counter only after all evaluations have
+// completed.
 func Memoized(f Objective) (Objective, *int) {
-	type inflight struct {
-		done chan struct{}
-		val  float64
-		err  error
-	}
+	var g flight.Group[int, float64]
 	var mu sync.Mutex
-	cache := map[int]*inflight{}
+	vals := map[int]float64{}
 	count := new(int)
 	return func(b int) (float64, error) {
 		mu.Lock()
-		if c, ok := cache[b]; ok {
+		v, ok := vals[b]
+		mu.Unlock()
+		if ok {
+			return v, nil
+		}
+		v, err, _ := g.Do(b, func() (float64, error) {
+			// A just-finished flight may have stored the value between
+			// this probe's memo miss and its winning leadership; only
+			// the leader looks, so the objective still runs at most
+			// once per successful block size.
+			mu.Lock()
+			v, ok := vals[b]
 			mu.Unlock()
-			<-c.done
-			return c.val, c.err
+			if ok {
+				return v, nil
+			}
+			v, err := f(b)
+			if err == nil {
+				mu.Lock()
+				vals[b] = v
+				*count++
+				mu.Unlock()
+			}
+			return v, err
+		})
+		if err != nil {
+			return 0, err
 		}
-		c := &inflight{done: make(chan struct{})}
-		cache[b] = c
-		mu.Unlock()
-
-		c.val, c.err = f(b)
-
-		mu.Lock()
-		if c.err != nil {
-			delete(cache, b)
-		} else {
-			*count++
-		}
-		mu.Unlock()
-		close(c.done)
-		if c.err != nil {
-			return 0, c.err
-		}
-		return c.val, nil
+		return v, nil
 	}, count
 }
 

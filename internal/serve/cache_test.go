@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stripElapsed blanks the elapsed_ms field, the only legitimately
+// nondeterministic byte in a response: it reports wall clock, which no
+// two servings share.
+var elapsedRE = regexp.MustCompile(`"elapsed_ms":[0-9.e+-]+`)
+
+func stripElapsed(b []byte) []byte {
+	return elapsedRE.ReplaceAll(b, []byte(`"elapsed_ms":0`))
+}
+
+func TestCacheHitIsByteIdenticalToMiss(t *testing.T) {
+	s := NewServer(Config{Workers: 1})
+	body := fmt.Sprintf(smallGE, "simulate")
+
+	w1 := post(t, s.Handler(), body, nil)
+	if got := w1.Header().Get("X-Cache"); got != "miss" {
+		t.Fatalf("first request X-Cache = %q, want miss", got)
+	}
+	w2 := post(t, s.Handler(), body, nil)
+	if got := w2.Header().Get("X-Cache"); got != "hit" {
+		t.Fatalf("second request X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(stripElapsed(w1.Body.Bytes()), stripElapsed(w2.Body.Bytes())) {
+		t.Fatalf("hit drifted from miss:\n%s\n%s", w1.Body.String(), w2.Body.String())
+	}
+	st := s.Stats()
+	if st.Cache == nil || st.Cache.Hits != 1 || st.Cache.Stores != 1 {
+		t.Fatalf("cache stats after hit: %+v", st.Cache)
+	}
+}
+
+// TestCacheHitAcrossSpellings pins the canonicalization contract end to
+// end: requests that differ only in JSON spelling, defaulted fields, or
+// a preset-versus-explicit machine share one cache entry.
+func TestCacheHitAcrossSpellings(t *testing.T) {
+	s := NewServer(Config{Workers: 1})
+	variants := []string{
+		`{"mode":"simulate","workload":{"kind":"ge","procs":4,"n":96,"block":8}}`,
+		// mode defaulted, fields reordered
+		`{"workload":{"n":96,"kind":"ge","block":8,"procs":4}}`,
+		// layout spelled out to its default
+		`{"mode":"simulate","workload":{"kind":"ge","procs":4,"n":96,"block":8,"layout":"diagonal"}}`,
+		// machine preset spelled out (the default preset)
+		`{"mode":"simulate","workload":{"kind":"ge","procs":4,"n":96,"block":8},"machine":{"preset":"meiko-cs2"}}`,
+		// preset replaced by its explicit parameters, G in exponent
+		// notation — float canonicalization makes 5e-3 and 0.005 one key
+		`{"mode":"simulate","workload":{"kind":"ge","procs":4,"n":96,"block":8},"machine":{"l":9,"o":2,"gap":16,"g":5e-3}}`,
+	}
+	first := post(t, s.Handler(), variants[0], nil)
+	if first.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("priming request was not a miss")
+	}
+	for i, v := range variants[1:] {
+		w := post(t, s.Handler(), v, nil)
+		if got := w.Header().Get("X-Cache"); got != "hit" {
+			t.Errorf("variant %d: X-Cache = %q, want hit (body %s)", i+1, got, v)
+		}
+		if !bytes.Equal(stripElapsed(first.Body.Bytes()), stripElapsed(w.Body.Bytes())) {
+			t.Errorf("variant %d: body drifted:\n%s\n%s", i+1, first.Body.String(), w.Body.String())
+		}
+	}
+}
+
+// TestCoalescingEvaluatesOnce is the -race coalescing soak the issue
+// asks for: 100 concurrent identical requests produce exactly one
+// evaluation; every caller gets the same full answer; followers are
+// counted and never consume admission slots (Workers 1, no queue — a
+// non-coalesced duplicate would shed with 429).
+func TestCoalescingEvaluatesOnce(t *testing.T) {
+	const n = 100
+	s := NewServer(Config{Workers: 1, QueueDepth: -1})
+	var evals atomic.Int32
+	s.testHook = func(ctx context.Context) {
+		evals.Add(1)
+		// Hold the evaluation open until every other request has joined
+		// as a follower, so none of them can arrive late and find the
+		// value already cached (a hit, not a coalesce).
+		deadline := time.Now().Add(5 * time.Second)
+		for s.Stats().Coalesced < n-1 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	body := fmt.Sprintf(smallGE, "simulate")
+	var wg sync.WaitGroup
+	codes := make(chan int, n)
+	sources := make(chan string, n)
+	bodies := make(chan []byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := post(t, s.Handler(), body, nil)
+			codes <- w.Code
+			sources <- w.Header().Get("X-Cache")
+			bodies <- stripElapsed(w.Body.Bytes())
+		}()
+	}
+	wg.Wait()
+
+	if got := evals.Load(); got != 1 {
+		t.Fatalf("%d concurrent identical requests evaluated %d times, want 1", n, got)
+	}
+	var miss, coalesced int
+	var reference []byte
+	for i := 0; i < n; i++ {
+		if c := <-codes; c != http.StatusOK {
+			t.Fatalf("request finished with status %d", c)
+		}
+		switch src := <-sources; src {
+		case "miss":
+			miss++
+		case "coalesced":
+			coalesced++
+		default:
+			t.Fatalf("unexpected X-Cache %q", src)
+		}
+		b := <-bodies
+		if reference == nil {
+			reference = b
+		} else if !bytes.Equal(reference, b) {
+			t.Fatalf("coalesced responses drifted:\n%s\n%s", reference, b)
+		}
+	}
+	if miss != 1 || coalesced != n-1 {
+		t.Fatalf("sources: %d miss / %d coalesced, want 1 / %d", miss, coalesced, n-1)
+	}
+	st := s.Stats()
+	if st.Accepted != 1 {
+		t.Fatalf("followers consumed admission slots: accepted = %d, want 1", st.Accepted)
+	}
+	if st.Shed != 0 {
+		t.Fatalf("coalesced requests were shed: %+v", st)
+	}
+}
+
+func TestDegradedResponseNeverCached(t *testing.T) {
+	s := NewServer(Config{Workers: 1})
+	body := `{"mode":"simulate","workload":{"kind":"ge","procs":4,"n":96,"block":8},"budget":1}`
+	for i := 0; i < 2; i++ {
+		var resp Response
+		w := post(t, s.Handler(), body, &resp)
+		if got := w.Header().Get("X-Cache"); got != "miss" {
+			t.Fatalf("degraded request %d served X-Cache %q, want miss", i, got)
+		}
+		if !resp.Degraded || resp.DegradeReason != "budget" {
+			t.Fatalf("request %d not budget-degraded: %s", i, w.Body.String())
+		}
+	}
+	if st := s.Stats(); st.Cache.Entries != 0 {
+		t.Fatalf("degraded response entered the cache: %+v", st.Cache)
+	}
+}
+
+// TestDrainServesHitsRefusesMisses pins the drain contract with the
+// cache in front: hits keep flowing until exit, misses get 503.
+func TestDrainServesHitsRefusesMisses(t *testing.T) {
+	s := NewServer(Config{Workers: 1})
+	body := fmt.Sprintf(smallGE, "simulate")
+	post(t, s.Handler(), body, nil) // prime
+
+	s.BeginDrain()
+
+	w := post(t, s.Handler(), body, nil)
+	if w.Code != http.StatusOK || w.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("hit during drain: status %d X-Cache %q", w.Code, w.Header().Get("X-Cache"))
+	}
+	w = post(t, s.Handler(), fmt.Sprintf(smallGE, "worstcase"), nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("miss during drain: status %d, want 503", w.Code)
+	}
+}
+
+// TestCacheDifferentialAgainstCacheOff replays a corpus spanning every
+// mode twice against a caching server and once against a cache-off
+// server: all three responses must be byte-identical modulo elapsed_ms.
+// This is the end-to-end proof that the cache changes performance, not
+// answers.
+func TestCacheDifferentialAgainstCacheOff(t *testing.T) {
+	corpus := []string{
+		fmt.Sprintf(smallGE, "simulate"),
+		fmt.Sprintf(smallGE, "worstcase"),
+		fmt.Sprintf(smallGE, "analyze"),
+		`{"mode":"simulate","workload":{"kind":"ge","procs":4,"n":96,"block":8},"seed":9}`,
+		`{"mode":"simulate","workload":{"kind":"ge","procs":4,"n":96,"block":8},"faults":"drop=0.05,seed=3"}`,
+		`{"mode":"simulate","workload":{"kind":"ge","procs":4,"n":96,"block":8},"machine":{"l":10,"o":3,"gap":8,"g":0.1}}`,
+		`{"mode":"simulate","workload":{"kind":"ge","procs":4,"n":128,"block":8,"layout":"row"}}`,
+		`{"mode":"simulate","workload":{"kind":"pattern","procs":8,"pattern":"alltoall","bytes":256}}`,
+		`{"mode":"simulate","workload":{"kind":"pattern","procs":8,"pattern":"random","bytes":64},"seed":5}`,
+		`{"mode":"analyze","workload":{"kind":"pattern","procs":8,"pattern":"ring","bytes":128}}`,
+		`{"mode":"envelope","workload":{"kind":"ge","procs":4,"n":96,"block":8},"samples":4,"seed":7,"perturb":{"l":0.1,"g":0.2}}`,
+		`{"mode":"envelope","workload":{"kind":"ge","procs":4,"n":96,"block":8},"samples":4,"seed":7,"perturb":{"l":0.1,"g":0.2},"faults":"jitter=0.2,seed=11"}`,
+	}
+	cached := NewServer(Config{Workers: 2})
+	plain := NewServer(Config{Workers: 2, CacheOff: true})
+	for _, body := range corpus {
+		miss := post(t, cached.Handler(), body, nil)
+		hit := post(t, cached.Handler(), body, nil)
+		off := post(t, plain.Handler(), body, nil)
+		if miss.Code != http.StatusOK || hit.Code != http.StatusOK || off.Code != http.StatusOK {
+			t.Fatalf("%s: statuses %d/%d/%d", body, miss.Code, hit.Code, off.Code)
+		}
+		if got := hit.Header().Get("X-Cache"); got != "hit" {
+			t.Errorf("%s: repeat request X-Cache %q, want hit", body, got)
+		}
+		if got := off.Header().Get("X-Cache"); got != "" {
+			t.Errorf("%s: cache-off server sent X-Cache %q", body, got)
+		}
+		m, h, o := stripElapsed(miss.Body.Bytes()), stripElapsed(hit.Body.Bytes()), stripElapsed(off.Body.Bytes())
+		if !bytes.Equal(m, h) {
+			t.Errorf("%s: hit differs from miss:\n%s\n%s", body, m, h)
+		}
+		if !bytes.Equal(m, o) {
+			t.Errorf("%s: cached differs from cache-off:\n%s\n%s", body, m, o)
+		}
+	}
+}
+
+// TestStatszSnapshotConsistent pins the packed occupancy counter: with
+// one request running and two queued, a single /statsz read reports
+// in_flight, running, and queued that add up, plus the cache section.
+func TestStatszSnapshotConsistent(t *testing.T) {
+	s := NewServer(Config{Workers: 1, QueueDepth: 2})
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	s.testHook = func(ctx context.Context) {
+		entered <- struct{}{}
+		<-gate
+	}
+	defer close(gate)
+
+	seeded := `{"mode":"simulate","workload":{"kind":"ge","procs":4,"n":96,"block":8},"seed":%d}`
+	for i := 0; i < 3; i++ {
+		go post(t, s.Handler(), fmt.Sprintf(seeded, i), nil)
+	}
+	<-entered
+	deadline := time.After(2 * time.Second)
+	for s.Stats().InFlight != 3 {
+		select {
+		case <-deadline:
+			t.Fatalf("in-flight stuck at %d, want 3", s.Stats().InFlight)
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/statsz", nil))
+	var st Stats
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatalf("statsz body %q: %v", w.Body.String(), err)
+	}
+	if st.InFlight != 3 || st.Running != 1 || st.Queued != 2 {
+		t.Fatalf("snapshot tore: in_flight=%d running=%d queued=%d", st.InFlight, st.Running, st.Queued)
+	}
+	if st.Queued != st.InFlight-st.Running {
+		t.Fatalf("queued %d != in_flight %d - running %d", st.Queued, st.InFlight, st.Running)
+	}
+	if st.Cache == nil || len(st.Cache.Shards) == 0 {
+		t.Fatalf("statsz missing cache section: %s", w.Body.String())
+	}
+}
+
+// TestCacheOffMatchesLegacyFlow sanity-checks the baseline config: no
+// caching, no coalescing, every request evaluates.
+func TestCacheOffMatchesLegacyFlow(t *testing.T) {
+	s := NewServer(Config{Workers: 1, CacheOff: true})
+	body := fmt.Sprintf(smallGE, "simulate")
+	var evals atomic.Int32
+	s.testHook = func(ctx context.Context) { evals.Add(1) }
+	for i := 0; i < 2; i++ {
+		if w := post(t, s.Handler(), body, nil); w.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, w.Code)
+		}
+	}
+	if got := evals.Load(); got != 2 {
+		t.Fatalf("cache-off server evaluated %d times for 2 requests", got)
+	}
+	if st := s.Stats(); st.Cache != nil {
+		t.Fatalf("cache-off server reports cache stats: %+v", st.Cache)
+	}
+}

@@ -163,9 +163,11 @@ func TestOverloadShedsImmediately(t *testing.T) {
 	go post(t, s.Handler(), fmt.Sprintf(smallGE, "simulate"), nil)
 	<-entered // the only worker is now pinned
 
+	// A distinct body (different seed): an identical one would coalesce
+	// with the pinned request instead of contending for a slot.
 	start := time.Now()
 	var e errorResponse
-	w := post(t, s.Handler(), fmt.Sprintf(smallGE, "simulate"), &e)
+	w := post(t, s.Handler(), `{"mode":"simulate","workload":{"kind":"ge","procs":4,"n":96,"block":8},"seed":1}`, &e)
 	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
 		t.Fatalf("shed took %v, want <100ms", elapsed)
 	}
@@ -191,15 +193,18 @@ func TestQueueDepthAdmitsThenSheds(t *testing.T) {
 		<-gate
 	}
 
+	// Distinct bodies (per-request seeds): identical ones would
+	// coalesce onto one evaluation and never fill the queue.
+	seeded := `{"mode":"simulate","workload":{"kind":"ge","procs":4,"n":96,"block":8},"seed":%d}`
 	var wg sync.WaitGroup
 	codes := make(chan int, 4)
 	for i := 0; i < 3; i++ { // 1 running + 2 queued
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
-			w := post(t, s.Handler(), fmt.Sprintf(smallGE, "simulate"), nil)
+			w := post(t, s.Handler(), fmt.Sprintf(seeded, i), nil)
 			codes <- w.Code
-		}()
+		}(i)
 	}
 	<-entered // first request holds the worker
 	// Wait for the other two to take their queue slots.
@@ -211,7 +216,7 @@ func TestQueueDepthAdmitsThenSheds(t *testing.T) {
 		case <-time.After(time.Millisecond):
 		}
 	}
-	w := post(t, s.Handler(), fmt.Sprintf(smallGE, "simulate"), nil)
+	w := post(t, s.Handler(), fmt.Sprintf(seeded, 3), nil)
 	if w.Code != http.StatusTooManyRequests {
 		t.Fatalf("4th request: status %d, want 429", w.Code)
 	}

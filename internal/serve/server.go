@@ -5,6 +5,24 @@
 //
 // Robustness is layered:
 //
+//   - Result caching. Every layer under the service is deterministic,
+//     so a non-degraded response is a pure function of the request's
+//     canonical form (cachekey.go). Responses are stored in a sharded
+//     LRU+TTL cache (internal/resultcache) keyed by content hash; a hit
+//     is served before admission control even looks at the request —
+//     no queue slot, no deadline, no budget check — and even while the
+//     server drains. Degraded and error responses are never cached.
+//
+//   - Request coalescing. Concurrent identical misses collapse onto
+//     one evaluation (internal/flight): the first request becomes the
+//     leader and runs the full admission/evaluation path; followers
+//     block without consuming queue or worker slots and share the
+//     leader's outcome, whatever it is. Requests that differ only in
+//     operational knobs (deadline, budget) are deliberately NOT
+//     coalesced — a follower must never receive a degradation it did
+//     not ask for — so the coalescing key is the cache key plus those
+//     knobs.
+//
 //   - Admission control. A bounded queue (QueueDepth waiting slots on
 //     top of Workers running slots) backed by a sweep.Limiter sized off
 //     the evaluator pool. When the queue is full, excess requests are
@@ -12,7 +30,7 @@
 //     is bounded by slots × capped request size no matter the offered
 //     load.
 //
-//   - Deadlines and budgets. Every request runs under a per-request
+//   - Deadlines and budgets. Every evaluation runs under a per-request
 //     deadline (client-supplied, clamped to a server maximum)
 //     propagated via context into the predictor's per-step polling and
 //     the Monte-Carlo sampler's per-sample checks. Before a worker is
@@ -29,9 +47,9 @@
 //   - Crash containment and lifecycle. A panic inside a prediction
 //     poisons (does not repool) the affected evaluator and answers 500
 //     without taking the process down; /healthz and /readyz report
-//     liveness and readiness; Drain stops admission, lets in-flight
-//     requests finish for a grace period, then bound-downgrades
-//     whatever is still running.
+//     liveness and readiness; Drain stops admission of cache misses,
+//     keeps answering hits, lets in-flight requests finish for a grace
+//     period, then bound-downgrades whatever is still running.
 package serve
 
 import (
@@ -49,9 +67,11 @@ import (
 	"loggpsim/internal/analyze"
 	"loggpsim/internal/cost"
 	"loggpsim/internal/faults"
+	"loggpsim/internal/flight"
 	"loggpsim/internal/loggp"
 	"loggpsim/internal/predictor"
 	"loggpsim/internal/program"
+	"loggpsim/internal/resultcache"
 	"loggpsim/internal/robust"
 	"loggpsim/internal/sweep"
 )
@@ -82,6 +102,14 @@ type Config struct {
 	Limits Limits
 	// Breaker tunes the Monte-Carlo circuit breaker.
 	Breaker BreakerConfig
+	// Cache tunes the result cache (zero fields select resultcache's
+	// defaults: 16 shards, 256 MiB, 64k entries, no TTL).
+	Cache resultcache.Config
+	// CacheOff disables the result cache AND request coalescing,
+	// restoring the evaluate-every-request flow. It exists for the
+	// loadtest baseline and for differential testing — cached and
+	// uncached responses must be byte-identical.
+	CacheOff bool
 	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
 	// profiles expose internals, so the operator opts in (-pprof).
 	Pprof bool
@@ -116,21 +144,85 @@ func (c Config) withDefaults() Config {
 // Stats is a snapshot of the server's counters (see /statsz).
 type Stats struct {
 	// Accepted counts requests admitted past the queue; Shed the ones
-	// bounced with 429; Rejected the 4xx input failures; Degraded the
+	// bounced with 429; Rejected the 4xx/5xx failures; Degraded the
 	// 200s answered with a downgraded computation; Panics the contained
-	// prediction panics; Completed every request fully answered.
+	// prediction panics; Completed every request answered with a 200;
+	// Coalesced the requests that shared another request's evaluation
+	// instead of running their own.
 	Accepted  int64 `json:"accepted"`
 	Shed      int64 `json:"shed"`
 	Rejected  int64 `json:"rejected"`
 	Degraded  int64 `json:"degraded"`
 	Panics    int64 `json:"panics"`
 	Completed int64 `json:"completed"`
+	Coalesced int64 `json:"coalesced"`
 	// InFlight is the number of requests currently holding a queue or
-	// worker slot; BreakerOpen reports the Monte-Carlo breaker state.
-	InFlight    int64 `json:"in_flight"`
-	BreakerOpen bool  `json:"breaker_open"`
+	// worker slot; Running the subset actually holding a worker; Queued
+	// the rest. The three are read from one packed atomic, so a
+	// snapshot is internally consistent — Queued is exactly
+	// InFlight−Running, never a torn pair of loads.
+	InFlight int64 `json:"in_flight"`
+	Running  int64 `json:"running"`
+	Queued   int64 `json:"queued"`
+	// BreakerOpen reports the Monte-Carlo breaker state.
+	BreakerOpen bool `json:"breaker_open"`
 	// Draining reports that shutdown has begun.
 	Draining bool `json:"draining"`
+	// Cache is the result cache's own counter snapshot (hits, misses,
+	// evictions, per-shard occupancy); absent when the cache is off.
+	Cache *resultcache.Stats `json:"cache,omitempty"`
+}
+
+// occupancy packing: the high 32 bits count held queue-or-run slots,
+// the low 32 the subset holding a worker. One atomic word means one
+// Load yields a consistent (in-flight, running) pair.
+const (
+	occSlot uint64 = 1 << 32
+	occRun  uint64 = 1
+)
+
+// flightKey is the request-coalescing key: the semantic cache key plus
+// the operational knobs excluded from it. Two requests coalesce only
+// when they would be willing to accept each other's outcome — a
+// budget-degraded certificate must not be handed to a follower that
+// never set a budget.
+type flightKey struct {
+	key        resultcache.Key
+	deadlineMS int
+	budget     float64
+}
+
+// outcome is one evaluated (or cached) answer, decoupled from the
+// ResponseWriter so it can be computed once and delivered to many
+// coalesced requests. Exactly one of resp (status 200) or errMsg is
+// set.
+type outcome struct {
+	status     int
+	resp       *Response // 200 payload; ElapsedMS is stamped per write
+	errMsg     string
+	retryAfter bool
+	reject     bool // count this write in Stats.Rejected
+}
+
+func okOutcome(resp *Response) *outcome {
+	return &outcome{status: http.StatusOK, resp: resp}
+}
+
+func rejectOutcome(status int, format string, args ...any) *outcome {
+	return &outcome{
+		status:     status,
+		errMsg:     fmt.Sprintf(format, args...),
+		retryAfter: status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable,
+		reject:     true,
+	}
+}
+
+// storable reports whether the outcome may enter the cache: only full,
+// non-degraded 200s. Degradations reflect transient conditions
+// (deadline pressure, drain, budget, breaker) — caching one would
+// replay a transient forever.
+func (o *outcome) storable() bool {
+	return o.status == http.StatusOK && !o.resp.Degraded
 }
 
 // Server is the prediction service. Construct with NewServer, mount
@@ -144,6 +236,9 @@ type Server struct {
 	breaker *breaker
 	mux     *http.ServeMux
 
+	cache *resultcache.Cache[*Response] // nil when CacheOff
+	group flight.Group[flightKey, *outcome]
+
 	draining atomic.Bool
 	drainNow chan struct{} // closed DrainGrace after drain begins
 	drainOne sync.Once
@@ -154,7 +249,8 @@ type Server struct {
 	// pin a worker (overload), outwait a deadline, or panic on demand.
 	testHook func(ctx context.Context)
 
-	accepted, shed, rejected, degraded, panics, completed, inFlight atomic.Int64
+	accepted, shed, rejected, degraded, panics, completed, coalesced atomic.Int64
+	occupancy                                                        atomic.Uint64
 }
 
 // NewServer builds a server; the zero Config is usable.
@@ -168,6 +264,9 @@ func NewServer(cfg Config) *Server {
 		evals:    make(chan *predictor.Evaluator, cfg.Workers),
 		breaker:  newBreaker(cfg.Breaker),
 		drainNow: make(chan struct{}),
+	}
+	if !cfg.CacheOff {
+		s.cache = resultcache.New[*Response](cfg.Cache)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.evals <- predictor.NewEvaluator()
@@ -194,22 +293,33 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Stats returns a counter snapshot.
 func (s *Server) Stats() Stats {
-	return Stats{
+	occ := s.occupancy.Load()
+	held, running := int64(occ>>32), int64(occ&0xffffffff)
+	st := Stats{
 		Accepted:    s.accepted.Load(),
 		Shed:        s.shed.Load(),
 		Rejected:    s.rejected.Load(),
 		Degraded:    s.degraded.Load(),
 		Panics:      s.panics.Load(),
 		Completed:   s.completed.Load(),
-		InFlight:    s.inFlight.Load(),
+		Coalesced:   s.coalesced.Load(),
+		InFlight:    held,
+		Running:     running,
+		Queued:      held - running,
 		BreakerOpen: s.breaker.isOpen(),
 		Draining:    s.draining.Load(),
 	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.Cache = &cs
+	}
+	return st
 }
 
 // BeginDrain flips the server into drain mode: readiness goes 503, new
-// predictions are refused, and after DrainGrace the contexts of
-// in-flight requests are released so they bound-downgrade. Idempotent.
+// evaluations are refused (cache hits keep being served), and after
+// DrainGrace the contexts of in-flight evaluations are released so they
+// bound-downgrade. Idempotent.
 func (s *Server) BeginDrain() {
 	if s.draining.CompareAndSwap(false, true) {
 		time.AfterFunc(s.cfg.DrainGrace, func() {
@@ -268,16 +378,14 @@ func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// handlePredict is the main endpoint. See the package comment for the
-// shed/deadline/degrade state machine it implements.
+// handlePredict is the main endpoint: decode and validate, serve a
+// cache hit, otherwise coalesce identical misses onto one evaluation.
+// See the package comment for the shed/deadline/degrade state machine
+// the evaluation implements.
 func (s *Server) handlePredict(w http.ResponseWriter, hr *http.Request) {
 	start := time.Now()
 	if hr.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	if s.draining.Load() {
-		s.fail(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
 
@@ -301,15 +409,116 @@ func (s *Server) handlePredict(w http.ResponseWriter, hr *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	pr, work, err := r.buildProgram(s.cfg.Limits)
+
+	if s.cache == nil {
+		// Cache and coalescing off: every request evaluates.
+		if s.draining.Load() {
+			s.fail(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		s.writeOutcome(w, s.evaluate(&r), "", start)
+		return
+	}
+
+	// The canonical key must come from the wire-form request: the
+	// evaluation path mutates it (hypercube proc rounding).
+	ck, err := canonicalize(&r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	key := ck.key()
+
+	// Hit: answer before admission control exists — no slot, no
+	// deadline, no budget, and no drain refusal. A draining server
+	// keeps serving hits until the process exits.
+	if resp, ok := s.cache.Get(key); ok {
+		s.writeOutcome(w, okOutcome(resp), "hit", start)
+		return
+	}
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+
+	// Miss: coalesce. The leader runs the full admission + evaluation
+	// path in a flight goroutine detached from any one client's
+	// connection; followers wait here, consuming no queue or worker
+	// slot, and share whatever outcome the leader produced.
+	ch, leader := s.group.DoChan(flightKey{key, r.DeadlineMS, r.Budget}, func() (*outcome, error) {
+		o := s.evaluate(&r)
+		if o.storable() {
+			if b, merr := json.Marshal(o.resp); merr == nil {
+				s.cache.Put(key, o.resp, resultcache.Meta{
+					Size:  len(b),
+					Cost:  o.resp.WorkUnits,
+					Store: true,
+				})
+			}
+		}
+		return o, nil
+	})
+	src := "miss"
+	if !leader {
+		src = "coalesced"
+		s.coalesced.Add(1)
+	}
+	res := <-ch
+	if res.Err != nil {
+		// Only a panic that escaped evaluate's guard lands here.
+		s.fail(w, http.StatusInternalServerError, "internal error (evaluation panicked)")
+		return
+	}
+	s.writeOutcome(w, res.Val, src, start)
+}
+
+// writeOutcome delivers an outcome to one client and accounts for it.
+// Work-level counters (accepted, shed, panics) were already bumped by
+// whoever evaluated; the per-response counters (completed, degraded,
+// rejected) belong to each request served. src, when non-empty, is
+// surfaced as the X-Cache header (hit, miss, coalesced).
+func (s *Server) writeOutcome(w http.ResponseWriter, o *outcome, src string, start time.Time) {
+	if src != "" {
+		w.Header().Set("X-Cache", src)
+	}
+	if o.retryAfter {
+		w.Header().Set("Retry-After", "1")
+	}
+	if o.status != http.StatusOK {
+		if o.reject {
+			s.rejected.Add(1)
+		}
+		writeJSON(w, o.status, errorResponse{Error: o.errMsg})
+		return
+	}
+	// Shallow-copy before stamping the wall clock: the Response itself
+	// may live in the cache, shared by concurrent writers. The nested
+	// pointers are read-only after evaluation.
+	resp := *o.resp
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if resp.Degraded {
+		s.degraded.Add(1)
+	}
+	s.completed.Add(1)
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+// evaluate is the single evaluation path — the admission-control,
+// deadline, budget, and degradation state machine, producing an outcome
+// instead of writing one. It runs once per unique in-flight request
+// (the coalescing leader), or once per request when the cache is off.
+func (s *Server) evaluate(r *Request) *outcome {
+	pr, work, err := r.buildProgram(s.cfg.Limits)
+	if err != nil {
+		return rejectOutcome(http.StatusBadRequest, "%v", err)
+	}
 	params, err := r.Machine.params(r.Workload.Procs)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
-		return
+		return rejectOutcome(http.StatusBadRequest, "%v", err)
 	}
 	mode := r.Mode
 	if mode == "" {
@@ -326,8 +535,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, hr *http.Request) {
 		if report.Bounds != nil {
 			resp.Bounds = &BoundsResult{LowerMicros: report.Bounds.Lower, UpperMicros: report.Bounds.Upper}
 		}
-		s.finish(w, resp, start)
-		return
+		return okOutcome(resp)
 	}
 
 	// Budget gate: price the request before a worker ever sees it.
@@ -336,8 +544,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, hr *http.Request) {
 		budget = r.Budget
 	}
 	if resp.WorkUnits > budget {
-		s.degrade(w, resp, pr, params, "budget", start)
-		return
+		return s.degradeOutcome(resp, pr, params, "budget")
 	}
 
 	// Admission: a free queue-or-run token, or an immediate shed. The
@@ -347,22 +554,21 @@ func (s *Server) handlePredict(w http.ResponseWriter, hr *http.Request) {
 	case s.slots <- struct{}{}:
 	default:
 		s.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server at capacity"})
-		return
+		return &outcome{status: http.StatusTooManyRequests, errMsg: "server at capacity", retryAfter: true}
 	}
 	s.accepted.Add(1)
-	s.inflight.Add(1)
-	s.inFlight.Add(1)
+	s.occupancy.Add(occSlot)
 	defer func() {
 		<-s.slots
-		s.inFlight.Add(-1)
-		s.inflight.Done()
+		s.occupancy.Add(^(occSlot - 1)) // -occSlot
 	}()
 
 	// Deadline: client-supplied, clamped, defaulted — and released
 	// early when the drain grace expires, so shutdown degrades
-	// in-flight work instead of waiting out long deadlines.
+	// in-flight work instead of waiting out long deadlines. The base is
+	// Background, not the leader's connection context: a coalesced
+	// evaluation serves every follower and must not die with one
+	// client.
 	d := s.cfg.DefaultDeadline
 	if r.DeadlineMS > 0 {
 		d = time.Duration(r.DeadlineMS) * time.Millisecond
@@ -370,7 +576,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, hr *http.Request) {
 	if d > s.cfg.MaxDeadline {
 		d = s.cfg.MaxDeadline
 	}
-	ctx, cancel := context.WithTimeout(hr.Context(), d)
+	ctx, cancel := context.WithTimeout(context.Background(), d)
 	defer cancel()
 	go func() {
 		select {
@@ -383,56 +589,45 @@ func (s *Server) handlePredict(w http.ResponseWriter, hr *http.Request) {
 	// Worker gate: wait for budgeted concurrency. A deadline that
 	// expires in the queue degrades without ever simulating.
 	if err := s.lim.Acquire(ctx); err != nil {
-		s.degrade(w, resp, pr, params, s.degradeReason(ctx, hr), start)
-		return
+		return s.degradeOutcome(resp, pr, params, s.degradeReason())
 	}
-	defer s.lim.Release()
+	s.occupancy.Add(occRun)
+	defer func() {
+		s.lim.Release()
+		s.occupancy.Add(^(occRun - 1)) // -occRun
+	}()
 
-	switch mode {
-	case ModeSimulate, ModeWorstCase:
-		s.runSimulation(w, resp, &r, pr, params, ctx, hr, start)
-	case ModeEnvelope:
-		s.runEnvelope(w, resp, &r, pr, params, ctx, hr, start)
+	if mode == ModeEnvelope {
+		return s.runEnvelope(resp, r, pr, params, ctx)
 	}
+	return s.runSimulation(resp, r, pr, params, ctx)
 }
 
-// degradeReason maps an expired request context to the response's
-// degrade_reason: the drain signal wins over the deadline, and a client
-// that simply went away is reported as a deadline (the write is dead
-// either way).
-func (s *Server) degradeReason(ctx context.Context, hr *http.Request) string {
+// degradeReason maps an expired evaluation context to the response's
+// degrade_reason: the drain signal wins over the deadline.
+func (s *Server) degradeReason() string {
 	select {
 	case <-s.drainNow:
 		return "drain"
 	default:
-	}
-	if errors.Is(ctx.Err(), context.DeadlineExceeded) || hr.Context().Err() == nil {
 		return "deadline"
 	}
-	return "client-gone"
 }
 
-// degrade answers with the closed-form bound certificate instead of the
-// requested computation — the graceful floor of every downgrade path.
-func (s *Server) degrade(w http.ResponseWriter, resp *Response, pr *program.Program, params loggp.Params, reason string, start time.Time) {
+// degradeOutcome answers with the closed-form bound certificate instead
+// of the requested computation — the graceful floor of every downgrade
+// path. Never storable: resp.Degraded is set.
+func (s *Server) degradeOutcome(resp *Response, pr *program.Program, params loggp.Params, reason string) *outcome {
 	b, err := analyze.BoundProgram(pr, params, s.model)
 	if err != nil {
 		// Validated inputs cannot fail the bound computation; if they
 		// somehow do, an honest error beats a fabricated certificate.
-		s.fail(w, http.StatusInternalServerError, "bound certificate: %v", err)
-		return
+		return rejectOutcome(http.StatusInternalServerError, "bound certificate: %v", err)
 	}
 	resp.Degraded = true
 	resp.DegradeReason = reason
 	resp.Bounds = &BoundsResult{LowerMicros: b.Lower, UpperMicros: b.Upper}
-	s.degraded.Add(1)
-	s.finish(w, resp, start)
-}
-
-func (s *Server) finish(w http.ResponseWriter, resp *Response, start time.Time) {
-	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
-	s.completed.Add(1)
-	writeJSON(w, http.StatusOK, resp)
+	return okOutcome(resp)
 }
 
 // checkoutEvaluator takes an evaluator from the pool. The worker gate
@@ -447,11 +642,10 @@ func (s *Server) poison(_ *predictor.Evaluator) { s.evals <- predictor.NewEvalua
 
 // runSimulation executes simulate/worstcase mode on a pooled evaluator
 // with panic containment.
-func (s *Server) runSimulation(w http.ResponseWriter, resp *Response, r *Request, pr *program.Program, params loggp.Params, ctx context.Context, hr *http.Request, start time.Time) {
+func (s *Server) runSimulation(resp *Response, r *Request, pr *program.Program, params loggp.Params, ctx context.Context) *outcome {
 	plan, err := faults.Parse(r.Faults) // validated already; cannot fail
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
-		return
+		return rejectOutcome(http.StatusBadRequest, "%v", err)
 	}
 	cfg := predictor.Config{
 		Params: params,
@@ -471,8 +665,7 @@ func (s *Server) runSimulation(w http.ResponseWriter, resp *Response, r *Request
 	if panicked {
 		s.poison(e)
 		s.panics.Add(1)
-		s.fail(w, http.StatusInternalServerError, "internal error (prediction panicked; contained)")
-		return
+		return rejectOutcome(http.StatusInternalServerError, "internal error (prediction panicked; contained)")
 	}
 	switch {
 	case err == nil:
@@ -485,33 +678,31 @@ func (s *Server) runSimulation(w http.ResponseWriter, resp *Response, r *Request
 			CommWorstMicros: pred.CommWorst,
 			Steps:           pred.Steps,
 		}
-		s.finish(w, resp, start)
+		return okOutcome(resp)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		// The replay aborted within one step of the deadline: poison
 		// the evaluator (its sessions are mid-program) and answer with
 		// the certificate.
 		s.poison(e)
-		s.degrade(w, resp, pr, params, s.degradeReason(ctx, hr), start)
+		return s.degradeOutcome(resp, pr, params, s.degradeReason())
 	default:
 		// A fault-plan loss or a hook failure: an honest client error,
 		// and a poisoned evaluator either way.
 		s.poison(e)
-		s.fail(w, http.StatusUnprocessableEntity, "prediction failed: %v", err)
+		return rejectOutcome(http.StatusUnprocessableEntity, "prediction failed: %v", err)
 	}
 }
 
 // runEnvelope executes envelope mode: the full Monte-Carlo sweep when
 // the breaker allows it, single-shot prediction when it is open.
-func (s *Server) runEnvelope(w http.ResponseWriter, resp *Response, r *Request, pr *program.Program, params loggp.Params, ctx context.Context, hr *http.Request, start time.Time) {
+func (s *Server) runEnvelope(resp *Response, r *Request, pr *program.Program, params loggp.Params, ctx context.Context) *outcome {
 	if !s.breaker.allow(time.Now()) {
 		// Breaker open: envelope downgrades to a single standard
 		// prediction — still a simulation, still seeded, just not
 		// Samples of them.
 		resp.Degraded = true
 		resp.DegradeReason = "breaker"
-		s.degraded.Add(1)
-		s.runSimulation(w, resp, r, pr, params, ctx, hr, start)
-		return
+		return s.runSimulation(resp, r, pr, params, ctx)
 	}
 	samples := r.Samples
 	if samples < 1 {
@@ -545,20 +736,20 @@ func (s *Server) runEnvelope(w http.ResponseWriter, resp *Response, r *Request, 
 	switch {
 	case panicked:
 		s.panics.Add(1)
-		s.fail(w, http.StatusInternalServerError, "internal error (envelope panicked; contained)")
+		return rejectOutcome(http.StatusInternalServerError, "internal error (envelope panicked; contained)")
 	case err == nil && len(envs) == 1:
 		s.breaker.success()
 		resp.Envelope = &envs[0]
-		s.finish(w, resp, start)
+		return okOutcome(resp)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		// Per-sample timeout: feed the breaker, degrade to the bound
 		// certificate for this request.
 		s.breaker.timeout(time.Now())
-		s.degrade(w, resp, pr, params, s.degradeReason(ctx, hr), start)
+		return s.degradeOutcome(resp, pr, params, s.degradeReason())
 	case err != nil:
-		s.fail(w, http.StatusUnprocessableEntity, "envelope failed: %v", err)
+		return rejectOutcome(http.StatusUnprocessableEntity, "envelope failed: %v", err)
 	default:
-		s.fail(w, http.StatusInternalServerError, "envelope produced %d results, want 1", len(envs))
+		return rejectOutcome(http.StatusInternalServerError, "envelope produced %d results, want 1", len(envs))
 	}
 }
 

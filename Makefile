@@ -4,7 +4,9 @@
 #                  differential tests under -race + race-enabled full
 #                  suite
 #   make test    — fast tier-1 check (go build + go test)
-#   make lint    — determinism vettool (cmd/loggpvet) over the repo
+#   make lint    — determinism certification (cmd/loggpvet driver mode)
+#                  over the repo against the checked-in baseline
+#   make lint-sarif — same run, writing bin/lint.sarif (SARIF 2.1.0)
 #   make race    — full test suite under the race detector
 #   make diff    — scheduler differential tests (indexed vs reference
 #                  cores) under the race detector
@@ -35,7 +37,7 @@ GO ?= go
 LOGGPVET := $(CURDIR)/bin/loggpvet
 FUZZTIME ?= 15s
 
-.PHONY: all build test vet lint race diff bench sweep bench-envelope fuzz-smoke serve-smoke loadtest loadtest-smoke ci
+.PHONY: all build test vet lint lint-sarif race diff bench sweep bench-envelope fuzz-smoke serve-smoke loadtest loadtest-smoke ci
 
 all: ci
 
@@ -48,14 +50,22 @@ test: build
 vet:
 	$(GO) vet ./...
 
-# Determinism lint: forbid map-range iteration, the global RNG / wall
-# clock, and non-finite clock arithmetic in the scheduling packages (see
-# internal/lintrules). The tool must report nothing on the repository;
-# its per-rule true-positive fixtures live under
+# Determinism certification: cmd/loggpvet in driver mode re-executes
+# itself under `go vet -vettool=`, aggregates the whole module's
+# findings (single-pass rules + the interprocedural purity call-graph;
+# see internal/lintrules), and applies the checked-in
+# lint.baseline.json globally — new findings AND stale baseline entries
+# both fail. Per-rule true-positive/true-negative fixtures live under
 # internal/lintrules/testdata/fixtures.
 lint:
 	$(GO) build -o $(LOGGPVET) ./cmd/loggpvet
-	$(GO) vet -vettool=$(LOGGPVET) ./...
+	$(LOGGPVET) ./...
+
+# Same run, but also writing a SARIF 2.1.0 log (baselined findings
+# included as suppressed results) for code-scanning consumers.
+lint-sarif:
+	$(GO) build -o $(LOGGPVET) ./cmd/loggpvet
+	$(LOGGPVET) -sarif bin/lint.sarif ./...
 
 # The concurrent paths (internal/sweep, search.Memoized, the parallel
 # sweeps in experiments/sensitivity/scaling) must stay race-clean.
@@ -137,4 +147,4 @@ loadtest-smoke:
 		-universe 24 -skew 1.3 -seed 1 \
 		-min-hit-rate 0.01 -out ""
 
-ci: vet lint test diff race fuzz-smoke serve-smoke loadtest-smoke
+ci: vet lint lint-sarif test diff race fuzz-smoke serve-smoke loadtest-smoke

@@ -1,0 +1,204 @@
+package main
+
+// Driver mode: aggregate the whole module's findings through one
+// self-invocation of `go vet -vettool=`, apply the baseline globally,
+// and render text/JSON/SARIF. See the package comment for the mode
+// layout.
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"loggpsim/internal/lintrules"
+)
+
+func runDriver(args []string) int {
+	fs := flag.NewFlagSet("loggpvet", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "print findings as JSON to stdout")
+	sarifOut := fs.String("sarif", "", "write a SARIF 2.1.0 log to `file`")
+	baselinePath := fs.String("baseline", "", "baseline `file` (default lint.baseline.json in the working directory, if present)")
+	module := fs.String("module", "", "module prefix under analysis (default loggpsim, or $LOGGPVET_MODULE)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: loggpvet [-json] [-sarif file] [-baseline file] [packages...]")
+		fmt.Fprintln(os.Stderr, "       loggpvet -explain <rule>")
+		fmt.Fprintln(os.Stderr, "       go vet -vettool=loggpvet [packages...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if *module == "" {
+		*module = os.Getenv("LOGGPVET_MODULE")
+	}
+	if *module == "" {
+		*module = "loggpsim"
+	}
+
+	// Baseline: explicit path, else lint.baseline.json beside the
+	// working directory when present.
+	baseline := &lintrules.Baseline{Version: lintrules.BaselineVersion}
+	bpath := *baselinePath
+	if bpath == "" {
+		if _, err := os.Stat("lint.baseline.json"); err == nil {
+			bpath = "lint.baseline.json"
+		}
+	}
+	if bpath != "" {
+		data, err := os.ReadFile(bpath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loggpvet:", err)
+			return 1
+		}
+		if baseline, err = lintrules.ParseBaseline(data); err != nil {
+			fmt.Fprintf(os.Stderr, "loggpvet: %s: %v\n", bpath, err)
+			return 1
+		}
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loggpvet:", err)
+		return 1
+	}
+	findingsDir, err := os.MkdirTemp("", "loggpvet-findings-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loggpvet:", err)
+		return 1
+	}
+	defer os.RemoveAll(findingsDir)
+
+	// A fresh salt per run busts the vet result cache: a cached vet
+	// action would skip the child entirely and leave its package out of
+	// the findings directory — an unanalyzed package must never read as
+	// a clean one.
+	var salt [16]byte
+	if _, err := rand.Read(salt[:]); err != nil {
+		fmt.Fprintln(os.Stderr, "loggpvet:", err)
+		return 1
+	}
+
+	vet := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	vet.Env = append(os.Environ(),
+		"LOGGPVET_FINDINGS_DIR="+findingsDir,
+		"LOGGPVET_SALT="+hex.EncodeToString(salt[:]),
+		"LOGGPVET_MODULE="+*module,
+	)
+	vet.Stdout = os.Stdout
+	vet.Stderr = os.Stderr
+	if err := vet.Run(); err != nil {
+		// Children exit 0 even with findings, so a vet failure is a
+		// build/typecheck problem — surface it as-is.
+		fmt.Fprintln(os.Stderr, "loggpvet: go vet:", err)
+		return 1
+	}
+
+	// Aggregate per-package reports.
+	entries, err := os.ReadDir(findingsDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loggpvet:", err)
+		return 1
+	}
+	analyzed := map[string][]lintrules.Finding{}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(findingsDir, e.Name()))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loggpvet:", err)
+			return 1
+		}
+		var rep pkgReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			fmt.Fprintln(os.Stderr, "loggpvet:", err)
+			return 1
+		}
+		analyzed[rep.Pkg] = rep.Findings
+	}
+	if len(analyzed) == 0 {
+		fmt.Fprintln(os.Stderr, "loggpvet: no module packages analyzed (wrong -module or patterns?)")
+		return 1
+	}
+
+	fresh, suppressed, stale := baseline.Apply(analyzed)
+	sortFindings(fresh)
+	sortFindings(suppressed)
+
+	if *jsonOut {
+		out, err := json.MarshalIndent(struct {
+			Findings   []lintrules.Finding       `json:"findings"`
+			Suppressed []lintrules.Finding       `json:"suppressed"`
+			Stale      []lintrules.BaselineEntry `json:"stale"`
+			Packages   int                       `json:"packages"`
+		}{orEmpty(fresh), orEmpty(suppressed), stale, len(analyzed)}, "", "  ")
+		if err == nil {
+			_, err = fmt.Printf("%s\n", out)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loggpvet:", err)
+			return 1
+		}
+	}
+	if *sarifOut != "" {
+		wd, _ := os.Getwd()
+		log := lintrules.SARIF(versionFingerprint(), wd, fresh, suppressed)
+		if err := os.WriteFile(*sarifOut, log, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "loggpvet:", err)
+			return 1
+		}
+	}
+
+	for _, f := range fresh {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "%s: stale baseline entry: %d pinned %s finding(s) in %s no longer exist — shrink lint.baseline.json (baseline)\n",
+			e.Pkg, e.Count, e.Rule, e.File)
+	}
+	if !*jsonOut {
+		fmt.Fprintf(os.Stderr, "loggpvet: %d package(s), %d finding(s), %d baselined, %d stale baseline entr%s\n",
+			len(analyzed), len(fresh), len(suppressed), len(stale), plural(len(stale), "y", "ies"))
+	}
+	if len(fresh)+len(stale) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func sortFindings(fs []lintrules.Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+func orEmpty(fs []lintrules.Finding) []lintrules.Finding {
+	if fs == nil {
+		return []lintrules.Finding{}
+	}
+	return fs
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}

@@ -1,33 +1,56 @@
-// Command loggpvet is the repository's determinism vettool: a `go vet
-// -vettool=` compatible binary enforcing the lint rules of
-// internal/lintrules (maprange, globalrand, nonfinite) on the
-// scheduling packages. Run it through the standard vet driver:
+// Command loggpvet is the repository's determinism certifier: a
+// multi-analyzer static suite (internal/lintrules) enforcing the
+// determinism contract — map order, owned randomness, wall-clock
+// hygiene, finite clocks, context polling, pool poisoning, float
+// accumulation order, dropped errors, and an interprocedural purity
+// call-graph — across the whole module under a per-package policy
+// table.
 //
-//	go build -o bin/loggpvet ./cmd/loggpvet
-//	go vet -vettool=bin/loggpvet ./...
+// It runs in two modes:
 //
-// (`make lint` does both). Findings are printed one per line as
-// file:line:col: message (rule), and the tool exits non-zero, failing
-// the vet run.
+//	loggpvet [-json] [-sarif file] [-baseline file] [packages...]
 //
-// The tool speaks the vet driver's unitchecker protocol directly with
-// the standard library only (the x/tools analysis framework is not a
-// dependency of this repository): it answers the -V=full version
-// handshake and the -flags query, and otherwise receives a JSON .cfg
-// describing one package — file set, import map, and the export data of
-// every dependency — against which it typechecks the package with the
-// gc importer before applying the rules. The driver invokes it for
-// every package in the build graph, dependencies included; packages the
-// rules cannot cover are acknowledged (vet requires an output facts
-// file) and skipped without typechecking.
+// Driver mode (default; `make lint` and `make lint-sarif`): re-executes
+// itself under `go vet -vettool=` over the requested packages (./...
+// by default), aggregates every package's findings, applies the
+// checked-in baseline globally — new findings and stale baseline
+// entries both fail the run — and renders text (default), JSON
+// (-json), and/or SARIF 2.1.0 (-sarif writes the log and keeps the
+// text summary on stderr).
 //
-// The module whose packages are analyzed defaults to this repository
-// (loggpsim); the LOGGPVET_MODULE environment variable overrides the
-// prefix so the rule fixtures — and, in principle, any other module —
-// can be vetted by the same binary.
+//	go vet -vettool=$(go build ...) ./...
+//
+// Vettool mode (how the driver consumes it, and usable directly): the
+// hand-implemented unitchecker protocol of the standard vet driver,
+// stdlib only — the -V=full version handshake (answered with a content
+// hash of the binary, so the vet result cache never survives a tool
+// rebuild), the -flags query, then one JSON .cfg per package carrying
+// the file set, import map, and export data of every dependency.
+// Purity facts ride the same protocol: each package's summary is
+// serialized into its .vetx output file and read back from
+// PackageVetx when its importers are analyzed, which is what makes the
+// purity rule interprocedural under a one-package-at-a-time driver.
+// When invoked directly, each package applies the baseline found by
+// walking up from its source directory (or $LOGGPVET_BASELINE) and
+// exits 2 on any unbaselined finding.
+//
+//	loggpvet -explain <rule>
+//
+// Prints the full documentation for one rule family.
+//
+// Environment: LOGGPVET_MODULE overrides the module prefix under
+// analysis (the rule fixtures are a separate module vetted by the same
+// binary); LOGGPVET_FINDINGS_DIR (set by driver mode) redirects
+// per-package findings to JSON files and forces exit 0 so the sweep
+// completes before the verdict; LOGGPVET_SALT (set by driver mode) is
+// folded into the -V=full fingerprint so every driver run busts the
+// vet result cache — cached vet actions would otherwise skip the
+// tool and leave holes in the aggregated findings.
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -43,6 +66,67 @@ import (
 	"loggpsim/internal/lintrules"
 )
 
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	for _, a := range args {
+		switch a {
+		case "-V=full":
+			// The driver hashes this line into its vet cache key: the
+			// binary's content hash invalidates cached results on every
+			// tool change, and the salt (driver mode) on every run.
+			fmt.Printf("%s version %s\n", filepath.Base(os.Args[0]), versionFingerprint())
+			return 0
+		case "-flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if len(args) >= 1 && args[0] == "-explain" {
+		return runExplain(args[1:])
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runUnit(args[0])
+	}
+	return runDriver(args)
+}
+
+// versionFingerprint hashes the running binary (and the driver-mode
+// salt) for the -V=full handshake.
+func versionFingerprint() string {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Fprintf(h, "facts:%d salt:%s", lintrules.FactsVersion, os.Getenv("LOGGPVET_SALT"))
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+func runExplain(args []string) int {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: loggpvet -explain <rule>")
+		fmt.Fprintln(os.Stderr, "rules:")
+		for _, r := range lintrules.Rules() {
+			fmt.Fprintf(os.Stderr, "  %-11s %s\n", r.Name, r.Short)
+		}
+		return 1
+	}
+	r, ok := lintrules.Explain(args[0])
+	if !ok {
+		fmt.Fprintf(os.Stderr, "loggpvet: unknown rule %q (try -explain with no argument for the list)\n", args[0])
+		return 1
+	}
+	fmt.Println(r.Doc)
+	return 0
+}
+
+// ---------- vettool (unitchecker) mode ----------
+
 // vetConfig is the subset of the vet driver's per-package .cfg file the
 // tool consumes (the format is stable; x/tools' unitchecker reads the
 // same fields).
@@ -53,31 +137,20 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
-func main() {
-	os.Exit(run(os.Args[1:]))
+// pkgReport is the per-package JSON record driver mode aggregates.
+type pkgReport struct {
+	Pkg      string              `json:"pkg"`
+	Findings []lintrules.Finding `json:"findings"`
 }
 
-func run(args []string) int {
-	for _, a := range args {
-		switch a {
-		case "-V=full":
-			// The driver hashes this line into its build cache key.
-			fmt.Printf("%s version devel buildID=none\n", filepath.Base(os.Args[0]))
-			return 0
-		case "-flags":
-			fmt.Println("[]")
-			return 0
-		}
-	}
-	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
-		fmt.Fprintln(os.Stderr, "usage: loggpvet package.cfg (invoke via go vet -vettool=)")
-		return 1
-	}
-	data, err := os.ReadFile(args[0])
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loggpvet:", err)
 		return 1
@@ -88,21 +161,30 @@ func run(args []string) int {
 		return 1
 	}
 	// The driver demands an output facts file for every package it
-	// hands us, analyzed or not; the rules exchange no facts, so an
-	// empty file acknowledges each one.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "loggpvet:", err)
-			return 1
+	// hands us, analyzed or not; an empty file acknowledges the ones
+	// we skip.
+	ack := func() int {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "loggpvet:", err)
+				return 1
+			}
 		}
+		return 0
 	}
 
 	module := os.Getenv("LOGGPVET_MODULE")
 	if module == "" {
 		module = "loggpsim"
 	}
-	if !strings.HasPrefix(cfg.ImportPath, module) || !lintrules.Covered(cfg.ImportPath) {
-		return 0
+	// Analyze real module packages only: not the stdlib, not the
+	// synthesized .test mains, and not the [pkg.test] recompilation
+	// variants — the base unit already covers their non-test files, and
+	// _test.go files are exempt by policy.
+	path := cfg.ImportPath
+	if (path != module && !strings.HasPrefix(path, module+"/")) ||
+		strings.HasSuffix(path, ".test") || strings.Contains(path, " [") {
+		return ack()
 	}
 
 	fset := token.NewFileSet()
@@ -135,21 +217,119 @@ func run(args []string) int {
 	info := &types.Info{
 		Types: map[ast.Expr]types.TypeAndValue{},
 		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
 	}
 	if _, err := tc.Check(cfg.ImportPath, fset, files, info); err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return ack()
 		}
 		fmt.Fprintln(os.Stderr, "loggpvet:", err)
 		return 1
 	}
 
-	findings := lintrules.Run(fset, files, cfg.ImportPath, info)
-	for _, f := range findings {
+	// Dependency purity facts come from the .vetx files the driver
+	// already ran us over (possibly from its cache).
+	depFacts := func(dep string) *lintrules.PackageFacts {
+		file, ok := cfg.PackageVetx[dep]
+		if !ok {
+			return nil
+		}
+		data, err := os.ReadFile(file)
+		if err != nil || len(data) == 0 {
+			return nil
+		}
+		var facts lintrules.PackageFacts
+		if err := json.Unmarshal(data, &facts); err != nil || facts.Version != lintrules.FactsVersion {
+			return nil
+		}
+		return &facts
+	}
+
+	findings, facts := lintrules.Analyze(&lintrules.Pass{
+		Fset:     fset,
+		Files:    files,
+		PkgPath:  cfg.ImportPath,
+		Module:   module,
+		Info:     info,
+		DepFacts: depFacts,
+	})
+	if cfg.VetxOutput != "" {
+		out, err := json.Marshal(facts)
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, out, 0o666)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loggpvet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// Driver-mode children report everything raw and never fail: the
+	// sweep must finish before the aggregated verdict.
+	if dir := os.Getenv("LOGGPVET_FINDINGS_DIR"); dir != "" {
+		rep := pkgReport{Pkg: cfg.ImportPath, Findings: findings}
+		out, err := json.Marshal(rep)
+		if err == nil {
+			sum := sha256.Sum256([]byte(cfg.ImportPath))
+			name := hex.EncodeToString(sum[:])[:24] + ".json"
+			err = os.WriteFile(filepath.Join(dir, name), out, 0o666)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loggpvet:", err)
+			return 1
+		}
+		return 0
+	}
+
+	// Direct invocation: apply the baseline package-locally.
+	baseline, err := loadBaseline(cfg.Dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loggpvet:", err)
+		return 1
+	}
+	fresh, _, stale := baseline.Apply(map[string][]lintrules.Finding{cfg.ImportPath: findings})
+	for _, f := range fresh {
 		fmt.Fprintln(os.Stderr, f)
 	}
-	if len(findings) > 0 {
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "%s: stale baseline entry: %d pinned %s finding(s) in %s no longer exist — shrink lint.baseline.json (baseline)\n",
+			e.Pkg, e.Count, e.Rule, e.File)
+	}
+	if len(fresh)+len(stale) > 0 {
 		return 2
 	}
 	return 0
+}
+
+// loadBaseline finds and parses lint.baseline.json for a package
+// directory: $LOGGPVET_BASELINE wins; otherwise walk up from dir to the
+// enclosing go.mod. A missing file is an empty baseline.
+func loadBaseline(dir string) (*lintrules.Baseline, error) {
+	empty := &lintrules.Baseline{Version: lintrules.BaselineVersion}
+	if p := os.Getenv("LOGGPVET_BASELINE"); p != "" {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		return lintrules.ParseBaseline(data)
+	}
+	if dir == "" {
+		return empty, nil
+	}
+	for d := dir; ; {
+		if data, err := os.ReadFile(filepath.Join(d, "lint.baseline.json")); err == nil {
+			return lintrules.ParseBaseline(data)
+		}
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return empty, nil // module root reached without a baseline
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return empty, nil
+		}
+		d = parent
+	}
 }

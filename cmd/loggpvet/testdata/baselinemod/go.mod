@@ -1,0 +1,3 @@
+module baselinemod
+
+go 1.22

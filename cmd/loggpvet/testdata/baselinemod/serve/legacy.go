@@ -1,0 +1,14 @@
+// Package serve carries one known, pinned finding: the e2e tests run
+// the real driver over this module to prove that a baselined finding
+// is suppressed (but survives into SARIF as a suppressed result), that
+// an over-pinned baseline goes stale and fails, and that an empty
+// baseline lets the finding fail the run.
+package serve
+
+import "os"
+
+// EvictStale discards the os.Remove error — the errdrop finding this
+// module's lint.baseline.json pins with count 1.
+func EvictStale(path string) {
+	os.Remove(path)
+}

@@ -1,0 +1,295 @@
+package main
+
+// End-to-end tests: build the real binary once, then drive it the way
+// `make lint` does (driver mode over a whole module) and the way `go
+// vet -vettool=` does (direct mode), against the rule fixtures and the
+// baselinemod e2e module. These are the only tests that exercise the
+// unitchecker protocol, the .vetx purity-facts plumbing, and the vet
+// result-cache salting for real.
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var toolPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "loggpvet-e2e-")
+	if err != nil {
+		panic(err)
+	}
+	toolPath = filepath.Join(dir, "loggpvet")
+	build := exec.Command("go", "build", "-o", toolPath, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		os.RemoveAll(dir)
+		panic("building loggpvet: " + err.Error())
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// runTool executes the built binary in dir and returns stdout, stderr,
+// and the exit code.
+func runTool(t *testing.T, dir string, env []string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(toolPath, args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), env...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// driverJSON is the -json driver output.
+type driverJSON struct {
+	Findings []struct {
+		Pos struct {
+			Filename string `json:"Filename"`
+			Line     int    `json:"Line"`
+		} `json:"pos"`
+		Rule  string   `json:"rule"`
+		Msg   string   `json:"msg"`
+		Chain []string `json:"chain"`
+	} `json:"findings"`
+	Suppressed []json.RawMessage        `json:"suppressed"`
+	Stale      []map[string]interface{} `json:"stale"`
+	Packages   int                      `json:"packages"`
+}
+
+// TestDriverOverFixtures runs the full pipeline — self-exec under `go
+// vet`, per-package findings files, facts through .vetx, aggregation —
+// over the lintfixtures module and demands that every rule family
+// fires, that purity findings carry real cross-package chains, and
+// that the clean fixtures stay silent.
+func TestDriverOverFixtures(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("..", "..", "internal", "lintrules", "testdata", "fixtures"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code := runTool(t, dir, nil, "-module", "lintfixtures", "-json", "./...")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2 (fixtures are full of findings)\nstderr: %s", code, stderr)
+	}
+	var out driverJSON
+	if err := json.Unmarshal([]byte(stdout), &out); err != nil {
+		t.Fatalf("driver -json output: %v\n%s", err, stdout)
+	}
+	if out.Packages != 10 {
+		t.Errorf("analyzed %d packages, want the 10 fixture packages", out.Packages)
+	}
+
+	fired := map[string]bool{}
+	for _, f := range out.Findings {
+		fired[f.Rule] = true
+		for _, clean := range []string{"app/clean.go", "util/util.go"} {
+			if strings.HasSuffix(filepath.ToSlash(f.Pos.Filename), clean) {
+				t.Errorf("finding in the clean fixture %s: %s %s", clean, f.Rule, f.Msg)
+			}
+		}
+	}
+	for _, rule := range []string{
+		"maprange", "globalrand", "wallclock", "nonfinite",
+		"ctxpoll", "poolpoison", "floatorder", "errdrop", "purity",
+	} {
+		if !fired[rule] {
+			t.Errorf("rule %s never fired across the fixture module", rule)
+		}
+	}
+
+	// The purity chains must have crossed the package boundary through
+	// the .vetx facts: a sim finding whose chain walks util into
+	// time.Now proves the interprocedural plumbing end to end.
+	deepSeen := false
+	for _, f := range out.Findings {
+		if f.Rule != "purity" {
+			continue
+		}
+		if len(f.Chain) < 2 || !strings.Contains(f.Msg, " → ") {
+			t.Errorf("purity finding without a rendered chain: %+v", f)
+		}
+		if strings.Contains(f.Msg, "DeepChain") && strings.Contains(f.Msg, "lintfixtures/util.Deep") &&
+			strings.Contains(f.Msg, "time.Now") {
+			deepSeen = true
+		}
+	}
+	if !deepSeen {
+		t.Error("no purity finding walks sim.DeepChain → util.Deep → util.WallElapsed → time.Now")
+	}
+}
+
+// TestDriverRepoSubsetClean certifies a representative slice of the
+// real repository — scheduler, cache, and service layers — against the
+// empty checked-in baseline.
+func TestDriverRepoSubsetClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code := runTool(t, root, nil, "-json",
+		"./internal/sim/...", "./internal/resultcache/...", "./internal/serve/...")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\nstderr: %s\nstdout: %s", code, stderr, stdout)
+	}
+	var out driverJSON
+	if err := json.Unmarshal([]byte(stdout), &out); err != nil {
+		t.Fatalf("driver -json output: %v\n%s", err, stdout)
+	}
+	if len(out.Findings) != 0 || len(out.Stale) != 0 {
+		t.Errorf("findings=%d stale=%d, want the subset clean against the empty baseline", len(out.Findings), len(out.Stale))
+	}
+	if out.Packages != 3 {
+		t.Errorf("analyzed %d packages, want exactly the 3 requested", out.Packages)
+	}
+}
+
+func baselinemodDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "baselinemod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestDriverBaseline drives the three baseline states over the
+// baselinemod module: pinned (pass), over-pinned (stale, fail), and
+// unpinned (fresh, fail).
+func TestDriverBaseline(t *testing.T) {
+	dir := baselinemodDir(t)
+
+	// Pinned: the default lint.baseline.json in the module root covers
+	// the one errdrop finding.
+	_, stderr, code := runTool(t, dir, nil, "-module", "baselinemod", "./...")
+	if code != 0 {
+		t.Fatalf("pinned run: exit %d, want 0\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "1 baselined") {
+		t.Errorf("pinned run summary should count 1 baselined finding:\n%s", stderr)
+	}
+
+	// Over-pinned: count=2 where only one finding exists → stale.
+	_, stderr, code = runTool(t, dir, nil, "-module", "baselinemod", "-baseline", "stale.baseline.json", "./...")
+	if code != 2 || !strings.Contains(stderr, "stale baseline entry") {
+		t.Errorf("stale run: exit %d, stderr:\n%s", code, stderr)
+	}
+
+	// Unpinned: the empty baseline leaves the finding fresh.
+	_, stderr, code = runTool(t, dir, nil, "-module", "baselinemod", "-baseline", "empty.baseline.json", "./...")
+	if code != 2 || !strings.Contains(stderr, "errdrop") {
+		t.Errorf("fresh run: exit %d, stderr:\n%s", code, stderr)
+	}
+}
+
+// TestDriverSARIF: the SARIF log must carry the baselined finding as a
+// suppressed result — pinned, not silenced.
+func TestDriverSARIF(t *testing.T) {
+	dir := baselinemodDir(t)
+	sarifPath := filepath.Join(t.TempDir(), "lint.sarif")
+	_, stderr, code := runTool(t, dir, nil, "-module", "baselinemod", "-sarif", sarifPath, "./...")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr: %s", code, stderr)
+	}
+	data, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID       string `json:"ruleId"`
+				Suppressions []struct {
+					Kind string `json:"kind"`
+				} `json:"suppressions"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF log: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q, %d runs", log.Version, len(log.Runs))
+	}
+	results := log.Runs[0].Results
+	if len(results) != 1 || results[0].RuleID != "errdrop" ||
+		len(results[0].Suppressions) != 1 || results[0].Suppressions[0].Kind != "external" {
+		t.Errorf("results = %+v, want one suppressed errdrop result", results)
+	}
+}
+
+// TestDirectVettoolMode runs the binary the way a plain `go vet
+// -vettool=` user would — no driver, per-package baseline application,
+// exit through vet itself. Each invocation gets its own salt; without
+// it, vet's result cache would replay the first run's verdict for the
+// second.
+func TestDirectVettoolMode(t *testing.T) {
+	dir := baselinemodDir(t)
+	vet := func(env ...string) (string, int) {
+		salt := make([]byte, 8)
+		if _, err := rand.Read(salt); err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command("go", "vet", "-vettool="+toolPath, "./...")
+		cmd.Dir = dir
+		cmd.Env = append(os.Environ(), append(env,
+			"LOGGPVET_MODULE=baselinemod",
+			"LOGGPVET_SALT="+hex.EncodeToString(salt))...)
+		var buf strings.Builder
+		cmd.Stdout = &buf
+		cmd.Stderr = &buf
+		err := cmd.Run()
+		code := 0
+		if err != nil {
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("go vet: %v", err)
+			}
+			code = ee.ExitCode()
+		}
+		return buf.String(), code
+	}
+
+	// The walk-up finds baselinemod/lint.baseline.json: suppressed.
+	if out, code := vet(); code != 0 {
+		t.Errorf("direct mode with the module baseline: exit %d\n%s", code, out)
+	}
+
+	// An explicit empty baseline leaves the finding fresh; vet relays
+	// the failure.
+	empty := filepath.Join(dir, "empty.baseline.json")
+	if out, code := vet("LOGGPVET_BASELINE=" + empty); code == 0 || !strings.Contains(out, "errdrop") {
+		t.Errorf("direct mode with an empty baseline: exit %d, want failure mentioning errdrop\n%s", code, out)
+	}
+}
+
+// TestExplainMode: -explain prints rule documentation and rejects
+// unknown rules with the list.
+func TestExplainMode(t *testing.T) {
+	stdout, _, code := runTool(t, ".", nil, "-explain", "purity")
+	if code != 0 || !strings.Contains(stdout, "call") {
+		t.Errorf("-explain purity: exit %d, stdout:\n%s", code, stdout)
+	}
+	_, stderr, code := runTool(t, ".", nil, "-explain", "notarule")
+	if code != 1 || !strings.Contains(stderr, "unknown rule") {
+		t.Errorf("-explain notarule: exit %d, stderr:\n%s", code, stderr)
+	}
+}

@@ -1,0 +1,129 @@
+package lintrules
+
+// The checked-in baseline pins pre-existing sanctioned findings without
+// silencing the rules that produced them. An entry matches by
+// (package, rule, file basename, count): baselined findings are
+// suppressed from the failing output (but still carried into SARIF as
+// suppressed results), and an entry that matches fewer findings than
+// its count — the code was fixed, or moved — is STALE and fails the
+// run, so the baseline can only shrink deliberately, never rot.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+)
+
+// BaselineEntry pins Count sanctioned findings of one rule in one file
+// of one package.
+type BaselineEntry struct {
+	Pkg           string `json:"pkg"`
+	Rule          string `json:"rule"`
+	File          string `json:"file"` // base name, not path
+	Count         int    `json:"count"`
+	Justification string `json:"justification,omitempty"`
+}
+
+func (e BaselineEntry) key() string { return e.Pkg + "\x00" + e.Rule + "\x00" + e.File }
+
+// Baseline is the parsed lint.baseline.json.
+type Baseline struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineVersion is the accepted file format version.
+const BaselineVersion = 1
+
+// ParseBaseline decodes and validates a baseline file. The decoder is
+// strict — unknown fields, duplicate (pkg, rule, file) keys, non-
+// positive counts, and foreign versions are all errors — so a typo in
+// a hand-edited baseline cannot silently widen it.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var b Baseline
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("baseline: trailing data after the document")
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("baseline: version %d, want %d", b.Version, BaselineVersion)
+	}
+	seen := map[string]bool{}
+	for i, e := range b.Entries {
+		if e.Pkg == "" || e.Rule == "" || e.File == "" {
+			return nil, fmt.Errorf("baseline: entry %d: pkg, rule, and file are required", i)
+		}
+		if e.File != filepath.Base(e.File) {
+			return nil, fmt.Errorf("baseline: entry %d: file %q must be a base name", i, e.File)
+		}
+		if e.Count <= 0 {
+			return nil, fmt.Errorf("baseline: entry %d: count must be positive", i)
+		}
+		if seen[e.key()] {
+			return nil, fmt.Errorf("baseline: duplicate entry for %s %s %s", e.Pkg, e.Rule, e.File)
+		}
+		seen[e.key()] = true
+	}
+	return &b, nil
+}
+
+// Format renders the baseline canonically: entries sorted by
+// (pkg, rule, file), two-space indent, trailing newline. Format is the
+// round-trip inverse of ParseBaseline (fuzzed in FuzzBaselineRoundTrip)
+// and idempotent, so regenerated baselines diff minimally.
+func (b *Baseline) Format() []byte {
+	c := Baseline{Version: b.Version, Entries: append([]BaselineEntry(nil), b.Entries...)}
+	if c.Entries == nil {
+		c.Entries = []BaselineEntry{}
+	}
+	sort.Slice(c.Entries, func(i, j int) bool { return c.Entries[i].key() < c.Entries[j].key() })
+	out, err := json.MarshalIndent(&c, "", "  ")
+	if err != nil {
+		// Baseline is plain data; MarshalIndent cannot fail on it.
+		panic(err)
+	}
+	return append(out, '\n')
+}
+
+// Apply splits findings into fresh (not baselined — these fail the
+// run) and suppressed, and returns the stale entries: baseline lines
+// whose package was analyzed but that matched fewer findings than
+// their count. analyzed maps package path → its findings; packages
+// outside the map are not judged (a partial vet run must not declare
+// the rest of the baseline stale).
+func (b *Baseline) Apply(analyzed map[string][]Finding) (fresh, suppressed []Finding, stale []BaselineEntry) {
+	budget := map[string]int{}
+	for _, e := range b.Entries {
+		budget[e.key()] = e.Count
+	}
+	pkgs := make([]string, 0, len(analyzed))
+	for pkg := range analyzed {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		for _, f := range analyzed[pkg] {
+			key := BaselineEntry{Pkg: pkg, Rule: f.Rule, File: filepath.Base(f.Pos.Filename)}.key()
+			if budget[key] > 0 {
+				budget[key]--
+				suppressed = append(suppressed, f)
+			} else {
+				fresh = append(fresh, f)
+			}
+		}
+	}
+	for _, e := range b.Entries {
+		if _, ok := analyzed[e.Pkg]; ok && budget[e.key()] > 0 {
+			left := e
+			left.Count = budget[e.key()]
+			stale = append(stale, left)
+		}
+	}
+	return fresh, suppressed, stale
+}

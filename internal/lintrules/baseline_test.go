@@ -1,0 +1,126 @@
+package lintrules_test
+
+import (
+	"bytes"
+	"go/token"
+	"strings"
+	"testing"
+
+	"loggpsim/internal/lintrules"
+)
+
+func TestParseBaselineStrict(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"valid empty", `{"version":1,"entries":[]}`, ""},
+		{"valid entry", `{"version":1,"entries":[{"pkg":"a/b","rule":"errdrop","file":"x.go","count":2}]}`, ""},
+		{"unknown field", `{"version":1,"entries":[],"extra":true}`, "unknown field"},
+		{"wrong version", `{"version":2,"entries":[]}`, "version 2"},
+		{"missing pkg", `{"version":1,"entries":[{"rule":"r","file":"f.go","count":1}]}`, "required"},
+		{"path file", `{"version":1,"entries":[{"pkg":"a","rule":"r","file":"d/f.go","count":1}]}`, "base name"},
+		{"zero count", `{"version":1,"entries":[{"pkg":"a","rule":"r","file":"f.go","count":0}]}`, "positive"},
+		{"duplicate", `{"version":1,"entries":[{"pkg":"a","rule":"r","file":"f.go","count":1},{"pkg":"a","rule":"r","file":"f.go","count":3}]}`, "duplicate"},
+		{"trailing data", `{"version":1,"entries":[]} {}`, "trailing"},
+		{"not json", `nope`, "baseline"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := lintrules.ParseBaseline([]byte(c.in))
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error = %v, want it to mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestFormatCanonical(t *testing.T) {
+	in := `{"version":1,"entries":[` +
+		`{"pkg":"z","rule":"r","file":"f.go","count":1},` +
+		`{"pkg":"a","rule":"r","file":"f.go","count":2,"justification":"j"}]}`
+	b, err := lintrules.ParseBaseline([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.Format()
+	if !bytes.HasSuffix(out, []byte("\n")) {
+		t.Error("Format output must end in a newline")
+	}
+	if za := bytes.Index(out, []byte(`"a"`)); za < 0 || bytes.Index(out, []byte(`"z"`)) < za {
+		t.Errorf("Format must sort entries by key:\n%s", out)
+	}
+	b2, err := lintrules.ParseBaseline(out)
+	if err != nil {
+		t.Fatalf("Format output does not re-parse: %v", err)
+	}
+	if out2 := b2.Format(); !bytes.Equal(out, out2) {
+		t.Errorf("Format is not idempotent:\n%s\nvs\n%s", out, out2)
+	}
+
+	empty := (&lintrules.Baseline{Version: lintrules.BaselineVersion}).Format()
+	if !bytes.Contains(empty, []byte(`"entries": []`)) {
+		t.Errorf("nil entries must format as an empty array:\n%s", empty)
+	}
+}
+
+func finding(pkgFile string, line int, rule string) lintrules.Finding {
+	return lintrules.Finding{
+		Pos:  token.Position{Filename: pkgFile, Line: line},
+		Rule: rule,
+		Msg:  rule + " at " + pkgFile,
+	}
+}
+
+func TestApplyBudgets(t *testing.T) {
+	b, err := lintrules.ParseBaseline([]byte(
+		`{"version":1,"entries":[{"pkg":"m/serve","rule":"errdrop","file":"s.go","count":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two findings share the baselined key: the budget suppresses
+	// exactly one, the second stays fresh.
+	analyzed := map[string][]lintrules.Finding{
+		"m/serve": {
+			finding("internal/serve/s.go", 10, "errdrop"),
+			finding("internal/serve/s.go", 20, "errdrop"),
+			finding("internal/serve/s.go", 30, "maprange"),
+		},
+	}
+	fresh, suppressed, stale := b.Apply(analyzed)
+	if len(suppressed) != 1 || len(fresh) != 2 || len(stale) != 0 {
+		t.Fatalf("fresh=%d suppressed=%d stale=%d, want 2/1/0", len(fresh), len(suppressed), len(stale))
+	}
+	for _, f := range fresh {
+		if f.Rule == "errdrop" && f.Pos.Line == 10 {
+			t.Error("the first matching finding should have been the suppressed one")
+		}
+	}
+}
+
+func TestApplyStale(t *testing.T) {
+	b, err := lintrules.ParseBaseline([]byte(`{"version":1,"entries":[` +
+		`{"pkg":"m/serve","rule":"errdrop","file":"s.go","count":2},` +
+		`{"pkg":"m/other","rule":"errdrop","file":"o.go","count":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One of two pinned findings fixed: the remaining budget is stale.
+	// m/other was NOT analyzed this run, so its entry must not be
+	// declared stale by a partial sweep.
+	analyzed := map[string][]lintrules.Finding{
+		"m/serve": {finding("internal/serve/s.go", 10, "errdrop")},
+	}
+	fresh, suppressed, stale := b.Apply(analyzed)
+	if len(fresh) != 0 || len(suppressed) != 1 {
+		t.Fatalf("fresh=%d suppressed=%d, want 0/1", len(fresh), len(suppressed))
+	}
+	if len(stale) != 1 || stale[0].Pkg != "m/serve" || stale[0].Count != 1 {
+		t.Fatalf("stale = %+v, want one m/serve entry with residual count 1", stale)
+	}
+}

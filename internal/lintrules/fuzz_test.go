@@ -1,0 +1,34 @@
+package lintrules_test
+
+import (
+	"bytes"
+	"testing"
+
+	"loggpsim/internal/lintrules"
+)
+
+// FuzzBaselineRoundTrip: any input ParseBaseline accepts must Format
+// to a canonical form that re-parses and re-formats byte-identically —
+// the property `make lint`'s "regenerate the baseline" workflow leans
+// on (a canonical file diffs minimally and never oscillates).
+func FuzzBaselineRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"version":1,"entries":[]}`))
+	f.Add([]byte(`{"version":1,"entries":[{"pkg":"loggpsim/internal/serve","rule":"errdrop","file":"server.go","count":2,"justification":"legacy"}]}`))
+	f.Add([]byte(`{"version":1,"entries":[{"pkg":"b","rule":"r","file":"f.go","count":1},{"pkg":"a","rule":"r","file":"f.go","count":9}]}`))
+	f.Add([]byte(`{"version":2,"entries":[]}`))
+	f.Add([]byte(`{"version":1,"entries":[{"pkg":"a","rule":"r","file":"../f.go","count":1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := lintrules.ParseBaseline(data)
+		if err != nil {
+			return // rejected inputs are out of scope; we only demand no panic
+		}
+		out := b.Format()
+		b2, err := lintrules.ParseBaseline(out)
+		if err != nil {
+			t.Fatalf("Format produced output ParseBaseline rejects: %v\n%s", err, out)
+		}
+		if out2 := b2.Format(); !bytes.Equal(out, out2) {
+			t.Fatalf("Format not idempotent:\n%s\nvs\n%s", out, out2)
+		}
+	})
+}

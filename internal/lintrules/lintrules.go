@@ -1,36 +1,33 @@
-// Package lintrules implements the determinism lint rules behind
-// cmd/loggpvet: static checks that forbid the constructs able to
-// desynchronize the simulators' reproducible schedules. The repository's
-// guarantees — same seed ⇒ identical timeline, differential tests
-// bit-identical across scheduler implementations, predictions stable
-// across runs — are all dynamic properties with purely syntactic failure
-// modes:
+// Package lintrules implements the determinism certification rules
+// behind cmd/loggpvet: a multi-analyzer static suite that enforces the
+// repository's determinism contract — same seed ⇒ identical timeline,
+// differential tests bit-identical across scheduler implementations,
+// content-addressed cache keys stable across runs — whose failure modes
+// are purely syntactic and therefore machine-checkable.
 //
-//   - maprange: ranging over a map in timeline-affecting code (the
-//     scheduler cores, the event queue, the timeline) iterates in
-//     randomized order, so any clock arithmetic or tie-break fed from the
-//     iteration silently varies between runs.
+// The suite has three layers:
 //
-//   - globalrand: the schedulers' randomness must flow from Config.Seed
-//     through a locally owned rand source; the global math/rand functions
-//     (and any reading of the wall clock — time.Now in a simulator that
-//     OWNS virtual time is a category error) break replay.
+//   - Single-pass rules, applied per file under the per-package policy
+//     table (policy.go): maprange, globalrand, wallclock, nonfinite,
+//     ctxpoll, poolpoison, floatorder, errdrop. Each rule's full
+//     rationale lives in explain.go (`loggpvet -explain <rule>`).
 //
-//   - nonfinite: clock arithmetic must stay finite. math.Inf is a legal
-//     sentinel (the schedulers use it for "no candidate") in assignments
-//     and comparisons, but as an operand of +, -, * or / it yields Inf/NaN
-//     clocks that propagate through every later max(); math.NaN() has no
-//     legal use in simulator code at all (NaN even breaks the sentinel
-//     comparisons).
+//   - A conservative interprocedural purity analysis (purity.go): an
+//     intra-module call graph built from go/types resolution, with
+//     per-package summaries ("facts") carried between packages through
+//     the vet driver's .vetx files, so a scheduler entry point calling
+//     a helper package that reads the wall clock three calls down is
+//     reported with the full call chain.
 //
-// The rules are scoped by import path: a package is covered when its
-// final path segment names a scheduling package (sim, worstcase, eventq,
-// timeline) or a prediction-service package (serve, predictd) — the
-// latter get the iteration-order and finiteness rules plus the
-// owned-randomness rule, but not the wall-clock ban (a server's
-// deadlines and Retry-After headers are real time). Test files are
-// exempt — tests may range over maps to build inputs, and fuzzers use
-// whatever randomness they like.
+//   - A checked-in baseline (baseline.go): pre-existing sanctioned
+//     findings are pinned by (package, rule, file, count) — removed or
+//     fixed findings make their baseline entries stale and fail the
+//     lint run, so the baseline can only shrink, never silently rot.
+//
+// Test files are exempt from the single-pass rules — tests may range
+// over maps to build inputs and use whatever randomness they like — but
+// still contribute nothing to purity facts (only declared functions in
+// non-test files enter the call graph).
 package lintrules
 
 import (
@@ -38,59 +35,109 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
 // Finding is one rule violation.
 type Finding struct {
 	// Pos locates the violation.
-	Pos token.Position
-	// Rule names the rule that fired (maprange, globalrand, nonfinite).
-	Rule string
+	Pos token.Position `json:"pos"`
+	// Rule names the rule family that fired.
+	Rule string `json:"rule"`
 	// Msg is the human-readable description.
-	Msg string
+	Msg string `json:"msg"`
+	// Chain, for purity findings, is the rendered call chain from the
+	// entry-point function to the forbidden source, one frame per
+	// element.
+	Chain []string `json:"chain,omitempty"`
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Msg, f.Rule)
 }
 
-// timelinePkgs are the package names whose code constructs or orders the
-// simulated timeline: map iteration order must not leak into them. The
-// fault injector (faults) and the Monte-Carlo envelope sweep (robust)
-// feed charges and seeds into the schedulers, so they are covered too,
-// as is the lockstep lane engine (lanes), which re-implements both
-// scheduler cores.
-var timelinePkgs = map[string]bool{
-	"sim": true, "worstcase": true, "eventq": true, "timeline": true,
-	"faults": true, "robust": true, "lanes": true,
+// Pass is one package's analysis input.
+type Pass struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	PkgPath string
+	// Module is the module prefix used to resolve the policy table
+	// ("loggpsim" for the repository; the fixture modules pass their
+	// own).
+	Module string
+	// Info must carry Types, Uses and Defs.
+	Info *types.Info
+	// DepFacts returns the purity facts of a direct in-module
+	// dependency, or nil when unknown. May itself be nil (purity then
+	// sees only intra-package chains).
+	DepFacts func(pkgPath string) *PackageFacts
 }
 
-// schedulerPkgs are the package names that own virtual time and seeded
-// randomness: the global RNG and the wall clock are forbidden there.
-// faults and robust derive all randomness from hashes of Plan.Seed and
-// sweep.Seed, and lanes owns per-lane tie-break streams, so the same
-// prohibition applies.
-var schedulerPkgs = map[string]bool{
-	"sim": true, "worstcase": true, "eventq": true,
-	"faults": true, "robust": true, "lanes": true,
+// Analyze applies every applicable rule to the typechecked package and
+// returns the findings in file/position order plus the package's purity
+// facts (for the vet driver to persist; never nil).
+func Analyze(p *Pass) ([]Finding, *PackageFacts) {
+	pol := PolicyFor(ModuleRel(p.PkgPath, p.Module))
+	var out []Finding
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		out = append(out, checkFile(p, pol, f)...)
+	}
+	facts, pure := analyzePurity(p, pol)
+	out = append(out, pure...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out, facts
 }
 
-// servicePkgs are the prediction-service layers (internal/serve,
-// cmd/predictd) and their supporting machinery: the content-addressed
-// result cache (resultcache), whose canonical key encodings must never
-// be fed from map iteration order; the request-coalescing core
-// (flight); and the load generator (loadgen), whose replayed workload
-// must be reproducible from its seed. They sit above the schedulers but
-// answer with (or address, or replay) their numbers, so the same
-// syntactic hazards apply in weakened form: map iteration must not
-// order anything response-visible, clock arithmetic must stay finite,
-// and any randomness must flow from seeds through owned sources — but
-// the wall clock is legitimate there (deadlines, Retry-After, latency
-// measurement), so the time.Now ban does not apply.
-var servicePkgs = map[string]bool{
-	"serve": true, "predictd": true,
-	"resultcache": true, "flight": true, "loadgen": true,
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// calleeFunc resolves a call to the *types.Func it invokes (package
+// function or method), or nil for builtins, conversions, and calls of
+// function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// stdFunc resolves a call to a package-level function, returning its
+// package path and name ("" for anything else — methods in particular:
+// rng.Intn on an owned *rand.Rand is exactly the sanctioned pattern and
+// must not match rand.Intn).
+func stdFunc(info *types.Info, call *ast.CallExpr) (pkg, name string) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
 }
 
 // randConstructors are the math/rand (and v2) functions that build a
@@ -98,113 +145,4 @@ var servicePkgs = map[string]bool{
 var randConstructors = map[string]bool{
 	"New": true, "NewSource": true, "NewZipf": true,
 	"NewPCG": true, "NewChaCha8": true,
-}
-
-// pkgSegment returns the final segment of an import path.
-func pkgSegment(path string) string {
-	if i := strings.LastIndexByte(path, '/'); i >= 0 {
-		return path[i+1:]
-	}
-	return path
-}
-
-// Covered reports whether any rule applies to the package at all —
-// callers can skip parsing and typechecking uncovered packages.
-func Covered(pkgPath string) bool {
-	seg := pkgSegment(pkgPath)
-	return timelinePkgs[seg] || servicePkgs[seg]
-}
-
-// Run applies every rule to the typechecked package and returns the
-// findings in file order. info must carry Types and Uses. Files whose
-// position is in a _test.go file are skipped.
-func Run(fset *token.FileSet, files []*ast.File, pkgPath string, info *types.Info) []Finding {
-	seg := pkgSegment(pkgPath)
-	// Rule scopes: the service layer shares the map-iteration and
-	// finiteness hazards with the timeline packages and the owned-source
-	// randomness requirement with the schedulers, but not the wall-clock
-	// ban — a server legitimately reads real time.
-	orderScope := timelinePkgs[seg] || servicePkgs[seg]
-	randScope := schedulerPkgs[seg] || servicePkgs[seg]
-	clockScope := schedulerPkgs[seg]
-	var out []Finding
-	add := func(pos token.Pos, rule, msg string) {
-		out = append(out, Finding{Pos: fset.Position(pos), Rule: rule, Msg: msg})
-	}
-	// stdFunc resolves a call to a package-level function of a standard
-	// package, returning its package path and name ("" for anything
-	// else — methods in particular: rng.Intn on an owned *rand.Rand is
-	// exactly the sanctioned pattern and must not match rand.Intn).
-	stdFunc := func(call *ast.CallExpr) (pkg, name string) {
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return "", ""
-		}
-		fn, ok := info.Uses[sel.Sel].(*types.Func)
-		if !ok || fn.Pkg() == nil {
-			return "", ""
-		}
-		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-			return "", ""
-		}
-		return fn.Pkg().Path(), fn.Name()
-	}
-	// infCall reports whether e (parens stripped) is a math.Inf or
-	// math.NaN call.
-	infCall := func(e ast.Expr) bool {
-		call, ok := ast.Unparen(e).(*ast.CallExpr)
-		if !ok {
-			return false
-		}
-		pkg, name := stdFunc(call)
-		return pkg == "math" && (name == "Inf" || name == "NaN")
-	}
-
-	for _, f := range files {
-		if strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
-			continue
-		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.RangeStmt:
-				if !orderScope {
-					return true
-				}
-				tv, ok := info.Types[n.X]
-				if !ok || tv.Type == nil {
-					return true
-				}
-				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
-					add(n.Pos(), "maprange",
-						"range over map in timeline-affecting code: iteration order is randomized and desynchronizes reproducible schedules; iterate a sorted slice instead")
-				}
-			case *ast.CallExpr:
-				pkg, name := stdFunc(n)
-				switch {
-				case randScope && (pkg == "math/rand" || pkg == "math/rand/v2") && !randConstructors[name]:
-					add(n.Pos(), "globalrand",
-						fmt.Sprintf("%s.%s uses the global generator: scheduler randomness must flow from Config.Seed through an owned source", pkgSegment(pkg), name))
-				case clockScope && pkg == "time" && (name == "Now" || name == "Since" || name == "Until"):
-					add(n.Pos(), "globalrand",
-						fmt.Sprintf("time.%s reads the wall clock inside a simulator that owns virtual time; thread times through clocks and results", name))
-				case orderScope && pkg == "math" && name == "NaN":
-					add(n.Pos(), "nonfinite",
-						"math.NaN() in clock-arithmetic code: NaN poisons every max/min and comparison downstream")
-				}
-			case *ast.BinaryExpr:
-				if !orderScope {
-					return true
-				}
-				switch n.Op {
-				case token.ADD, token.SUB, token.MUL, token.QUO:
-					if infCall(n.X) || infCall(n.Y) {
-						add(n.Pos(), "nonfinite",
-							"math.Inf as an arithmetic operand yields non-finite clocks; Inf is legal only as an assigned or compared sentinel")
-					}
-				}
-			}
-			return true
-		})
-	}
-	return out
 }

@@ -1,8 +1,16 @@
-package lintrules
+package lintrules_test
+
+// The fixture driver: typechecks every package of the lintfixtures
+// module under testdata/fixtures in dependency order (util, the purity
+// helper, first), threads purity facts between packages through the
+// same JSON wire format cmd/loggpvet writes into .vetx files, and
+// checks Analyze's findings against the `// want <rule>` markers in
+// the fixture sources — exactly, in both directions, so an `// ok`
+// construct that starts firing fails the test just as loudly as a
+// `// want` that goes silent.
 
 import (
-	"bufio"
-	"fmt"
+	"encoding/json"
 	"go/ast"
 	"go/importer"
 	"go/parser"
@@ -10,131 +18,272 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
-	"slices"
+	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 	"testing"
+
+	"loggpsim/internal/lintrules"
 )
 
-// expectation is one "// want <rule>" marker in a fixture file.
-type expectation struct {
-	file string
-	line int
-	rule string
+const fixtureModule = "lintfixtures"
+
+var fixtureRoot = filepath.Join("testdata", "fixtures")
+
+// fixtureImporter resolves the fixture module's own packages from the
+// already-typechecked set and everything else from source (the test
+// environment has no compiled export data to hand).
+type fixtureImporter struct {
+	std  types.Importer
+	pkgs map[string]*types.Package
 }
 
-func (e expectation) String() string { return fmt.Sprintf("%s:%d %s", e.file, e.line, e.rule) }
+func (im fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	return im.std.Import(path)
+}
 
-// loadExpectations scans a fixture file for want markers.
-func loadExpectations(t *testing.T, path string) []expectation {
+// fixtureDirs lists the fixture packages with util first: it is the
+// dependency every purity fixture imports, so its facts must exist
+// before its importers are analyzed — the same topological constraint
+// the vet driver discharges via .vetx files.
+func fixtureDirs(t *testing.T) []string {
 	t.Helper()
-	f, err := os.Open(path)
+	entries, err := os.ReadDir(fixtureRoot)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer f.Close()
-	var out []expectation
-	sc := bufio.NewScanner(f)
-	for line := 1; sc.Scan(); line++ {
-		if _, rule, ok := strings.Cut(sc.Text(), "// want "); ok {
-			out = append(out, expectation{file: filepath.Base(path), line: line, rule: strings.TrimSpace(rule)})
-		}
-	}
-	if err := sc.Err(); err != nil {
-		t.Fatal(err)
-	}
-	return out
-}
-
-// checkFixture typechecks one fixture package from source and asserts
-// the rules report exactly its want markers. includeTests controls
-// whether _test.go files are loaded (they must stay silent even when
-// loaded — the engine skips them by filename).
-func checkFixture(t *testing.T, dir, pkgPath string, includeTests bool) {
-	t.Helper()
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	fset := token.NewFileSet()
-	var files []*ast.File
-	var want []expectation
+	dirs := []string{"util"}
 	for _, e := range entries {
-		if !strings.HasSuffix(e.Name(), ".go") {
-			continue
+		if e.IsDir() && e.Name() != "util" {
+			dirs = append(dirs, e.Name())
 		}
-		if !includeTests && strings.HasSuffix(e.Name(), "_test.go") {
-			continue
+	}
+	return dirs
+}
+
+// analyzeFixtures runs Analyze over every fixture package and returns
+// findings keyed by package directory. Purity facts cross package
+// boundaries only after a JSON round-trip, mirroring the vetx wire.
+func analyzeFixtures(t *testing.T) map[string][]lintrules.Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	std := importer.ForCompiler(fset, "source", nil)
+	pkgs := map[string]*types.Package{}
+	factsWire := map[string][]byte{}
+	results := map[string][]lintrules.Finding{}
+
+	for _, dir := range fixtureDirs(t) {
+		names, err := filepath.Glob(filepath.Join(fixtureRoot, dir, "*.go"))
+		if err != nil || len(names) == 0 {
+			t.Fatalf("fixture package %s: %v (files: %d)", dir, err, len(names))
 		}
-		path := filepath.Join(dir, e.Name())
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		sort.Strings(names)
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Uses:  map[*ast.Ident]types.Object{},
+			Defs:  map[*ast.Ident]types.Object{},
+		}
+		pkgPath := fixtureModule + "/" + dir
+		conf := types.Config{Importer: fixtureImporter{std: std, pkgs: pkgs}}
+		pkg, err := conf.Check(pkgPath, fset, files, info)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", pkgPath, err)
+		}
+		findings, facts := lintrules.Analyze(&lintrules.Pass{
+			Fset:    fset,
+			Files:   files,
+			PkgPath: pkgPath,
+			Module:  fixtureModule,
+			Info:    info,
+			DepFacts: func(dep string) *lintrules.PackageFacts {
+				wire, ok := factsWire[dep]
+				if !ok {
+					return nil
+				}
+				var f lintrules.PackageFacts
+				if err := json.Unmarshal(wire, &f); err != nil || f.Version != lintrules.FactsVersion {
+					return nil
+				}
+				return &f
+			},
+		})
+		wire, err := json.Marshal(facts)
 		if err != nil {
 			t.Fatal(err)
 		}
-		files = append(files, f)
-		if !strings.HasSuffix(e.Name(), "_test.go") {
-			want = append(want, loadExpectations(t, path)...)
+		factsWire[pkgPath] = wire
+		pkgs[pkgPath] = pkg
+		results[dir] = findings
+	}
+	return results
+}
+
+var (
+	wantMarker = regexp.MustCompile(`// want ([a-z]+)`)
+	okMarker   = regexp.MustCompile(`// ok ([a-z]+)`)
+)
+
+// fixtureMarkers scans every fixture source for markers, returning
+// file:line → rules for `// want` and a per-rule count for `// ok`.
+func fixtureMarkers(t *testing.T) (want map[string][]string, okCount map[string]int) {
+	t.Helper()
+	want = map[string][]string{}
+	okCount = map[string]int{}
+	err := filepath.WalkDir(fixtureRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(fixtureRoot, path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantMarker.FindAllStringSubmatch(line, -1) {
+				key := filepath.ToSlash(rel) + ":" + strconv.Itoa(i+1)
+				want[key] = append(want[key], m[1])
+			}
+			for _, m := range okMarker.FindAllStringSubmatch(line, -1) {
+				okCount[m[1]]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want, okCount
+}
+
+// TestFixtureMarkers is the exact two-way check: every `// want`
+// marker must produce a finding of that rule at that line, and every
+// finding must be covered by a marker — so the `// ok` constructs are
+// verified silent for free.
+func TestFixtureMarkers(t *testing.T) {
+	results := analyzeFixtures(t)
+	want, _ := fixtureMarkers(t)
+
+	got := map[string][]string{}
+	for _, findings := range results {
+		for _, f := range findings {
+			rel, err := filepath.Rel(fixtureRoot, f.Pos.Filename)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				t.Errorf("finding outside the fixture tree: %s", f)
+				continue
+			}
+			key := filepath.ToSlash(rel) + ":" + strconv.Itoa(f.Pos.Line)
+			got[key] = append(got[key], f.Rule)
 		}
 	}
-	// The fixtures import only the standard library, which the source
-	// importer typechecks from $GOROOT/src — no build artifacts needed.
-	tc := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
-	info := &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Uses:  map[*ast.Ident]types.Object{},
-	}
-	if _, err := tc.Check(pkgPath, fset, files, info); err != nil {
-		t.Fatalf("typecheck %s: %v", pkgPath, err)
-	}
 
-	var got []expectation
-	for _, f := range Run(fset, files, pkgPath, info) {
-		got = append(got, expectation{
-			file: filepath.Base(f.Pos.Filename), line: f.Pos.Line, rule: f.Rule,
-		})
+	has := func(m map[string][]string, key, rule string) bool {
+		for _, r := range m[key] {
+			if r == rule {
+				return true
+			}
+		}
+		return false
 	}
-	key := func(e expectation) string { return e.String() }
-	slices.SortFunc(got, func(a, b expectation) int { return strings.Compare(key(a), key(b)) })
-	slices.SortFunc(want, func(a, b expectation) int { return strings.Compare(key(a), key(b)) })
-	if !slices.Equal(got, want) {
-		t.Fatalf("%s:\n got  %v\n want %v", pkgPath, got, want)
+	for key, rules := range want {
+		for _, rule := range rules {
+			if !has(got, key, rule) {
+				t.Errorf("%s: marked `// want %s` but the rule did not fire", key, rule)
+			}
+		}
+	}
+	for key, rules := range got {
+		for _, rule := range rules {
+			if !has(want, key, rule) {
+				t.Errorf("%s: unexpected %s finding (no `// want %s` marker)", key, rule, rule)
+			}
+		}
 	}
 }
 
-func TestRulesOnFixtures(t *testing.T) {
-	fixtures := filepath.Join("testdata", "fixtures")
-	for _, tc := range []struct {
-		dir, pkgPath string
-		includeTests bool
-	}{
-		{"sim", "lintfixtures/sim", true}, // _test.go loaded and must stay exempt
-		{"worstcase", "lintfixtures/worstcase", false},
-		{"eventq", "lintfixtures/eventq", false},
-		{"lanes", "lintfixtures/lanes", false}, // lockstep engine: all three rule families
-		{"serve", "lintfixtures/serve", false}, // service scope: no wall-clock ban
-		{"app", "lintfixtures/app", false},     // out of scope: no findings despite all constructs
-	} {
-		t.Run(tc.dir, func(t *testing.T) {
-			checkFixture(t, filepath.Join(fixtures, tc.dir), tc.pkgPath, tc.includeTests)
-		})
+// TestPurityChains pins the interprocedural substance of the purity
+// findings: full call chains, rendered boundary-first, surviving the
+// facts JSON round-trip.
+func TestPurityChains(t *testing.T) {
+	results := analyzeFixtures(t)
+
+	purity := map[string]lintrules.Finding{} // entry function suffix → finding
+	for _, f := range results["sim"] {
+		if f.Rule != "purity" {
+			continue
+		}
+		name, _, ok := strings.Cut(f.Msg, " reaches ")
+		if !ok {
+			t.Fatalf("purity message without a 'reaches' clause: %q", f.Msg)
+		}
+		purity[name[strings.LastIndexByte(name, '.')+1:]] = f
+	}
+
+	deep, ok := purity["DeepChain"]
+	if !ok {
+		t.Fatal("no purity finding for sim.DeepChain")
+	}
+	if len(deep.Chain) != 4 {
+		t.Errorf("DeepChain chain has %d frames, want 4 (entry, util.Deep, util.WallElapsed, time.Now): %q", len(deep.Chain), deep.Chain)
+	}
+	if !strings.HasSuffix(deep.Chain[0], ".DeepChain") {
+		t.Errorf("DeepChain chain does not start at the entry function: %q", deep.Chain[0])
+	}
+	if last := deep.Chain[len(deep.Chain)-1]; !strings.Contains(last, "time.Now") {
+		t.Errorf("DeepChain chain does not end at the source: %q", last)
+	}
+	if strings.Count(deep.Msg, " → ") != 3 {
+		t.Errorf("DeepChain message should render 4 frames with 3 arrows: %q", deep.Msg)
+	}
+
+	if stamp, ok := purity["StampChain"]; !ok {
+		t.Error("no purity finding for sim.StampChain")
+	} else if len(stamp.Chain) != 3 {
+		t.Errorf("StampChain chain has %d frames, want 3: %q", len(stamp.Chain), stamp.Chain)
+	}
+	if _, ok := purity["Relay"]; ok {
+		t.Error("sim.Relay reported: boundary findings must not cascade to intra-package callers")
+	}
+
+	// resultcache sanctions the wall clock but not the global
+	// generator: exactly one purity finding, and it is the RNG chain.
+	var rc []lintrules.Finding
+	for _, f := range results["resultcache"] {
+		if f.Rule == "purity" {
+			rc = append(rc, f)
+		}
+	}
+	if len(rc) != 1 || !strings.Contains(rc[0].Msg, "global math/rand generator") {
+		t.Errorf("resultcache purity findings = %v, want exactly the SeedFromGlobal globalrand chain", rc)
 	}
 }
 
-func TestCovered(t *testing.T) {
-	for path, want := range map[string]bool{
-		"loggpsim/internal/sim":       true,
-		"loggpsim/internal/worstcase": true,
-		"loggpsim/internal/eventq":    true,
-		"loggpsim/internal/timeline":  true,
-		"loggpsim/internal/lanes":     true,
-		"loggpsim/internal/analyze":   false,
-		"loggpsim/internal/serve":     true,
-		"loggpsim/cmd/predictd":       true,
-		"loggpsim/internal/trace":     false,
-		"sim":                         true,
-		"lintfixtures/app":            false,
-	} {
-		if got := Covered(path); got != want {
-			t.Errorf("Covered(%q) = %v, want %v", path, got, want)
+// TestFindingRulesRegistered: every rule a fixture finding carries must
+// exist in the -explain registry (SARIF rule indices depend on it).
+func TestFindingRulesRegistered(t *testing.T) {
+	registered := map[string]bool{}
+	for _, r := range lintrules.Rules() {
+		registered[r.Name] = true
+	}
+	for dir, findings := range analyzeFixtures(t) {
+		for _, f := range findings {
+			if !registered[f.Rule] {
+				t.Errorf("%s: finding carries unregistered rule %q", dir, f.Rule)
+			}
 		}
 	}
 }

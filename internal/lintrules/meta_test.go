@@ -1,0 +1,148 @@
+package lintrules_test
+
+// Fixture and policy discipline: these tests fail when the suite grows
+// a rule without fixtures proving both that it fires and that its
+// sanctioned idiom stays silent, or when the repository grows a
+// package the policy table never heard of — a silent scope gap is
+// exactly the failure mode a determinism certifier must not have.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"loggpsim/internal/lintrules"
+)
+
+var repoRoot = filepath.Join("..", "..")
+
+// TestEveryRuleHasFixtures: every registered rule needs at least one
+// true-positive (`// want`) and one true-negative (`// ok`) fixture.
+// The baseline rule is the one exception — its positive/negative pair
+// is the stale/pinned baseline of the cmd/loggpvet e2e module, checked
+// below by existence and exercised by the e2e tests.
+func TestEveryRuleHasFixtures(t *testing.T) {
+	want, okCount := fixtureMarkers(t)
+	wantCount := map[string]int{}
+	for _, rules := range want {
+		for _, r := range rules {
+			wantCount[r]++
+		}
+	}
+	for _, r := range lintrules.Rules() {
+		if r.Name == "baseline" {
+			for _, f := range []string{"lint.baseline.json", "stale.baseline.json"} {
+				p := filepath.Join(repoRoot, "cmd", "loggpvet", "testdata", "baselinemod", f)
+				if _, err := os.Stat(p); err != nil {
+					t.Errorf("baseline rule fixture missing: %v", err)
+				}
+			}
+			continue
+		}
+		if wantCount[r.Name] == 0 {
+			t.Errorf("rule %s has no `// want %s` true-positive fixture", r.Name, r.Name)
+		}
+		if okCount[r.Name] == 0 {
+			t.Errorf("rule %s has no `// ok %s` true-negative fixture", r.Name, r.Name)
+		}
+	}
+	for name := range wantCount {
+		if _, ok := lintrules.Explain(name); !ok {
+			t.Errorf("fixture marker names unregistered rule %q", name)
+		}
+	}
+	for name := range okCount {
+		if _, ok := lintrules.Explain(name); !ok {
+			t.Errorf("fixture marker names unregistered rule %q", name)
+		}
+	}
+}
+
+// goPackageDirs returns the module-relative paths of every directory
+// under root (itself module-relative) holding non-test Go files,
+// skipping testdata trees.
+func goPackageDirs(t *testing.T, root string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.WalkDir(filepath.Join(repoRoot, root), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(repoRoot, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if len(out) == 0 || out[len(out)-1] != rel {
+			out = append(out, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestPolicyTableCoversRepo: every internal/ package must have an
+// EXPLICIT policy entry (the segment fallback exists for the fixture
+// modules, not for the repository itself), and every package anywhere
+// in the module must at least be Covered by the repo-wide floor.
+func TestPolicyTableCoversRepo(t *testing.T) {
+	policies := lintrules.Policies()
+	for _, rel := range goPackageDirs(t, "internal") {
+		if _, ok := policies[rel]; !ok {
+			t.Errorf("internal package %s has no explicit policy entry — add it to the table in policy.go", rel)
+		}
+	}
+	for _, root := range []string{"internal", "cmd", "."} {
+		for _, rel := range goPackageDirs(t, root) {
+			if !lintrules.Covered(rel) {
+				t.Errorf("package %s is not covered by any policy", rel)
+			}
+		}
+	}
+}
+
+// TestPolicyKeysExist: the inverse direction — a table entry whose
+// directory was deleted or renamed is dead weight that misleads
+// readers about scope.
+func TestPolicyKeysExist(t *testing.T) {
+	for key := range lintrules.Policies() {
+		info, err := os.Stat(filepath.Join(repoRoot, filepath.FromSlash(key)))
+		if err != nil || !info.IsDir() {
+			t.Errorf("policy table entry %q does not name a repository directory", key)
+		}
+	}
+}
+
+// TestExplainRegistry: -explain must have substantive text for every
+// rule, and reject unknown names.
+func TestExplainRegistry(t *testing.T) {
+	rules := lintrules.Rules()
+	if len(rules) < 10 {
+		t.Fatalf("rule registry has %d rules, want at least 10", len(rules))
+	}
+	for _, r := range rules {
+		if r.Short == "" || len(r.Doc) < 100 {
+			t.Errorf("rule %s: Short and a substantive Doc are required (doc is %d bytes)", r.Name, len(r.Doc))
+		}
+		got, ok := lintrules.Explain(r.Name)
+		if !ok || got.Doc != r.Doc {
+			t.Errorf("Explain(%q) does not round-trip the registry", r.Name)
+		}
+	}
+	if _, ok := lintrules.Explain("notarule"); ok {
+		t.Error("Explain accepted an unknown rule name")
+	}
+}

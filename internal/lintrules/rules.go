@@ -1,0 +1,337 @@
+package lintrules
+
+// The single-pass rule families. Each operates on one non-test file
+// under the package's policy; purity (purity.go) is the only
+// interprocedural rule.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkFile applies every enabled single-pass rule to one file.
+func checkFile(p *Pass, pol Policy, f *ast.File) []Finding {
+	var out []Finding
+	add := func(pos token.Pos, rule, msg string) {
+		out = append(out, Finding{Pos: p.Fset.Position(pos), Rule: rule, Msg: msg})
+	}
+
+	// deferSpans pre-collects the source extent of every defer
+	// statement so errdrop can exempt cleanup paths.
+	var deferSpans [][2]token.Pos
+	if pol.ErrDrop {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if d, ok := n.(*ast.DeferStmt); ok {
+				deferSpans = append(deferSpans, [2]token.Pos{d.Pos(), d.End()})
+			}
+			return true
+		})
+	}
+	inDefer := func(pos token.Pos) bool {
+		for _, s := range deferSpans {
+			if pos >= s[0] && pos < s[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// infCall reports whether e (parens stripped) is a math.Inf or
+	// math.NaN call.
+	infCall := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		pkg, name := stdFunc(p.Info, call)
+		return pkg == "math" && (name == "Inf" || name == "NaN")
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			tv, ok := p.Info.Types[n.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			_, isMap := tv.Type.Underlying().(*types.Map)
+			_, isChan := tv.Type.Underlying().(*types.Chan)
+			if isMap && pol.MapRange {
+				add(n.Pos(), "maprange",
+					"range over map in timeline-affecting code: iteration order is randomized and desynchronizes reproducible schedules; iterate a sorted slice instead")
+			}
+			if pol.FloatOrder && (isMap || isChan) {
+				src := "map iteration order"
+				if isChan {
+					src = "goroutine completion order"
+				}
+				for _, acc := range floatAccumulations(p.Info, n) {
+					add(acc, "floatorder", fmt.Sprintf(
+						"float accumulation over %s: floating-point addition is not associative, so the result depends on an order that varies between runs; accumulate over a sorted slice instead", src))
+				}
+			}
+		case *ast.CallExpr:
+			pkg, name := stdFunc(p.Info, n)
+			switch {
+			case pol.OwnedRand && (pkg == "math/rand" || pkg == "math/rand/v2") && !randConstructors[name]:
+				add(n.Pos(), "globalrand",
+					fmt.Sprintf("%s.%s uses the global generator: scheduler randomness must flow from Config.Seed through an owned source", pkgSegment(pkg), name))
+			case pol.WallClock && pkg == "time" && (name == "Now" || name == "Since" || name == "Until"):
+				add(n.Pos(), "wallclock",
+					fmt.Sprintf("time.%s reads the wall clock inside a simulator that owns virtual time; thread times through clocks and results", name))
+			case pol.NonFinite && pkg == "math" && name == "NaN":
+				add(n.Pos(), "nonfinite",
+					"math.NaN() in clock-arithmetic code: NaN poisons every max/min and comparison downstream")
+			}
+		case *ast.BinaryExpr:
+			if !pol.NonFinite {
+				return true
+			}
+			switch n.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				if infCall(n.X) || infCall(n.Y) {
+					add(n.Pos(), "nonfinite",
+						"math.Inf as an arithmetic operand yields non-finite clocks; Inf is legal only as an assigned or compared sentinel")
+				}
+			}
+		case *ast.ExprStmt:
+			if !pol.ErrDrop {
+				return true
+			}
+			call, ok := n.X.(*ast.CallExpr)
+			if !ok || inDefer(n.Pos()) || errDropExempt(p.Info, call) {
+				return true
+			}
+			if returnsError(p.Info, call) {
+				add(n.Pos(), "errdrop",
+					"call discards an error result in a serve/cache path: a swallowed error becomes a wrong or missing response; handle it, or assign it to _ to acknowledge the discard")
+			}
+		case *ast.FuncDecl:
+			checkFuncRules(p, pol, n.Body, n.Type, add)
+		case *ast.FuncLit:
+			checkFuncRules(p, pol, n.Body, n.Type, add)
+		}
+		return true
+	})
+	return out
+}
+
+// checkFuncRules applies the function-scoped families (ctxpoll,
+// poolpoison) to one function body. Nested function literals are
+// visited again by the outer Inspect, so each body is checked exactly
+// once with its own parameter list; ctxpoll additionally looks through
+// to enclosing contexts via the Uses map (an inner literal referencing
+// the outer ctx identifier still counts as polling).
+func checkFuncRules(p *Pass, pol Policy, body *ast.BlockStmt, ftype *ast.FuncType, add func(token.Pos, string, string)) {
+	if body == nil {
+		return
+	}
+	if pol.CtxPoll {
+		for _, ctx := range ctxParams(p.Info, ftype) {
+			checkCtxPoll(p, ctx, body, add)
+		}
+	}
+	if pol.PoolPoison {
+		checkPoolPoison(p, body, add)
+	}
+}
+
+// ctxParams returns the context.Context parameter objects of a
+// function type.
+func ctxParams(info *types.Info, ftype *ast.FuncType) []types.Object {
+	var out []types.Object
+	if ftype == nil || ftype.Params == nil {
+		return nil
+	}
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && types.TypeString(obj.Type(), nil) == "context.Context" {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// checkCtxPoll reports unbounded (condition-less) for-loops in a
+// deadline-scoped function — one that received a context — whose body
+// never references that context: such a loop outlives every deadline
+// the caller set. The walk stops at nested function literals; a
+// literal with its own context parameter is its own deadline scope,
+// and one capturing the outer ctx is checked when the outer Inspect
+// reaches it... (captured contexts resolve through Uses to the same
+// object, so referencing the outer ctx inside the loop still counts).
+func checkCtxPoll(p *Pass, ctx types.Object, body *ast.BlockStmt, add func(token.Pos, string, string)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		polls := false
+		ast.Inspect(loop.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && p.Info.Uses[id] == ctx {
+				polls = true
+			}
+			return !polls
+		})
+		if !polls {
+			add(loop.Pos(), "ctxpoll",
+				fmt.Sprintf("unbounded for-loop in a deadline-scoped evaluator never polls %s: the loop outlives the caller's deadline; select on %s.Done() or check %s.Err() each iteration", ctx.Name(), ctx.Name(), ctx.Name()))
+		}
+		return true
+	})
+}
+
+// checkPoolPoison reports a sync.Pool.Put lexically inside a function
+// body that also calls recover(): an object reclaimed on a panic path
+// was mid-operation when the panic unwound, and repooling it hands
+// corrupt state to an unrelated later caller. The scan excludes nested
+// function literals — each literal is its own recovery scope and is
+// checked separately.
+func checkPoolPoison(p *Pass, body *ast.BlockStmt, add func(token.Pos, string, string)) {
+	recovers := false
+	var puts []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "recover" {
+				recovers = true
+			}
+		}
+		if fn := calleeFunc(p.Info, call); fn != nil && fn.FullName() == "(*sync.Pool).Put" {
+			puts = append(puts, call.Pos())
+		}
+		return true
+	})
+	if recovers {
+		for _, pos := range puts {
+			add(pos, "poolpoison",
+				"sync.Pool.Put on a recovery path: an object reclaimed after a panic was mid-operation and may hold corrupt state — poison (drop) it and let the pool construct a fresh one")
+		}
+	}
+}
+
+// floatAccumulations returns the positions of float accumulation
+// statements (x += v, x -= v, x *= v, x /= v, or x = x + v and
+// friends) inside a range body where x is float-typed and declared
+// outside the loop — the shape whose result depends on iteration
+// order.
+func floatAccumulations(info *types.Info, loop *ast.RangeStmt) []token.Pos {
+	var out []token.Pos
+	declaredOutside := func(e ast.Expr) (types.Object, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return nil, false
+		}
+		if obj.Pos() >= loop.Body.Pos() && obj.Pos() < loop.Body.End() {
+			return nil, false
+		}
+		basic, ok := obj.Type().Underlying().(*types.Basic)
+		return obj, ok && basic.Info()&types.IsFloat != 0
+	}
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if _, ok := declaredOutside(as.Lhs[0]); ok {
+				out = append(out, as.Pos())
+			}
+		case token.ASSIGN:
+			// x = x + v (any arithmetic mentioning x on the right).
+			obj, ok := declaredOutside(as.Lhs[0])
+			if !ok {
+				return true
+			}
+			mentions := false
+			ast.Inspect(as.Rhs[0], func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+					mentions = true
+				}
+				return !mentions
+			})
+			if mentions {
+				out = append(out, as.Pos())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// returnsError reports whether a call's result includes an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	isErr := func(t types.Type) bool {
+		return types.TypeString(t, nil) == "error"
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErr(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErr(t)
+	}
+}
+
+// errDropExempt reports the sanctioned error discards: the fmt print
+// family (errors there mean a broken io.Writer the caller cannot act
+// on) and the never-failing writers (strings.Builder, bytes.Buffer,
+// hash.Hash and hash/maphash, whose Write contracts guarantee a nil
+// error). The writers are matched on the static type of the receiver
+// expression — a hash.Hash field's Write resolves to the embedded
+// io.Writer method, so the declared receiver would be useless here.
+func errDropExempt(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	name := types.TypeString(tv.Type, nil)
+	name = strings.TrimPrefix(name, "*")
+	switch name {
+	case "strings.Builder", "bytes.Buffer", "hash/maphash.Hash",
+		"hash.Hash", "hash.Hash32", "hash.Hash64":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,157 @@
+package lintrules
+
+// Minimal SARIF 2.1.0 emission. The shapes below cover the subset of
+// the schema the repository publishes: one run, the loggpvet driver
+// with full rule metadata, one result per finding with a physical
+// location, and suppression objects on baselined results ("pinned, not
+// silenced" — suppressed findings stay visible to SARIF consumers).
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+)
+
+const (
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"version"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	FullDescription  sarifMessage `json:"fullDescription"`
+	Help             sarifMessage `json:"help"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// SARIF renders findings as a SARIF 2.1.0 log. root, when non-empty,
+// is stripped from file paths so artifact URIs are repo-relative (and
+// forward-slashed, as SARIF requires). suppressed findings — the
+// baselined ones — are emitted as results carrying a suppression
+// object, so they remain visible without failing consumers.
+func SARIF(version, root string, fresh, suppressed []Finding) []byte {
+	rules := Rules()
+	index := map[string]int{}
+	var srs []sarifRule
+	for i, r := range rules {
+		index[r.Name] = i
+		srs = append(srs, sarifRule{
+			ID:               r.Name,
+			ShortDescription: sarifMessage{Text: r.Short},
+			FullDescription:  sarifMessage{Text: r.Short},
+			Help:             sarifMessage{Text: r.Doc},
+		})
+	}
+	result := func(f Finding, sup []sarifSuppression) sarifResult {
+		uri := f.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
+				uri = rel
+			}
+		}
+		uri = filepath.ToSlash(uri)
+		line := f.Pos.Line
+		if line <= 0 {
+			line = 1
+		}
+		return sarifResult{
+			RuleID:    f.Rule,
+			RuleIndex: index[f.Rule],
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: uri},
+					Region:           sarifRegion{StartLine: line, StartColumn: f.Pos.Column},
+				},
+			}},
+			Suppressions: sup,
+		}
+	}
+	results := []sarifResult{}
+	for _, f := range fresh {
+		results = append(results, result(f, nil))
+	}
+	for _, f := range suppressed {
+		results = append(results, result(f, []sarifSuppression{{
+			Kind:          "external",
+			Justification: "pinned by lint.baseline.json",
+		}}))
+	}
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "loggpvet",
+				Version:        version,
+				InformationURI: "https://example.invalid/loggpsim/cmd/loggpvet",
+				Rules:          srs,
+			}},
+			Results: results,
+		}},
+	}
+	out, err := json.MarshalIndent(&log, "", "  ")
+	if err != nil {
+		panic(err) // plain data; cannot fail
+	}
+	return append(out, '\n')
+}

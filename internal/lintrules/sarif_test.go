@@ -1,0 +1,128 @@
+package lintrules_test
+
+import (
+	"encoding/json"
+	"go/token"
+	"testing"
+
+	"loggpsim/internal/lintrules"
+)
+
+// The subset of SARIF 2.1.0 the repository emits, redeclared locally so
+// the test checks the wire shape rather than sharing structs with the
+// implementation.
+type sarifWire struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []struct {
+		Tool struct {
+			Driver struct {
+				Name    string `json:"name"`
+				Version string `json:"version"`
+				Rules   []struct {
+					ID               string `json:"id"`
+					ShortDescription struct {
+						Text string `json:"text"`
+					} `json:"shortDescription"`
+					Help struct {
+						Text string `json:"text"`
+					} `json:"help"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []struct {
+			RuleID    string `json:"ruleId"`
+			RuleIndex int    `json:"ruleIndex"`
+			Level     string `json:"level"`
+			Message   struct {
+				Text string `json:"text"`
+			} `json:"message"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI string `json:"uri"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine   int `json:"startLine"`
+						StartColumn int `json:"startColumn"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+			Suppressions []struct {
+				Kind          string `json:"kind"`
+				Justification string `json:"justification"`
+			} `json:"suppressions"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+func TestSARIFShape(t *testing.T) {
+	fresh := []lintrules.Finding{{
+		Pos:  token.Position{Filename: "/repo/internal/sim/engine.go", Line: 12, Column: 3},
+		Rule: "maprange",
+		Msg:  "range over map",
+	}}
+	suppressed := []lintrules.Finding{{
+		Pos:  token.Position{Filename: "/elsewhere/y.go"}, // no line: must clamp to 1
+		Rule: "purity",
+		Msg:  "chain",
+	}}
+	out := lintrules.SARIF("abc123", "/repo", fresh, suppressed)
+
+	var log sarifWire
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || log.Schema == "" {
+		t.Errorf("version=%q schema=%q, want 2.1.0 and a schema URI", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("%d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "loggpvet" || run.Tool.Driver.Version != "abc123" {
+		t.Errorf("driver %s/%s, want loggpvet/abc123", run.Tool.Driver.Name, run.Tool.Driver.Version)
+	}
+	if len(run.Tool.Driver.Rules) != len(lintrules.Rules()) {
+		t.Errorf("%d rule metadata entries, want %d", len(run.Tool.Driver.Rules), len(lintrules.Rules()))
+	}
+	ruleAt := map[int]string{}
+	for i, r := range run.Tool.Driver.Rules {
+		if r.ID == "" || r.ShortDescription.Text == "" || r.Help.Text == "" {
+			t.Errorf("rule %d (%s): metadata text missing", i, r.ID)
+		}
+		ruleAt[i] = r.ID
+	}
+
+	if len(run.Results) != 2 {
+		t.Fatalf("%d results, want 2 (1 fresh + 1 suppressed)", len(run.Results))
+	}
+	r0 := run.Results[0]
+	if r0.RuleID != "maprange" || ruleAt[r0.RuleIndex] != "maprange" || r0.Level != "error" {
+		t.Errorf("fresh result: ruleId=%s ruleIndex=%d level=%s", r0.RuleID, r0.RuleIndex, r0.Level)
+	}
+	loc := r0.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/sim/engine.go" {
+		t.Errorf("uri = %q, want the repo-relative forward-slash path", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 12 || loc.Region.StartColumn != 3 {
+		t.Errorf("region = %+v, want 12:3", loc.Region)
+	}
+	if len(r0.Suppressions) != 0 {
+		t.Error("fresh result must carry no suppressions")
+	}
+
+	r1 := run.Results[1]
+	if r1.RuleID != "purity" || ruleAt[r1.RuleIndex] != "purity" {
+		t.Errorf("suppressed result: ruleId=%s ruleIndex=%d", r1.RuleID, r1.RuleIndex)
+	}
+	if uri := r1.Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "/elsewhere/y.go" {
+		t.Errorf("out-of-root path must stay absolute, got %q", uri)
+	}
+	if r1.Locations[0].PhysicalLocation.Region.StartLine != 1 {
+		t.Error("a zero line must clamp to startLine 1")
+	}
+	if len(r1.Suppressions) != 1 || r1.Suppressions[0].Kind != "external" {
+		t.Errorf("suppressed result suppressions = %+v, want one kind=external", r1.Suppressions)
+	}
+}

@@ -1,6 +1,7 @@
-// Package app is the out-of-scope fixture: it is not a scheduling
-// package, so every construct the rules forbid elsewhere is legal here.
-// No findings.
+// Package app sits under the repo-wide floor policy only (float
+// accumulation order and pool poisoning): the scheduler- and
+// service-scope constructs — wall clock, global RNG, NaN, map ranges
+// feeding int counters — are all legal here. No findings.
 package app
 
 import (
@@ -9,7 +10,8 @@ import (
 	"time"
 )
 
-// Report uses all three forbidden constructs outside the rules' scope.
+// Report uses every scheduler-scope-forbidden construct outside those
+// scopes. // ok globalrand // ok wallclock // ok nonfinite // ok maprange
 func Report(m map[string]int) float64 {
 	n := 0
 	for range m {

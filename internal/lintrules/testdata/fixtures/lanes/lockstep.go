@@ -1,8 +1,9 @@
 // Package lanes is the lane-engine true-positive fixture: the lockstep
 // scheduler cores order the simulated timeline and own their tie-break
-// randomness, so all three rule families apply — map iteration must not
-// order lanes, the global RNG and wall clock are banned, and NaN/Inf
-// must not enter clock arithmetic.
+// randomness, so the scheduler rule families apply — map iteration must
+// not order lanes, the global RNG and wall clock are banned, NaN/Inf
+// must not enter clock arithmetic, and float accumulation must not
+// cross unordered iteration.
 package lanes
 
 import (
@@ -12,11 +13,11 @@ import (
 )
 
 // Decode sums per-lane clocks from a map — iteration order leaks into
-// the merged timeline. One finding.
+// the merged timeline, and the float sum depends on it. Two findings.
 func Decode(clocks map[int]float64) float64 {
 	total := 0.0
 	for _, c := range clocks { // want maprange
-		total += c
+		total += c // want floatorder
 	}
 	return total
 }
@@ -28,7 +29,7 @@ func BreakTie(n int) int {
 
 // Stamp reads the wall clock inside the engine. One finding.
 func Stamp() int64 {
-	return time.Now().UnixNano() // want globalrand
+	return time.Now().UnixNano() // want wallclock
 }
 
 // Poison drifts a lane clock by Inf. One finding.
@@ -39,6 +40,7 @@ func Poison(t float64) float64 {
 // Seeded derives a lane's owned stream from its seed, uses an Inf
 // sentinel in comparisons only, and indexes (not ranges) a map — the
 // sanctioned patterns. No findings.
+// // ok globalrand // ok wallclock // ok nonfinite
 func Seeded(seed int64, classOf map[int]int32, clocks []float64) (int32, float64) {
 	rng := rand.New(rand.NewSource(seed))
 	best := math.Inf(1)

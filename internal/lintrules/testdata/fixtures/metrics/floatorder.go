@@ -1,0 +1,48 @@
+// Package metrics is the floatorder fixture for the repo-wide floor:
+// no scheduler or service policy names this package, yet accumulating
+// floats across unordered iteration is forbidden everywhere — any such
+// sum that later reaches a prediction, key, or report breaks
+// byte-identical replay.
+package metrics
+
+// MeanByKey sums float samples in map iteration order. One finding
+// (the map range itself is legal here — only scheduler/service scopes
+// ban it — but the float accumulation across it is not).
+// // ok maprange
+func MeanByKey(samples map[string]float64) float64 {
+	total := 0.0
+	for _, v := range samples {
+		total += v // want floatorder
+	}
+	return total / float64(len(samples))
+}
+
+// Collect accumulates from goroutine completion order. One finding.
+func Collect(results chan float64) float64 {
+	total := 0.0
+	for v := range results {
+		total = total + v // want floatorder
+	}
+	return total
+}
+
+// MeanSorted accumulates over a slice — the caller owns the order.
+// // ok floatorder
+func MeanSorted(samples []float64) float64 {
+	total := 0.0
+	for _, v := range samples {
+		total += v
+	}
+	return total / float64(len(samples))
+}
+
+// CountByKey accumulates an integer across map order — integer
+// addition is associative and commutative, so order cannot reach the
+// result. // ok floatorder
+func CountByKey(samples map[string]float64) int {
+	n := 0
+	for range samples {
+		n++
+	}
+	return n
+}

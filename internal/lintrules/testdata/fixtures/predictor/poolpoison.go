@@ -1,0 +1,41 @@
+// Package predictor is the poolpoison true-positive fixture: an
+// evaluator reclaimed on a panic path was mid-operation when the stack
+// unwound — repooling it hands corrupt state to an unrelated later
+// request. Poison (drop) it instead and let the pool construct fresh.
+package predictor
+
+import "sync"
+
+type evaluator struct{ mid bool }
+
+var pool = sync.Pool{New: func() any { return new(evaluator) }}
+
+// PredictRepool repools from the recovery path. One finding.
+func PredictRepool(run func(*evaluator) float64) (out float64) {
+	e := pool.Get().(*evaluator)
+	defer func() {
+		if recover() != nil {
+			pool.Put(e) // want poolpoison
+			out = -1
+		}
+	}()
+	out = run(e)
+	pool.Put(e)
+	return out
+}
+
+// PredictPoison is the sanctioned shape: recover observes the panic
+// but never repools; the success path alone returns the evaluator.
+// // ok poolpoison
+func PredictPoison(run func(*evaluator) float64) (out float64) {
+	e := pool.Get().(*evaluator)
+	defer func() {
+		if recover() != nil {
+			// e is poisoned: dropped, never repooled.
+			out = -1
+		}
+	}()
+	out = run(e)
+	pool.Put(e)
+	return out
+}

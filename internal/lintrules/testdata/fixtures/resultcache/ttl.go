@@ -1,0 +1,19 @@
+// Purity scope fixture for the cache layer: resultcache is a purity
+// entry point — its canonical keys must be pure — but with the wall
+// clock sanctioned (TTLs and eviction clocks are real time).
+package resultcache
+
+import "lintfixtures/util"
+
+// ExpiresAt reaches the wall clock through a helper: sanctioned here,
+// where the same chain from a scheduler package is an error.
+// // ok purity
+func ExpiresAt() float64 {
+	return util.WallElapsed()
+}
+
+// SeedFromGlobal reaches the global generator through a helper: the
+// wall-clock sanction does not extend to randomness. One finding.
+func SeedFromGlobal(n int) int {
+	return util.Draw(n) // want purity
+}

@@ -1,0 +1,67 @@
+// ctxpoll fixture: unbounded loops in deadline-scoped evaluators (the
+// functions that received a context) must poll that context, or they
+// outlive every deadline predictd priced into the request.
+package serve
+
+import "context"
+
+// DrainForever spins without ever consulting ctx: under a deadline
+// this worker slot leaks until process exit. One finding.
+func DrainForever(ctx context.Context, work chan int) int {
+	n := 0
+	for { // want ctxpoll
+		select {
+		case v := <-work:
+			n += v
+		default:
+		}
+	}
+}
+
+// DrainUntilDeadline polls the context every iteration — the
+// sanctioned shape. // ok ctxpoll
+func DrainUntilDeadline(ctx context.Context, work chan int) int {
+	n := 0
+	for {
+		select {
+		case v := <-work:
+			n += v
+		case <-ctx.Done():
+			return n
+		}
+	}
+}
+
+// CheckErrLoop checks ctx.Err() instead of selecting — also
+// sanctioned. // ok ctxpoll
+func CheckErrLoop(ctx context.Context, step func() bool) error {
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if step() {
+			return nil
+		}
+	}
+}
+
+// BoundedLoop is finite; bounded work completes before any reasonable
+// deadline and needs no poll. // ok ctxpoll
+func BoundedLoop(ctx context.Context, xs []int) int {
+	n := 0
+	for i := 0; i < len(xs); i++ {
+		n += xs[i]
+	}
+	return n
+}
+
+// NoDeadline takes no context: it is not deadline-scoped, so the
+// unbounded loop is its caller's concern, not this rule's.
+// // ok ctxpoll
+func NoDeadline(work chan int) int {
+	for {
+		if v := <-work; v < 0 {
+			return v
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// errdrop fixture: the serve/cache paths must not discard error
+// results — a swallowed error becomes a wrong or missing response
+// instead of a crash.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// EvictStale drops the error from os.Remove on the floor: a failed
+// eviction silently serves stale bytes forever. One finding.
+func EvictStale(path string) {
+	os.Remove(path) // want errdrop
+}
+
+// EvictChecked handles the error. // ok errdrop
+func EvictChecked(path string) error {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// EvictAcknowledged discards explicitly — visible in review.
+// // ok errdrop
+func EvictAcknowledged(path string) {
+	_ = os.Remove(path)
+}
+
+// CloseDeferred is a deferred cleanup: the response already committed,
+// so the close error has no receiver. Deferred calls are exempt.
+// // ok errdrop
+func CloseDeferred(f io.Closer) {
+	defer f.Close()
+}
+
+// Report writes through fmt — the print family's writer errors are
+// conventionally unactionable — and through a strings.Builder, whose
+// contract guarantees a nil error. // ok errdrop
+func Report(w io.Writer, parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	fmt.Fprintln(w, b.String())
+	return b.String()
+}

@@ -1,7 +1,8 @@
 // Package serve is the service-scope fixture: the prediction-service
-// layer gets the iteration-order, finiteness, and owned-randomness
-// rules, but NOT the wall-clock ban — a server legitimately reads real
-// time for deadlines and elapsed-time reporting.
+// layer gets the iteration-order, finiteness, owned-randomness,
+// context-polling, and dropped-error rules, but NOT the wall-clock ban
+// — a server legitimately reads real time for deadlines and
+// elapsed-time reporting.
 package serve
 
 import (
@@ -24,8 +25,8 @@ func Jitter() int {
 	return rand.Intn(100) // want globalrand
 }
 
-// Elapsed reads the wall clock — sanctioned in the service layer. No
-// finding (the same call in a scheduler package is an error).
+// Elapsed reads the wall clock — sanctioned in the service layer (the
+// same call in a scheduler package is an error). // ok wallclock
 func Elapsed(start time.Time) float64 {
 	return time.Since(start).Seconds()
 }
@@ -41,7 +42,7 @@ func BadSentinel(t float64) float64 {
 }
 
 // SeededHint derives a hint from an owned source — the sanctioned
-// randomness pattern. No finding.
+// randomness pattern. // ok globalrand
 func SeededHint(seed int64) int {
 	return rand.New(rand.NewSource(seed)).Intn(100)
 }

@@ -1,19 +1,21 @@
 // Package sim is the maprange true-positive fixture: its import path
 // ends in a timeline-affecting segment, so ranging over a map here must
-// be reported.
+// be reported — and the float accumulation across that unordered
+// iteration is a second, distinct finding (floatorder).
 package sim
 
 // Schedule sums clocks from a map — iteration order leaks into the
-// result. One finding.
+// result, and the float sum depends on it. Two findings.
 func Schedule(clocks map[int]float64) float64 {
 	total := 0.0
 	for _, c := range clocks { // want maprange
-		total += c
+		total += c // want floatorder
 	}
 	return total
 }
 
-// Sorted ranges over a slice, which is ordered and legal.
+// Sorted ranges over a slice, which is ordered and legal: slices carry
+// their own order, so neither rule fires. // ok maprange // ok floatorder
 func Sorted(clocks []float64) float64 {
 	total := 0.0
 	for _, c := range clocks {

@@ -1,0 +1,60 @@
+// Purity true-positive fixture: sim is a declared entry point of the
+// determinism contract, so any call path from here into a helper
+// package holding a forbidden source must be reported at the boundary
+// call, with the full chain in the diagnostic.
+package sim
+
+import (
+	"os"
+
+	"lintfixtures/util"
+)
+
+// StampChain reaches the wall clock one call away.
+func StampChain() float64 {
+	return util.WallElapsed() // want purity
+}
+
+// DeepChain reaches the wall clock two calls away — the diagnostic
+// must carry both hops.
+func DeepChain() float64 {
+	return util.Deep() // want purity
+}
+
+// TieBreak reaches the global generator through the helper.
+func TieBreak(n int) int {
+	return util.Draw(n) // want purity
+}
+
+// Tuned reaches the process environment through the helper.
+func Tuned() int {
+	return util.FromEnv() // want purity
+}
+
+// OrderedKeys reaches order-escaping map iteration through the helper.
+func OrderedKeys(m map[string]int) []string {
+	return util.Keys(m) // want purity
+}
+
+// DirectEnv reads the environment directly — env has no single-pass
+// rule, so purity reports it even without a package boundary.
+func DirectEnv() string {
+	return os.Getenv("LOGGP_TUNE") // want purity
+}
+
+// CleanChain calls a pure helper. // ok purity
+func CleanChain(xs []float64) float64 {
+	return util.Sum(xs)
+}
+
+// SortedChain calls the sanctioned collect-then-sort helper. // ok purity
+func SortedChain(m map[string]int) []string {
+	return util.SortedKeys(m)
+}
+
+// Relay calls a tainted sibling in the SAME package: the boundary
+// finding belongs to StampChain alone — reporting every transitive
+// intra-package caller would bury the signal. // ok purity
+func Relay() float64 {
+	return StampChain()
+}

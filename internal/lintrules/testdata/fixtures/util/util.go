@@ -1,0 +1,67 @@
+// Package util is the purity-analysis helper fixture: a package with
+// the repo-wide floor policy only (no direct wallclock/globalrand
+// rules apply here), whose functions carry forbidden sources that the
+// purity call-graph must surface at entry-point callers with the full
+// chain. No findings are expected IN this package — its taints travel
+// through facts.
+package util
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// WallElapsed reads the wall clock. A purity source (wallclock), but
+// no local finding: util is not a scheduler package.
+func WallElapsed() float64 {
+	return float64(time.Now().UnixNano())
+}
+
+// Draw consults the global generator. A purity source (globalrand).
+func Draw(n int) int {
+	return rand.Intn(n)
+}
+
+// FromEnv reads the process environment. A purity source (env).
+func FromEnv() int {
+	return len(os.Getenv("LOGGP_TUNE"))
+}
+
+// Keys collects map keys WITHOUT sorting: iteration order escapes into
+// the returned slice. A purity source (mapiter).
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned collect-then-sort idiom: the append is
+// followed by a sort of the same slice, so iteration order never
+// escapes. Not a source. // ok purity
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum is a pure helper: calling it taints nobody.
+func Sum(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Deep chains through another local function — the chain must show
+// both hops when reported at a caller.
+func Deep() float64 {
+	return WallElapsed()
+}

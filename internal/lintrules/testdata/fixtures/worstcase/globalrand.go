@@ -1,6 +1,6 @@
-// Package worstcase is the globalrand true-positive fixture: the global
-// math/rand functions and the wall clock are forbidden in scheduler
-// packages.
+// Package worstcase is the globalrand/wallclock true-positive fixture:
+// the global math/rand functions and the wall clock are forbidden in
+// scheduler packages.
 package worstcase
 
 import (
@@ -15,11 +15,18 @@ func BreakTie(n int) int {
 
 // Stamp reads the wall clock inside the simulator. One finding.
 func Stamp() int64 {
-	return time.Now().UnixNano() // want globalrand
+	return time.Now().UnixNano() // want wallclock
 }
 
 // Seeded builds an owned source from a seed — the constructors are the
-// sanctioned path. No finding.
-func Seeded(seed int64) *rand.Rand {
-	return rand.New(rand.NewSource(seed))
+// sanctioned path, and drawing from the owned generator is a method
+// call, not the global package function. // ok globalrand
+func Seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(100)
+}
+
+// Elapsed receives a timestamp instead of reading the clock — times
+// thread through arguments and results. // ok wallclock
+func Elapsed(start, now int64) int64 {
+	return now - start
 }

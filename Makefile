@@ -25,19 +25,28 @@
 #                  degradation to bound certificates, 429 shedding
 #                  under overload, SIGTERM drain with exit 0 (part
 #                  of ci)
+#   make cluster-smoke — boot three predictd peers behind the real
+#                  predictrouter binary, replay a Zipf workload through
+#                  the router, SIGKILL one peer mid-replay and restart
+#                  it: zero failed responses, every 200 byte-identical
+#                  to a single-process baseline, killed peer probed
+#                  back to healthy (part of ci)
 #   make loadtest — replay the Zipf-skewed mixed workload against
-#                  cache-on and cache-off predictd processes and record
-#                  req/s, p50/p99, and hit rate into BENCH_serve.json;
-#                  fails below a 90% hit rate or a 10x speedup
-#   make loadtest-smoke — small loadtest leg pair asserting a nonzero
-#                  hit rate and byte-identical repeated servings; no
-#                  artifact (part of ci)
+#                  cache-on and cache-off predictd processes, then
+#                  against a 3-peer predictrouter cluster (undisturbed
+#                  and with one peer killed mid-replay), and record all
+#                  legs into BENCH_serve.json; fails below a 90% hit
+#                  rate (single and cluster), a 10x speedup, or on any
+#                  chaos failure or byte-identity mismatch
+#   make loadtest-smoke — small single-process loadtest leg pair
+#                  asserting a nonzero hit rate and byte-identical
+#                  repeated servings; no artifact (part of ci)
 
 GO ?= go
 LOGGPVET := $(CURDIR)/bin/loggpvet
 FUZZTIME ?= 15s
 
-.PHONY: all build test vet lint lint-sarif race diff bench sweep bench-envelope fuzz-smoke serve-smoke loadtest loadtest-smoke ci
+.PHONY: all build test vet lint lint-sarif race diff bench sweep bench-envelope fuzz-smoke serve-smoke cluster-smoke loadtest loadtest-smoke ci
 
 all: ci
 
@@ -130,21 +139,35 @@ serve-smoke:
 	$(GO) test -count=1 -v -run 'TestPredictd|TestSigint' \
 		./cmd/predictd ./cmd/robust ./cmd/experiments
 
-# Result-cache benchmark: cmd/loadgen builds predictd, boots a cache-on
-# and a cache-off process, replays the identical Zipf workload against
-# each, and records both legs plus the speedup into BENCH_serve.json.
-# The -min-* floors turn the ISSUE acceptance numbers into assertions.
+# End-to-end chaos smoke of the cluster router: builds the real
+# predictd and predictrouter binaries, boots 3 peers behind the router,
+# and drives the robustness headline from outside — SIGKILL a peer
+# mid-replay, zero failed (non-200, non-shed) responses, byte-identity
+# against a single-process baseline, recovery to healthy after restart
+# (see cmd/predictrouter/main_test.go).
+cluster-smoke:
+	$(GO) test -count=1 -v -run 'TestPredictrouter' ./cmd/predictrouter
+
+# Result-cache + cluster benchmark: cmd/loadgen builds predictd and
+# predictrouter, replays the identical Zipf workload against a cache-on
+# process, a cache-off process, a 3-peer cluster behind the router, and
+# the same cluster with one peer SIGKILLed mid-replay and restarted;
+# all legs land in BENCH_serve.json. The -min-* floors turn the ISSUE
+# acceptance numbers into assertions (the chaos leg's zero-failure and
+# byte-identity demands are unconditional).
 loadtest:
 	$(GO) run ./cmd/loadgen -requests 4000 -off-requests 400 \
-		-universe 64 -skew 1.3 -seed 1 \
-		-min-hit-rate 0.9 -min-speedup 10 -out BENCH_serve.json
+		-universe 64 -skew 1.3 -seed 1 -cluster 3 \
+		-min-hit-rate 0.9 -min-speedup 10 -min-cluster-hit-rate 0.9 \
+		-out BENCH_serve.json
 
-# CI-sized loadtest: two short legs, no artifact; asserts the cache is
-# actually hitting (rate > 0) and every repeated serving stayed
-# byte-identical (cmd/loadgen exits non-zero on any mismatch).
+# CI-sized loadtest: two short single-process legs, no artifact; asserts
+# the cache is actually hitting (rate > 0) and every repeated serving
+# stayed byte-identical (cmd/loadgen exits non-zero on any mismatch).
+# The cluster path has its own CI stage (cluster-smoke).
 loadtest-smoke:
 	$(GO) run ./cmd/loadgen -requests 300 -off-requests 60 \
-		-universe 24 -skew 1.3 -seed 1 \
+		-universe 24 -skew 1.3 -seed 1 -cluster 0 \
 		-min-hit-rate 0.01 -out ""
 
-ci: vet lint lint-sarif test diff race fuzz-smoke serve-smoke loadtest-smoke
+ci: vet lint lint-sarif test diff race fuzz-smoke serve-smoke cluster-smoke loadtest-smoke

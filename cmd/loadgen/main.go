@@ -1,24 +1,32 @@
-// Command loadgen measures what predictd's result cache is worth. It
-// boots two predictd processes — one with the cache on, one with
-// -cache-off — replays the identical Zipf-skewed request workload
-// against each (see internal/loadgen), and records both legs plus the
-// throughput speedup into a JSON benchmark artifact.
+// Command loadgen measures what predictd's result cache is worth — and
+// what the cluster router keeps of it. It boots predictd twice (cache
+// on, cache off) and replays the identical Zipf-skewed workload against
+// each (see internal/loadgen); with -cluster N it additionally boots N
+// cache-on peers behind predictrouter and replays the same workload
+// through the router, first undisturbed, then (unless -chaos=false)
+// with one peer SIGKILLed mid-replay and restarted — recording every
+// leg into one JSON benchmark artifact.
 //
 // Usage:
 //
-//	loadgen [-bin path/to/predictd] [-requests 4000] [-off-requests 400]
-//	        [-clients 8] [-universe 64] [-skew 1.3] [-seed 1]
-//	        [-min-hit-rate 0] [-min-speedup 0] [-out BENCH_serve.json]
+//	loadgen [-bin path/to/predictd] [-router-bin path/to/predictrouter]
+//	        [-requests 4000] [-off-requests 400] [-clients 8]
+//	        [-universe 64] [-skew 1.3] [-seed 1] [-cluster 3]
+//	        [-cluster-requests 0] [-chaos] [-min-hit-rate 0]
+//	        [-min-speedup 0] [-min-cluster-hit-rate 0]
+//	        [-out BENCH_serve.json]
 //
-// With -bin empty the command builds predictd itself (requires the go
-// toolchain). The cache-off leg may use fewer requests (-off-requests)
-// because every one of them is a fresh evaluation; throughput is
-// normalized to requests/second so the legs stay comparable.
+// With the -bin flags empty the command builds the binaries itself
+// (requires the go toolchain). The cluster legs seed their byte-identity
+// tableau from the single-process cache-on leg, so every response served
+// through the router is demanded byte-identical to what one predictd
+// would have answered — the cluster's correctness bar. The chaos leg
+// additionally demands zero failures: non-200 answers that are not
+// deliberate sheds (429/503 with Retry-After semantics) fail the run.
 //
-// The command exits non-zero when either leg saw a byte-identity
-// mismatch between servings of one request, or when the cache-on leg's
-// hit rate or the cache-on/cache-off speedup falls below the -min-*
-// floors (0 disables a floor).
+// The command exits non-zero on any byte-identity mismatch, transport
+// error, or chaos failure, or when a leg misses its -min-* floor
+// (0 disables a floor).
 package main
 
 import (
@@ -38,23 +46,41 @@ import (
 )
 
 func main() {
-	bin := flag.String("bin", "", "predictd binary to benchmark (empty = go build it)")
-	requests := flag.Int("requests", 4000, "requests for the cache-on leg")
-	offRequests := flag.Int("off-requests", 400, "requests for the cache-off leg (every one evaluates)")
-	clients := flag.Int("clients", 8, "concurrent connections per leg")
-	universe := flag.Int("universe", 64, "distinct requests in the workload")
-	skew := flag.Float64("skew", 1.3, "Zipf skew (s > 1; larger = hotter hot keys)")
-	seed := flag.Int64("seed", 1, "workload seed (universe and replay order)")
-	minHitRate := flag.Float64("min-hit-rate", 0, "fail below this cache-on hit rate (0 = no floor)")
-	minSpeedup := flag.Float64("min-speedup", 0, "fail below this req/s speedup over cache-off (0 = no floor)")
-	out := flag.String("out", "BENCH_serve.json", "benchmark artifact path (empty = don't write)")
+	var o options
+	flag.StringVar(&o.bin, "bin", "", "predictd binary to benchmark (empty = go build it)")
+	flag.StringVar(&o.routerBin, "router-bin", "", "predictrouter binary (empty = go build it; used when -cluster > 0)")
+	flag.IntVar(&o.requests, "requests", 4000, "requests for the cache-on leg")
+	flag.IntVar(&o.offRequests, "off-requests", 400, "requests for the cache-off leg (every one evaluates)")
+	flag.IntVar(&o.clients, "clients", 8, "concurrent connections per leg")
+	flag.IntVar(&o.universe, "universe", 64, "distinct requests in the workload")
+	flag.Float64Var(&o.skew, "skew", 1.3, "Zipf skew (s > 1; larger = hotter hot keys)")
+	flag.Int64Var(&o.seed, "seed", 1, "workload seed (universe and replay order)")
+	flag.IntVar(&o.cluster, "cluster", 3, "peers behind the router for the cluster legs (0 = skip them)")
+	flag.IntVar(&o.clusterRequests, "cluster-requests", 0, "requests per cluster leg (0 = same as -requests)")
+	flag.BoolVar(&o.chaos, "chaos", true, "kill and restart one peer mid-replay in a second cluster leg")
+	flag.Float64Var(&o.minHitRate, "min-hit-rate", 0, "fail below this cache-on hit rate (0 = no floor)")
+	flag.Float64Var(&o.minSpeedup, "min-speedup", 0, "fail below this req/s speedup over cache-off (0 = no floor)")
+	flag.Float64Var(&o.minClusterHitRate, "min-cluster-hit-rate", 0, "fail below this cluster-leg hit rate (0 = no floor)")
+	flag.StringVar(&o.out, "out", "BENCH_serve.json", "benchmark artifact path (empty = don't write)")
 	flag.Parse()
 
-	if err := run(*bin, *requests, *offRequests, *clients, *universe, *skew, *seed,
-		*minHitRate, *minSpeedup, *out); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
+}
+
+type options struct {
+	bin, routerBin           string
+	requests, offRequests    int
+	clients, universe        int
+	skew                     float64
+	seed                     int64
+	cluster, clusterRequests int
+	chaos                    bool
+	minHitRate, minSpeedup   float64
+	minClusterHitRate        float64
+	out                      string
 }
 
 // report is the BENCH_serve.json schema.
@@ -71,73 +97,108 @@ type report struct {
 	CacheOff loadgen.Result `json:"cache_off"`
 	// Speedup is cache-on req/s over cache-off req/s.
 	Speedup float64 `json:"speedup"`
+	// Cluster records the router legs; absent with -cluster 0.
+	Cluster *clusterReport `json:"cluster,omitempty"`
 }
 
-func run(bin string, requests, offRequests, clients, universe int, skew float64, seed int64,
-	minHitRate, minSpeedup float64, out string) error {
-	if bin == "" {
+// clusterReport is the router section of the artifact: the undisturbed
+// leg, the chaos leg (one peer SIGKILLed at half, restarted at three
+// quarters), and the router's final counter snapshot.
+type clusterReport struct {
+	Peers           int             `json:"peers"`
+	Requests        int             `json:"requests"`
+	Result          loadgen.Result  `json:"result"`
+	Chaos           *loadgen.Result `json:"chaos,omitempty"`
+	ChaosKilledPeer string          `json:"chaos_killed_peer,omitempty"`
+	RouterStats     json.RawMessage `json:"router_stats,omitempty"`
+}
+
+func run(o options) error {
+	if o.bin == "" || (o.routerBin == "" && o.cluster > 0) {
 		dir, err := os.MkdirTemp("", "loadgen")
 		if err != nil {
 			return err
 		}
 		defer os.RemoveAll(dir)
-		bin = filepath.Join(dir, "predictd")
-		build := exec.Command("go", "build", "-o", bin, "loggpsim/cmd/predictd")
-		build.Stderr = os.Stderr
-		if err := build.Run(); err != nil {
-			return fmt.Errorf("building predictd: %w", err)
+		if o.bin == "" {
+			o.bin = filepath.Join(dir, "predictd")
+			if err := goBuild(o.bin, "loggpsim/cmd/predictd"); err != nil {
+				return err
+			}
+		}
+		if o.routerBin == "" && o.cluster > 0 {
+			o.routerBin = filepath.Join(dir, "predictrouter")
+			if err := goBuild(o.routerBin, "loggpsim/cmd/predictrouter"); err != nil {
+				return err
+			}
 		}
 	}
 
 	leg := func(label string, cacheOff bool, n int) (loadgen.Result, error) {
-		base, stop, err := startPredictd(bin, cacheOff)
+		p, err := startPredictd(o.bin, "127.0.0.1:0", cacheOff)
 		if err != nil {
 			return loadgen.Result{}, fmt.Errorf("%s leg: %w", label, err)
 		}
-		defer stop()
-		fmt.Fprintf(os.Stderr, "loadgen: %s leg at %s, %d requests\n", label, base, n)
+		defer p.stop()
+		fmt.Fprintf(os.Stderr, "loadgen: %s leg at %s, %d requests\n", label, p.base, n)
 		return loadgen.Run(loadgen.Config{
-			BaseURL:  base,
-			Universe: universe,
-			Skew:     skew,
-			Seed:     seed,
-			Clients:  clients,
+			BaseURL:  p.base,
+			Universe: o.universe,
+			Skew:     o.skew,
+			Seed:     o.seed,
+			Clients:  o.clients,
 			Requests: n,
 		})
 	}
 
 	var rep report
-	rep.Config.Requests = requests
-	rep.Config.OffRequests = offRequests
-	rep.Config.Clients = clients
-	rep.Config.Universe = universe
-	rep.Config.Skew = skew
-	rep.Config.Seed = seed
+	rep.Config.Requests = o.requests
+	rep.Config.OffRequests = o.offRequests
+	rep.Config.Clients = o.clients
+	rep.Config.Universe = o.universe
+	rep.Config.Skew = o.skew
+	rep.Config.Seed = o.seed
 
 	var err error
-	if rep.CacheOn, err = leg("cache-on", false, requests); err != nil {
+	if rep.CacheOn, err = leg("cache-on", false, o.requests); err != nil {
 		return err
 	}
-	if rep.CacheOff, err = leg("cache-off", true, offRequests); err != nil {
+	if rep.CacheOff, err = leg("cache-off", true, o.offRequests); err != nil {
 		return err
 	}
 	if rep.CacheOff.ReqPerSec > 0 {
 		rep.Speedup = rep.CacheOn.ReqPerSec / rep.CacheOff.ReqPerSec
 	}
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	if out != "" {
-		if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
-			return err
+	if o.cluster > 0 {
+		cr, cerr := runCluster(o, rep.CacheOn.Reference)
+		if cr != nil {
+			rep.Cluster = cr
 		}
+		if cerr != nil {
+			writeReport(rep, o.out)
+			return cerr
+		}
+	}
+
+	if err := writeReport(rep, o.out); err != nil {
+		return err
 	}
 	fmt.Fprintf(os.Stderr,
 		"loadgen: cache-on %.0f req/s (hit rate %.3f, p50 %.2fms, p99 %.2fms) | cache-off %.0f req/s (p50 %.2fms, p99 %.2fms) | speedup %.1fx\n",
 		rep.CacheOn.ReqPerSec, rep.CacheOn.HitRate, rep.CacheOn.P50MS, rep.CacheOn.P99MS,
 		rep.CacheOff.ReqPerSec, rep.CacheOff.P50MS, rep.CacheOff.P99MS, rep.Speedup)
+	if rep.Cluster != nil {
+		fmt.Fprintf(os.Stderr,
+			"loadgen: cluster(%d peers) %.0f req/s (hit rate %.3f, p99 %.2fms)",
+			rep.Cluster.Peers, rep.Cluster.Result.ReqPerSec, rep.Cluster.Result.HitRate, rep.Cluster.Result.P99MS)
+		if rep.Cluster.Chaos != nil {
+			c := rep.Cluster.Chaos
+			fmt.Fprintf(os.Stderr, " | chaos: %d requests, %d sheds, %d failures, %d mismatches",
+				c.Requests, c.Sheds, c.NonOK-c.Sheds, c.Mismatches)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
 
 	switch {
 	case rep.CacheOn.Errors > 0 || rep.CacheOff.Errors > 0:
@@ -146,35 +207,264 @@ func run(bin string, requests, offRequests, clients, universe int, skew float64,
 	case rep.CacheOn.Mismatches > 0 || rep.CacheOff.Mismatches > 0:
 		return fmt.Errorf("byte-identity mismatches: cache-on %d, cache-off %d",
 			rep.CacheOn.Mismatches, rep.CacheOff.Mismatches)
-	case minHitRate > 0 && rep.CacheOn.HitRate < minHitRate:
+	case o.minHitRate > 0 && rep.CacheOn.HitRate < o.minHitRate:
 		return fmt.Errorf("cache-on hit rate %.3f below floor %.3f",
-			rep.CacheOn.HitRate, minHitRate)
-	case minSpeedup > 0 && rep.Speedup < minSpeedup:
-		return fmt.Errorf("speedup %.2fx below floor %.2fx", rep.Speedup, minSpeedup)
+			rep.CacheOn.HitRate, o.minHitRate)
+	case o.minSpeedup > 0 && rep.Speedup < o.minSpeedup:
+		return fmt.Errorf("speedup %.2fx below floor %.2fx", rep.Speedup, o.minSpeedup)
+	case rep.Cluster != nil && o.minClusterHitRate > 0 && rep.Cluster.Result.HitRate < o.minClusterHitRate:
+		return fmt.Errorf("cluster hit rate %.3f below floor %.3f",
+			rep.Cluster.Result.HitRate, o.minClusterHitRate)
 	}
 	return nil
 }
 
-// startPredictd boots one predictd on an ephemeral port, parses the
-// bound address off its stderr "listening on" line, and waits for
-// /healthz. The returned stop function drains and reaps the process.
-func startPredictd(bin string, cacheOff bool) (base string, stop func(), err error) {
-	// A deep queue keeps the closed-loop client load inside admission on
-	// both legs: the loadtest measures evaluation throughput, not the
-	// shed rate (serve-smoke covers shedding).
-	args := []string{"-addr", "127.0.0.1:0", "-queue", "64"}
+func writeReport(rep report, out string) error {
+	if out == "" {
+		return nil
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(enc, '\n'), 0o644)
+}
+
+// runCluster boots o.cluster cache-on peers behind predictrouter and
+// runs the router legs. The byte-identity tableau is seeded from the
+// single-process cache-on leg, so "the cluster behaves like one
+// predictd" is checked response by response, byte by byte. Correctness
+// failures (mismatches, errors, chaos non-shed non-200s) are returned
+// as errors; the partial report is returned either way so the artifact
+// records what happened.
+func runCluster(o options, reference [][]byte) (*clusterReport, error) {
+	n := o.clusterRequests
+	if n <= 0 {
+		n = o.requests
+	}
+	cr := &clusterReport{Peers: o.cluster, Requests: n}
+
+	peers := make([]*daemon, 0, o.cluster)
+	defer func() {
+		for _, p := range peers {
+			p.stop()
+		}
+	}()
+	peerURLs := make([]string, 0, o.cluster)
+	for i := 0; i < o.cluster; i++ {
+		p, err := startPredictd(o.bin, "127.0.0.1:0", false)
+		if err != nil {
+			return cr, fmt.Errorf("cluster peer %d: %w", i, err)
+		}
+		peers = append(peers, p)
+		peerURLs = append(peerURLs, p.base)
+	}
+
+	// Test-speed probe cadence: discovery and recovery inside seconds,
+	// not the operator-scale defaults.
+	router, err := startDaemon(o.routerBin, "predictrouter", []string{
+		"-addr", "127.0.0.1:0",
+		"-peers", strings.Join(peerURLs, ","),
+		"-probe-interval", "100ms",
+		"-gossip-interval", "200ms",
+		"-backoff-base", "100ms",
+		"-backoff-max", "1s",
+	})
+	if err != nil {
+		return cr, fmt.Errorf("router: %w", err)
+	}
+	defer router.stop()
+	if err := waitHTTP(router.base+"/readyz", 10*time.Second); err != nil {
+		return cr, fmt.Errorf("router never became ready: %w", err)
+	}
+
+	fmt.Fprintf(os.Stderr, "loadgen: cluster leg at %s (%d peers), %d requests\n", router.base, o.cluster, n)
+	cfg := loadgen.Config{
+		BaseURL:   router.base,
+		Universe:  o.universe,
+		Skew:      o.skew,
+		Seed:      o.seed,
+		Clients:   o.clients,
+		Requests:  n,
+		Reference: reference,
+	}
+	res, err := loadgen.Run(cfg)
+	if err != nil {
+		return cr, err
+	}
+	cr.Result = res
+	switch {
+	case res.Errors > 0:
+		return cr, fmt.Errorf("cluster leg: %d transport errors", res.Errors)
+	case res.Mismatches > 0:
+		return cr, fmt.Errorf("cluster leg: %d responses differed from the single-process baseline", res.Mismatches)
+	}
+
+	if !o.chaos {
+		cr.RouterStats = fetchStats(router.base)
+		return cr, nil
+	}
+
+	// Chaos leg: SIGKILL the first peer at the halfway mark, restart it
+	// at three quarters, and demand zero failures — every non-200 must
+	// be a deliberate shed, every 200 byte-identical to the baseline.
+	victim := peers[0]
+	cr.ChaosKilledPeer = victim.base
+	fmt.Fprintf(os.Stderr, "loadgen: chaos leg, killing %s at request %d\n", victim.base, n/2)
+	cfg.Reference = res.Reference
+	cfg.OnIssue = func(i int) {
+		switch i {
+		case n / 2:
+			victim.kill()
+		case n - n/4:
+			go func() {
+				if err := victim.restart(); err != nil {
+					fmt.Fprintln(os.Stderr, "loadgen: chaos restart:", err)
+				}
+			}()
+		}
+	}
+	chaos, err := loadgen.Run(cfg)
+	if err != nil {
+		return cr, err
+	}
+	cr.Chaos = &chaos
+
+	// Give the router a moment to reprobe the restarted peer, then
+	// record its view of the incident.
+	waitErr := waitHTTP(victim.base+"/readyz", 10*time.Second)
+	time.Sleep(500 * time.Millisecond)
+	cr.RouterStats = fetchStats(router.base)
+
+	switch {
+	case chaos.Errors > 0:
+		return cr, fmt.Errorf("chaos leg: %d transport errors", chaos.Errors)
+	case chaos.NonOK-chaos.Sheds > 0:
+		return cr, fmt.Errorf("chaos leg: %d failed responses (non-200, non-shed)", chaos.NonOK-chaos.Sheds)
+	case chaos.Mismatches > 0:
+		return cr, fmt.Errorf("chaos leg: %d responses differed from the baseline", chaos.Mismatches)
+	case waitErr != nil:
+		return cr, fmt.Errorf("killed peer never came back: %w", waitErr)
+	}
+	return cr, nil
+}
+
+func goBuild(out, pkg string) error {
+	build := exec.Command("go", "build", "-o", out, pkg)
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building %s: %w", pkg, err)
+	}
+	return nil
+}
+
+func fetchStats(base string) json.RawMessage {
+	resp, err := http.Get(base + "/statsz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+func waitHTTP(url string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return err
+			}
+			return fmt.Errorf("%s not answering 200", url)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// daemon is one child process (predictd or predictrouter) plus what is
+// needed to stop, kill, and — for chaos — restart it on its original
+// address.
+type daemon struct {
+	name     string
+	bin      string
+	args     []string // without -addr; addr is tracked separately
+	addr     string   // bound address, fixed after the first boot
+	base     string
+	cmd      *exec.Cmd
+	stopOnce func()
+}
+
+func (d *daemon) stop() {
+	if d.stopOnce != nil {
+		d.stopOnce()
+		d.stopOnce = nil
+	}
+}
+
+// kill SIGKILLs the process — no drain, no goodbye; the chaos case.
+func (d *daemon) kill() {
+	d.stopOnce = nil
+	d.cmd.Process.Kill()
+	d.cmd.Wait()
+}
+
+// restart boots the same binary on the same address, retrying briefly
+// while the old socket frees up.
+func (d *daemon) restart() error {
+	var err error
+	for i := 0; i < 40; i++ {
+		var nd *daemon
+		nd, err = startDaemon(d.bin, d.name, append([]string{"-addr", d.addr}, d.args...))
+		if err == nil {
+			*d = *nd
+			return nil
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	return fmt.Errorf("restarting %s at %s: %w", d.name, d.addr, err)
+}
+
+// startPredictd boots one predictd. A deep queue keeps the closed-loop
+// client load inside admission: the loadtest measures evaluation
+// throughput, not the shed rate (serve-smoke covers shedding).
+func startPredictd(bin, addr string, cacheOff bool) (*daemon, error) {
+	args := []string{"-queue", "64"}
 	if cacheOff {
 		args = append(args, "-cache-off")
 	}
+	d, err := startDaemon(bin, "predictd", append([]string{"-addr", addr}, args...))
+	if err != nil {
+		return nil, err
+	}
+	d.args = args
+	return d, nil
+}
+
+// startDaemon boots a child, parses the bound address off its stderr
+// "listening on" line, and waits for /healthz. The stop function
+// drains (SIGINT) and reaps the process.
+func startDaemon(bin, name string, args []string) (*daemon, error) {
 	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
-		return "", nil, err
+		return nil, err
 	}
 	if err := cmd.Start(); err != nil {
-		return "", nil, err
+		return nil, err
 	}
-	stop = func() {
+	d := &daemon{name: name, bin: bin, cmd: cmd}
+	d.stopOnce = func() {
 		cmd.Process.Signal(os.Interrupt)
 		done := make(chan struct{})
 		go func() { cmd.Wait(); close(done) }()
@@ -206,29 +496,19 @@ func startPredictd(bin string, cacheOff bool) (base string, stop func(), err err
 	select {
 	case addr, ok := <-addrCh:
 		if !ok || addr == "" {
-			stop()
-			return "", nil, fmt.Errorf("predictd exited before reporting its address")
+			d.stop()
+			return nil, fmt.Errorf("%s exited before reporting its address", name)
 		}
-		base = "http://" + addr
+		d.addr = addr
+		d.base = "http://" + addr
 	case <-time.After(10 * time.Second):
-		stop()
-		return "", nil, fmt.Errorf("timed out waiting for predictd to report its address")
+		d.stop()
+		return nil, fmt.Errorf("timed out waiting for %s to report its address", name)
 	}
 
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		resp, herr := http.Get(base + "/healthz")
-		if herr == nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return base, stop, nil
-			}
-		}
-		if time.Now().After(deadline) {
-			stop()
-			return "", nil, fmt.Errorf("predictd at %s never became healthy", base)
-		}
-		time.Sleep(25 * time.Millisecond)
+	if err := waitHTTP(d.base+"/healthz", 10*time.Second); err != nil {
+		d.stop()
+		return nil, fmt.Errorf("%s at %s never became healthy: %w", name, d.base, err)
 	}
+	return d, nil
 }

@@ -93,8 +93,8 @@ func TestDriverOverFixtures(t *testing.T) {
 	if err := json.Unmarshal([]byte(stdout), &out); err != nil {
 		t.Fatalf("driver -json output: %v\n%s", err, stdout)
 	}
-	if out.Packages != 10 {
-		t.Errorf("analyzed %d packages, want the 10 fixture packages", out.Packages)
+	if out.Packages != 12 {
+		t.Errorf("analyzed %d packages, want the 12 fixture packages", out.Packages)
 	}
 
 	fired := map[string]bool{}

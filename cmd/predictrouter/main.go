@@ -1,0 +1,126 @@
+// Command predictrouter fronts a predictd cluster: it owns admission
+// (decode, size caps, validation) and routes each request to the peer
+// that owns its canonical content key on a consistent-hash ring, so N
+// peer caches behave like one cache (see internal/cluster).
+//
+// Usage:
+//
+//	predictrouter -peers http://h1:8080,http://h2:8080,... [-addr :8080]
+//	              [-replicas 128] [-salt ""] [-probe-interval 500ms]
+//	              [-probe-timeout 2s] [-gossip-interval 1s]
+//	              [-fail-threshold 2] [-backoff-base 250ms]
+//	              [-backoff-max 5s] [-max-attempts 3] [-shed-load 0.9]
+//	              [-hedge-off] [-forward-timeout 75s]
+//
+// Endpoints:
+//
+//	POST /predict  one prediction request, routed to its owner peer
+//	GET  /healthz  router liveness
+//	GET  /readyz   readiness (200 once at least one peer probes healthy)
+//	GET  /statsz   routing counters plus each peer's health view
+//
+// Peers that die are probed on a capped, deterministically staggered
+// backoff and failed over to their ring successors; slow legs are
+// hedged; saturated peers (by gossiped /statsz load) are rerouted
+// around before they shed. On SIGINT/SIGTERM the router stops its
+// probe loops, finishes in-flight relays, and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"loggpsim/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port; the bound address is printed to stderr)")
+	peers := flag.String("peers", "", "comma-separated predictd base URLs (required)")
+	replicas := flag.Int("replicas", 0, "virtual nodes per peer on the ring (0 = 128)")
+	salt := flag.String("salt", "", "ring placement salt (must match across router instances)")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "health probe spacing per peer")
+	probeTimeout := flag.Duration("probe-timeout", 2*time.Second, "per-probe timeout")
+	gossipInterval := flag.Duration("gossip-interval", time.Second, "load gossip (/statsz poll) spacing")
+	failThreshold := flag.Int("fail-threshold", 2, "consecutive transport failures before a peer is down")
+	backoffBase := flag.Duration("backoff-base", 250*time.Millisecond, "reprobe backoff base for down peers")
+	backoffMax := flag.Duration("backoff-max", 5*time.Second, "reprobe backoff cap")
+	maxAttempts := flag.Int("max-attempts", 3, "ring owners tried per request (clamped to the peer count)")
+	shedLoad := flag.Float64("shed-load", 0.9, "gossiped load fraction at which a peer is rerouted around")
+	hedgeOff := flag.Bool("hedge-off", false, "disable hedged second requests")
+	forwardTimeout := flag.Duration("forward-timeout", 75*time.Second, "per-leg forward timeout")
+	flag.Parse()
+
+	if *peers == "" {
+		fatal(errors.New("-peers is required (comma-separated predictd URLs)"))
+	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	rt, err := cluster.NewRouter(cluster.Config{
+		Peers:          peerList,
+		Replicas:       *replicas,
+		Salt:           *salt,
+		ProbeInterval:  *probeInterval,
+		ProbeTimeout:   *probeTimeout,
+		GossipInterval: *gossipInterval,
+		FailThreshold:  *failThreshold,
+		BackoffBase:    *backoffBase,
+		BackoffMax:     *backoffMax,
+		MaxAttempts:    *maxAttempts,
+		ShedLoad:       *shedLoad,
+		HedgeOff:       *hedgeOff,
+		ForwardTimeout: *forwardTimeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rt.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "predictrouter: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Fprintln(os.Stderr, "predictrouter: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "predictrouter: shutdown:", err)
+	}
+	rt.Close()
+	fmt.Fprintln(os.Stderr, "predictrouter: drained, exiting")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "predictrouter:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,584 @@
+// Package cluster is the routing front for a predictd cluster: an HTTP
+// handler (mounted by cmd/predictrouter) that owns admission — decode,
+// size caps, validation — and forwards each canonicalized request to
+// the peer that owns its content key on a consistent-hash ring
+// (internal/ring). Because router and peer reduce a request to the
+// identical canonical key (serve.CanonicalKey), N peer caches behave
+// like one cache: every repetition of a request lands on the one peer
+// whose cache can answer it.
+//
+// The robustness story is layered on top of the ring's ordered owner
+// list — Owners(key, n) is the owner followed by its natural
+// successors, so failover targets are as stable as owners:
+//
+//   - Health state machines. Each peer is tracked through
+//     Unknown/Healthy/Suspect/Draining/Down by active probes (/healthz
+//     liveness, /readyz admission) and passive forwarding signals. A
+//     transport failure demotes to Suspect immediately; FailThreshold
+//     consecutive failures demote to Down, after which reprobes follow
+//     a capped exponential backoff whose stagger is hash-derived
+//     (ring.Stagger) — deterministic spacing, no math/rand jitter.
+//
+//   - Failover. A request tries the key's owners in order, healthy
+//     peers first; a transport error or retryable status (429, 5xx
+//     sheds) moves to the next candidate. Client errors never retry —
+//     a 400 from one peer is a 400 from all of them.
+//
+//   - Hedging. If the first leg has not answered within the per-mode
+//     hedge threshold, a second leg starts at the next candidate and
+//     the first completed answer wins; the race context cancels every
+//     losing leg. Racing two independent legs buys the min-of-N
+//     latency distribution — the same Las Vegas min-race the paper's
+//     tradition prices analytically — at the cost of bounded duplicate
+//     work, which the peers' request coalescing absorbs.
+//
+//   - Load-aware rerouting. Peers gossip their /statsz snapshots
+//     (queue occupancy over capacity) to the router; when fresh gossip
+//     says a key's first choice is saturated and the next is not, the
+//     two swap, moving traffic *before* the primary starts shedding.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loggpsim/internal/ring"
+	"loggpsim/internal/serve"
+)
+
+// Config tunes the router. Zero fields select the documented defaults.
+type Config struct {
+	// Peers are the predictd base URLs (scheme optional; "host:port"
+	// gets "http://"). The set — not its order — defines the ring.
+	Peers []string
+	// Replicas and Salt are passed to the ring (see ring.Config).
+	Replicas int
+	Salt     string
+	// Limits caps request bodies and fields exactly as the peers do, so
+	// the router rejects what a peer would reject without spending a
+	// forward on it. Zero fields select serve's defaults.
+	Limits serve.Limits
+
+	// ProbeInterval spaces health probes while a peer answers; ≤ 0
+	// selects 500ms. ProbeTimeout bounds one probe; ≤ 0 selects 2s.
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// GossipInterval spaces /statsz load polls; ≤ 0 selects 1s.
+	GossipInterval time.Duration
+	// FailThreshold is how many consecutive transport failures demote a
+	// peer to Down; ≤ 0 selects 2.
+	FailThreshold int
+	// BackoffBase/BackoffMax bound the reprobe schedule of a Down peer:
+	// delay = min(base<<attempt, max), staggered deterministically.
+	// ≤ 0 select 250ms and 5s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// HedgeAfter maps a request mode to the latency after which a
+	// second leg starts. Modes absent from the map use the built-in
+	// thresholds (hedgeDefaults); an explicit ≤ 0 entry disables
+	// hedging for that mode.
+	HedgeAfter map[string]time.Duration
+	// HedgeOff disables hedging entirely (chaos tests and baselines).
+	HedgeOff bool
+	// MaxAttempts bounds the candidate list per request (clamped to the
+	// peer count); ≤ 0 selects 3.
+	MaxAttempts int
+	// ShedLoad is the gossip load fraction at or above which a peer is
+	// considered saturated and rerouted around; ≤ 0 selects 0.9.
+	ShedLoad float64
+	// ForwardTimeout bounds one forwarded leg; ≤ 0 selects 75s (above
+	// serve's 60s deadline clamp, so the peer's own deadline machinery
+	// answers first).
+	ForwardTimeout time.Duration
+	// MaxResponseBytes caps a buffered peer response; ≤ 0 selects 8 MiB.
+	MaxResponseBytes int64
+	// Transport overrides the forwarding round tripper (tests).
+	Transport http.RoundTripper
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 2
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 250 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.ShedLoad <= 0 {
+		c.ShedLoad = 0.9
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 75 * time.Second
+	}
+	if c.MaxResponseBytes <= 0 {
+		c.MaxResponseBytes = 8 << 20
+	}
+	c.Limits = c.Limits.WithDefaults()
+	return c
+}
+
+// hedgeDefaults holds the built-in per-mode hedge thresholds as an
+// ordered slice (a map literal would invite iteration, which the
+// determinism lint bans here). Analyze answers in microseconds, so its
+// hedge fires almost immediately; envelope runs Monte-Carlo sweeps and
+// gets room before a duplicate starts.
+var hedgeDefaults = []struct {
+	mode  string
+	after time.Duration
+}{
+	{serve.ModeAnalyze, 50 * time.Millisecond},
+	{serve.ModeSimulate, 300 * time.Millisecond},
+	{serve.ModeWorstCase, 300 * time.Millisecond},
+	{serve.ModeEnvelope, 1500 * time.Millisecond},
+}
+
+// hedgeFor resolves the hedge threshold for a mode: 0 means never
+// hedge.
+func (c Config) hedgeFor(mode string) time.Duration {
+	if c.HedgeOff {
+		return 0
+	}
+	if d, ok := c.HedgeAfter[mode]; ok {
+		if d < 0 {
+			return 0
+		}
+		return d
+	}
+	for _, hd := range hedgeDefaults {
+		if hd.mode == mode {
+			return hd.after
+		}
+	}
+	return 0
+}
+
+// Router is the cluster front. Construct with NewRouter, call Start to
+// launch the probe and gossip loops, mount Handler, Close on shutdown.
+type Router struct {
+	cfg    Config
+	ring   *ring.Ring
+	peers  []*peer          // ring-member (sorted) order
+	byName map[string]*peer // lookup only, never iterated
+	client *http.Client
+	mux    *http.ServeMux
+
+	stop    chan struct{}
+	stopOne sync.Once
+	wg      sync.WaitGroup
+
+	requests, rejected, shed, completed atomic.Int64
+	forwards, ownerHits, failovers      atomic.Int64
+	hedges, hedgesWon, hedgesLost       atomic.Int64
+	loadReroutes                        atomic.Int64
+}
+
+// NewRouter builds a router over the configured peers. The ring is
+// built from the normalized peer URLs, so every router that knows the
+// same peer set routes every key identically.
+func NewRouter(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	names := make([]string, len(cfg.Peers))
+	for i, u := range cfg.Peers {
+		names[i] = normalizePeer(u)
+	}
+	rg, err := ring.New(names, ring.Config{Replicas: cfg.Replicas, Salt: cfg.Salt})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if cfg.MaxAttempts > len(names) {
+		cfg.MaxAttempts = len(names)
+	}
+	rt := &Router{
+		cfg:    cfg,
+		ring:   rg,
+		byName: make(map[string]*peer, len(names)),
+		client: &http.Client{Transport: cfg.Transport},
+		stop:   make(chan struct{}),
+	}
+	for _, name := range rg.Members() {
+		p := &peer{name: name}
+		rt.peers = append(rt.peers, p)
+		rt.byName[name] = p
+	}
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("/predict", rt.handlePredict)
+	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("/readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("/statsz", rt.handleStatsz)
+	return rt, nil
+}
+
+// normalizePeer canonicalizes a peer URL so the ring member name — the
+// identity every routing decision hangs on — does not depend on
+// spelling trivia like a trailing slash.
+func normalizePeer(u string) string {
+	u = strings.TrimRight(u, "/")
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	return u
+}
+
+// Start launches the per-peer probe loops and the gossip poller.
+// Routing works before Start — every peer begins Unknown and the first
+// forwards feel the cluster out — but failover quality depends on the
+// probes running.
+func (rt *Router) Start() {
+	for _, p := range rt.peers {
+		rt.wg.Add(1)
+		go rt.probeLoop(p)
+	}
+	rt.wg.Add(1)
+	go rt.gossipLoop()
+}
+
+// Close stops the probe and gossip loops and waits them out.
+// Idempotent; in-flight forwarded requests are not interrupted.
+func (rt *Router) Close() {
+	rt.stopOne.Do(func() { close(rt.stop) })
+	rt.wg.Wait()
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// failReject answers a router-side rejection (bad input, wrong method)
+// without touching any peer.
+func (rt *Router) failReject(w http.ResponseWriter, status int, format string, args ...any) {
+	rt.rejected.Add(1)
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// shedResponse answers 503 when no peer could serve: every candidate
+// was down, or every leg failed at the transport level.
+func (rt *Router) shedResponse(w http.ResponseWriter, detail string) {
+	rt.shed.Add(1)
+	w.Header().Set("Retry-After", "1")
+	msg := "no peer available"
+	if detail != "" {
+		msg += ": " + detail
+	}
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: msg})
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports readiness: the router can do useful work once
+// at least one peer has probed Healthy. (Suspect and Unknown peers are
+// still *routed to* — readiness is a stricter bar than routability, so
+// "ready" means verified capacity, not hope.)
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	for _, p := range rt.peers {
+		if p.currentState() == StateHealthy {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ready")
+			return
+		}
+	}
+	http.Error(w, "no healthy peer", http.StatusServiceUnavailable)
+}
+
+func (rt *Router) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Stats())
+}
+
+// handlePredict owns admission — method, size cap, strict decode,
+// validation — then routes the canonical key's candidates through the
+// failover/hedge race. Rejections here never cost a forward, and the
+// body is buffered once so every leg replays identical bytes.
+func (rt *Router) handlePredict(w http.ResponseWriter, hr *http.Request) {
+	if hr.Method != http.MethodPost {
+		rt.failReject(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	hr.Body = http.MaxBytesReader(w, hr.Body, rt.cfg.Limits.MaxBodyBytes)
+	body, err := io.ReadAll(hr.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			rt.failReject(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		rt.failReject(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var r serve.Request
+	if err := dec.Decode(&r); err != nil {
+		rt.failReject(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := r.Validate(rt.cfg.Limits); err != nil {
+		rt.failReject(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := serve.CanonicalKey(&r)
+	if err != nil {
+		rt.failReject(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rt.requests.Add(1)
+	mode := r.Mode
+	if mode == "" {
+		mode = serve.ModeSimulate
+	}
+	owners := rt.ring.Owners(key[:], rt.cfg.MaxAttempts)
+	cands := rt.candidates(owners)
+	if len(cands) == 0 {
+		rt.shedResponse(w, "")
+		return
+	}
+	rt.race(w, hr, body, mode, cands, owners[0])
+}
+
+// candidates orders a key's ring owners by routability: healthy peers
+// first (ring order within each class), then suspect and unknown ones;
+// draining and down peers are skipped entirely. If fresh gossip says
+// the first choice is saturated while the second is not, the two swap
+// — the load-aware reroute that moves traffic before the primary
+// starts bouncing 429s.
+func (rt *Router) candidates(owners []string) []*peer {
+	var healthy, rest []*peer
+	for _, name := range owners {
+		p := rt.byName[name]
+		switch p.currentState() {
+		case StateHealthy:
+			healthy = append(healthy, p)
+		case StateSuspect, StateUnknown:
+			rest = append(rest, p)
+		}
+	}
+	cands := append(healthy, rest...)
+	if len(cands) > 1 && rt.saturated(cands[0]) && !rt.saturated(cands[1]) {
+		rt.loadReroutes.Add(1)
+		cands[0], cands[1] = cands[1], cands[0]
+	}
+	return cands
+}
+
+// legResult is one forwarding attempt's outcome. Exactly one of resp
+// and err is set.
+type legResult struct {
+	peer   *peer
+	resp   *peerResponse
+	err    error
+	hedged bool // launched by the hedge timer, not by a failure
+}
+
+// peerResponse is a fully buffered peer answer, decoupled from the
+// network so the race can relay a winner after losing legs are gone.
+type peerResponse struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// race runs the failover/hedge loop over the candidate list: one leg
+// starts immediately, a second starts if the hedge threshold passes
+// first, and a failed leg (transport error or retryable status)
+// advances to the next candidate. The first definitive completion wins
+// and the shared context cancels every other leg. If every candidate
+// fails at the transport level the request is shed; if the list is
+// exhausted on retryable statuses the last such response is relayed —
+// the client sees the peer's own 429/503 with its Retry-After intact.
+func (rt *Router) race(w http.ResponseWriter, hr *http.Request, body []byte, mode string, cands []*peer, primary string) {
+	ctx, cancel := context.WithCancel(hr.Context())
+	defer cancel()
+
+	results := make(chan legResult, len(cands))
+	next, inflight := 0, 0
+	hedgeStarted := false
+	launch := func(hedged bool) {
+		p := cands[next]
+		next++
+		inflight++
+		rt.forwards.Add(1)
+		p.addForward()
+		if hedged {
+			hedgeStarted = true
+			rt.hedges.Add(1)
+		}
+		go func() {
+			resp, err := rt.forward(ctx, p, body)
+			select {
+			case results <- legResult{peer: p, resp: resp, err: err, hedged: hedged}:
+			case <-ctx.Done():
+			}
+		}()
+	}
+	launch(false)
+
+	var hedgeC <-chan time.Time
+	if after := rt.cfg.hedgeFor(mode); after > 0 && next < len(cands) {
+		ht := time.NewTimer(after)
+		defer ht.Stop()
+		hedgeC = ht.C
+	}
+
+	win := func(res legResult) {
+		if hedgeStarted {
+			if res.hedged {
+				rt.hedgesWon.Add(1)
+			} else {
+				rt.hedgesLost.Add(1)
+			}
+		}
+		rt.writeLeg(w, res, primary)
+	}
+
+	var last legResult
+	for inflight > 0 {
+		select {
+		case <-hr.Context().Done():
+			// The client went away; nothing left to write. The deferred
+			// cancel reaps every leg.
+			return
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(cands) {
+				launch(true)
+			}
+		case res := <-results:
+			inflight--
+			if res.err != nil {
+				last = res
+				res.peer.noteForwardErr(rt.cfg.FailThreshold)
+				if next < len(cands) {
+					rt.failovers.Add(1)
+					launch(false)
+				}
+				continue
+			}
+			res.peer.noteAlive()
+			if res.resp.status == http.StatusServiceUnavailable {
+				// serve answers 503 only while draining; remember it so
+				// the next request skips this peer before the probes do.
+				res.peer.noteDraining()
+			}
+			if retryable(res.resp.status) {
+				last = res
+				if next < len(cands) {
+					rt.failovers.Add(1)
+					launch(false)
+				}
+				// Even exhausted, an in-flight hedge may still answer
+				// definitively; keep waiting.
+				continue
+			}
+			win(res)
+			return
+		}
+	}
+	if last.resp != nil {
+		win(last)
+		return
+	}
+	detail := ""
+	if last.err != nil {
+		detail = last.err.Error()
+	}
+	rt.shedResponse(w, detail)
+}
+
+// retryable reports whether a status is worth trying another peer:
+// sheds and server-side failures are; client errors are not — a 400
+// from one peer is a 400 from all of them, and the peers' responses to
+// valid requests are deterministic.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests,
+		http.StatusInternalServerError,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// forward sends the buffered request to one peer and buffers the whole
+// answer. ctx is the race's: when another leg wins, the shared cancel
+// kills this one mid-flight.
+func (rt *Router) forward(ctx context.Context, p *peer, body []byte) (*peerResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.name+"/predict", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.MaxResponseBytes))
+	if err != nil {
+		return nil, err
+	}
+	return &peerResponse{status: resp.StatusCode, header: resp.Header, body: b}, nil
+}
+
+// writeLeg relays the winning peer's buffered response verbatim —
+// byte-identical payloads are the cluster's correctness bar — plus the
+// routing diagnostics: X-Peer names the serving peer; X-Cache and
+// Retry-After pass through from the peer untouched.
+func (rt *Router) writeLeg(w http.ResponseWriter, res legResult, primary string) {
+	res.peer.addWin()
+	if res.peer.name == primary {
+		rt.ownerHits.Add(1)
+	}
+	h := w.Header()
+	copyHeader(h, res.resp.header, "Content-Type")
+	copyHeader(h, res.resp.header, "X-Cache")
+	copyHeader(h, res.resp.header, "Retry-After")
+	h.Set("X-Peer", res.peer.name)
+	w.WriteHeader(res.resp.status)
+	_, _ = w.Write(res.resp.body)
+	rt.completed.Add(1)
+}
+
+func copyHeader(dst, src http.Header, key string) {
+	if v := src.Get(key); v != "" {
+		dst.Set(key, v)
+	}
+}

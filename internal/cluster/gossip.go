@@ -1,0 +1,98 @@
+// Load gossip: the router periodically polls every reachable peer's
+// /statsz and keeps the freshest snapshot per peer. The interesting
+// field is Load — queue-and-worker occupancy over total capacity,
+// computed tear-free on the peer side — which lets candidates() route
+// a key's traffic around a saturating primary *before* it starts
+// shedding, instead of discovering the 429s one failover at a time.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"loggpsim/internal/serve"
+)
+
+// gossipLoop polls until the router closes, one concurrent sweep per
+// interval. An immediate first sweep runs at Start so tests (and
+// freshly booted routers) see load data without waiting an interval.
+func (rt *Router) gossipLoop() {
+	defer rt.wg.Done()
+	rt.gossipOnce()
+	t := time.NewTicker(rt.cfg.GossipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+		}
+		rt.gossipOnce()
+	}
+}
+
+// gossipOnce polls every non-down peer concurrently and waits the
+// sweep out, so sweeps never pile up on a slow peer.
+func (rt *Router) gossipOnce() {
+	var wg sync.WaitGroup
+	for _, p := range rt.peers {
+		if p.currentState() == StateDown {
+			continue
+		}
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			rt.gossipPeer(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// gossipPeer fetches one /statsz snapshot. Failures are simply not
+// recorded — health demotion is the probe loop's job, and routing on a
+// stale snapshot is worse than routing on none (saturated() ages them
+// out).
+func (rt *Router) gossipPeer(p *peer) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.name+"/statsz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return
+	}
+	var st serve.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		return
+	}
+	p.mu.Lock()
+	p.gossip, p.gossipAt, p.gossipOK = st, time.Now(), true
+	p.mu.Unlock()
+}
+
+// saturated reports whether the peer's freshest load snapshot is at or
+// over the shed threshold. Snapshots older than three gossip intervals
+// do not count — a peer that stopped answering /statsz is the probe
+// loop's problem, and old news must not keep deflecting its traffic.
+func (rt *Router) saturated(p *peer) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.gossipOK || time.Since(p.gossipAt) > 3*rt.cfg.GossipInterval {
+		return false
+	}
+	return p.gossip.Load >= rt.cfg.ShedLoad
+}

@@ -1,0 +1,91 @@
+package cluster
+
+import "time"
+
+// Stats is a snapshot of the router's counters plus each peer's health
+// view (see /statsz). Router-level counters are individually atomic;
+// each PeerStats block is read under that peer's lock, so a peer's
+// state, streak, and gossip never tear against each other.
+type Stats struct {
+	// Requests counts bodies that passed admission; Rejected the 4xx
+	// the router answered itself; Shed the 503s for want of any peer;
+	// Completed every response relayed from a peer (any status).
+	Requests  int64 `json:"requests"`
+	Rejected  int64 `json:"rejected"`
+	Shed      int64 `json:"shed"`
+	Completed int64 `json:"completed"`
+	// Forwards counts legs sent to peers (≥ Requests under failover and
+	// hedging); OwnerHits the requests won by their key's primary ring
+	// owner; Failovers the legs launched because a prior leg failed;
+	// LoadReroutes the candidate swaps made on gossip saturation.
+	Forwards     int64 `json:"forwards"`
+	OwnerHits    int64 `json:"owner_hits"`
+	Failovers    int64 `json:"failovers"`
+	LoadReroutes int64 `json:"load_reroutes"`
+	// Hedges counts second legs launched by the latency timer;
+	// HedgesWon the races the hedged leg won; HedgesLost the races
+	// where hedging spent a duplicate forward for nothing.
+	Hedges     int64 `json:"hedges"`
+	HedgesWon  int64 `json:"hedges_won"`
+	HedgesLost int64 `json:"hedges_lost"`
+
+	Peers []PeerStats `json:"peers"`
+}
+
+// PeerStats is one peer's health and traffic view.
+type PeerStats struct {
+	Name  string `json:"name"`
+	State string `json:"state"`
+	// Fails is the current consecutive transport-failure streak.
+	Fails      int   `json:"consecutive_fails"`
+	Probes     int64 `json:"probes"`
+	ProbeFails int64 `json:"probe_fails"`
+	// Forwards/ForwardErrs/Wins count legs sent to, failed at, and won
+	// by this peer.
+	Forwards    int64 `json:"forwards"`
+	ForwardErrs int64 `json:"forward_errors"`
+	Wins        int64 `json:"wins"`
+	// Load is the peer's latest gossiped saturation fraction and
+	// GossipAgeMS that snapshot's age; -1 when no snapshot has landed.
+	Load        float64 `json:"load"`
+	GossipAgeMS float64 `json:"gossip_age_ms"`
+}
+
+// Stats returns the snapshot.
+func (rt *Router) Stats() Stats {
+	st := Stats{
+		Requests:     rt.requests.Load(),
+		Rejected:     rt.rejected.Load(),
+		Shed:         rt.shed.Load(),
+		Completed:    rt.completed.Load(),
+		Forwards:     rt.forwards.Load(),
+		OwnerHits:    rt.ownerHits.Load(),
+		Failovers:    rt.failovers.Load(),
+		LoadReroutes: rt.loadReroutes.Load(),
+		Hedges:       rt.hedges.Load(),
+		HedgesWon:    rt.hedgesWon.Load(),
+		HedgesLost:   rt.hedgesLost.Load(),
+		Peers:        make([]PeerStats, 0, len(rt.peers)),
+	}
+	for _, p := range rt.peers {
+		p.mu.Lock()
+		ps := PeerStats{
+			Name:        p.name,
+			State:       p.state.String(),
+			Fails:       p.fails,
+			Probes:      p.probes,
+			ProbeFails:  p.probeFails,
+			Forwards:    p.forwards,
+			ForwardErrs: p.forwardErrs,
+			Wins:        p.wins,
+			Load:        p.gossip.Load,
+			GossipAgeMS: -1,
+		}
+		if p.gossipOK {
+			ps.GossipAgeMS = float64(time.Since(p.gossipAt)) / float64(time.Millisecond)
+		}
+		p.mu.Unlock()
+		st.Peers = append(st.Peers, ps)
+	}
+	return st
+}

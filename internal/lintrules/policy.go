@@ -103,17 +103,25 @@ var policies = map[string]Policy{
 	// Timeline construction and rendering.
 	"internal/timeline": timelinePolicy,
 
+	// Consistent-hash placement: the ring is the geometry every router
+	// instance must independently agree on, so it carries the full
+	// scheduler contract — placement is a pure function of (members,
+	// salt), with no map order, wall clock, or global randomness.
+	"internal/ring": schedulerPolicy,
+
 	// Prediction service and its supporting machinery. resultcache is
 	// additionally a purity entry point: its canonical key construction
 	// addresses cache entries, so any nondeterminism there silently
 	// splits one entry into many — but its TTL clock is sanctioned wall
 	// time.
 	"internal/serve":       errDrop(servicePolicy),
+	"internal/cluster":     errDrop(servicePolicy),
 	"internal/resultcache": purityService(errDrop(servicePolicy)),
 	"internal/flight":      errDrop(servicePolicy),
 	"internal/cache":       errDrop(servicePolicy),
 	"internal/loadgen":     servicePolicy,
 	"cmd/predictd":         errDrop(servicePolicy),
+	"cmd/predictrouter":    errDrop(servicePolicy),
 	"cmd/loadgen":          servicePolicy,
 
 	// Everything else in the module gets the repo-wide floor,

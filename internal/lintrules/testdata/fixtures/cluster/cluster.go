@@ -1,0 +1,72 @@
+// Package cluster is the router-robustness fixture: its import path
+// segment matches internal/cluster, so it inherits the service
+// contract plus errdrop. The health and forward paths must poll their
+// contexts (a probe loop that outlives its deadline wedges a router
+// goroutine forever), must not swallow errors (a dropped relay error
+// reads as a win and poisons failover accounting), and must derive
+// retry stagger from peer identity, not the global generator.
+package cluster
+
+import (
+	"context"
+	"io"
+	"math/rand"
+)
+
+// ProbeForever spins without ever consulting ctx: when the router
+// drains, this probe goroutine outlives it. One finding.
+func ProbeForever(ctx context.Context, probes chan error) int {
+	fails := 0
+	for { // want ctxpoll
+		if err := <-probes; err != nil {
+			fails++
+		}
+	}
+}
+
+// ProbeUntilStopped selects on ctx.Done every round — the sanctioned
+// shape. // ok ctxpoll
+func ProbeUntilStopped(ctx context.Context, probes chan error) int {
+	fails := 0
+	for {
+		select {
+		case err := <-probes:
+			if err != nil {
+				fails++
+			}
+		case <-ctx.Done():
+			return fails
+		}
+	}
+}
+
+// RelayBody copies the peer's answer and drops the write error: a
+// truncated relay is recorded as a served response. One finding.
+func RelayBody(w io.Writer, body []byte) {
+	w.Write(body) // want errdrop
+}
+
+// RelayAcknowledged pins the discard to _ — the status line is already
+// committed, so the error is unactionable and the discard is
+// deliberate. // ok errdrop
+func RelayAcknowledged(w io.Writer, body []byte) {
+	_, _ = w.Write(body)
+}
+
+// JitterDelay draws retry jitter from the global generator: reprobe
+// schedules differ between runs and between router replicas, so an
+// incident never replays. One finding.
+func JitterDelay(base int) int {
+	return base + rand.Intn(base) // want globalrand
+}
+
+// StaggerDelay spreads reprobes by hashing the peer's identity — the
+// schedule is deterministic per peer yet decorrelated across the
+// fleet. // ok globalrand
+func StaggerDelay(base int, peer string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(peer); i++ {
+		h = (h ^ uint32(peer[i])) * 16777619
+	}
+	return base + int(h%uint32(base))
+}

@@ -1,0 +1,48 @@
+// Package ring is the consistent-hash placement fixture: its import
+// path segment matches internal/ring, so it inherits the scheduler
+// contract. The ring is the geometry every router instance must derive
+// independently and identically — placement has to be a pure function
+// of (members, salt), with no map order and no wall clock in the hash.
+package ring
+
+import "time"
+
+// PointsFromSet lays out virtual nodes by ranging over the member set:
+// insertion order leaks into equal-hash tie-breaks, and two routers
+// built from the same set disagree about who owns which key. One
+// finding.
+func PointsFromSet(members map[string]int) []string {
+	var points []string
+	for name, replicas := range members { // want maprange
+		for i := 0; i < replicas; i++ {
+			points = append(points, name)
+		}
+	}
+	return points
+}
+
+// PointsFromMembers takes the already-sorted member slice: slices
+// carry their own order, so every router derives the identical ring.
+// // ok maprange
+func PointsFromMembers(members []string, replicas int) []string {
+	var points []string
+	for _, name := range members {
+		for i := 0; i < replicas; i++ {
+			points = append(points, name)
+		}
+	}
+	return points
+}
+
+// SaltFromClock stamps the ring salt from the wall clock: two routers
+// started at different instants own disjoint rings and every key
+// remaps on restart. One finding.
+func SaltFromClock() string {
+	return time.Now().String() // want wallclock
+}
+
+// SaltFromConfig threads the salt through configuration, the
+// sanctioned source: restarts and replicas agree. // ok wallclock
+func SaltFromConfig(salt string) string {
+	return salt
+}

@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -43,6 +44,23 @@ type Config struct {
 	Requests int
 	// Timeout bounds one request round trip (default 30s).
 	Timeout time.Duration
+	// MaxRetries caps how many times one request is re-issued after a
+	// shed answer (429/503) that carries Retry-After; each retry waits
+	// out the deterministic backoff schedule (backoffDelay) instead of
+	// re-firing immediately. 0 selects 3; negative disables retries.
+	MaxRetries int
+	// RetryCap bounds one backoff wait (default 2s).
+	RetryCap time.Duration
+	// Reference optionally seeds the byte-identity tableau with another
+	// leg's servings (Result.Reference), so this leg's responses are
+	// checked against that leg's — the cross-process identity check a
+	// cluster leg runs against a single-process baseline. Entries may
+	// be nil; indexes beyond Universe are ignored.
+	Reference [][]byte
+	// OnIssue, when set, is called with the sequence position just
+	// before each request is handed to a client — the hook chaos tests
+	// use to kill a peer mid-replay at a deterministic point.
+	OnIssue func(i int)
 }
 
 func (c Config) withDefaults() Config {
@@ -58,19 +76,35 @@ func (c Config) withDefaults() Config {
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
 	}
+	switch {
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
+	case c.MaxRetries == 0:
+		c.MaxRetries = 3
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 2 * time.Second
+	}
 	return c
 }
 
 // Result is the measured outcome of one replay leg.
 type Result struct {
 	// Requests actually issued; Errors the transport-level failures;
-	// NonOK the non-200 answers (sheds included); Degraded the 200s
-	// flagged degraded (excluded from the identity check — degradation
-	// reflects transient load, not request semantics).
+	// NonOK the non-200 final answers (sheds included); Degraded the
+	// 200s flagged degraded (excluded from the identity check —
+	// degradation reflects transient load, not request semantics).
 	Requests int `json:"requests"`
 	Errors   int `json:"errors"`
 	NonOK    int `json:"non_ok"`
 	Degraded int `json:"degraded"`
+	// Sheds is the subset of NonOK that were shed answers (429/503) —
+	// deliberate overload refusals, not failures. NonOK−Sheds is the
+	// real failure count a chaos run must hold at zero. Retries counts
+	// re-issued attempts after Retry-After-bearing sheds; a retried
+	// request still counts once in Requests.
+	Sheds   int `json:"sheds"`
+	Retries int `json:"retries"`
 	// Mismatches counts full responses that differed byte-for-byte
 	// (elapsed_ms excluded) from the first full serving of the same
 	// request — any nonzero value is a correctness failure.
@@ -90,6 +124,12 @@ type Result struct {
 	ReqPerSec  float64 `json:"req_per_sec"`
 	P50MS      float64 `json:"p50_ms"`
 	P99MS      float64 `json:"p99_ms"`
+	// Reference is the byte-identity tableau this leg ended with: the
+	// first full serving of each universe index, elapsed_ms-normalized
+	// (entries nil where the index was never served in full). Feed it
+	// into another leg's Config.Reference to demand cross-leg identity.
+	// Never serialized — it is an input to further legs, not a metric.
+	Reference [][]byte `json:"-"`
 }
 
 // elapsedRE blanks the one legitimately nondeterministic field before
@@ -181,6 +221,7 @@ func Run(cfg Config) (Result, error) {
 		latencies = make([]float64, 0, cfg.Requests)
 		reference = make([][]byte, cfg.Universe)
 	)
+	copy(reference, cfg.Reference)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -191,23 +232,19 @@ func Run(cfg Config) (Result, error) {
 			client := &http.Client{Timeout: cfg.Timeout}
 			for u := range jobs {
 				t0 := time.Now()
-				resp, err := client.Post(cfg.BaseURL+"/predict", "application/json",
-					strings.NewReader(bodies[u]))
-				if err != nil {
-					mu.Lock()
+				resp, raw, rerr, retries := issue(client, cfg, bodies[u])
+				lat := float64(time.Since(t0)) / float64(time.Millisecond)
+
+				mu.Lock()
+				res.Retries += retries
+				if resp == nil {
 					res.Errors++
 					mu.Unlock()
 					continue
 				}
-				raw, rerr := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				lat := float64(time.Since(t0)) / float64(time.Millisecond)
-				src := resp.Header.Get("X-Cache")
-
-				mu.Lock()
 				res.Requests++
 				latencies = append(latencies, lat)
-				switch src {
+				switch resp.Header.Get("X-Cache") {
 				case "hit":
 					res.Hits++
 				case "miss":
@@ -220,6 +257,9 @@ func Run(cfg Config) (Result, error) {
 				switch {
 				case rerr != nil:
 					res.Errors++
+				case shedStatus(resp.StatusCode):
+					res.NonOK++
+					res.Sheds++
 				case resp.StatusCode != http.StatusOK:
 					res.NonOK++
 				case strings.Contains(string(raw), `"degraded":true`):
@@ -236,11 +276,15 @@ func Run(cfg Config) (Result, error) {
 			}
 		}()
 	}
-	for _, u := range seq {
+	for i, u := range seq {
+		if cfg.OnIssue != nil {
+			cfg.OnIssue(i)
+		}
 		jobs <- u
 	}
 	close(jobs)
 	wg.Wait()
+	res.Reference = reference
 
 	res.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
 	if res.DurationMS > 0 {
@@ -253,6 +297,70 @@ func Run(cfg Config) (Result, error) {
 	res.P50MS = percentile(latencies, 0.50)
 	res.P99MS = percentile(latencies, 0.99)
 	return res, nil
+}
+
+// issue posts one request, re-issuing it after shed answers (429/503)
+// that carry Retry-After, up to MaxRetries times on the deterministic
+// backoff schedule. The final response comes back fully read; a nil
+// resp means the transport failed. A shed without Retry-After is final
+// — the server did not invite a retry.
+func issue(client *http.Client, cfg Config, body string) (resp *http.Response, raw []byte, rerr error, retries int) {
+	for attempt := 0; ; attempt++ {
+		var err error
+		resp, err = client.Post(cfg.BaseURL+"/predict", "application/json", strings.NewReader(body))
+		if err != nil {
+			return nil, nil, err, retries
+		}
+		raw, rerr = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return resp, nil, rerr, retries
+		}
+		ra := retryAfter(resp.Header)
+		if !shedStatus(resp.StatusCode) || ra == 0 || attempt >= cfg.MaxRetries {
+			return resp, raw, nil, retries
+		}
+		retries++
+		time.Sleep(backoffDelay(ra, attempt, cfg.RetryCap))
+	}
+}
+
+// shedStatus reports whether a status is a deliberate overload refusal
+// — predictd's 429 admission shed or the router's 503 no-peer answer.
+func shedStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// retryAfter parses the Retry-After header (delay-seconds form); 0
+// means absent or unusable, which disables the retry.
+func retryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0
+	}
+	if n == 0 {
+		n = 1 // "now" still backs off: the point is not re-firing instantly
+	}
+	return time.Duration(n) * time.Second
+}
+
+// backoffDelay is the retry schedule: the server's own Retry-After as
+// the base, doubled per attempt, capped — a pure function of its
+// inputs, so a replay's retry timing is as reproducible as its
+// request order.
+func backoffDelay(ra time.Duration, attempt int, cap time.Duration) time.Duration {
+	if attempt > 10 {
+		attempt = 10
+	}
+	d := ra << uint(attempt)
+	if d <= 0 || d > cap {
+		d = cap
+	}
+	return d
 }
 
 // percentile reads the p-quantile from a sorted slice (nearest-rank).

@@ -1,9 +1,13 @@
 package loadgen
 
 import (
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"loggpsim/internal/serve"
 )
@@ -85,6 +89,110 @@ func TestCorpusBodiesAllValid(t *testing.T) {
 	}
 	if res.HitRate == 0 {
 		t.Fatal("zipf replay against a caching server produced no hits")
+	}
+}
+
+// A shed answer with Retry-After must be retried on the backoff
+// schedule — not re-fired instantly, not given up on — and the retries
+// must be counted apart from the requests.
+func TestRetryAfterBackoff(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"server at capacity"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"mode":"simulate","elapsed_ms":1}`)
+	}))
+	defer ts.Close()
+
+	res, err := Run(Config{
+		BaseURL:  ts.URL,
+		Universe: 1,
+		Seed:     1,
+		Clients:  1,
+		Requests: 2,
+		RetryCap: 5 * time.Millisecond, // keep the 1s Retry-After test-speed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 2 || res.Retries != 2 {
+		t.Fatalf("requests %d retries %d, want 2 and 2 (two sheds retried)", res.Requests, res.Retries)
+	}
+	if res.NonOK != 0 || res.Sheds != 0 {
+		t.Fatalf("non-OK %d sheds %d after successful retries, want 0", res.NonOK, res.Sheds)
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("server saw %d calls, want 4 (2 sheds + 1 retry-success + 1 plain)", calls.Load())
+	}
+}
+
+// A shed without Retry-After is final: the server did not invite a
+// retry, and the client must count it as a shed, not hammer on.
+func TestShedWithoutRetryAfterIsFinal(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"no peer available"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	res, err := Run(Config{BaseURL: ts.URL, Universe: 1, Seed: 1, Clients: 1, Requests: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries != 0 {
+		t.Fatalf("retries %d without Retry-After, want 0", res.Retries)
+	}
+	if res.Sheds != 3 || res.NonOK != 3 {
+		t.Fatalf("sheds %d non-OK %d, want 3 each", res.Sheds, res.NonOK)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want exactly 3", calls.Load())
+	}
+}
+
+// A seeded reference tableau turns the identity check cross-leg: a
+// server whose answers differ from the reference must be caught even
+// when its own servings are self-consistent.
+func TestReferenceTableauCrossLeg(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"mode":"simulate","total":2,"elapsed_ms":7}`)
+	}))
+	defer ts.Close()
+
+	base, err := Run(Config{BaseURL: ts.URL, Universe: 1, Seed: 1, Clients: 1, Requests: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Mismatches != 0 || base.Reference[0] == nil {
+		t.Fatalf("baseline: mismatches %d, reference nil=%v", base.Mismatches, base.Reference[0] == nil)
+	}
+
+	// Same server, seeded with the baseline's tableau: identical.
+	again, err := Run(Config{BaseURL: ts.URL, Universe: 1, Seed: 1, Clients: 1, Requests: 2, Reference: base.Reference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Mismatches != 0 {
+		t.Fatalf("identical server mismatched its own reference %d times", again.Mismatches)
+	}
+
+	other := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"mode":"simulate","total":3,"elapsed_ms":7}`)
+	}))
+	defer other.Close()
+	diverged, err := Run(Config{BaseURL: other.URL, Universe: 1, Seed: 1, Clients: 1, Requests: 2, Reference: base.Reference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diverged.Mismatches != 2 {
+		t.Fatalf("divergent server produced %d mismatches, want 2", diverged.Mismatches)
 	}
 }
 

@@ -1,0 +1,254 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func mustRing(t *testing.T, members []string, cfg Config) *Ring {
+	t.Helper()
+	r, err := New(members, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRejectsBadMemberships(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := New([]string{"a", ""}, Config{}); err == nil {
+		t.Error("empty member name accepted")
+	}
+	if _, err := New([]string{"a", "b", "a"}, Config{}); err == nil {
+		t.Error("duplicate member accepted")
+	}
+}
+
+// Ownership must be independent of the order members were listed in —
+// the sorted placement is what lets two processes that merely know the
+// set agree about every key.
+func TestOwnershipIgnoresMemberOrder(t *testing.T) {
+	members := []string{"peer-a", "peer-b", "peer-c", "peer-d", "peer-e"}
+	a := mustRing(t, members, Config{})
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]string(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		b := mustRing(t, shuffled, Config{})
+		for k := 0; k < 500; k++ {
+			key := []byte(fmt.Sprintf("key-%d", k))
+			if ao, bo := a.Owner(key), b.Owner(key); ao != bo {
+				t.Fatalf("trial %d key %q: owner %q vs %q under shuffled membership", trial, key, ao, bo)
+			}
+		}
+	}
+}
+
+// Golden ownership vectors: the placements must be a pure function of
+// the configuration, identical in every process. A hash that sneaks in
+// per-process seeding (maphash), pointer identity, or map iteration
+// would break these pins immediately.
+func TestOwnershipGoldenVectors(t *testing.T) {
+	r := mustRing(t, []string{"peer-a", "peer-b", "peer-c"}, Config{Replicas: 64, Salt: "golden"})
+	for _, tc := range []struct {
+		key  string
+		want string
+	}{
+		{"key-0", goldenOwners["key-0"]},
+		{"key-1", goldenOwners["key-1"]},
+		{"key-2", goldenOwners["key-2"]},
+		{"key-3", goldenOwners["key-3"]},
+	} {
+		got := fmt.Sprintf("%v", r.Owners([]byte(tc.key), 3))
+		if got != tc.want {
+			t.Errorf("Owners(%q) = %s, want pinned %s", tc.key, got, tc.want)
+		}
+	}
+}
+
+// goldenOwners pins the full failover order for four keys under the
+// fixed golden configuration. Regenerate (and justify) only when the
+// hash domain or placement scheme deliberately changes.
+var goldenOwners = map[string]string{
+	"key-0": "[peer-a peer-c peer-b]",
+	"key-1": "[peer-a peer-b peer-c]",
+	"key-2": "[peer-c peer-b peer-a]",
+	"key-3": "[peer-b peer-a peer-c]",
+}
+
+// Removing one member must remap only that member's keys: everyone
+// else's keys keep their owner (minimal disruption), and the remapped
+// keys land on their old first successor.
+func TestRemoveRemapsOnlyTheRemovedMembersKeys(t *testing.T) {
+	members := []string{"peer-a", "peer-b", "peer-c", "peer-d"}
+	full := mustRing(t, members, Config{})
+	for _, removed := range members {
+		smaller, err := full.Remove(removed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for k := 0; k < 2000; k++ {
+			key := []byte(fmt.Sprintf("key-%d", k))
+			before := full.Owners(key, 2)
+			after := smaller.Owner(key)
+			if before[0] != removed {
+				if after != before[0] {
+					t.Fatalf("remove %q moved key %q from %q to %q — only the removed member's keys may move",
+						removed, key, before[0], after)
+				}
+				continue
+			}
+			moved++
+			if after != before[1] {
+				t.Fatalf("remove %q: key %q remapped to %q, want its old successor %q",
+					removed, key, after, before[1])
+			}
+		}
+		if moved == 0 {
+			t.Errorf("remove %q: no keys moved; the member owned nothing in 2000 draws", removed)
+		}
+	}
+}
+
+// Add is the inverse direction: a new member claims some keys, and
+// every key it does not claim keeps its owner.
+func TestAddClaimsOnlyItsOwnKeys(t *testing.T) {
+	base := mustRing(t, []string{"peer-a", "peer-b", "peer-c"}, Config{})
+	grown, err := base.Add("peer-d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	claimed := 0
+	for k := 0; k < 2000; k++ {
+		key := []byte(fmt.Sprintf("key-%d", k))
+		before, after := base.Owner(key), grown.Owner(key)
+		if after == "peer-d" {
+			claimed++
+			continue
+		}
+		if after != before {
+			t.Fatalf("adding peer-d moved key %q from %q to %q", key, before, after)
+		}
+	}
+	if claimed == 0 {
+		t.Error("peer-d claimed no keys in 2000 draws")
+	}
+	if claimed > 2000/2 {
+		t.Errorf("peer-d claimed %d/2000 keys — far above its fair quarter", claimed)
+	}
+}
+
+// The default replica count must spread load roughly evenly: with 128
+// virtual points per member, no member of a 4-peer ring should fall
+// below half its fair share over a large key sample.
+func TestBalance(t *testing.T) {
+	members := []string{"peer-a", "peer-b", "peer-c", "peer-d"}
+	r := mustRing(t, members, Config{})
+	counts := map[string]int{}
+	const draws = 8000
+	for k := 0; k < draws; k++ {
+		counts[r.Owner([]byte(fmt.Sprintf("key-%d", k)))]++
+	}
+	fair := draws / len(members)
+	for _, m := range members {
+		if counts[m] < fair/2 {
+			t.Errorf("member %s owns %d/%d keys, below half the fair share %d", m, counts[m], draws, fair)
+		}
+	}
+}
+
+func TestOwnersProperties(t *testing.T) {
+	members := []string{"peer-a", "peer-b", "peer-c", "peer-d", "peer-e"}
+	r := mustRing(t, members, Config{})
+	for k := 0; k < 200; k++ {
+		key := []byte(fmt.Sprintf("key-%d", k))
+		all := r.Owners(key, len(members))
+		if len(all) != len(members) {
+			t.Fatalf("Owners(key, all) returned %d members, want %d", len(all), len(members))
+		}
+		seen := map[string]bool{}
+		for _, m := range all {
+			if seen[m] {
+				t.Fatalf("Owners repeated member %q for key %q", m, key)
+			}
+			seen[m] = true
+		}
+		if all[0] != r.Owner(key) {
+			t.Fatalf("Owners[0] %q disagrees with Owner %q", all[0], r.Owner(key))
+		}
+		// A shorter list must be a prefix of the longer one: failover
+		// order cannot depend on how many successors were requested.
+		two := r.Owners(key, 2)
+		if len(two) != 2 || two[0] != all[0] || two[1] != all[1] {
+			t.Fatalf("Owners(key, 2) = %v is not a prefix of %v", two, all)
+		}
+	}
+	if got := r.Owners([]byte("x"), 0); got != nil {
+		t.Errorf("Owners(n=0) = %v, want nil", got)
+	}
+	if got := r.Owners([]byte("x"), 99); len(got) != len(members) {
+		t.Errorf("Owners(n>members) returned %d, want clamp to %d", len(got), len(members))
+	}
+}
+
+// Different salts must carve the space differently — otherwise the salt
+// is dead configuration.
+func TestSaltChangesPlacement(t *testing.T) {
+	members := []string{"peer-a", "peer-b", "peer-c"}
+	a := mustRing(t, members, Config{Salt: "one"})
+	b := mustRing(t, members, Config{Salt: "two"})
+	differ := 0
+	for k := 0; k < 500; k++ {
+		key := []byte(fmt.Sprintf("key-%d", k))
+		if a.Owner(key) != b.Owner(key) {
+			differ++
+		}
+	}
+	if differ == 0 {
+		t.Error("two salts produced identical ownership for 500 keys")
+	}
+}
+
+// FuzzOwnership drives arbitrary keys through two independently built
+// rings and checks the invariants that the router's failover logic
+// leans on: agreement between identically configured rings, distinct
+// ordered owners, and the minimal-disruption successor rule.
+func FuzzOwnership(f *testing.F) {
+	f.Add([]byte("seed"))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1})
+	members := []string{"peer-a", "peer-b", "peer-c", "peer-d"}
+	build := func() *Ring {
+		r, err := New([]string{"peer-d", "peer-b", "peer-a", "peer-c"}, Config{Replicas: 32})
+		if err != nil {
+			f.Fatal(err)
+		}
+		return r
+	}
+	one, two := build(), build()
+	f.Fuzz(func(t *testing.T, key []byte) {
+		a := one.Owners(key, len(members))
+		b := two.Owners(key, len(members))
+		if fmt.Sprintf("%v", a) != fmt.Sprintf("%v", b) {
+			t.Fatalf("identically configured rings disagree: %v vs %v", a, b)
+		}
+		seen := map[string]bool{}
+		for _, m := range a {
+			if seen[m] {
+				t.Fatalf("duplicate owner %q in %v", m, a)
+			}
+			seen[m] = true
+		}
+		smaller, err := one.Remove(a[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := smaller.Owner(key); got != a[1] {
+			t.Fatalf("removing owner %q remapped key to %q, want successor %q", a[0], got, a[1])
+		}
+	})
+}

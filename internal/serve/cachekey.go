@@ -42,6 +42,20 @@ import (
 // entries.
 const keyDomain = "loggpsim/predict/v1"
 
+// CanonicalKey reduces a validated request to its content address —
+// the same key handlePredict caches under. Exported for the cluster
+// router (internal/cluster): routing each canonical key to one owner
+// peer is what makes N peer caches behave like one cache, so router
+// and peer must agree byte-for-byte on what a request means. The
+// request is not mutated.
+func CanonicalKey(r *Request) (resultcache.Key, error) {
+	c, err := canonicalize(r)
+	if err != nil {
+		return resultcache.Key{}, err
+	}
+	return c.key(), nil
+}
+
 // canonReq is the normalized request form. Two requests are defined to
 // be semantically equal exactly when their canonReqs are equal; the
 // content hash is computed over this form, never the wire form.

@@ -178,7 +178,7 @@ func FuzzCanonicalKey(f *testing.F) {
 		if dropProb != 0 || jitter != 0 || stragglers != 0 {
 			r.Faults = fmt.Sprintf("drop=%v,rto=%v,jitter=%v,stragglers=%d,seed=9", dropProb, rto, jitter, stragglers)
 		}
-		if err := r.validate(DefaultLimits()); err != nil {
+		if err := r.Validate(DefaultLimits()); err != nil {
 			t.Skip()
 		}
 		base, err := canonicalize(&r)
@@ -224,7 +224,7 @@ func FuzzCanonicalKey(f *testing.F) {
 		// Meaningful single-field changes always separate keys.
 		mut := r
 		mut.Workload.N += mut.Workload.Block
-		if mut.validate(DefaultLimits()) == nil {
+		if mut.Validate(DefaultLimits()) == nil {
 			if keyOfReq(t, mut) == key {
 				t.Fatal("different n collided")
 			}

@@ -202,8 +202,10 @@ func DefaultLimits() Limits {
 	}
 }
 
-// withDefaults fills zero fields from DefaultLimits.
-func (l Limits) withDefaults() Limits {
+// WithDefaults fills zero fields from DefaultLimits. Exported so the
+// cluster router (internal/cluster) applies exactly the caps its peers
+// will, and rejects at the front what a peer would reject anyway.
+func (l Limits) WithDefaults() Limits {
 	d := DefaultLimits()
 	if l.MaxBodyBytes <= 0 {
 		l.MaxBodyBytes = d.MaxBodyBytes
@@ -270,11 +272,13 @@ func makeLayout(name string, procs int) (func(nb int) layout.Layout, error) {
 	}
 }
 
-// validate applies the pre-construction caps — everything that can be
+// Validate applies the pre-construction caps — everything that can be
 // checked before a program exists. Violations are client errors (400),
 // never degradations: a request outside the hard caps is malformed, not
-// merely expensive.
-func (r *Request) validate(lim Limits) error {
+// merely expensive. Exported for the cluster router (cmd/predictrouter),
+// which validates at the front door so a malformed request is bounced
+// once instead of being forwarded to a peer that would bounce it anyway.
+func (r *Request) Validate(lim Limits) error {
 	switch r.Mode {
 	case "", ModeSimulate, ModeWorstCase, ModeAnalyze, ModeEnvelope:
 	default:

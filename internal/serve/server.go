@@ -137,7 +137,7 @@ func (c Config) withDefaults() Config {
 	if c.DrainGrace <= 0 {
 		c.DrainGrace = time.Second
 	}
-	c.Limits = c.Limits.withDefaults()
+	c.Limits = c.Limits.WithDefaults()
 	return c
 }
 
@@ -164,6 +164,16 @@ type Stats struct {
 	InFlight int64 `json:"in_flight"`
 	Running  int64 `json:"running"`
 	Queued   int64 `json:"queued"`
+	// Workers and SlotsTotal are the configured capacity (running and
+	// running+queued respectively); Load is InFlight/SlotsTotal, the
+	// saturation fraction. They exist for the cluster router: peers
+	// gossip /statsz snapshots, and the router reroutes a key's
+	// requests to the next ring owner before its primary saturates —
+	// a decision that needs capacity, not just occupancy, and needs it
+	// from the same tear-free snapshot.
+	Workers    int     `json:"workers"`
+	SlotsTotal int64   `json:"slots_total"`
+	Load       float64 `json:"load"`
 	// BreakerOpen reports the Monte-Carlo breaker state.
 	BreakerOpen bool `json:"breaker_open"`
 	// Draining reports that shutdown has begun.
@@ -306,8 +316,13 @@ func (s *Server) Stats() Stats {
 		InFlight:    held,
 		Running:     running,
 		Queued:      held - running,
+		Workers:     s.cfg.Workers,
+		SlotsTotal:  int64(s.cfg.Workers + s.cfg.QueueDepth),
 		BreakerOpen: s.breaker.isOpen(),
 		Draining:    s.draining.Load(),
+	}
+	if st.SlotsTotal > 0 {
+		st.Load = float64(held) / float64(st.SlotsTotal)
 	}
 	if s.cache != nil {
 		cs := s.cache.Stats()
@@ -405,7 +420,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, hr *http.Request) {
 		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	if err := r.validate(s.cfg.Limits); err != nil {
+	if err := r.Validate(s.cfg.Limits); err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}

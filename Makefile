@@ -41,12 +41,17 @@
 #   make loadtest-smoke — small single-process loadtest leg pair
 #                  asserting a nonzero hit rate and byte-identical
 #                  repeated servings; no artifact (part of ci)
+#   make resize-smoke — grow a 2-peer cluster to 3, then drain and
+#                  remove the original first peer, all mid-replay under
+#                  load through the router's admin API: zero failed
+#                  responses, byte-identity vs the single-process
+#                  baseline, post-resize hit rate ≥ 0.9 (part of ci)
 
 GO ?= go
 LOGGPVET := $(CURDIR)/bin/loggpvet
 FUZZTIME ?= 15s
 
-.PHONY: all build test vet lint lint-sarif race diff bench sweep bench-envelope fuzz-smoke serve-smoke cluster-smoke loadtest loadtest-smoke ci
+.PHONY: all build test vet lint lint-sarif race diff bench sweep bench-envelope fuzz-smoke serve-smoke cluster-smoke loadtest loadtest-smoke resize-smoke ci
 
 all: ci
 
@@ -170,4 +175,16 @@ loadtest-smoke:
 		-universe 24 -skew 1.3 -seed 1 -cluster 0 \
 		-min-hit-rate 0.01 -out ""
 
-ci: vet lint lint-sarif test diff race fuzz-smoke serve-smoke cluster-smoke loadtest-smoke
+# Live-resize proof: a 2-peer cluster grows to 3, then the original
+# first peer is drained and removed, all mid-replay under load. The leg
+# demands zero failed responses and byte-identity against the
+# single-process baseline throughout; the follow-up verification replay
+# must hit the cache at ≥ 0.9 — the drain's cache handoff made that
+# possible, so the floor is the handoff working.
+resize-smoke:
+	$(GO) run ./cmd/loadgen -requests 1600 -off-requests 0 -cluster 0 \
+		-universe 64 -skew 1.3 -seed 1 -resize-peers 2 \
+		-resize-script "join:2@400,drain:0@800,remove:0@1200" \
+		-min-resize-hit-rate 0.9 -out ""
+
+ci: vet lint lint-sarif test diff race fuzz-smoke serve-smoke cluster-smoke loadtest-smoke resize-smoke

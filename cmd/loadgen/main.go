@@ -14,7 +14,8 @@
 //	        [-universe 64] [-skew 1.3] [-seed 1] [-cluster 3]
 //	        [-cluster-requests 0] [-chaos] [-min-hit-rate 0]
 //	        [-min-speedup 0] [-min-cluster-hit-rate 0]
-//	        [-out BENCH_serve.json]
+//	        [-resize-script ""] [-resize-peers 2]
+//	        [-min-resize-hit-rate 0] [-out BENCH_serve.json]
 //
 // With the -bin flags empty the command builds the binaries itself
 // (requires the go toolchain). The cluster legs seed their byte-identity
@@ -24,6 +25,17 @@
 // additionally demands zero failures: non-200 answers that are not
 // deliberate sheds (429/503 with Retry-After semantics) fail the run.
 //
+// With -resize-script (e.g. "join:2@400,drain:0@800,remove:0@1000") a
+// further leg boots -resize-peers peers behind the router and replays
+// the workload while the scripted membership changes land through the
+// router's admin API: grow the ring with peer 2 at request 400, drain
+// peer 0 at 800, forget it at 1000. The leg demands zero failures and
+// byte-identity throughout, then replays the workload once more against
+// the resized cluster and records that verification leg's hit rate —
+// the proof that the drain's cache handoff actually moved the entries
+// (-min-resize-hit-rate puts a floor under it). -off-requests 0 skips
+// the cache-off leg for resize-only runs.
+//
 // The command exits non-zero on any byte-identity mismatch, transport
 // error, or chaos failure, or when a leg misses its -min-* floor
 // (0 disables a floor).
@@ -31,6 +43,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -40,6 +53,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"loggpsim/internal/loadgen"
@@ -61,6 +75,9 @@ func main() {
 	flag.Float64Var(&o.minHitRate, "min-hit-rate", 0, "fail below this cache-on hit rate (0 = no floor)")
 	flag.Float64Var(&o.minSpeedup, "min-speedup", 0, "fail below this req/s speedup over cache-off (0 = no floor)")
 	flag.Float64Var(&o.minClusterHitRate, "min-cluster-hit-rate", 0, "fail below this cluster-leg hit rate (0 = no floor)")
+	flag.StringVar(&o.resizeScript, "resize-script", "", `membership changes for the resize leg, e.g. "join:2@400,drain:0@800,remove:0@1000" (empty = skip it)`)
+	flag.IntVar(&o.resizePeers, "resize-peers", 2, "peers the resize-leg cluster starts with")
+	flag.Float64Var(&o.minResizeHitRate, "min-resize-hit-rate", 0, "fail below this post-resize verification hit rate (0 = no floor)")
 	flag.StringVar(&o.out, "out", "BENCH_serve.json", "benchmark artifact path (empty = don't write)")
 	flag.Parse()
 
@@ -80,6 +97,9 @@ type options struct {
 	chaos                    bool
 	minHitRate, minSpeedup   float64
 	minClusterHitRate        float64
+	resizeScript             string
+	resizePeers              int
+	minResizeHitRate         float64
 	out                      string
 }
 
@@ -99,6 +119,9 @@ type report struct {
 	Speedup float64 `json:"speedup"`
 	// Cluster records the router legs; absent with -cluster 0.
 	Cluster *clusterReport `json:"cluster,omitempty"`
+	// Resize records the live-membership leg; absent without
+	// -resize-script.
+	Resize *resizeReport `json:"resize,omitempty"`
 }
 
 // clusterReport is the router section of the artifact: the undisturbed
@@ -113,8 +136,29 @@ type clusterReport struct {
 	RouterStats     json.RawMessage `json:"router_stats,omitempty"`
 }
 
+// resizeReport is the live-membership section of the artifact: the
+// replay that rode through the scripted joins/drains/removes, the
+// verification replay against the resized cluster, and where the
+// membership ended up.
+type resizeReport struct {
+	Script       string                `json:"script"`
+	InitialPeers int                   `json:"initial_peers"`
+	Requests     int                   `json:"requests"`
+	Events       []loadgen.ResizeEvent `json:"events"`
+	// Result is the leg replayed while the membership changed under it;
+	// Verify the follow-up replay against the settled cluster, whose
+	// hit rate proves the handoffs moved the cache with the ownership.
+	Result loadgen.Result `json:"result"`
+	Verify loadgen.Result `json:"verify"`
+	// FinalEpoch must equal 1 + joins + drains: every ring swap, and
+	// nothing else, moved it.
+	FinalEpoch  uint64          `json:"final_epoch"`
+	RouterStats json.RawMessage `json:"router_stats,omitempty"`
+}
+
 func run(o options) error {
-	if o.bin == "" || (o.routerBin == "" && o.cluster > 0) {
+	needRouter := o.cluster > 0 || o.resizeScript != ""
+	if o.bin == "" || (o.routerBin == "" && needRouter) {
 		dir, err := os.MkdirTemp("", "loadgen")
 		if err != nil {
 			return err
@@ -126,7 +170,7 @@ func run(o options) error {
 				return err
 			}
 		}
-		if o.routerBin == "" && o.cluster > 0 {
+		if o.routerBin == "" && needRouter {
 			o.routerBin = filepath.Join(dir, "predictrouter")
 			if err := goBuild(o.routerBin, "loggpsim/cmd/predictrouter"); err != nil {
 				return err
@@ -163,11 +207,15 @@ func run(o options) error {
 	if rep.CacheOn, err = leg("cache-on", false, o.requests); err != nil {
 		return err
 	}
-	if rep.CacheOff, err = leg("cache-off", true, o.offRequests); err != nil {
-		return err
-	}
-	if rep.CacheOff.ReqPerSec > 0 {
-		rep.Speedup = rep.CacheOn.ReqPerSec / rep.CacheOff.ReqPerSec
+	// -off-requests 0 skips the cache-off comparison leg — resize-only
+	// runs don't need to re-measure the speedup.
+	if o.offRequests > 0 {
+		if rep.CacheOff, err = leg("cache-off", true, o.offRequests); err != nil {
+			return err
+		}
+		if rep.CacheOff.ReqPerSec > 0 {
+			rep.Speedup = rep.CacheOn.ReqPerSec / rep.CacheOff.ReqPerSec
+		}
 	}
 
 	if o.cluster > 0 {
@@ -181,13 +229,28 @@ func run(o options) error {
 		}
 	}
 
+	if o.resizeScript != "" {
+		rr, rerr := runResize(o, rep.CacheOn.Reference)
+		if rr != nil {
+			rep.Resize = rr
+		}
+		if rerr != nil {
+			writeReport(rep, o.out)
+			return rerr
+		}
+	}
+
 	if err := writeReport(rep, o.out); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr,
-		"loadgen: cache-on %.0f req/s (hit rate %.3f, p50 %.2fms, p99 %.2fms) | cache-off %.0f req/s (p50 %.2fms, p99 %.2fms) | speedup %.1fx\n",
-		rep.CacheOn.ReqPerSec, rep.CacheOn.HitRate, rep.CacheOn.P50MS, rep.CacheOn.P99MS,
-		rep.CacheOff.ReqPerSec, rep.CacheOff.P50MS, rep.CacheOff.P99MS, rep.Speedup)
+		"loadgen: cache-on %.0f req/s (hit rate %.3f, p50 %.2fms, p99 %.2fms)",
+		rep.CacheOn.ReqPerSec, rep.CacheOn.HitRate, rep.CacheOn.P50MS, rep.CacheOn.P99MS)
+	if o.offRequests > 0 {
+		fmt.Fprintf(os.Stderr, " | cache-off %.0f req/s (p50 %.2fms, p99 %.2fms) | speedup %.1fx",
+			rep.CacheOff.ReqPerSec, rep.CacheOff.P50MS, rep.CacheOff.P99MS, rep.Speedup)
+	}
+	fmt.Fprintln(os.Stderr)
 	if rep.Cluster != nil {
 		fmt.Fprintf(os.Stderr,
 			"loadgen: cluster(%d peers) %.0f req/s (hit rate %.3f, p99 %.2fms)",
@@ -198,6 +261,13 @@ func run(o options) error {
 				c.Requests, c.Sheds, c.NonOK-c.Sheds, c.Mismatches)
 		}
 		fmt.Fprintln(os.Stderr)
+	}
+	if rep.Resize != nil {
+		fmt.Fprintf(os.Stderr,
+			"loadgen: resize %q: %d requests, %d sheds, %d failures, %d mismatches | verify hit rate %.3f, epoch %d\n",
+			rep.Resize.Script, rep.Resize.Result.Requests, rep.Resize.Result.Sheds,
+			rep.Resize.Result.NonOK-rep.Resize.Result.Sheds, rep.Resize.Result.Mismatches,
+			rep.Resize.Verify.HitRate, rep.Resize.FinalEpoch)
 	}
 
 	switch {
@@ -215,6 +285,9 @@ func run(o options) error {
 	case rep.Cluster != nil && o.minClusterHitRate > 0 && rep.Cluster.Result.HitRate < o.minClusterHitRate:
 		return fmt.Errorf("cluster hit rate %.3f below floor %.3f",
 			rep.Cluster.Result.HitRate, o.minClusterHitRate)
+	case rep.Resize != nil && o.minResizeHitRate > 0 && rep.Resize.Verify.HitRate < o.minResizeHitRate:
+		return fmt.Errorf("post-resize hit rate %.3f below floor %.3f",
+			rep.Resize.Verify.HitRate, o.minResizeHitRate)
 	}
 	return nil
 }
@@ -347,6 +420,210 @@ func runCluster(o options, reference [][]byte) (*clusterReport, error) {
 		return cr, fmt.Errorf("killed peer never came back: %w", waitErr)
 	}
 	return cr, nil
+}
+
+// resizeToken gates the router's admin API for the resize leg. The
+// loadgen talks to the router over loopback, where no token is needed;
+// setting one anyway exercises the production access path.
+const resizeToken = "resize-smoke"
+
+// runResize boots -resize-peers peers (plus every peer index the script
+// joins, booted up front so they are ready when their cue comes) behind
+// a router, replays the workload while the scripted membership changes
+// land through the admin API, and demands the chaos-leg bar throughout:
+// zero transport errors, zero non-shed non-200s, zero byte diffs
+// against the single-process baseline. A second replay against the
+// settled cluster then measures the post-resize hit rate — the cache
+// handoff's proof — and the final epoch is checked against the script
+// (1 + joins + drains, exactly).
+func runResize(o options, reference [][]byte) (*resizeReport, error) {
+	events, err := loadgen.ParseResizeScript(o.resizeScript)
+	if err != nil {
+		return nil, err
+	}
+	if o.resizePeers < 1 {
+		return nil, fmt.Errorf("resize leg: -resize-peers must be at least 1")
+	}
+	n := o.clusterRequests
+	if n <= 0 {
+		n = o.requests
+	}
+	rr := &resizeReport{Script: o.resizeScript, InitialPeers: o.resizePeers, Requests: n, Events: events}
+
+	total := o.resizePeers
+	wantEpoch := uint64(1)
+	for _, ev := range events {
+		if ev.Peer >= total {
+			total = ev.Peer + 1
+		}
+		if ev.Action == "join" || ev.Action == "drain" {
+			wantEpoch++
+		}
+		if ev.At >= n {
+			return rr, fmt.Errorf("resize leg: event %s:%d@%d is beyond the %d-request replay",
+				ev.Action, ev.Peer, ev.At, n)
+		}
+	}
+
+	peers := make([]*daemon, 0, total)
+	defer func() {
+		for _, p := range peers {
+			p.stop()
+		}
+	}()
+	peerURLs := make([]string, 0, total)
+	for i := 0; i < total; i++ {
+		p, err := startPredictd(o.bin, "127.0.0.1:0", false)
+		if err != nil {
+			return rr, fmt.Errorf("resize peer %d: %w", i, err)
+		}
+		peers = append(peers, p)
+		peerURLs = append(peerURLs, p.base)
+	}
+
+	router, err := startDaemon(o.routerBin, "predictrouter", []string{
+		"-addr", "127.0.0.1:0",
+		"-peers", strings.Join(peerURLs[:o.resizePeers], ","),
+		"-probe-interval", "100ms",
+		"-gossip-interval", "200ms",
+		"-backoff-base", "100ms",
+		"-backoff-max", "1s",
+		"-admin-token", resizeToken,
+	})
+	if err != nil {
+		return rr, fmt.Errorf("resize router: %w", err)
+	}
+	defer router.stop()
+	if err := waitHTTP(router.base+"/readyz", 10*time.Second); err != nil {
+		return rr, fmt.Errorf("resize router never became ready: %w", err)
+	}
+
+	// Membership changes fire from OnIssue goroutines so the load keeps
+	// flowing while the router swaps rings and streams caches — that
+	// concurrency is the thing under test. Failures are collected, not
+	// fatal mid-replay, so the replay's own numbers still land.
+	var adminMu sync.Mutex
+	var adminErrs []error
+	var adminWG sync.WaitGroup
+	byAt := make(map[int][]loadgen.ResizeEvent)
+	for _, ev := range events {
+		byAt[ev.At] = append(byAt[ev.At], ev)
+	}
+
+	fmt.Fprintf(os.Stderr, "loadgen: resize leg at %s (%d peers growing to script %q), %d requests\n",
+		router.base, o.resizePeers, o.resizeScript, n)
+	cfg := loadgen.Config{
+		BaseURL:   router.base,
+		Universe:  o.universe,
+		Skew:      o.skew,
+		Seed:      o.seed,
+		Clients:   o.clients,
+		Requests:  n,
+		Reference: reference,
+		OnIssue: func(i int) {
+			evs, ok := byAt[i]
+			if !ok {
+				return
+			}
+			adminWG.Add(1)
+			go func() {
+				defer adminWG.Done()
+				// Events sharing one position run in script order in
+				// one goroutine (drain-then-remove stays a sequence);
+				// the router's admin mutex serializes across positions.
+				for _, ev := range evs {
+					fmt.Fprintf(os.Stderr, "loadgen: resize: %s %s at request %d\n", ev.Action, peerURLs[ev.Peer], ev.At)
+					if err := adminCall(router.base, ev.Action, peerURLs[ev.Peer]); err != nil {
+						adminMu.Lock()
+						adminErrs = append(adminErrs, err)
+						adminMu.Unlock()
+					}
+				}
+			}()
+		},
+	}
+	res, err := loadgen.Run(cfg)
+	if err != nil {
+		return rr, err
+	}
+	adminWG.Wait()
+	rr.Result = res
+
+	switch {
+	case len(adminErrs) > 0:
+		return rr, fmt.Errorf("resize leg: admin: %w", adminErrs[0])
+	case res.Errors > 0:
+		return rr, fmt.Errorf("resize leg: %d transport errors", res.Errors)
+	case res.NonOK-res.Sheds > 0:
+		return rr, fmt.Errorf("resize leg: %d failed responses (non-200, non-shed)", res.NonOK-res.Sheds)
+	case res.Mismatches > 0:
+		return rr, fmt.Errorf("resize leg: %d responses differed from the single-process baseline", res.Mismatches)
+	}
+
+	// Verification replay: the same workload against the settled
+	// cluster. Identity must still hold, and the hit rate is the
+	// handoff's report card — entries that failed to move with their
+	// keys come back as misses here.
+	cfg.OnIssue = nil
+	cfg.Reference = res.Reference
+	verify, err := loadgen.Run(cfg)
+	if err != nil {
+		return rr, err
+	}
+	rr.Verify = verify
+	rr.RouterStats = fetchStats(router.base)
+	var st struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(rr.RouterStats, &st); err == nil {
+		rr.FinalEpoch = st.Epoch
+	}
+
+	switch {
+	case verify.Errors > 0:
+		return rr, fmt.Errorf("resize verify leg: %d transport errors", verify.Errors)
+	case verify.NonOK-verify.Sheds > 0:
+		return rr, fmt.Errorf("resize verify leg: %d failed responses", verify.NonOK-verify.Sheds)
+	case verify.Mismatches > 0:
+		return rr, fmt.Errorf("resize verify leg: %d responses differed from the baseline", verify.Mismatches)
+	case rr.FinalEpoch != wantEpoch:
+		return rr, fmt.Errorf("resize leg: final epoch %d, want %d (1 + joins + drains)", rr.FinalEpoch, wantEpoch)
+	}
+	return rr, nil
+}
+
+// adminCall drives one membership change through the router's admin
+// API. A remove may race the drain it depends on (both ride OnIssue
+// goroutines), so 409s retry briefly — the router answers 409 until the
+// peer is drained, then accepts.
+func adminCall(routerBase, action, peerURL string) error {
+	body, err := json.Marshal(map[string]string{"peer": peerURL})
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, routerBase+"/admin/"+action, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Admin-Token", resizeToken)
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("admin %s %s: %w", action, peerURL, err)
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return nil
+		}
+		if resp.StatusCode == http.StatusConflict && attempt < 50 {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		return fmt.Errorf("admin %s %s: status %d: %s", action, peerURL, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
 }
 
 func goBuild(out, pkg string) error {

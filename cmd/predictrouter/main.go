@@ -10,14 +10,26 @@
 //	              [-probe-timeout 2s] [-gossip-interval 1s]
 //	              [-fail-threshold 2] [-backoff-base 250ms]
 //	              [-backoff-max 5s] [-max-attempts 3] [-shed-load 0.9]
-//	              [-hedge-off] [-forward-timeout 75s]
+//	              [-hedge-off] [-forward-timeout 75s] [-admin-token ""]
+//	              [-join-timeout 10s] [-handoff-timeout 30s]
 //
 // Endpoints:
 //
-//	POST /predict  one prediction request, routed to its owner peer
-//	GET  /healthz  router liveness
-//	GET  /readyz   readiness (200 once at least one peer probes healthy)
-//	GET  /statsz   routing counters plus each peer's health view
+//	POST /predict       one prediction request, routed to its owner peer
+//	GET  /healthz       router liveness
+//	GET  /readyz        readiness (200 once at least one peer probes healthy)
+//	GET  /statsz        routing counters, membership epoch + ring
+//	                    fingerprint, and each peer's health view
+//	POST /admin/join    add a peer: probe it ready, prewarm its share of
+//	                    the cache from the current members, then swap the
+//	                    grown ring in (epoch +1)
+//	POST /admin/drain   retire a peer: swap the shrunk ring in (epoch +1),
+//	                    then stream its cache to the new owners
+//	POST /admin/remove  forget a drained peer (no ring change)
+//
+// Admin endpoints take {"peer": "http://host:port"} and are restricted
+// to loopback callers unless -admin-token is set, in which case the
+// X-Admin-Token header must match (from any source address).
 //
 // Peers that die are probed on a capped, deterministically staggered
 // backoff and failed over to their ring successors; slow legs are
@@ -57,6 +69,9 @@ func main() {
 	shedLoad := flag.Float64("shed-load", 0.9, "gossiped load fraction at which a peer is rerouted around")
 	hedgeOff := flag.Bool("hedge-off", false, "disable hedged second requests")
 	forwardTimeout := flag.Duration("forward-timeout", 75*time.Second, "per-leg forward timeout")
+	adminToken := flag.String("admin-token", "", "shared secret for /admin/* (empty = loopback callers only)")
+	joinTimeout := flag.Duration("join-timeout", 10*time.Second, "how long /admin/join waits for the new peer to probe ready")
+	handoffTimeout := flag.Duration("handoff-timeout", 30*time.Second, "cache handoff budget per join/drain")
 	flag.Parse()
 
 	if *peers == "" {
@@ -82,6 +97,9 @@ func main() {
 		ShedLoad:       *shedLoad,
 		HedgeOff:       *hedgeOff,
 		ForwardTimeout: *forwardTimeout,
+		AdminToken:     *adminToken,
+		JoinTimeout:    *joinTimeout,
+		HandoffTimeout: *handoffTimeout,
 	})
 	if err != nil {
 		fatal(err)

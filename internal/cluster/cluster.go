@@ -104,6 +104,19 @@ type Config struct {
 	MaxResponseBytes int64
 	// Transport overrides the forwarding round tripper (tests).
 	Transport http.RoundTripper
+
+	// AdminToken gates the /admin/* membership API. When set, requests
+	// must present it in X-Admin-Token (compared in constant time); when
+	// empty, the API answers loopback callers only.
+	AdminToken string
+	// JoinTimeout bounds how long /admin/join waits for the new peer to
+	// probe ready before the join is abandoned; ≤ 0 selects 10s.
+	JoinTimeout time.Duration
+	// HandoffTimeout bounds one cache handoff pass (join prewarm or
+	// drain); ≤ 0 selects 30s. An expired handoff leaves the cluster
+	// correct — entries that did not move are re-evaluated as misses —
+	// so the bound trades hit rate, never byte-identity.
+	HandoffTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +149,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxResponseBytes <= 0 {
 		c.MaxResponseBytes = 8 << 20
+	}
+	if c.JoinTimeout <= 0 {
+		c.JoinTimeout = 10 * time.Second
+	}
+	if c.HandoffTimeout <= 0 {
+		c.HandoffTimeout = 30 * time.Second
 	}
 	c.Limits = c.Limits.WithDefaults()
 	return c
@@ -176,15 +195,37 @@ func (c Config) hedgeFor(mode string) time.Duration {
 	return 0
 }
 
+// membership is one immutable (epoch, ring) pair. The router swaps the
+// whole pair atomically on every reconfiguration, and handlePredict
+// loads it exactly once per request — so a request is routed under one
+// epoch's ring from owner lookup through the last failover leg, never a
+// torn read of a ring mid-swap.
+type membership struct {
+	epoch uint64
+	ring  *ring.Ring
+}
+
 // Router is the cluster front. Construct with NewRouter, call Start to
 // launch the probe and gossip loops, mount Handler, Close on shutdown.
+// Membership changes run through the /admin API (admin.go).
 type Router struct {
 	cfg    Config
-	ring   *ring.Ring
-	peers  []*peer          // ring-member (sorted) order
-	byName map[string]*peer // lookup only, never iterated
+	member atomic.Pointer[membership]
 	client *http.Client
 	mux    *http.ServeMux
+
+	// admin serializes membership reconfigurations: one join, drain, or
+	// remove runs at a time, so lifecycle transitions and epoch bumps
+	// never interleave.
+	admin sync.Mutex
+
+	// peersMu guards the tracked peer set — which can now outgrow and
+	// outlive the ring: a joining peer is tracked (probed, gossiped)
+	// before it owns keys, a draining one after it stopped owning them.
+	peersMu sync.RWMutex
+	peers   []*peer          // name-sorted at boot; joins append
+	byName  map[string]*peer // lookup only, never iterated
+	started bool             // Start ran; late-added peers self-start probes
 
 	stop    chan struct{}
 	stopOne sync.Once
@@ -194,6 +235,25 @@ type Router struct {
 	forwards, ownerHits, failovers      atomic.Int64
 	hedges, hedgesWon, hedgesLost       atomic.Int64
 	loadReroutes                        atomic.Int64
+	joins, drains, removes              atomic.Int64
+	handoffMoved, handoffFailed         atomic.Int64
+}
+
+// ringNow returns the current membership's ring. Callers that make more
+// than one routing decision for a request must instead load the
+// membership once and use its ring throughout.
+func (rt *Router) ringNow() *ring.Ring { return rt.member.Load().ring }
+
+// Epoch returns the current membership epoch. It starts at 1 and
+// increments on every ring swap (join or drain); removals of an
+// already-drained peer do not touch the ring and keep the epoch.
+func (rt *Router) Epoch() uint64 { return rt.member.Load().epoch }
+
+// peerList snapshots the tracked peer set in its stable order.
+func (rt *Router) peerList() []*peer {
+	rt.peersMu.RLock()
+	defer rt.peersMu.RUnlock()
+	return append([]*peer(nil), rt.peers...)
 }
 
 // NewRouter builds a router over the configured peers. The ring is
@@ -209,18 +269,18 @@ func NewRouter(cfg Config) (*Router, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
-	if cfg.MaxAttempts > len(names) {
-		cfg.MaxAttempts = len(names)
-	}
+	// MaxAttempts is deliberately NOT clamped to the boot-time peer
+	// count: the cluster can grow past it, and ring.Owners clamps per
+	// lookup anyway.
 	rt := &Router{
 		cfg:    cfg,
-		ring:   rg,
 		byName: make(map[string]*peer, len(names)),
 		client: &http.Client{Transport: cfg.Transport},
 		stop:   make(chan struct{}),
 	}
+	rt.member.Store(&membership{epoch: 1, ring: rg})
 	for _, name := range rg.Members() {
-		p := &peer{name: name}
+		p := newPeer(name, lifeServing)
 		rt.peers = append(rt.peers, p)
 		rt.byName[name] = p
 	}
@@ -229,6 +289,9 @@ func NewRouter(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("/readyz", rt.handleReadyz)
 	rt.mux.HandleFunc("/statsz", rt.handleStatsz)
+	rt.mux.HandleFunc("/admin/join", rt.handleAdminJoin)
+	rt.mux.HandleFunc("/admin/drain", rt.handleAdminDrain)
+	rt.mux.HandleFunc("/admin/remove", rt.handleAdminRemove)
 	return rt, nil
 }
 
@@ -248,7 +311,11 @@ func normalizePeer(u string) string {
 // forwards feel the cluster out — but failover quality depends on the
 // probes running.
 func (rt *Router) Start() {
-	for _, p := range rt.peers {
+	rt.peersMu.Lock()
+	rt.started = true
+	ps := append([]*peer(nil), rt.peers...)
+	rt.peersMu.Unlock()
+	for _, p := range ps {
 		rt.wg.Add(1)
 		go rt.probeLoop(p)
 	}
@@ -306,8 +373,8 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // still *routed to* — readiness is a stricter bar than routability, so
 // "ready" means verified capacity, not hope.)
 func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	for _, p := range rt.peers {
-		if p.currentState() == StateHealthy {
+	for _, p := range rt.peerList() {
+		if p.currentState() == StateHealthy && p.currentLife() == lifeServing {
 			w.WriteHeader(http.StatusOK)
 			fmt.Fprintln(w, "ready")
 			return
@@ -361,7 +428,11 @@ func (rt *Router) handlePredict(w http.ResponseWriter, hr *http.Request) {
 	if mode == "" {
 		mode = serve.ModeSimulate
 	}
-	owners := rt.ring.Owners(key[:], rt.cfg.MaxAttempts)
+	// One membership load per request: owner lookup, candidate
+	// ordering, and every failover leg run under this epoch's ring even
+	// if an admin swap lands mid-request.
+	m := rt.member.Load()
+	owners := m.ring.Owners(key[:], rt.cfg.MaxAttempts)
 	cands := rt.candidates(owners)
 	if len(cands) == 0 {
 		rt.shedResponse(w, "")
@@ -378,8 +449,14 @@ func (rt *Router) handlePredict(w http.ResponseWriter, hr *http.Request) {
 // starts bouncing 429s.
 func (rt *Router) candidates(owners []string) []*peer {
 	var healthy, rest []*peer
+	rt.peersMu.RLock()
 	for _, name := range owners {
 		p := rt.byName[name]
+		if p == nil {
+			// A remove raced this request's (older-epoch) owner list;
+			// the peer is gone, its successor is next in the list.
+			continue
+		}
 		switch p.currentState() {
 		case StateHealthy:
 			healthy = append(healthy, p)
@@ -387,6 +464,7 @@ func (rt *Router) candidates(owners []string) []*peer {
 			rest = append(rest, p)
 		}
 	}
+	rt.peersMu.RUnlock()
 	cands := append(healthy, rest...)
 	if len(cands) > 1 && rt.saturated(cands[0]) && !rt.saturated(cands[1]) {
 		rt.loadReroutes.Add(1)
@@ -480,6 +558,17 @@ func (rt *Router) race(w http.ResponseWriter, hr *http.Request, body []byte, mod
 		case res := <-results:
 			inflight--
 			if res.err != nil {
+				if ctx.Err() != nil && (errors.Is(res.err, context.Canceled) || errors.Is(res.err, context.DeadlineExceeded)) {
+					// The race context itself is dead — the client hung
+					// up or its deadline expired — and this leg died of
+					// that cancellation, not of the peer. Demoting the
+					// peer here would let an impatient client (or a
+					// hedge's own cancel) drive a healthy peer to
+					// suspect. ForwardTimeout expiries are unaffected:
+					// they surface as DeadlineExceeded while ctx is
+					// still live, and still count against the peer.
+					continue
+				}
 				last = res
 				res.peer.noteForwardErr(rt.cfg.FailThreshold)
 				if next < len(cands) {

@@ -166,7 +166,7 @@ func bodyOwnedBy(t *testing.T, rt *Router, owner string) []byte {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if rt.ring.Owner(key[:]) == owner {
+		if rt.ringNow().Owner(key[:]) == owner {
 			return marshalReq(t, r)
 		}
 	}
@@ -204,7 +204,7 @@ func TestRoutingAgreesWithRing(t *testing.T) {
 			if w.Code != http.StatusOK {
 				t.Fatalf("seed %d: status %d: %s", seed, w.Code, w.Body.String())
 			}
-			if got, want := w.Header().Get("X-Peer"), rt.ring.Owner(key[:]); got != want {
+			if got, want := w.Header().Get("X-Peer"), rt.ringNow().Owner(key[:]); got != want {
 				t.Fatalf("seed %d served by %s, ring owner is %s", seed, got, want)
 			}
 		}

@@ -39,7 +39,7 @@ func (rt *Router) gossipLoop() {
 // sweep out, so sweeps never pile up on a slow peer.
 func (rt *Router) gossipOnce() {
 	var wg sync.WaitGroup
-	for _, p := range rt.peers {
+	for _, p := range rt.peerList() {
 		if p.currentState() == StateDown {
 			continue
 		}

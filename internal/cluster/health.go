@@ -54,14 +54,56 @@ func (s State) String() string {
 	}
 }
 
+// lifecycle is a peer's position in the membership state machine —
+// orthogonal to health. Health says what the peer's process is doing
+// right now (probes, transport outcomes); lifecycle says what the
+// cluster has decided the peer is *for* (joining → warming → serving →
+// draining → gone, driven by the /admin API). A peer can be healthy
+// and draining at once: alive, answering, and deliberately owning no
+// keys.
+type lifecycle int
+
+const (
+	// lifeServing peers own ring keys; boot-time peers start here.
+	lifeServing lifecycle = iota
+	// lifeJoining peers are tracked and probed but own nothing yet.
+	lifeJoining
+	// lifeWarming peers probed ready and are receiving their prewarm
+	// handoff; the next epoch swap makes them serving.
+	lifeWarming
+	// lifeDraining peers were removed from the ring (the epoch already
+	// swapped) and are streaming their cache out; still answering.
+	lifeDraining
+	// lifeGone peers are removed; the state exists only in the final
+	// snapshot a racing reader may take.
+	lifeGone
+)
+
+func (l lifecycle) String() string {
+	switch l {
+	case lifeJoining:
+		return "joining"
+	case lifeWarming:
+		return "warming"
+	case lifeDraining:
+		return "draining"
+	case lifeGone:
+		return "gone"
+	default:
+		return "serving"
+	}
+}
+
 // peer is the router's view of one predictd process. All mutable state
 // sits behind one mutex, so every snapshot — and every transition — is
 // internally consistent.
 type peer struct {
 	name string // normalized base URL; the ring member identity
+	done chan struct{} // closed on remove; stops this peer's probe loop
 
 	mu      sync.Mutex
 	state   State
+	life    lifecycle
 	fails   int // consecutive transport failures
 	attempt int // backoff step while Down
 
@@ -76,10 +118,26 @@ type peer struct {
 	gossipOK bool
 }
 
+func newPeer(name string, life lifecycle) *peer {
+	return &peer{name: name, life: life, done: make(chan struct{})}
+}
+
 func (p *peer) currentState() State {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.state
+}
+
+func (p *peer) currentLife() lifecycle {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.life
+}
+
+func (p *peer) setLife(l lifecycle) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.life = l
 }
 
 // noteAlive records a transport-level success — a forward that got any
@@ -164,6 +222,10 @@ func (rt *Router) probeLoop(p *peer) {
 	for {
 		select {
 		case <-rt.stop:
+			return
+		case <-p.done:
+			// The peer was removed from the cluster; its loop ends
+			// without waiting for router shutdown.
 			return
 		case <-t.C:
 		}

@@ -29,13 +29,34 @@ type Stats struct {
 	HedgesWon  int64 `json:"hedges_won"`
 	HedgesLost int64 `json:"hedges_lost"`
 
+	// Epoch is the current membership epoch (1 at boot, +1 per ring
+	// swap); RingFingerprint the ring's deterministic geometry checksum
+	// (ring.Fingerprint) — two routers, or a router and an operator's
+	// expectation, agree on membership iff these match; RingMembers the
+	// members owning keys right now (draining peers are tracked in
+	// Peers but absent here).
+	Epoch           uint64   `json:"epoch"`
+	RingFingerprint string   `json:"ring_fingerprint"`
+	RingMembers     []string `json:"ring_members"`
+	// Joins/Drains/Removes count completed admin operations;
+	// HandoffMoved/HandoffFailed the cache entries moved (imported by
+	// their new owner) and refused or lost across all handoff passes.
+	Joins         int64 `json:"joins"`
+	Drains        int64 `json:"drains"`
+	Removes       int64 `json:"removes"`
+	HandoffMoved  int64 `json:"handoff_moved"`
+	HandoffFailed int64 `json:"handoff_failed"`
+
 	Peers []PeerStats `json:"peers"`
 }
 
 // PeerStats is one peer's health and traffic view.
 type PeerStats struct {
-	Name  string `json:"name"`
-	State string `json:"state"`
+	Name string `json:"name"`
+	// State is the health view (probes and transport outcomes);
+	// Lifecycle the membership view (joining/warming/serving/draining).
+	State     string `json:"state"`
+	Lifecycle string `json:"lifecycle"`
 	// Fails is the current consecutive transport-failure streak.
 	Fails      int   `json:"consecutive_fails"`
 	Probes     int64 `json:"probes"`
@@ -65,13 +86,24 @@ func (rt *Router) Stats() Stats {
 		Hedges:       rt.hedges.Load(),
 		HedgesWon:    rt.hedgesWon.Load(),
 		HedgesLost:   rt.hedgesLost.Load(),
-		Peers:        make([]PeerStats, 0, len(rt.peers)),
+		Joins:        rt.joins.Load(),
+		Drains:       rt.drains.Load(),
+		Removes:      rt.removes.Load(),
+		HandoffMoved: rt.handoffMoved.Load(),
+		HandoffFailed: rt.handoffFailed.Load(),
 	}
-	for _, p := range rt.peers {
+	m := rt.member.Load()
+	st.Epoch = m.epoch
+	st.RingFingerprint = m.ring.Fingerprint()
+	st.RingMembers = append([]string(nil), m.ring.Members()...)
+	peers := rt.peerList()
+	st.Peers = make([]PeerStats, 0, len(peers))
+	for _, p := range peers {
 		p.mu.Lock()
 		ps := PeerStats{
 			Name:        p.name,
 			State:       p.state.String(),
+			Lifecycle:   p.life.String(),
 			Fails:       p.fails,
 			Probes:      p.probes,
 			ProbeFails:  p.probeFails,

@@ -70,3 +70,50 @@ func StaggerDelay(base int, peer string) int {
 	}
 	return base + int(h%uint32(base))
 }
+
+// PumpHandoff relays exported cache lines with no context check: a
+// wedged destination stalls the drain's handoff forever and the admin
+// request never returns. One finding.
+func PumpHandoff(ctx context.Context, next func() ([]byte, error), post func([]byte) error) int {
+	moved := 0
+	for { // want ctxpoll
+		line, err := next()
+		if err != nil {
+			return moved
+		}
+		if post(line) == nil {
+			moved++
+		}
+	}
+}
+
+// PumpHandoffBounded re-checks the handoff budget every line — the
+// drain streamer's sanctioned shape: the loop condition is the
+// context poll. // ok ctxpoll
+func PumpHandoffBounded(ctx context.Context, next func() ([]byte, error), post func([]byte) error) int {
+	moved := 0
+	for ctx.Err() == nil {
+		line, err := next()
+		if err != nil {
+			return moved
+		}
+		if post(line) == nil {
+			moved++
+		}
+	}
+	return moved
+}
+
+// AnnounceEpoch encodes the admin response and drops the encode error:
+// the operator's join reads as accepted even when the confirmation
+// never made it out. One finding.
+func AnnounceEpoch(enc interface{ Encode(v any) error }, epoch uint64) {
+	enc.Encode(epoch) // want errdrop
+}
+
+// AnnounceEpochAcknowledged pins the discard to _: the ring already
+// swapped, so a lost confirmation is the caller's retry to discover —
+// the discard is deliberate. // ok errdrop
+func AnnounceEpochAcknowledged(enc interface{ Encode(v any) error }, epoch uint64) {
+	_ = enc.Encode(epoch)
+}

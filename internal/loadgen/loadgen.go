@@ -363,6 +363,55 @@ func backoffDelay(ra time.Duration, attempt int, cap time.Duration) time.Duratio
 	return d
 }
 
+// ResizeEvent is one membership change fired at a deterministic point
+// in a replay: when the sequence position reaches At, Action
+// ("join"/"drain"/"remove") is applied to peer index Peer. Wired
+// through Config.OnIssue by cmd/loadgen's resize leg.
+type ResizeEvent struct {
+	At     int    `json:"at"`
+	Action string `json:"action"`
+	Peer   int    `json:"peer"`
+}
+
+// ParseResizeScript parses "action:peer@position" triples, e.g.
+// "join:2@400,drain:0@800,remove:0@1000": grow with peer 2 at request
+// 400, drain peer 0 at 800, forget it at 1000. Events come back sorted
+// by position (stable for ties, so drain-then-remove at one position
+// keeps script order).
+func ParseResizeScript(s string) ([]ResizeEvent, error) {
+	var evs []ResizeEvent
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		action, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("resize script: %q is not action:peer@position", part)
+		}
+		switch action {
+		case "join", "drain", "remove":
+		default:
+			return nil, fmt.Errorf("resize script: unknown action %q (want join, drain, or remove)", action)
+		}
+		peerStr, atStr, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("resize script: %q is not action:peer@position", part)
+		}
+		peer, err := strconv.Atoi(peerStr)
+		if err != nil || peer < 0 {
+			return nil, fmt.Errorf("resize script: bad peer index %q in %q", peerStr, part)
+		}
+		at, err := strconv.Atoi(atStr)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("resize script: bad position %q in %q", atStr, part)
+		}
+		evs = append(evs, ResizeEvent{At: at, Action: action, Peer: peer})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs, nil
+}
+
 // percentile reads the p-quantile from a sorted slice (nearest-rank).
 func percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {

@@ -349,6 +349,48 @@ func (c *Cache[V]) Compute(key Key, fn func() (V, Meta, error)) (<-chan flight.R
 	return ch, leader
 }
 
+// Entry is one exported cache entry (see Export).
+type Entry[V any] struct {
+	Key  Key
+	Val  V
+	Size int64
+	Cost float64
+}
+
+// Export snapshots up to limit live entries (limit <= 0 means all),
+// hottest first within each shard: shards are visited in index order and
+// each shard's LRU is walked front to back, so the result is a
+// deterministic function of the cache state and recency order. Expired
+// entries are skipped without being counted against limit. Export does
+// not touch recency or the hit/miss counters — it is an observation,
+// used by the cluster handoff pass to stream a draining peer's hot set
+// to its successors, and truncation by limit therefore drops the
+// coldest entries of the *later* shards first (acceptable: the hot set
+// is spread uniformly across shards by the content hash).
+func (c *Cache[V]) Export(limit int) []Entry[V] {
+	if limit <= 0 {
+		limit = int(^uint(0) >> 1)
+	}
+	now := c.now().UnixNano()
+	var out []Entry[V]
+	for i := range c.shards {
+		if len(out) >= limit {
+			break
+		}
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil && len(out) < limit; el = el.Next() {
+			e := el.Value.(*entry[V])
+			if e.expires != 0 && now >= e.expires {
+				continue
+			}
+			out = append(out, Entry[V]{Key: e.key, Val: e.val, Size: e.size, Cost: e.cost})
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // Stats snapshots the counters and per-shard occupancy. The shard slice
 // is indexed in shard order — an intentionally deterministic ordering
 // (see the package comment on map iteration).

@@ -264,3 +264,53 @@ func TestConcurrentMixedUse(t *testing.T) {
 		t.Fatalf("budgets exceeded after soak: %+v", st)
 	}
 }
+
+func TestExportSnapshotsLiveEntriesHottestFirst(t *testing.T) {
+	// One shard so the LRU walk order is globally observable.
+	c := New[string](Config{Shards: 1, MaxBytes: -1, MaxEntries: -1})
+	ks := make([]Key, 3)
+	for i := range ks {
+		ks[i] = keyOf(fmt.Sprint("export-", i))
+		c.Put(ks[i], fmt.Sprint("v", i), Meta{Size: 2, Cost: float64(i), Store: true})
+	}
+	// Touch entry 0 so it is hottest again: expected order 0, 2, 1.
+	if _, ok := c.Get(ks[0]); !ok {
+		t.Fatal("missing primed entry")
+	}
+	got := c.Export(0)
+	if len(got) != 3 {
+		t.Fatalf("Export returned %d entries, want 3", len(got))
+	}
+	wantOrder := []Key{ks[0], ks[2], ks[1]}
+	for i, e := range got {
+		if e.Key != wantOrder[i] {
+			t.Fatalf("Export[%d].Key = %s, want %s", i, e.Key, wantOrder[i])
+		}
+	}
+	if got[0].Val != "v0" || got[0].Size != 2 || got[0].Cost != 0 {
+		t.Fatalf("Export[0] = %+v", got[0])
+	}
+	if lim := c.Export(2); len(lim) != 2 || lim[0].Key != ks[0] || lim[1].Key != ks[2] {
+		t.Fatalf("Export(2) = %d entries, want the 2 hottest", len(lim))
+	}
+	// Export must not perturb recency or the hit/miss counters.
+	before := c.Stats()
+	c.Export(0)
+	after := c.Stats()
+	if before.Hits != after.Hits || before.Misses != after.Misses {
+		t.Fatal("Export moved the hit/miss counters")
+	}
+}
+
+func TestExportSkipsExpiredEntries(t *testing.T) {
+	c := New[string](Config{Shards: 1, TTL: time.Minute})
+	now := time.Unix(0, 0)
+	c.now = func() time.Time { return now }
+	c.Put(keyOf("stale"), "old", Meta{Size: 3, Cost: 1, Store: true})
+	now = now.Add(2 * time.Minute)
+	c.Put(keyOf("fresh"), "new", Meta{Size: 3, Cost: 1, Store: true})
+	got := c.Export(0)
+	if len(got) != 1 || got[0].Val != "new" {
+		t.Fatalf("Export = %+v, want only the fresh entry", got)
+	}
+}

@@ -124,6 +124,33 @@ func New(members []string, cfg Config) (*Ring, error) {
 // callers must not mutate it.
 func (r *Ring) Members() []string { return r.members }
 
+// Fingerprint is a deterministic checksum of the ring's entire
+// geometry — configuration, members, and every virtual point in table
+// order — rendered as 16 hex digits. Two parties (a router and a peer,
+// or two router replicas) that report the same fingerprint agree about
+// every ownership decision, because the point table is a pure function
+// of what the fingerprint covers; comparing 16 bytes replaces
+// comparing member lists plus salts plus replica counts. Golden
+// vectors in ring_test.go pin the value per configuration, so an
+// accidental change to point placement — which would strand every
+// cached entry on the wrong peer — fails loudly.
+func (r *Ring) Fingerprint() string {
+	h := fnv64(fnvOffset)
+	h.str("loggpsim/ring/fingerprint/v1")
+	h.str(r.cfg.Salt)
+	h.u64(uint64(r.cfg.Replicas))
+	h.u64(uint64(len(r.members)))
+	for _, m := range r.members {
+		h.str(m)
+	}
+	for _, p := range r.points {
+		h.u64(p.hash)
+		h.u64(uint64(p.member))
+		h.u64(uint64(p.replica))
+	}
+	return fmt.Sprintf("%016x", fmix64(uint64(h)))
+}
+
 // Owner returns the member owning key — the first virtual point at or
 // clockwise after the key's position.
 func (r *Ring) Owner(key []byte) string {

@@ -252,3 +252,55 @@ func FuzzOwnership(f *testing.F) {
 		}
 	})
 }
+
+// Fingerprint golden vectors: the checksum must be a pure function of
+// (members, replicas, salt), stable across processes, and sensitive to
+// every one of those inputs — it is how a router and its peers (or two
+// router replicas) cheaply assert they agree on membership. Regenerate
+// only when the placement scheme deliberately changes, which orphans
+// every cluster cache entry and deserves the loud failure.
+func TestFingerprintGoldenVectors(t *testing.T) {
+	golden := []struct {
+		members []string
+		cfg     Config
+		want    string
+	}{
+		{[]string{"peer-a", "peer-b", "peer-c"}, Config{Replicas: 64, Salt: "golden"}, "00f36bef9136f37d"},
+		{[]string{"peer-a", "peer-b"}, Config{Replicas: 64, Salt: "golden"}, "aa34fd97be8c40af"},
+		{[]string{"peer-a", "peer-b", "peer-c", "peer-d"}, Config{Replicas: 64, Salt: "golden"}, "9cdd6d3298b38f22"},
+		{[]string{"peer-a", "peer-b", "peer-c"}, Config{}, "ff34221a69061966"},
+		{[]string{"peer-a", "peer-b", "peer-c"}, Config{Replicas: 64, Salt: "other"}, "3720c3cf146ab2f9"},
+	}
+	for _, tc := range golden {
+		if got := mustRing(t, tc.members, tc.cfg).Fingerprint(); got != tc.want {
+			t.Errorf("Fingerprint(%v, %+v) = %s, want %s", tc.members, tc.cfg, got, tc.want)
+		}
+	}
+	// Membership changes round-trip: Add then Remove restores the
+	// original fingerprint, and an Add produces the same fingerprint as
+	// building the larger ring from scratch — derivation path must not
+	// leak into the geometry.
+	base := mustRing(t, []string{"peer-a", "peer-b"}, Config{Replicas: 64, Salt: "golden"})
+	grown, err := base.Add("peer-c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := grown.Fingerprint(), golden[0].want; got != want {
+		t.Errorf("Add-derived ring fingerprint %s, want the from-scratch %s", got, want)
+	}
+	shrunk, err := grown.Remove("peer-c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := shrunk.Fingerprint(), golden[1].want; got != want {
+		t.Errorf("Remove-derived ring fingerprint %s, want the from-scratch %s", got, want)
+	}
+	// Member order must not matter; salt and replica count must.
+	reordered := mustRing(t, []string{"peer-c", "peer-a", "peer-b"}, Config{Replicas: 64, Salt: "golden"})
+	if reordered.Fingerprint() != golden[0].want {
+		t.Error("fingerprint depends on member listing order")
+	}
+	if mustRing(t, []string{"peer-a", "peer-b", "peer-c"}, Config{Replicas: 32, Salt: "golden"}).Fingerprint() == golden[0].want {
+		t.Error("fingerprint insensitive to the replica count")
+	}
+}

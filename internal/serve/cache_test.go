@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"regexp"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -292,5 +293,201 @@ func TestCacheOffMatchesLegacyFlow(t *testing.T) {
 	}
 	if st := s.Stats(); st.Cache != nil {
 		t.Fatalf("cache-off server reports cache stats: %+v", st.Cache)
+	}
+}
+
+// TestDrainOrderingReadyzFlipsBeforeCacheStops pins the ordering the
+// cluster's coordinated drain depends on: the instant BeginDrain
+// returns, readiness is already 503 (the router stops sending new keys)
+// while the cache still answers hits AND the export endpoint still
+// streams — the handoff pass runs against a peer that is already
+// officially not-ready.
+func TestDrainOrderingReadyzFlipsBeforeCacheStops(t *testing.T) {
+	s := NewServer(Config{Workers: 1})
+	body := fmt.Sprintf(smallGE, "simulate")
+	post(t, s.Handler(), body, nil) // prime
+
+	s.BeginDrain()
+
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: status %d, want 503", w.Code)
+	}
+	hit := post(t, s.Handler(), body, nil)
+	if hit.Code != http.StatusOK || hit.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("hit after readyz flipped: status %d X-Cache %q", hit.Code, hit.Header().Get("X-Cache"))
+	}
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/cache/export", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("export during drain: status %d, want 200", w.Code)
+	}
+	if got := w.Header().Get("Content-Type"); got != "application/x-ndjson" {
+		t.Fatalf("export Content-Type %q", got)
+	}
+	var line handoffLine
+	if err := json.Unmarshal(w.Body.Bytes(), &line); err != nil || line.Key == "" {
+		t.Fatalf("export during drain produced no usable line: %q (%v)", w.Body.String(), err)
+	}
+	// And import still works too: a *joining* peer may be warmed by a
+	// cluster whose source peer is itself draining.
+	s2 := NewServer(Config{Workers: 1})
+	s2.BeginDrain()
+	w = httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/cache/import", bytes.NewReader(w.Body.Bytes()))
+	w2 := httptest.NewRecorder()
+	s2.Handler().ServeHTTP(w2, req)
+	if w2.Code != http.StatusOK {
+		t.Fatalf("import during drain: status %d, want 200", w2.Code)
+	}
+}
+
+// TestCacheExportImportRoundTrip is the handoff byte-identity proof at
+// the serve layer: entries exported from one server and imported into a
+// fresh one are served as hits, byte-identical (modulo elapsed_ms) to
+// the original servings.
+func TestCacheExportImportRoundTrip(t *testing.T) {
+	corpus := []string{
+		fmt.Sprintf(smallGE, "simulate"),
+		fmt.Sprintf(smallGE, "worstcase"),
+		fmt.Sprintf(smallGE, "analyze"),
+		`{"mode":"simulate","workload":{"kind":"ge","procs":4,"n":96,"block":8},"seed":9}`,
+		`{"mode":"envelope","workload":{"kind":"ge","procs":4,"n":96,"block":8},"samples":4,"seed":7,"perturb":{"l":0.1,"g":0.2}}`,
+	}
+	src := NewServer(Config{Workers: 2})
+	originals := make(map[string][]byte, len(corpus))
+	for _, body := range corpus {
+		w := post(t, src.Handler(), body, nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: prime status %d", body, w.Code)
+		}
+		originals[body] = stripElapsed(w.Body.Bytes())
+	}
+
+	ex := httptest.NewRecorder()
+	src.Handler().ServeHTTP(ex, httptest.NewRequest(http.MethodGet, "/cache/export", nil))
+	if ex.Code != http.StatusOK {
+		t.Fatalf("export: status %d", ex.Code)
+	}
+
+	dst := NewServer(Config{Workers: 2})
+	im := httptest.NewRecorder()
+	dst.Handler().ServeHTTP(im, httptest.NewRequest(http.MethodPost, "/cache/import", bytes.NewReader(ex.Body.Bytes())))
+	if im.Code != http.StatusOK {
+		t.Fatalf("import: status %d body %s", im.Code, im.Body.String())
+	}
+	var res struct {
+		Imported int `json:"imported"`
+		Rejected int `json:"rejected"`
+	}
+	if err := json.Unmarshal(im.Body.Bytes(), &res); err != nil {
+		t.Fatalf("import response %q: %v", im.Body.String(), err)
+	}
+	if res.Imported != len(corpus) || res.Rejected != 0 {
+		t.Fatalf("import = %+v, want %d/0", res, len(corpus))
+	}
+
+	for _, body := range corpus {
+		w := post(t, dst.Handler(), body, nil)
+		if w.Code != http.StatusOK || w.Header().Get("X-Cache") != "hit" {
+			t.Fatalf("%s: post-import status %d X-Cache %q, want a hit", body, w.Code, w.Header().Get("X-Cache"))
+		}
+		if !bytes.Equal(originals[body], stripElapsed(w.Body.Bytes())) {
+			t.Errorf("%s: imported serving drifted:\n%s\n%s", body, originals[body], w.Body.Bytes())
+		}
+	}
+	// Second-generation export: the imported entries round-trip again.
+	ex2 := httptest.NewRecorder()
+	dst.Handler().ServeHTTP(ex2, httptest.NewRequest(http.MethodGet, "/cache/export", nil))
+	dst2 := NewServer(Config{Workers: 2})
+	im2 := httptest.NewRecorder()
+	dst2.Handler().ServeHTTP(im2, httptest.NewRequest(http.MethodPost, "/cache/import", bytes.NewReader(ex2.Body.Bytes())))
+	if err := json.Unmarshal(im2.Body.Bytes(), &res); err != nil || res.Imported != len(corpus) || res.Rejected != 0 {
+		t.Fatalf("second-generation import = %+v (%v), want %d/0", res, err, len(corpus))
+	}
+}
+
+// TestCacheImportRefusesCorruptLines drives every rejection path: a
+// tampered response, a mis-addressed key, a degraded response, an
+// unknown request field, and an over-limit request are all dropped
+// without touching the cache; well-formed lines in the same stream
+// still land.
+func TestCacheImportRefusesCorruptLines(t *testing.T) {
+	src := NewServer(Config{Workers: 1})
+	post(t, src.Handler(), fmt.Sprintf(smallGE, "simulate"), nil)
+	ex := httptest.NewRecorder()
+	src.Handler().ServeHTTP(ex, httptest.NewRequest(http.MethodGet, "/cache/export", nil))
+	var good handoffLine
+	if err := json.Unmarshal(ex.Body.Bytes(), &good); err != nil {
+		t.Fatalf("export line: %v", err)
+	}
+
+	mutate := func(fn func(l *handoffLine)) string {
+		l := good
+		fn(&l)
+		b, err := json.Marshal(&l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	bad := []string{
+		// Response payload altered: re-marshal comparison must catch it.
+		mutate(func(l *handoffLine) {
+			l.Response = json.RawMessage(bytes.Replace(l.Response, []byte(`"degraded":false`), []byte(`"degraded":false,"work_units":1`), 1))
+		}),
+		// Key does not address the request.
+		mutate(func(l *handoffLine) { l.Key = "00" + l.Key[2:] }),
+		// Degraded responses are never cached, so never imported.
+		mutate(func(l *handoffLine) {
+			l.Response = json.RawMessage(bytes.Replace(l.Response, []byte(`"degraded":false`), []byte(`"degraded":true`), 1))
+		}),
+		// Unknown request field: strict decode refuses.
+		mutate(func(l *handoffLine) {
+			l.Request = json.RawMessage(bytes.Replace(l.Request, []byte(`"mode"`), []byte(`"sneaky":1,"mode"`), 1))
+		}),
+	}
+	stream := bytes.NewBufferString(strings.Join(bad, "\n") + "\n")
+	b, err := json.Marshal(&good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Write(append(b, '\n'))
+
+	dst := NewServer(Config{Workers: 1})
+	im := httptest.NewRecorder()
+	dst.Handler().ServeHTTP(im, httptest.NewRequest(http.MethodPost, "/cache/import", stream))
+	if im.Code != http.StatusOK {
+		t.Fatalf("import: status %d body %s", im.Code, im.Body.String())
+	}
+	var res struct {
+		Imported int `json:"imported"`
+		Rejected int `json:"rejected"`
+	}
+	if err := json.Unmarshal(im.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Imported != 1 || res.Rejected != len(bad) {
+		t.Fatalf("import = %+v, want 1 imported / %d rejected", res, len(bad))
+	}
+	if st := dst.Stats(); st.Cache.Entries != 1 {
+		t.Fatalf("cache holds %d entries after corrupt import, want 1", st.Cache.Entries)
+	}
+}
+
+// TestCacheEndpointsDisabledWithoutCache: a cache-off server has
+// nothing to hand off.
+func TestCacheEndpointsDisabledWithoutCache(t *testing.T) {
+	s := NewServer(Config{Workers: 1, CacheOff: true})
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/cache/export", nil))
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("export on cache-off server: status %d, want 404", w.Code)
+	}
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/cache/import", strings.NewReader("")))
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("import on cache-off server: status %d, want 404", w.Code)
 	}
 }

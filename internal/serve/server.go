@@ -246,7 +246,7 @@ type Server struct {
 	breaker *breaker
 	mux     *http.ServeMux
 
-	cache *resultcache.Cache[*Response] // nil when CacheOff
+	cache *resultcache.Cache[cached] // nil when CacheOff
 	group flight.Group[flightKey, *outcome]
 
 	draining atomic.Bool
@@ -276,7 +276,7 @@ func NewServer(cfg Config) *Server {
 		drainNow: make(chan struct{}),
 	}
 	if !cfg.CacheOff {
-		s.cache = resultcache.New[*Response](cfg.Cache)
+		s.cache = resultcache.New[cached](cfg.Cache)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.evals <- predictor.NewEvaluator()
@@ -286,6 +286,8 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.HandleFunc("/cache/export", s.handleCacheExport)
+	s.mux.HandleFunc("/cache/import", s.handleCacheImport)
 	if cfg.Pprof {
 		// net/http/pprof registers on http.DefaultServeMux at import;
 		// mount its handlers explicitly so they exist only when asked.
@@ -449,8 +451,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, hr *http.Request) {
 	// Hit: answer before admission control exists — no slot, no
 	// deadline, no budget, and no drain refusal. A draining server
 	// keeps serving hits until the process exits.
-	if resp, ok := s.cache.Get(key); ok {
-		s.writeOutcome(w, okOutcome(resp), "hit", start)
+	if ce, ok := s.cache.Get(key); ok {
+		s.writeOutcome(w, okOutcome(ce.resp), "hit", start)
 		return
 	}
 	if s.draining.Load() {
@@ -465,11 +467,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, hr *http.Request) {
 	// connection; followers wait here, consuming no queue or worker
 	// slot, and share whatever outcome the leader produced.
 	ch, leader := s.group.DoChan(flightKey{key, r.DeadlineMS, r.Budget}, func() (*outcome, error) {
+		// Capture the wire-form request before evaluation: evaluate
+		// mutates it (hypercube proc rounding), and the handoff export
+		// needs the exact form whose canonical key addresses the entry.
+		reqJSON, reqErr := json.Marshal(&r)
 		o := s.evaluate(&r)
-		if o.storable() {
+		if o.storable() && reqErr == nil {
 			if b, merr := json.Marshal(o.resp); merr == nil {
-				s.cache.Put(key, o.resp, resultcache.Meta{
-					Size:  len(b),
+				s.cache.Put(key, cached{resp: o.resp, req: reqJSON}, resultcache.Meta{
+					Size:  len(b) + len(reqJSON),
 					Cost:  o.resp.WorkUnits,
 					Store: true,
 				})
